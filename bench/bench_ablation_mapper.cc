@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Ablation A — resource-aware vs naive in-order mapping.
+ *
+ * The paper's Section 2.2 argues that naive single-instruction-scope
+ * mapping (DIF/CCA style) produces infeasible or inefficient schedules
+ * (Figure 2). This ablation runs the full system with both mappers and
+ * reports mapping success rates, routing quality and end-to-end cycles.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+
+using namespace dynaspam;
+using namespace dynaspam::bench;
+using sim::SystemMode;
+
+int
+main()
+{
+    std::printf("Ablation: resource-aware scheduler vs naive in-order "
+                "mapper\n");
+    std::printf("%-6s | %9s %9s %9s | %9s %9s %9s | %9s\n", "bench",
+                "RA-maps", "RA-fail", "RA-cyc", "NV-maps", "NV-fail",
+                "NV-cyc", "NV/RA");
+    rule(8);
+
+    std::vector<double> ratios;
+    for (const auto &name : workloads::allWorkloadNames()) {
+        auto ra = runWorkload(name, SystemMode::AccelSpec);
+        auto nv = runWorkload(name, SystemMode::AccelNaive);
+
+        double ratio = double(nv.cycles) / double(ra.cycles);
+        ratios.push_back(ratio);
+        std::printf("%-6s | %9llu %9llu %9llu | %9llu %9llu %9llu |"
+                    " %8.3fx\n",
+                    name.c_str(),
+                    static_cast<unsigned long long>(
+                        ra.dynaspam.mappingsCompleted),
+                    static_cast<unsigned long long>(
+                        ra.dynaspam.mappingsDiscarded),
+                    static_cast<unsigned long long>(ra.cycles),
+                    static_cast<unsigned long long>(
+                        nv.dynaspam.mappingsCompleted),
+                    static_cast<unsigned long long>(
+                        nv.dynaspam.mappingsDiscarded),
+                    static_cast<unsigned long long>(nv.cycles), ratio);
+    }
+    rule(8);
+    std::printf("geomean naive/resource-aware cycle ratio: %.3fx "
+                "(>1 means the naive mapper is slower)\n",
+                geomean(ratios));
+    std::printf("\npaper reference: Section 2.2/Figure 2 — naive "
+                "in-order mapping fails on traces whose\nlater "
+                "instructions need scarce resources (two-live-in PEs) "
+                "and wastes routing otherwise\n");
+    return 0;
+}

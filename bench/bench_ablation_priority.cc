@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Ablation B — does perturbing the issue priority hurt the host?
+ *
+ * Section 4.1 claims that replacing the host's oldest-first priority
+ * rule with the mapper's resource-aware scores "does not cause a
+ * significant performance change" (citing Butler & Patt). This ablation
+ * measures it directly: the host pipeline runs each benchmark with the
+ * default oldest-first select and with a deliberately perturbed policy
+ * (pseudo-random tie ordering), and reports the cycle deltas.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+#include "isa/executor.hh"
+#include "ooo/cpu.hh"
+#include "ooo/policy.hh"
+
+using namespace dynaspam;
+using namespace dynaspam::bench;
+
+namespace
+{
+
+/** Scores candidates by a hash of their sequence number: a stand-in for
+ *  "any reasonable but different priority rule". */
+class HashedPriorityPolicy : public ooo::SelectPolicy
+{
+  public:
+    int
+    score(unsigned fu_index, const ooo::DynInst &inst) override
+    {
+        (void)fu_index;
+        // Small positive scores; ties still break oldest-first.
+        return int((inst.seq * 2654435761u) >> 29);
+    }
+
+    void selected(unsigned, const ooo::DynInst &) override {}
+};
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Ablation: issue-priority perturbation on the host "
+                "pipeline\n");
+    std::printf("%-6s %12s %12s %9s\n", "bench", "oldest-1st",
+                "perturbed", "delta");
+    rule(4);
+
+    std::vector<double> deltas;
+    for (const auto &name : workloads::allWorkloadNames()) {
+        workloads::Workload wl = workloads::makeWorkload(name);
+
+        mem::FunctionalMemory m1 = wl.initialMemory;
+        isa::DynamicTrace trace(wl.program);
+        isa::Executor::run(wl.program, m1, &trace);
+
+        mem::MemoryHierarchy h1;
+        ooo::OooCpu cpu1(ooo::OooParams{}, trace, h1);
+        Cycle base = cpu1.run();
+
+        mem::MemoryHierarchy h2;
+        ooo::OooCpu cpu2(ooo::OooParams{}, trace, h2);
+        HashedPriorityPolicy perturbed;
+        cpu2.setSelectPolicyForTesting(&perturbed);
+        Cycle alt = cpu2.run();
+
+        double delta = 100.0 * (double(alt) - double(base)) / double(base);
+        deltas.push_back(delta);
+        std::printf("%-6s %12llu %12llu %8.2f%%\n", name.c_str(),
+                    static_cast<unsigned long long>(base),
+                    static_cast<unsigned long long>(alt), delta);
+    }
+    rule(4);
+    double worst = 0;
+    for (double d : deltas)
+        worst = std::max(worst, std::abs(d));
+    std::printf("max |delta|: %.2f%%\n", worst);
+    std::printf("\npaper reference: Section 4.1 — changing the select "
+                "priority is expected to cause no\nsignificant "
+                "performance change on the host pipeline\n");
+    return 0;
+}

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Shared helpers for the table/figure regeneration harnesses.
+ *
+ * Each bench binary reproduces one table or figure from the paper's
+ * evaluation section: it runs the 11 workloads through the relevant
+ * system configurations and prints the same rows/series the paper
+ * reports. Absolute numbers differ from the paper (the substrate is this
+ * repository's simulator, not the authors' gem5 testbed); the *shape* —
+ * who wins, by roughly what factor, where the crossovers fall — is the
+ * reproduction target. See EXPERIMENTS.md.
+ */
+
+#ifndef DYNASPAM_BENCH_UTIL_HH
+#define DYNASPAM_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "sim/system.hh"
+#include "workloads/workload.hh"
+
+namespace dynaspam::bench
+{
+
+/** Run one workload under one configuration. */
+inline sim::RunResult
+runWorkload(const std::string &name, sim::SystemMode mode,
+            unsigned trace_length = 32, unsigned num_fabrics = 1,
+            unsigned scale = 1)
+{
+    workloads::Workload wl = workloads::makeWorkload(name, scale);
+    sim::System system(
+        sim::SystemConfig::make(mode, trace_length, num_fabrics));
+    return system.run(wl.program, wl.initialMemory);
+}
+
+/** Print a horizontal rule sized for @p width columns of 10 chars. */
+inline void
+rule(unsigned width)
+{
+    for (unsigned i = 0; i < width * 10 + 14; i++)
+        std::putchar('-');
+    std::putchar('\n');
+}
+
+} // namespace dynaspam::bench
+
+#endif // DYNASPAM_BENCH_UTIL_HH

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Domain example: configuration thrash and multiple fabrics.
+ *
+ * BFS has many unbiased branches, so many distinct traces compete for
+ * the fabric and each configuration survives only a handful of
+ * invocations (the paper's Table 5 shows 6.4 with one fabric). This
+ * example sweeps the number of on-chip fabrics (LRU-managed) and shows
+ * the configuration lifetime and reconfiguration count recovering, then
+ * contrasts with KM, whose single hot trace never thrashes.
+ *
+ *   ./build/examples/multi_fabric
+ */
+
+#include <cstdio>
+
+#include "sim/system.hh"
+#include "workloads/workload.hh"
+
+using namespace dynaspam;
+using sim::SystemConfig;
+using sim::SystemMode;
+
+namespace
+{
+
+void
+sweep(const char *tag)
+{
+    workloads::Workload wl = workloads::makeWorkload(tag);
+    std::printf("%s (%s):\n", wl.name.c_str(), wl.fullName.c_str());
+    std::printf("  %-8s %10s %12s %14s %10s\n", "fabrics", "cycles",
+                "reconfigs", "avg lifetime", "squashes");
+    for (unsigned fabrics : {1u, 2u, 4u, 8u}) {
+        sim::System system(
+            SystemConfig::make(SystemMode::AccelSpec, 32, fabrics));
+        auto r = system.run(wl.program, wl.initialMemory);
+        std::printf("  %-8u %10llu %12llu %14.1f %10llu\n", fabrics,
+                    static_cast<unsigned long long>(r.cycles),
+                    static_cast<unsigned long long>(
+                        r.dynaspam.reconfigurations),
+                    r.dynaspam.avgConfigLifetime(),
+                    static_cast<unsigned long long>(
+                        r.dynaspam.invocationsSquashed));
+    }
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Configuration lifetime vs number of fabrics "
+                "(LRU replacement)\n\n");
+    sweep("BFS");   // unbiased branches: thrashes with few fabrics
+    sweep("KM");    // one hot trace: lifetime is already maximal
+    std::printf("paper reference: Table 5 — BFS improves from 6.4 "
+                "invocations/config at 1 fabric to ~64\nat 4 fabrics "
+                "(~2045 at 8); single-trace programs like KM are "
+                "insensitive\n");
+    return 0;
+}

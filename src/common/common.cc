@@ -1,0 +1,17 @@
+/**
+ * @file
+ * Anchor translation unit for the header-only common module so that the
+ * dynaspam library always has at least one object file.
+ */
+
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace dynaspam
+{
+
+// Intentionally empty: the common module is header-only.
+
+} // namespace dynaspam

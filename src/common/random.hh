@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workload data
+ * generators. A fixed algorithm (xoshiro256**) keeps every experiment
+ * reproducible across platforms and standard-library versions.
+ */
+
+#ifndef DYNASPAM_COMMON_RANDOM_HH
+#define DYNASPAM_COMMON_RANDOM_HH
+
+#include <cstdint>
+
+namespace dynaspam
+{
+
+/** Deterministic xoshiro256** generator. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL)
+    {
+        // SplitMix64 seeding, as recommended by the xoshiro authors.
+        std::uint64_t x = seed;
+        for (auto &word : state) {
+            x += 0x9e3779b97f4a7c15ULL;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state[1] * 5, 7) * 9;
+        const std::uint64_t t = state[1] << 17;
+        state[2] ^= state[0];
+        state[3] ^= state[1];
+        state[1] ^= state[2];
+        state[0] ^= state[3];
+        state[2] ^= t;
+        state[3] = rotl(state[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). @pre bound > 0 */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** Uniform integer in [lo, hi]. @pre lo <= hi */
+    std::int64_t
+    range(std::int64_t lo, std::int64_t hi)
+    {
+        return lo + std::int64_t(below(std::uint64_t(hi - lo + 1)));
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return double(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli trial with probability @p p of returning true. */
+    bool
+    bernoulli(double p)
+    {
+        return uniform() < p;
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state[4];
+};
+
+} // namespace dynaspam
+
+#endif // DYNASPAM_COMMON_RANDOM_HH

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Lightweight statistics package: named scalar counters, histograms and a
+ * registry, plus small numeric helpers (geomean) used by the benches.
+ */
+
+#ifndef DYNASPAM_COMMON_STATS_HH
+#define DYNASPAM_COMMON_STATS_HH
+
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace dynaspam
+{
+
+/** A named monotonically increasing scalar statistic. */
+class StatCounter
+{
+  public:
+    StatCounter() = default;
+    explicit StatCounter(std::string name) : _name(std::move(name)) {}
+
+    void inc(std::uint64_t amount = 1) { _value += amount; }
+    void reset() { _value = 0; }
+
+    std::uint64_t value() const { return _value; }
+    const std::string &name() const { return _name; }
+
+  private:
+    std::string _name;
+    std::uint64_t _value = 0;
+};
+
+/** A named accumulating floating-point statistic (e.g. energy in pJ). */
+class StatAccum
+{
+  public:
+    StatAccum() = default;
+    explicit StatAccum(std::string name) : _name(std::move(name)) {}
+
+    void add(double amount) { _value += amount; }
+    void reset() { _value = 0.0; }
+
+    double value() const { return _value; }
+    const std::string &name() const { return _name; }
+
+  private:
+    std::string _name;
+    double _value = 0.0;
+};
+
+/** A fixed-bucket histogram for distribution statistics. */
+class Histogram
+{
+  public:
+    /**
+     * @param name stat name
+     * @param bucket_width width of each bucket
+     * @param num_buckets number of buckets; samples beyond the last bucket
+     *                    are accumulated in an overflow bucket
+     */
+    Histogram(std::string name, std::uint64_t bucket_width,
+              std::size_t num_buckets)
+        : _name(std::move(name)), bucketWidth(bucket_width),
+          buckets(num_buckets, 0)
+    {
+    }
+
+    void
+    sample(std::uint64_t value)
+    {
+        std::size_t idx = value / bucketWidth;
+        if (idx >= buckets.size())
+            overflow++;
+        else
+            buckets[idx]++;
+        count++;
+        sum += value;
+    }
+
+    std::uint64_t samples() const { return count; }
+    double mean() const { return count ? double(sum) / count : 0.0; }
+    std::uint64_t bucket(std::size_t i) const { return buckets.at(i); }
+    std::uint64_t overflowCount() const { return overflow; }
+    const std::string &name() const { return _name; }
+
+    void
+    reset()
+    {
+        std::fill(buckets.begin(), buckets.end(), 0);
+        overflow = 0;
+        count = 0;
+        sum = 0;
+    }
+
+  private:
+    std::string _name;
+    std::uint64_t bucketWidth;
+    std::vector<std::uint64_t> buckets;
+    std::uint64_t overflow = 0;
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+};
+
+/**
+ * A registry of scalar statistics owned by simulator components. Components
+ * register counters by name; the registry supports dumping and lookup so
+ * benches and tests can read any statistic without friend access.
+ */
+class StatRegistry
+{
+  public:
+    /** Register (or fetch) a counter under @p name. */
+    StatCounter &
+    counter(const std::string &name)
+    {
+        auto it = counters.find(name);
+        if (it == counters.end())
+            it = counters.emplace(name, StatCounter(name)).first;
+        return it->second;
+    }
+
+    /** Register (or fetch) a floating-point accumulator under @p name. */
+    StatAccum &
+    accum(const std::string &name)
+    {
+        auto it = accums.find(name);
+        if (it == accums.end())
+            it = accums.emplace(name, StatAccum(name)).first;
+        return it->second;
+    }
+
+    /** @return counter value, or 0 if never registered. */
+    std::uint64_t
+    get(const std::string &name) const
+    {
+        auto it = counters.find(name);
+        return it == counters.end() ? 0 : it->second.value();
+    }
+
+    /** @return accumulator value, or 0.0 if never registered. */
+    double
+    getAccum(const std::string &name) const
+    {
+        auto it = accums.find(name);
+        return it == accums.end() ? 0.0 : it->second.value();
+    }
+
+    void
+    resetAll()
+    {
+        for (auto &kv : counters)
+            kv.second.reset();
+        for (auto &kv : accums)
+            kv.second.reset();
+    }
+
+    /** Dump all statistics, sorted by name, one per line. */
+    void
+    dump(std::ostream &os) const
+    {
+        for (const auto &kv : counters)
+            os << kv.first << " " << kv.second.value() << "\n";
+        for (const auto &kv : accums)
+            os << kv.first << " " << kv.second.value() << "\n";
+    }
+
+    const std::map<std::string, StatCounter> &allCounters() const
+    {
+        return counters;
+    }
+
+  private:
+    std::map<std::string, StatCounter> counters;
+    std::map<std::string, StatAccum> accums;
+};
+
+/** Geometric mean of a vector of positive values (0 on empty input). */
+inline double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double v : values)
+        log_sum += std::log(v);
+    return std::exp(log_sum / double(values.size()));
+}
+
+} // namespace dynaspam
+
+#endif // DYNASPAM_COMMON_STATS_HH

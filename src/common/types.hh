@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Fundamental scalar types shared across the DynaSpAM simulator.
+ */
+
+#ifndef DYNASPAM_COMMON_TYPES_HH
+#define DYNASPAM_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace dynaspam
+{
+
+/** Simulated byte address in the flat functional memory. */
+using Addr = std::uint64_t;
+
+/** Simulated clock cycle count. */
+using Cycle = std::uint64_t;
+
+/** Program counter expressed as a static-instruction index. */
+using InstAddr = std::uint32_t;
+
+/** Index of a dynamic instruction within a DynamicTrace. */
+using SeqNum = std::uint64_t;
+
+/** Architectural or physical register index. */
+using RegIndex = std::uint16_t;
+
+/** Sentinel for "no register". */
+inline constexpr RegIndex REG_INVALID =
+    std::numeric_limits<RegIndex>::max();
+
+/** Sentinel for "no instruction address". */
+inline constexpr InstAddr INST_ADDR_INVALID =
+    std::numeric_limits<InstAddr>::max();
+
+/** Sentinel for "no cycle". */
+inline constexpr Cycle CYCLE_INVALID = std::numeric_limits<Cycle>::max();
+
+} // namespace dynaspam
+
+#endif // DYNASPAM_COMMON_TYPES_HH

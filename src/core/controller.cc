@@ -1,0 +1,327 @@
+/**
+ * @file
+ * DynaSpAM controller implementation.
+ */
+
+#include "core/controller.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace dynaspam::core
+{
+
+DynaSpamController::DynaSpamController(const DynaSpamParams &p,
+                                       const isa::DynamicTrace &t,
+                                       ooo::BranchPredictor &bp,
+                                       ooo::StoreSetPredictor &ss,
+                                       mem::MemoryHierarchy &h)
+    : params(p), trace(t), bpred(bp), storeSets(ss), hierarchy(h),
+      tCache(p.tcache), cfgCache(p.configCache)
+{
+    if (params.numFabrics == 0)
+        fatal("DynaSpAM needs at least one fabric");
+    for (unsigned i = 0; i < params.numFabrics; i++) {
+        fabricPool.push_back(std::make_unique<fabric::Fabric>(
+            params.fabricParams, hierarchy, storeSets));
+    }
+    const unsigned pes = params.fabricParams.pesPerStripe();
+    if (params.mapper == MapperKind::ResourceAware)
+        policy = std::make_unique<ResourceAwarePolicy>(pes);
+    else
+        policy = std::make_unique<NaiveOrderPolicy>(pes);
+}
+
+bool
+DynaSpamController::walkMatchesOracle(const TraceWalk &walk,
+                                      SeqNum trace_idx) const
+{
+    if (trace_idx + walk.pcs.size() > trace.size())
+        return false;
+    for (std::size_t i = 0; i < walk.pcs.size(); i++) {
+        const isa::DynRecord &rec = trace[trace_idx + i];
+        if (rec.pc != walk.pcs[i])
+            return false;
+        const isa::StaticInst &inst = trace.program().inst(rec.pc);
+        if (inst.isControl() && rec.taken != walk.predictedTaken[i])
+            return false;
+    }
+    return true;
+}
+
+fabric::Fabric *
+DynaSpamController::selectFabric(
+    const std::shared_ptr<const fabric::FabricConfig> &config, Cycle now)
+{
+    // Prefer a fabric already holding the configuration.
+    for (auto &fab : fabricPool) {
+        if (fab->hasConfig(config->key))
+            return fab.get();
+    }
+
+    // Otherwise an unconfigured fabric, else the LRU one.
+    fabric::Fabric *victim = nullptr;
+    for (auto &fab : fabricPool) {
+        if (!fab->configured()) {
+            victim = fab.get();
+            break;
+        }
+    }
+    if (!victim) {
+        victim = fabricPool.front().get();
+        for (auto &fab : fabricPool) {
+            if (fab->lastUseCycle() < victim->lastUseCycle())
+                victim = fab.get();
+        }
+    }
+
+    // Reconfigure the victim; its outgoing configuration's lifetime is a
+    // Table 5 sample.
+    if (victim->invocationsSinceConfigure() > 0) {
+        dstats.lifetimeSum += victim->invocationsSinceConfigure();
+        dstats.lifetimeCount++;
+    }
+    victim->configure(config, now);
+    dstats.reconfigurations++;
+    return victim;
+}
+
+ooo::FetchDirective
+DynaSpamController::beforeFetch(SeqNum trace_idx, Cycle now)
+{
+    ooo::FetchDirective directive;
+
+    if (suppressed.count(trace_idx)) {
+        dstats.offloadSuppressed++;
+        // This record's invocation just squashed: run it on the host.
+        // (The entry is consumed at commit, not here, because fetch can
+        // be re-run after an unrelated squash.)
+        return directive;
+    }
+
+    const isa::DynRecord &rec = trace[trace_idx];
+    const isa::StaticInst &inst = trace.program().inst(rec.pc);
+    if (!inst.isCondBranch())
+        return directive;
+    if (mappingInProgress)
+        return directive;
+
+    // Build the T-Cache index from the predictions for this and the next
+    // two branches.
+    TraceWalk walk = walkPredictedPath(trace.program(), bpred, rec.pc,
+                                       params.traceLength);
+    if (!walk.valid || !tCache.isHot(walk.key))
+        return directive;
+
+    dstats.tracesConsidered++;
+
+    auto config = cfgCache.find(walk.key);
+    if (config) {
+        const bool ready = cfgCache.recordPrediction(walk.key);
+        if (!ready || !params.enableOffload) {
+            dstats.offloadBelowThreshold++;
+            return directive;
+        }
+
+        // Offload. The fabric is chosen when the invocation starts; a
+        // stale config whose extent no longer matches the oracle path is
+        // still dispatched — the path mismatch squashes in the fabric,
+        // mirroring the hardware.
+        directive.kind = ooo::FetchDirective::Kind::Offload;
+        directive.numRecords = config->numRecords;
+        directive.liveIns = config->liveIns;
+        directive.liveOuts.reserve(config->liveOuts.size());
+        for (const auto &lo : config->liveOuts)
+            directive.liveOuts.push_back(lo.arch);
+        directive.hasStores = config->hasStores;
+
+        pending[trace_idx] =
+            PendingInvocation{config, walk.key, config->numRecords};
+        dstats.offloadsIssued++;
+        return directive;
+    }
+
+    // Not mapped yet: start a mapping phase if the predicted path holds
+    // against the oracle (a mispredicted path would abort the mapping
+    // anyway — Section 3.1). Traces that already failed to map are not
+    // retried.
+    dstats.hotNotMapped++;
+    if (failedKeys.count(walk.key))
+        return directive;
+    if (now < lastMappingStart + params.mappingCooldown &&
+        dstats.mappingsStarted > 0) {
+        return directive;   // rate-limit reconfiguration pressure
+    }
+    if (!walkMatchesOracle(walk, trace_idx))
+        return directive;
+    if (walk.pcs.size() < 4)
+        return directive;   // too short to be worth a configuration
+
+    session = std::make_unique<MappingSession>(
+        params.fabricParams, trace_idx,
+        std::uint32_t(walk.pcs.size()), walk.key);
+    policy->arm(session.get(), trace_idx);
+    mappingInProgress = true;
+    mappingKey = walk.key;
+    lastMappingStart = now;
+
+    directive.kind = ooo::FetchDirective::Kind::BeginMapping;
+    directive.numRecords = std::uint32_t(walk.pcs.size());
+    directive.policy = policy.get();
+    // Counted at directive issue so aborts that fire before the first
+    // trace instruction dispatches still balance the books.
+    dstats.mappingsStarted++;
+    return directive;
+}
+
+void
+DynaSpamController::mappingStarted(SeqNum, Cycle)
+{
+}
+
+void
+DynaSpamController::mappingFinished(SeqNum, Cycle)
+{
+    if (!session)
+        return;
+    auto config = session->buildConfig(trace);
+    if (config) {
+        cfgCache.insert(mappingKey, std::move(*config));
+        if (mappedKeys.insert(mappingKey).second)
+            dstats.distinctMappedTraces++;
+        dstats.mappingsCompleted++;
+    } else {
+        dstats.mappingsDiscarded++;
+        failedKeys.insert(mappingKey);
+    }
+    policy->disarm();
+    session.reset();
+    mappingInProgress = false;
+}
+
+void
+DynaSpamController::mappingAborted(SeqNum, Cycle)
+{
+    if (!session)
+        return;
+    dstats.mappingsAborted++;
+    policy->disarm();
+    session.reset();
+    mappingInProgress = false;
+}
+
+ooo::InvocationResult
+DynaSpamController::offloadStart(SeqNum trace_idx, std::uint32_t num_records,
+                                 Cycle now,
+                                 const std::vector<Cycle> &live_in_ready,
+                                 Cycle mem_safe)
+{
+    auto it = pending.find(trace_idx);
+    if (it == pending.end())
+        panic("offloadStart for unknown invocation at ", trace_idx);
+    const PendingInvocation &inv = it->second;
+
+    ooo::InvocationResult result;
+    fabric::Fabric *fab = selectFabric(inv.config, now);
+    it->second.startedOn = fab;
+    fabric::FabricExecResult fx =
+        fab->execute(trace, trace_idx, live_in_ready, mem_safe, now);
+    (void)num_records;
+
+    result.squashed = fx.squashed;
+    result.completeCycle = fx.completeCycle;
+    result.liveOutReady = std::move(fx.liveOutReady);
+    result.storeEvents.reserve(fx.storeEvents.size());
+    for (const auto &ev : fx.storeEvents)
+        result.storeEvents.emplace_back(ev.addr, ev.pc);
+    return result;
+}
+
+void
+DynaSpamController::invocationCommitted(SeqNum trace_idx, Cycle)
+{
+    dstats.invocationsCommitted++;
+    auto it = pending.find(trace_idx);
+    if (it != pending.end()) {
+        dstats.instsOffloaded += it->second.numRecords;
+        offloadedKeys.insert(it->second.key);
+        if (it->second.startedOn)
+            it->second.startedOn->noteCommitted(trace_idx);
+        pending.erase(it);
+    }
+}
+
+void
+DynaSpamController::invocationSquashed(SeqNum trace_idx, Cycle,
+                                       bool at_fault)
+{
+    if (at_fault) {
+        dstats.invocationsSquashed++;
+        suppressed.insert(trace_idx);
+        auto pit = pending.find(trace_idx);
+        if (pit != pending.end())
+            cfgCache.penalize(pit->second.key);
+    } else {
+        dstats.invocationsCollateral++;
+    }
+    auto it = pending.find(trace_idx);
+    if (it != pending.end()) {
+        // Rewind the ghost effects this invocation left in the fabric's
+        // pipelining state (squash notifications arrive youngest-first).
+        if (it->second.startedOn)
+            it->second.startedOn->rollback(trace_idx);
+        pending.erase(it);
+    }
+}
+
+void
+DynaSpamController::onCommitControl(InstAddr pc, bool taken,
+                                    SeqNum trace_idx, Cycle)
+{
+    const isa::StaticInst &inst = trace.program().inst(pc);
+    if (inst.isCondBranch())
+        tCache.commitBranch(pc, taken);
+    // A suppressed record that has now committed on the host can be
+    // offloaded again in the future.
+    suppressed.erase(trace_idx);
+}
+
+void
+DynaSpamController::finalizeStats()
+{
+    for (auto &fab : fabricPool) {
+        if (fab->invocationsSinceConfigure() > 0) {
+            dstats.lifetimeSum += fab->invocationsSinceConfigure();
+            dstats.lifetimeCount++;
+        }
+    }
+    dstats.distinctOffloadedTraces = offloadedKeys.size();
+}
+
+void
+DynaSpamController::exportStats(StatRegistry &reg) const
+{
+    reg.counter("dynaspam.tracesConsidered").inc(dstats.tracesConsidered);
+    reg.counter("dynaspam.mappingsStarted").inc(dstats.mappingsStarted);
+    reg.counter("dynaspam.mappingsCompleted").inc(dstats.mappingsCompleted);
+    reg.counter("dynaspam.mappingsAborted").inc(dstats.mappingsAborted);
+    reg.counter("dynaspam.mappingsDiscarded").inc(dstats.mappingsDiscarded);
+    reg.counter("dynaspam.offloadsIssued").inc(dstats.offloadsIssued);
+    reg.counter("dynaspam.invocationsCommitted")
+        .inc(dstats.invocationsCommitted);
+    reg.counter("dynaspam.invocationsSquashed")
+        .inc(dstats.invocationsSquashed);
+    reg.counter("dynaspam.reconfigurations").inc(dstats.reconfigurations);
+    reg.counter("dynaspam.distinctMappedTraces")
+        .inc(dstats.distinctMappedTraces);
+    reg.counter("dynaspam.distinctOffloadedTraces")
+        .inc(dstats.distinctOffloadedTraces);
+    reg.counter("dynaspam.instsOffloaded").inc(dstats.instsOffloaded);
+    for (std::size_t i = 0; i < fabricPool.size(); i++)
+        fabricPool[i]->exportStats(reg, "fabric" + std::to_string(i));
+}
+
+} // namespace dynaspam::core

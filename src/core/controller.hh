@@ -1,0 +1,219 @@
+/**
+ * @file
+ * The DynaSpAM controller: implements the three-phase framework of
+ * Section 3 (trace detection, trace mapping, trace offloading) by
+ * attaching to the host OOO pipeline's TraceHooks interface.
+ *
+ * Detection: T-Cache trained by committed conditional branches.
+ * Mapping: when fetch meets a hot trace that is not yet mapped, the
+ * controller validates the predicted path, holds dispatch for a pipeline
+ * drain, and installs the resource-aware priority policy; the finished
+ * placement is stored in the configuration cache.
+ * Offloading: once a mapped trace's saturation counter reaches the
+ * threshold, invocations run on a spatial fabric as fat atomic ROB
+ * entries. Multiple fabrics are managed with an LRU policy, and the
+ * configuration lifetime of each fabric is tracked for Table 5.
+ */
+
+#ifndef DYNASPAM_CORE_CONTROLLER_HH
+#define DYNASPAM_CORE_CONTROLLER_HH
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "core/configcache.hh"
+#include "core/mapping_policy.hh"
+#include "core/session.hh"
+#include "core/tcache.hh"
+#include "core/walker.hh"
+#include "fabric/fabric.hh"
+#include "isa/trace.hh"
+#include "memory/cache.hh"
+#include "ooo/bpred.hh"
+#include "ooo/hooks.hh"
+#include "ooo/storesets.hh"
+
+namespace dynaspam::core
+{
+
+/** Which mapping algorithm drives the trace-mapping phase. */
+enum class MapperKind : std::uint8_t
+{
+    ResourceAware,  ///< the paper's contribution (Algorithms 1-3)
+    NaiveOrder,     ///< CCA/DIF-style in-order baseline
+};
+
+/** DynaSpAM framework configuration. */
+struct DynaSpamParams
+{
+    /** Preset trace length in instructions (paper sweeps 16-40). */
+    unsigned traceLength = 32;
+
+    /** Enable offloading (false = "mapping only" configuration). */
+    bool enableOffload = true;
+
+    /** Number of on-chip fabrics (Table 5 evaluates 1, 2, 4, 8). */
+    unsigned numFabrics = 1;
+
+    MapperKind mapper = MapperKind::ResourceAware;
+
+    /**
+     * Minimum cycles between mapping phases. Each mapping drains the
+     * pipeline back-end, so unbounded re-mapping of thrashing trace sets
+     * (evicted from the 16-entry configuration cache and re-detected)
+     * would swamp branchy programs; rate-limiting reconfiguration is
+     * the stated intent of the paper's periodic counter clearing.
+     */
+    Cycle mappingCooldown = 1500;
+
+    TCacheParams tcache;
+    ConfigCacheParams configCache;
+    fabric::FabricParams fabricParams;
+};
+
+/** Framework statistics (feeds Figure 7 and Table 5). */
+struct DynaSpamStats
+{
+    std::uint64_t tracesConsidered = 0;     ///< hot-trace fetch hits
+    std::uint64_t mappingsStarted = 0;
+    std::uint64_t mappingsCompleted = 0;
+    std::uint64_t mappingsAborted = 0;
+    std::uint64_t mappingsDiscarded = 0;    ///< completed but invalid
+    std::uint64_t offloadsIssued = 0;
+    std::uint64_t invocationsCommitted = 0;
+    std::uint64_t invocationsSquashed = 0;     ///< at-fault squashes
+    std::uint64_t invocationsCollateral = 0;   ///< swept by older squashes
+    std::uint64_t hotNotMapped = 0;        ///< hot but no config yet
+    std::uint64_t offloadBelowThreshold = 0;
+    std::uint64_t offloadSuppressed = 0;
+    std::uint64_t instsOffloaded = 0;       ///< committed via the fabric
+    std::uint64_t reconfigurations = 0;
+
+    std::uint64_t distinctMappedTraces = 0;
+    std::uint64_t distinctOffloadedTraces = 0;
+
+    /** Sum/count of invocations-per-configuration (Table 5 lifetime). */
+    std::uint64_t lifetimeSum = 0;
+    std::uint64_t lifetimeCount = 0;
+
+    double
+    avgConfigLifetime() const
+    {
+        return lifetimeCount ? double(lifetimeSum) / double(lifetimeCount)
+                             : 0.0;
+    }
+};
+
+/**
+ * The controller. One instance per simulated program run; attach with
+ * OooCpu::setHooks().
+ */
+class DynaSpamController : public ooo::TraceHooks
+{
+  public:
+    /**
+     * @param params framework configuration
+     * @param trace oracle trace of the program under simulation
+     * @param bpred the host pipeline's branch predictor (peeked at fetch)
+     * @param store_sets host memory dependence predictor (shared with
+     *                   the fabric LDST units)
+     * @param hierarchy data cache for fabric memory operations
+     */
+    DynaSpamController(const DynaSpamParams &params,
+                       const isa::DynamicTrace &trace,
+                       ooo::BranchPredictor &bpred,
+                       ooo::StoreSetPredictor &store_sets,
+                       mem::MemoryHierarchy &hierarchy);
+
+    // --- TraceHooks ------------------------------------------------------
+    ooo::FetchDirective beforeFetch(SeqNum trace_idx, Cycle now) override;
+    void mappingStarted(SeqNum trace_idx, Cycle now) override;
+    void mappingFinished(SeqNum trace_idx, Cycle now) override;
+    void mappingAborted(SeqNum trace_idx, Cycle now) override;
+    ooo::InvocationResult offloadStart(
+        SeqNum trace_idx, std::uint32_t num_records, Cycle now,
+        const std::vector<Cycle> &live_in_ready, Cycle mem_safe) override;
+    void invocationCommitted(SeqNum trace_idx, Cycle now) override;
+    void invocationSquashed(SeqNum trace_idx, Cycle now,
+                            bool at_fault) override;
+    void onCommitControl(InstAddr pc, bool taken, SeqNum trace_idx,
+                         Cycle now) override;
+
+    // --- Inspection ------------------------------------------------------
+    const DynaSpamStats &stats() const { return dstats; }
+    const TCache &tcache() const { return tCache; }
+    const ConfigCache &configCache() const { return cfgCache; }
+    const std::vector<std::unique_ptr<fabric::Fabric>> &fabrics() const
+    {
+        return fabricPool;
+    }
+
+    /**
+     * Close out lifetime statistics: counts the final configuration of
+     * every fabric as one lifetime sample. Call once after the run.
+     */
+    void finalizeStats();
+
+    /** Export statistics under "dynaspam." into @p registry. */
+    void exportStats(StatRegistry &registry) const;
+
+  private:
+    /** Check the predicted-path walk against the oracle records. */
+    bool walkMatchesOracle(const TraceWalk &walk, SeqNum trace_idx) const;
+
+    /** Pick a fabric for @p config: loaded > free > LRU; reconfigures
+     *  the victim when needed (charging configuration latency). */
+    fabric::Fabric *
+    selectFabric(const std::shared_ptr<const fabric::FabricConfig> &config,
+                 Cycle now);
+
+    DynaSpamParams params;
+    const isa::DynamicTrace &trace;
+    ooo::BranchPredictor &bpred;
+    ooo::StoreSetPredictor &storeSets;
+    mem::MemoryHierarchy &hierarchy;
+
+    TCache tCache;
+    ConfigCache cfgCache;
+    std::vector<std::unique_ptr<fabric::Fabric>> fabricPool;
+
+    std::unique_ptr<MappingSession> session;
+    std::unique_ptr<MappingPolicyBase> policy;
+    bool mappingInProgress = false;
+    std::uint64_t mappingKey = 0;
+    Cycle lastMappingStart = 0;
+
+    /** Pending offload: trace_idx -> (config, key, num records). The
+     *  fabric is selected when the invocation starts, not at fetch, so
+     *  queued invocations of the previous configuration are not killed
+     *  by an early reconfiguration. */
+    struct PendingInvocation
+    {
+        std::shared_ptr<const fabric::FabricConfig> config;
+        std::uint64_t key = 0;
+        std::uint32_t numRecords = 0;
+        /** The fabric that executed it (set at offloadStart). */
+        fabric::Fabric *startedOn = nullptr;
+    };
+    std::unordered_map<SeqNum, PendingInvocation> pending;
+
+    /** After a squash at this record, execute it on the host once. */
+    std::unordered_set<SeqNum> suppressed;
+
+    std::unordered_set<std::uint64_t> mappedKeys;
+    std::unordered_set<std::uint64_t> offloadedKeys;
+    /** Traces whose mapping failed: don't retry them (an infeasible
+     *  schedule stays infeasible while the trace shape is stable). */
+    std::unordered_set<std::uint64_t> failedKeys;
+
+    DynaSpamStats dstats;
+};
+
+} // namespace dynaspam::core
+
+#endif // DYNASPAM_CORE_CONTROLLER_HH

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * T-Cache implementation.
+ */
+
+#include "core/tcache.hh"
+
+#include "common/logging.hh"
+
+namespace dynaspam::core
+{
+
+TCache::TCache(const TCacheParams &p) : params(p), entries(p.entries)
+{
+    if (!p.entries)
+        fatal("T-Cache must have at least one entry");
+    const unsigned max_counter = (1u << p.counterBits) - 1;
+    if (p.hotThreshold > max_counter)
+        fatal("T-Cache hot threshold ", p.hotThreshold,
+              " exceeds counter range ", max_counter);
+}
+
+void
+TCache::commitBranch(InstAddr pc, bool taken)
+{
+    commitCount++;
+    if (params.clearInterval && commitCount % params.clearInterval == 0) {
+        // Periodic clearing: evict stale traces so infrequent ones do
+        // not keep occupying the fabric (Section 3.1).
+        for (Entry &entry : entries) {
+            entry.counter = 0;
+            entry.hot = false;
+        }
+        statClears++;
+    }
+
+    history.emplace_back(pc, taken);
+    if (history.size() < 3)
+        return;
+    if (history.size() > 3)
+        history.pop_front();
+
+    const std::uint64_t key = makeTraceKey(
+        history[0].first, history[0].second, history[1].second,
+        history[2].second);
+
+    Entry &entry = entries[indexOf(key)];
+    if (!entry.valid || entry.key != key) {
+        entry.valid = true;
+        entry.key = key;
+        entry.counter = 0;
+        entry.hot = false;
+    }
+    const unsigned max_counter = (1u << params.counterBits) - 1;
+    if (entry.counter < max_counter)
+        entry.counter++;
+    if (entry.counter > params.hotThreshold)
+        entry.hot = true;
+    statTrainings++;
+}
+
+bool
+TCache::isHot(std::uint64_t key) const
+{
+    const Entry &entry = entries[indexOf(key)];
+    return entry.valid && entry.key == key && entry.hot;
+}
+
+} // namespace dynaspam::core

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * T-Cache: the trace detection structure (Section 3.1).
+ *
+ * On commit of each conditional branch, an internal history buffer tracks
+ * the previous three branch results. The T-Cache builds an index from the
+ * PC of the earliest of those branches plus the three outcomes and
+ * increments a saturating counter. When the counter exceeds a preset
+ * threshold, the trace is flagged hot. Counters are periodically cleared
+ * so infrequently executing traces do not occupy the spatial fabric.
+ */
+
+#ifndef DYNASPAM_CORE_TCACHE_HH
+#define DYNASPAM_CORE_TCACHE_HH
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace dynaspam::core
+{
+
+/** Build a trace key from the anchor branch PC and three outcomes. */
+inline std::uint64_t
+makeTraceKey(InstAddr anchor_pc, bool o1, bool o2, bool o3)
+{
+    return (std::uint64_t(anchor_pc) << 3) | (std::uint64_t(o1)) |
+           (std::uint64_t(o2) << 1) | (std::uint64_t(o3) << 2);
+}
+
+/** T-Cache configuration. */
+struct TCacheParams
+{
+    std::size_t entries = 256;          ///< direct-mapped entries
+    unsigned counterBits = 4;           ///< saturating counter width
+    unsigned hotThreshold = 12;         ///< counter value marking hot
+    std::uint64_t clearInterval = 100000;   ///< branch commits per clear
+};
+
+/** The trace-detection cache. */
+class TCache
+{
+  public:
+    explicit TCache(const TCacheParams &params = TCacheParams{});
+
+    /**
+     * Record a committed conditional branch (trains the history buffer
+     * and the saturation counters).
+     */
+    void commitBranch(InstAddr pc, bool taken);
+
+    /** @return true when the trace identified by @p key is hot. */
+    bool isHot(std::uint64_t key) const;
+
+    std::uint64_t trainings() const { return statTrainings; }
+    std::uint64_t clears() const { return statClears; }
+
+  private:
+    struct Entry
+    {
+        std::uint64_t key = 0;
+        unsigned counter = 0;
+        bool hot = false;
+        bool valid = false;
+    };
+
+    std::size_t indexOf(std::uint64_t key) const
+    {
+        return std::size_t(key % entries.size());
+    }
+
+    TCacheParams params;
+    std::vector<Entry> entries;
+
+    /** Last three committed conditional branches: (pc, outcome). */
+    std::deque<std::pair<InstAddr, bool>> history;
+
+    std::uint64_t commitCount = 0;
+    std::uint64_t statTrainings = 0;
+    std::uint64_t statClears = 0;
+};
+
+} // namespace dynaspam::core
+
+#endif // DYNASPAM_CORE_TCACHE_HH

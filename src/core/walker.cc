@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Predicted-path trace walker implementation.
+ */
+
+#include "core/walker.hh"
+
+#include "core/tcache.hh"
+#include "isa/opcodes.hh"
+
+namespace dynaspam::core
+{
+
+TraceWalk
+walkPredictedPath(const isa::Program &program,
+                  const ooo::BranchPredictor &bpred, InstAddr anchor_pc,
+                  unsigned max_len)
+{
+    TraceWalk walk;
+    if (anchor_pc >= program.size())
+        return walk;
+    if (!program.inst(anchor_pc).isCondBranch())
+        return walk;
+
+    std::uint64_t history = bpred.speculativeHistory();
+    std::vector<bool> cond_outcomes;
+
+    InstAddr pc = anchor_pc;
+    unsigned steps = 0;
+    const unsigned step_cap = 4 * max_len;
+
+    // Phase 1: collect the trace extent (up to the 4th conditional branch
+    // or max_len instructions). Phase 2 (extent full): keep walking only
+    // to find the remaining conditional-branch outcomes for the key.
+    while (steps < step_cap && cond_outcomes.size() < 3) {
+        if (pc >= program.size())
+            return walk;
+        const isa::StaticInst &inst = program.inst(pc);
+        if (inst.isHalt() || inst.op == isa::Opcode::RET)
+            return walk;
+
+        const bool in_extent = walk.pcs.size() < max_len;
+        InstAddr next = pc + 1;
+        bool taken = false;
+
+        if (inst.isControl()) {
+            auto pred = bpred.peekWithHistory(pc, inst, history);
+            taken = pred.taken;
+            if (inst.isCondBranch()) {
+                if (cond_outcomes.size() >= 3 && in_extent) {
+                    // This would be the 4th branch: the extent stops
+                    // just before it.
+                    break;
+                }
+                cond_outcomes.push_back(taken);
+                history = (history << 1) | (taken ? 1 : 0);
+            }
+            if (taken) {
+                if (!pred.targetKnown)
+                    return walk;    // cannot follow an unknown target
+                next = pred.target;
+            }
+        }
+
+        if (in_extent) {
+            walk.pcs.push_back(pc);
+            walk.predictedTaken.push_back(taken);
+            if (inst.isCondBranch())
+                walk.numCondBranches++;
+        }
+
+        pc = next;
+        steps++;
+    }
+
+    if (cond_outcomes.size() < 3)
+        return walk;
+
+    // Extend the extent past the third branch up to the fourth branch or
+    // the length cap.
+    while (walk.pcs.size() < max_len && steps < step_cap) {
+        if (pc >= program.size())
+            break;
+        const isa::StaticInst &inst = program.inst(pc);
+        if (inst.isHalt() || inst.op == isa::Opcode::RET)
+            break;
+        if (inst.isCondBranch())
+            break;      // the fourth branch ends the trace
+
+        InstAddr next = pc + 1;
+        bool taken = false;
+        if (inst.isControl()) {
+            auto pred = bpred.peekWithHistory(pc, inst, history);
+            taken = pred.taken;
+            if (taken) {
+                if (!pred.targetKnown)
+                    break;
+                next = pred.target;
+            }
+        }
+        walk.pcs.push_back(pc);
+        walk.predictedTaken.push_back(taken);
+        pc = next;
+        steps++;
+    }
+
+    // If the length cap truncated the extent mid-block, trim back so the
+    // trace ends just before a conditional branch: the next dynamic
+    // record is then again a trace anchor, letting consecutive
+    // invocations chain back-to-back instead of leaving a partial block
+    // for the host. (The paper flags smarter instruction selection at
+    // the cap as future work, Section 5.2.)
+    if (walk.pcs.size() == max_len) {
+        std::size_t last_branch = walk.pcs.size();
+        for (std::size_t i = walk.pcs.size(); i-- > 1;) {
+            if (program.inst(walk.pcs[i]).isCondBranch()) {
+                last_branch = i;
+                break;
+            }
+        }
+        if (last_branch < walk.pcs.size()) {
+            walk.pcs.resize(last_branch);
+            walk.predictedTaken.resize(last_branch);
+            walk.numCondBranches = 0;
+            for (InstAddr trace_pc : walk.pcs) {
+                if (program.inst(trace_pc).isCondBranch())
+                    walk.numCondBranches++;
+            }
+        }
+    }
+
+    walk.key = makeTraceKey(anchor_pc, cond_outcomes[0], cond_outcomes[1],
+                            cond_outcomes[2]);
+    walk.valid = !walk.pcs.empty();
+    return walk;
+}
+
+} // namespace dynaspam::core

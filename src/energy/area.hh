@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Area model for the DynaSpAM fabric.
+ *
+ * Module areas are seeded from the paper's Table 6, which reports
+ * OpenSparc T1 functional units and the authors' synthesized datapath
+ * block and FIFO at a 32 nm generic library. The fabric total composes
+ * those modules per the Table 4 geometry, reproducing the paper's
+ * ~2.9 mm^2 figure for an 8-stripe fabric. The configuration cache area
+ * is the CACTI estimate the paper quotes.
+ */
+
+#ifndef DYNASPAM_ENERGY_AREA_HH
+#define DYNASPAM_ENERGY_AREA_HH
+
+#include <cstdint>
+
+#include "fabric/params.hh"
+
+namespace dynaspam::energy
+{
+
+/** Module areas in square micrometres (paper Table 6, 32 nm). */
+struct AreaParams
+{
+    double sparcExuAlu = 4660.0;    ///< integer ALU
+    double sparcMulTop = 47752.0;   ///< integer multiplier
+    double sparcExuDiv = 11227.0;   ///< integer divider
+    double fpuAdd = 34370.0;        ///< FP adder
+    double fpuMul = 62488.0;        ///< FP multiplier
+    double fpuDiv = 13769.0;        ///< FP divider
+    double dataPath = 4717.0;       ///< pass registers + muxes per PE
+    double fifo = 848.0;            ///< one live-in/live-out FIFO
+
+    /** CACTI estimate for the configuration cache, in mm^2. */
+    double configCacheMm2 = 0.003;
+};
+
+/** Computed area report. */
+struct AreaReport
+{
+    double perStripeUm2 = 0.0;
+    double fabricUm2 = 0.0;
+    double fifosUm2 = 0.0;
+    double totalUm2 = 0.0;
+    double configCacheMm2 = 0.0;
+
+    double totalMm2() const { return totalUm2 / 1e6; }
+};
+
+/**
+ * Compose the fabric area from module areas and geometry.
+ * @param params module areas
+ * @param fp fabric geometry (stripes, unit mix, FIFO counts)
+ * @param num_stripes stripe count to evaluate (the paper quotes 8)
+ */
+inline AreaReport
+computeFabricArea(const AreaParams &params, const fabric::FabricParams &fp,
+                  unsigned num_stripes)
+{
+    AreaReport report;
+    const auto &units = fp.stripeUnits;
+
+    double stripe = 0.0;
+    stripe += units.intAlu * params.sparcExuAlu;
+    stripe += units.intMulDiv * (params.sparcMulTop + params.sparcExuDiv);
+    stripe += units.fpAlu * params.fpuAdd;
+    stripe += units.fpMulDiv * (params.fpuMul + params.fpuDiv);
+    // LDST units: address generation is ALU-class; the memory
+    // reservation buffer is FIFO-class.
+    stripe += units.ldst * (params.sparcExuAlu + params.fifo);
+    // One datapath block (pass registers + muxes) per PE.
+    stripe += double(units.total()) * params.dataPath;
+
+    report.perStripeUm2 = stripe;
+    report.fabricUm2 = stripe * double(num_stripes);
+    report.fifosUm2 =
+        double(fp.liveInFifos + fp.liveOutFifos) * params.fifo;
+    report.totalUm2 = report.fabricUm2 + report.fifosUm2;
+    report.configCacheMm2 = params.configCacheMm2;
+    return report;
+}
+
+} // namespace dynaspam::energy
+
+#endif // DYNASPAM_ENERGY_AREA_HH

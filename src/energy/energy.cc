@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Energy model implementation.
+ */
+
+#include "energy/energy.hh"
+
+namespace dynaspam::energy
+{
+
+MemoryEvents
+MemoryEvents::fromHierarchy(const mem::MemoryHierarchy &h)
+{
+    MemoryEvents ev;
+    ev.l1iAccesses = h.l1i().hits() + h.l1i().misses();
+    ev.l1dAccesses = h.l1d().hits() + h.l1d().misses();
+    ev.l2Accesses = h.l2().hits() + h.l2().misses();
+    ev.dramAccesses = h.l2().misses();
+    return ev;
+}
+
+EnergyBreakdown
+EnergyModel::compute(const ooo::PipelineStats &pipe,
+                     const MemoryEvents &memory,
+                     const FabricEvents &fab) const
+{
+    EnergyBreakdown out;
+    auto &c = out.component;
+
+    // Fetch: I-cache + fetch/decode per instruction brought in.
+    c["Fetch"] = double(memory.l1iAccesses) * params.icacheAccess +
+                 double(pipe.fetchedInsts) *
+                     (params.fetchPerInst + params.decodePerInst);
+
+    c["Rename"] = double(pipe.renamedInsts) * params.renamePerInst;
+
+    c["InstSchedule"] =
+        double(pipe.iqWakeups) * params.iqWakeupPerEntry +
+        double(pipe.issuedInsts) * params.iqSelectPerIssue +
+        double(pipe.dispatchedInsts) * params.iqDispatchPerInst;
+
+    // Register file reads/writes plus the bypass network: the
+    // "Datapath" component of Figure 9.
+    c["Datapath"] = double(pipe.regReads) * params.regReadPerOp +
+                    double(pipe.regWrites) * params.regWritePerOp +
+                    double(pipe.bypasses) * params.bypassPerOp;
+
+    c["ROB"] = double(pipe.robWrites) * params.robWrite +
+               double(pipe.robReads) * params.robRead;
+
+    auto fuEnergy = [this](isa::FuType type) {
+        switch (type) {
+          case isa::FuType::IntAlu:
+            return params.fuIntAlu;
+          case isa::FuType::IntMulDiv:
+            return params.fuIntMulDiv;
+          case isa::FuType::FpAlu:
+            return params.fuFpAlu;
+          case isa::FuType::FpMulDiv:
+            return params.fuFpMulDiv;
+          case isa::FuType::Ldst:
+            return params.fuLdstAgu;
+          default:
+            return 0.0;
+        }
+    };
+
+    double exec = 0.0;
+    for (unsigned t = 0; t < unsigned(isa::FuType::NUM_FU_TYPES); t++)
+        exec += double(pipe.fuOps[t]) * fuEnergy(isa::FuType(t));
+    c["Execution"] = exec;
+
+    c["Memory"] = double(memory.l1dAccesses) * params.l1dAccess +
+                  double(memory.l2Accesses) * params.l2Access +
+                  double(memory.dramAccesses) * params.dramAccess;
+
+    // Fabric: PE operations (same industrial FUs as the OOO pipeline),
+    // datapath hops, FIFOs, global bus, reconfiguration writes, plus
+    // the leakage of non-power-gated stripes.
+    double fab_pe = 0.0;
+    bool have_split = false;
+    for (unsigned t = 0; t < unsigned(isa::FuType::NUM_FU_TYPES); t++) {
+        if (fab.peOpsByType[t]) {
+            have_split = true;
+            fab_pe += double(fab.peOpsByType[t]) * fuEnergy(isa::FuType(t));
+        }
+    }
+    if (!have_split)
+        fab_pe = double(fab.peOps) * params.fuIntAlu;
+    c["Fabric"] = params.fabricPeOpScale * fab_pe +
+                  double(fab.hops) * params.fabricHop +
+                  double(fab.fifoPushes) * params.fabricFifoPush +
+                  double(fab.busTransfers) * params.fabricBusTransfer +
+                  double(fab.configuredInsts) * params.fabricConfigPerInst +
+                  double(fab.gatedStripeCycles) *
+                      params.fabricLeakPerStripePerCycle;
+
+    c["ConfigCache"] =
+        double(fab.configCacheAccesses) * params.configCacheAccess;
+
+    c["Leakage"] = double(pipe.cycles) * params.coreLeakPerCycle;
+
+    return out;
+}
+
+} // namespace dynaspam::energy

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Functional (architectural) executor for the micro-ISA.
+ *
+ * Executes a Program against a FunctionalMemory in program order, producing
+ * both the final architectural state (for golden-model validation) and the
+ * oracle DynamicTrace consumed by the timing models.
+ */
+
+#ifndef DYNASPAM_ISA_EXECUTOR_HH
+#define DYNASPAM_ISA_EXECUTOR_HH
+
+#include <array>
+#include <cstdint>
+
+#include "common/types.hh"
+#include "isa/inst.hh"
+#include "isa/program.hh"
+#include "isa/trace.hh"
+
+namespace dynaspam
+{
+
+namespace mem
+{
+class FunctionalMemory;
+} // namespace mem
+
+namespace isa
+{
+
+/** Architectural register file: unified int+fp space, 64-bit values. */
+class ArchRegFile
+{
+  public:
+    ArchRegFile() { regs.fill(0); }
+
+    std::uint64_t read(RegIndex reg) const { return regs.at(reg); }
+    void write(RegIndex reg, std::uint64_t value) { regs.at(reg) = value; }
+
+    double readF(RegIndex reg) const;
+    void writeF(RegIndex reg, double value);
+
+  private:
+    std::array<std::uint64_t, NUM_ARCH_REGS> regs;
+};
+
+/** Result of a complete functional execution. */
+struct ExecResult
+{
+    std::uint64_t instCount = 0;    ///< retired instructions (incl. HALT)
+    bool halted = false;            ///< true when HALT was reached
+    ArchRegFile regs;               ///< final architectural registers
+};
+
+/**
+ * The functional executor. Stateless between run() calls apart from the
+ * memory it mutates.
+ */
+class Executor
+{
+  public:
+    /**
+     * Execute @p program against @p memory.
+     *
+     * @param program the code to run
+     * @param memory functional memory (mutated in place)
+     * @param trace if non-null, filled with one DynRecord per instruction
+     * @param max_insts safety bound; exceeding it raises FatalError
+     * @return final architectural state and instruction count
+     */
+    static ExecResult run(const Program &program,
+                          mem::FunctionalMemory &memory,
+                          DynamicTrace *trace = nullptr,
+                          std::uint64_t max_insts = 200'000'000);
+};
+
+} // namespace isa
+} // namespace dynaspam
+
+#endif // DYNASPAM_ISA_EXECUTOR_HH

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Static instruction representation for the micro-ISA.
+ *
+ * Register indices use a unified space: integer architectural registers are
+ * 0..31 and floating-point architectural registers are 32..63. This lets
+ * the rename stage treat both classes with one alias table.
+ */
+
+#ifndef DYNASPAM_ISA_INST_HH
+#define DYNASPAM_ISA_INST_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+#include "isa/opcodes.hh"
+
+namespace dynaspam::isa
+{
+
+/** Number of integer architectural registers. */
+inline constexpr RegIndex NUM_INT_REGS = 32;
+/** Number of floating-point architectural registers. */
+inline constexpr RegIndex NUM_FP_REGS = 32;
+/** Total architectural registers in the unified space. */
+inline constexpr RegIndex NUM_ARCH_REGS = NUM_INT_REGS + NUM_FP_REGS;
+
+/** @return the unified index of integer register @p n. */
+constexpr RegIndex
+intReg(unsigned n)
+{
+    return RegIndex(n);
+}
+
+/** @return the unified index of floating-point register @p n. */
+constexpr RegIndex
+fpReg(unsigned n)
+{
+    return RegIndex(NUM_INT_REGS + n);
+}
+
+/** @return true when @p reg is in the floating-point class. */
+constexpr bool
+isFpReg(RegIndex reg)
+{
+    return reg != REG_INVALID && reg >= NUM_INT_REGS;
+}
+
+/**
+ * One static instruction. Source/destination register fields use
+ * REG_INVALID when unused. The immediate doubles as the branch target
+ * (a static-instruction index) for control instructions and as the
+ * raw bit pattern for FMOVI.
+ */
+struct StaticInst
+{
+    Opcode op = Opcode::NOP;
+    RegIndex dest = REG_INVALID;
+    RegIndex src1 = REG_INVALID;
+    RegIndex src2 = REG_INVALID;
+    std::int64_t imm = 0;
+
+    OpClass opClass() const { return isa::opClass(op); }
+    FuType fuType() const { return fuTypeFor(opClass()); }
+    bool isControl() const { return isa::isControl(op); }
+    bool isCondBranch() const { return isa::isCondBranch(op); }
+    bool isLoad() const { return isa::isLoad(op); }
+    bool isStore() const { return isa::isStore(op); }
+    bool isMem() const { return isLoad() || isStore(); }
+    bool isHalt() const { return op == Opcode::HALT; }
+
+    /** @return number of register source operands actually used. */
+    unsigned
+    numSrcs() const
+    {
+        unsigned n = 0;
+        if (src1 != REG_INVALID)
+            n++;
+        if (src2 != REG_INVALID)
+            n++;
+        return n;
+    }
+
+    bool hasDest() const { return dest != REG_INVALID; }
+
+    /** Render a human-readable disassembly of this instruction. */
+    std::string toString() const;
+};
+
+} // namespace dynaspam::isa
+
+#endif // DYNASPAM_ISA_INST_HH

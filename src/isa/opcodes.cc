@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Opcode mnemonic table and instruction disassembly.
+ */
+
+#include "isa/opcodes.hh"
+
+#include <array>
+#include <bit>
+#include <sstream>
+
+#include "isa/inst.hh"
+
+namespace dynaspam::isa
+{
+
+std::string_view
+opcodeName(Opcode op)
+{
+    static constexpr std::array<std::string_view,
+        std::size_t(Opcode::NUM_OPCODES)> names = {
+        "nop",
+        "add", "sub", "and", "or", "xor", "shl", "shr", "slt", "sltu",
+        "min", "max",
+        "addi", "andi", "ori", "xori", "shli", "shri", "slti",
+        "movi", "mov",
+        "mul", "div", "rem",
+        "fadd", "fsub", "fmin", "fmax", "fneg", "fabs",
+        "fmul", "fdiv", "fsqrt",
+        "fclt", "cvtif", "cvtfi", "fmovi",
+        "ld", "st", "fld", "fst",
+        "beq", "bne", "blt", "bge",
+        "jmp", "call", "ret", "halt",
+    };
+    auto idx = std::size_t(op);
+    return idx < names.size() ? names[idx] : "<bad>";
+}
+
+namespace
+{
+
+std::string
+regName(RegIndex reg)
+{
+    if (reg == REG_INVALID)
+        return "-";
+    std::ostringstream os;
+    if (isFpReg(reg))
+        os << "f" << (reg - NUM_INT_REGS);
+    else
+        os << "r" << reg;
+    return os.str();
+}
+
+} // namespace
+
+std::string
+StaticInst::toString() const
+{
+    std::ostringstream os;
+    os << opcodeName(op);
+    switch (op) {
+      case Opcode::NOP:
+      case Opcode::HALT:
+        break;
+      case Opcode::MOVI:
+        os << " " << regName(dest) << ", " << imm;
+        break;
+      case Opcode::FMOVI:
+        os << " " << regName(dest) << ", "
+           << std::bit_cast<double>(imm);
+        break;
+      case Opcode::LD:
+      case Opcode::FLD:
+        os << " " << regName(dest) << ", " << imm << "("
+           << regName(src1) << ")";
+        break;
+      case Opcode::ST:
+      case Opcode::FST:
+        os << " " << imm << "(" << regName(src1) << "), "
+           << regName(src2);
+        break;
+      case Opcode::BEQ:
+      case Opcode::BNE:
+      case Opcode::BLT:
+      case Opcode::BGE:
+        os << " " << regName(src1) << ", " << regName(src2)
+           << ", @" << imm;
+        break;
+      case Opcode::JMP:
+        os << " @" << imm;
+        break;
+      case Opcode::CALL:
+        os << " " << regName(dest) << ", @" << imm;
+        break;
+      case Opcode::RET:
+        os << " " << regName(src1);
+        break;
+      default:
+        os << " " << regName(dest);
+        if (src1 != REG_INVALID)
+            os << ", " << regName(src1);
+        if (src2 != REG_INVALID)
+            os << ", " << regName(src2);
+        else if (isa::opClass(op) == OpClass::IntAlu && imm != 0)
+            os << ", " << imm;
+        break;
+    }
+    return os.str();
+}
+
+} // namespace dynaspam::isa

@@ -1,0 +1,449 @@
+/**
+ * @file
+ * ProgramBuilder implementation: mnemonic emitters and label resolution.
+ */
+
+#include "isa/program.hh"
+
+#include <bit>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace dynaspam::isa
+{
+
+std::string
+Program::disassemble() const
+{
+    std::ostringstream os;
+    for (std::size_t pc = 0; pc < insts.size(); pc++)
+        os << pc << ": " << insts[pc].toString() << "\n";
+    return os.str();
+}
+
+ProgramBuilder &
+ProgramBuilder::label(const std::string &name)
+{
+    if (labels.count(name))
+        fatal("duplicate label '", name, "'");
+    labels[name] = here();
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::emit(const StaticInst &inst)
+{
+    prog.append(inst);
+    return *this;
+}
+
+namespace
+{
+
+StaticInst
+rrr(Opcode op, RegIndex d, RegIndex a, RegIndex b)
+{
+    StaticInst i;
+    i.op = op;
+    i.dest = d;
+    i.src1 = a;
+    i.src2 = b;
+    return i;
+}
+
+StaticInst
+rri(Opcode op, RegIndex d, RegIndex a, std::int64_t imm)
+{
+    StaticInst i;
+    i.op = op;
+    i.dest = d;
+    i.src1 = a;
+    i.imm = imm;
+    return i;
+}
+
+} // namespace
+
+// Integer ALU -------------------------------------------------------------
+
+ProgramBuilder &
+ProgramBuilder::add(RegIndex d, RegIndex a, RegIndex b)
+{
+    return emit(rrr(Opcode::ADD, d, a, b));
+}
+
+ProgramBuilder &
+ProgramBuilder::sub(RegIndex d, RegIndex a, RegIndex b)
+{
+    return emit(rrr(Opcode::SUB, d, a, b));
+}
+
+ProgramBuilder &
+ProgramBuilder::and_(RegIndex d, RegIndex a, RegIndex b)
+{
+    return emit(rrr(Opcode::AND, d, a, b));
+}
+
+ProgramBuilder &
+ProgramBuilder::or_(RegIndex d, RegIndex a, RegIndex b)
+{
+    return emit(rrr(Opcode::OR, d, a, b));
+}
+
+ProgramBuilder &
+ProgramBuilder::xor_(RegIndex d, RegIndex a, RegIndex b)
+{
+    return emit(rrr(Opcode::XOR, d, a, b));
+}
+
+ProgramBuilder &
+ProgramBuilder::shl(RegIndex d, RegIndex a, RegIndex b)
+{
+    return emit(rrr(Opcode::SHL, d, a, b));
+}
+
+ProgramBuilder &
+ProgramBuilder::shr(RegIndex d, RegIndex a, RegIndex b)
+{
+    return emit(rrr(Opcode::SHR, d, a, b));
+}
+
+ProgramBuilder &
+ProgramBuilder::slt(RegIndex d, RegIndex a, RegIndex b)
+{
+    return emit(rrr(Opcode::SLT, d, a, b));
+}
+
+ProgramBuilder &
+ProgramBuilder::min_(RegIndex d, RegIndex a, RegIndex b)
+{
+    return emit(rrr(Opcode::MIN, d, a, b));
+}
+
+ProgramBuilder &
+ProgramBuilder::max_(RegIndex d, RegIndex a, RegIndex b)
+{
+    return emit(rrr(Opcode::MAX, d, a, b));
+}
+
+ProgramBuilder &
+ProgramBuilder::addi(RegIndex d, RegIndex a, std::int64_t imm)
+{
+    return emit(rri(Opcode::ADDI, d, a, imm));
+}
+
+ProgramBuilder &
+ProgramBuilder::andi(RegIndex d, RegIndex a, std::int64_t imm)
+{
+    return emit(rri(Opcode::ANDI, d, a, imm));
+}
+
+ProgramBuilder &
+ProgramBuilder::ori(RegIndex d, RegIndex a, std::int64_t imm)
+{
+    return emit(rri(Opcode::ORI, d, a, imm));
+}
+
+ProgramBuilder &
+ProgramBuilder::xori(RegIndex d, RegIndex a, std::int64_t imm)
+{
+    return emit(rri(Opcode::XORI, d, a, imm));
+}
+
+ProgramBuilder &
+ProgramBuilder::shli(RegIndex d, RegIndex a, std::int64_t imm)
+{
+    return emit(rri(Opcode::SHLI, d, a, imm));
+}
+
+ProgramBuilder &
+ProgramBuilder::shri(RegIndex d, RegIndex a, std::int64_t imm)
+{
+    return emit(rri(Opcode::SHRI, d, a, imm));
+}
+
+ProgramBuilder &
+ProgramBuilder::slti(RegIndex d, RegIndex a, std::int64_t imm)
+{
+    return emit(rri(Opcode::SLTI, d, a, imm));
+}
+
+ProgramBuilder &
+ProgramBuilder::movi(RegIndex d, std::int64_t imm)
+{
+    StaticInst i;
+    i.op = Opcode::MOVI;
+    i.dest = d;
+    i.imm = imm;
+    return emit(i);
+}
+
+ProgramBuilder &
+ProgramBuilder::mov(RegIndex d, RegIndex a)
+{
+    StaticInst i;
+    i.op = Opcode::MOV;
+    i.dest = d;
+    i.src1 = a;
+    return emit(i);
+}
+
+ProgramBuilder &
+ProgramBuilder::mul(RegIndex d, RegIndex a, RegIndex b)
+{
+    return emit(rrr(Opcode::MUL, d, a, b));
+}
+
+ProgramBuilder &
+ProgramBuilder::div(RegIndex d, RegIndex a, RegIndex b)
+{
+    return emit(rrr(Opcode::DIV, d, a, b));
+}
+
+ProgramBuilder &
+ProgramBuilder::rem(RegIndex d, RegIndex a, RegIndex b)
+{
+    return emit(rrr(Opcode::REM, d, a, b));
+}
+
+// Floating point ----------------------------------------------------------
+
+ProgramBuilder &
+ProgramBuilder::fadd(RegIndex d, RegIndex a, RegIndex b)
+{
+    return emit(rrr(Opcode::FADD, d, a, b));
+}
+
+ProgramBuilder &
+ProgramBuilder::fsub(RegIndex d, RegIndex a, RegIndex b)
+{
+    return emit(rrr(Opcode::FSUB, d, a, b));
+}
+
+ProgramBuilder &
+ProgramBuilder::fmul(RegIndex d, RegIndex a, RegIndex b)
+{
+    return emit(rrr(Opcode::FMUL, d, a, b));
+}
+
+ProgramBuilder &
+ProgramBuilder::fdiv(RegIndex d, RegIndex a, RegIndex b)
+{
+    return emit(rrr(Opcode::FDIV, d, a, b));
+}
+
+ProgramBuilder &
+ProgramBuilder::fmin(RegIndex d, RegIndex a, RegIndex b)
+{
+    return emit(rrr(Opcode::FMIN, d, a, b));
+}
+
+ProgramBuilder &
+ProgramBuilder::fmax(RegIndex d, RegIndex a, RegIndex b)
+{
+    return emit(rrr(Opcode::FMAX, d, a, b));
+}
+
+ProgramBuilder &
+ProgramBuilder::fneg(RegIndex d, RegIndex a)
+{
+    StaticInst i;
+    i.op = Opcode::FNEG;
+    i.dest = d;
+    i.src1 = a;
+    return emit(i);
+}
+
+ProgramBuilder &
+ProgramBuilder::fabs_(RegIndex d, RegIndex a)
+{
+    StaticInst i;
+    i.op = Opcode::FABS;
+    i.dest = d;
+    i.src1 = a;
+    return emit(i);
+}
+
+ProgramBuilder &
+ProgramBuilder::fsqrt(RegIndex d, RegIndex a)
+{
+    StaticInst i;
+    i.op = Opcode::FSQRT;
+    i.dest = d;
+    i.src1 = a;
+    return emit(i);
+}
+
+ProgramBuilder &
+ProgramBuilder::fclt(RegIndex d, RegIndex a, RegIndex b)
+{
+    return emit(rrr(Opcode::FCLT, d, a, b));
+}
+
+ProgramBuilder &
+ProgramBuilder::cvtif(RegIndex d, RegIndex a)
+{
+    StaticInst i;
+    i.op = Opcode::CVTIF;
+    i.dest = d;
+    i.src1 = a;
+    return emit(i);
+}
+
+ProgramBuilder &
+ProgramBuilder::cvtfi(RegIndex d, RegIndex a)
+{
+    StaticInst i;
+    i.op = Opcode::CVTFI;
+    i.dest = d;
+    i.src1 = a;
+    return emit(i);
+}
+
+ProgramBuilder &
+ProgramBuilder::fmovi(RegIndex d, double value)
+{
+    StaticInst i;
+    i.op = Opcode::FMOVI;
+    i.dest = d;
+    i.imm = std::bit_cast<std::int64_t>(value);
+    return emit(i);
+}
+
+// Memory ------------------------------------------------------------------
+
+ProgramBuilder &
+ProgramBuilder::ld(RegIndex d, RegIndex base, std::int64_t offset)
+{
+    return emit(rri(Opcode::LD, d, base, offset));
+}
+
+ProgramBuilder &
+ProgramBuilder::st(RegIndex base, RegIndex value, std::int64_t offset)
+{
+    StaticInst i;
+    i.op = Opcode::ST;
+    i.src1 = base;
+    i.src2 = value;
+    i.imm = offset;
+    return emit(i);
+}
+
+ProgramBuilder &
+ProgramBuilder::fld(RegIndex d, RegIndex base, std::int64_t offset)
+{
+    return emit(rri(Opcode::FLD, d, base, offset));
+}
+
+ProgramBuilder &
+ProgramBuilder::fst(RegIndex base, RegIndex value, std::int64_t offset)
+{
+    StaticInst i;
+    i.op = Opcode::FST;
+    i.src1 = base;
+    i.src2 = value;
+    i.imm = offset;
+    return emit(i);
+}
+
+// Control -----------------------------------------------------------------
+
+ProgramBuilder &
+ProgramBuilder::emitBranch(Opcode op, RegIndex a, RegIndex b,
+                           const std::string &target)
+{
+    StaticInst i;
+    i.op = op;
+    i.src1 = a;
+    i.src2 = b;
+    fixups.emplace_back(here(), target);
+    return emit(i);
+}
+
+ProgramBuilder &
+ProgramBuilder::beq(RegIndex a, RegIndex b, const std::string &target)
+{
+    return emitBranch(Opcode::BEQ, a, b, target);
+}
+
+ProgramBuilder &
+ProgramBuilder::bne(RegIndex a, RegIndex b, const std::string &target)
+{
+    return emitBranch(Opcode::BNE, a, b, target);
+}
+
+ProgramBuilder &
+ProgramBuilder::blt(RegIndex a, RegIndex b, const std::string &target)
+{
+    return emitBranch(Opcode::BLT, a, b, target);
+}
+
+ProgramBuilder &
+ProgramBuilder::bge(RegIndex a, RegIndex b, const std::string &target)
+{
+    return emitBranch(Opcode::BGE, a, b, target);
+}
+
+ProgramBuilder &
+ProgramBuilder::jmp(const std::string &target)
+{
+    return emitBranch(Opcode::JMP, REG_INVALID, REG_INVALID, target);
+}
+
+ProgramBuilder &
+ProgramBuilder::call(RegIndex link, const std::string &target)
+{
+    StaticInst i;
+    i.op = Opcode::CALL;
+    i.dest = link;
+    fixups.emplace_back(here(), target);
+    return emit(i);
+}
+
+ProgramBuilder &
+ProgramBuilder::ret(RegIndex link)
+{
+    StaticInst i;
+    i.op = Opcode::RET;
+    i.src1 = link;
+    return emit(i);
+}
+
+ProgramBuilder &
+ProgramBuilder::nop()
+{
+    return emit(StaticInst{});
+}
+
+ProgramBuilder &
+ProgramBuilder::halt()
+{
+    StaticInst i;
+    i.op = Opcode::HALT;
+    return emit(i);
+}
+
+Program
+ProgramBuilder::build()
+{
+    if (built)
+        fatal("ProgramBuilder::build() called twice");
+    built = true;
+
+    // Patch label references into branch immediates. Program offers no
+    // mutable access, so rebuild through a patched copy of the code.
+    Program out(prog.name());
+    std::vector<StaticInst> code = prog.code();
+    for (const auto &[pc, name] : fixups) {
+        auto it = labels.find(name);
+        if (it == labels.end())
+            fatal("undefined label '", name, "'");
+        code[pc].imm = std::int64_t(it->second);
+    }
+    for (const auto &inst : code)
+        out.append(inst);
+    return out;
+}
+
+} // namespace dynaspam::isa

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Program container and a label-based builder for writing micro-ISA
+ * kernels by hand (the workload kernels in src/workloads use it).
+ */
+
+#ifndef DYNASPAM_ISA_PROGRAM_HH
+#define DYNASPAM_ISA_PROGRAM_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "isa/inst.hh"
+
+namespace dynaspam::isa
+{
+
+/** A complete micro-ISA program: code plus an optional name. */
+class Program
+{
+  public:
+    Program() = default;
+    explicit Program(std::string name) : _name(std::move(name)) {}
+
+    const std::string &name() const { return _name; }
+    std::size_t size() const { return insts.size(); }
+    bool empty() const { return insts.empty(); }
+
+    const StaticInst &inst(InstAddr pc) const { return insts.at(pc); }
+    const std::vector<StaticInst> &code() const { return insts; }
+
+    void append(const StaticInst &inst) { insts.push_back(inst); }
+
+    /** Render the whole program as a disassembly listing. */
+    std::string disassemble() const;
+
+  private:
+    std::string _name;
+    std::vector<StaticInst> insts;
+};
+
+/**
+ * Fluent builder for micro-ISA programs with forward-referencable labels.
+ *
+ * Example:
+ * @code
+ *   ProgramBuilder b("loop");
+ *   b.movi(r(1), 0);
+ *   b.label("head");
+ *   b.addi(r(1), r(1), 1);
+ *   b.blt(r(1), r(2), "head");
+ *   b.halt();
+ *   Program p = b.build();
+ * @endcode
+ */
+class ProgramBuilder
+{
+  public:
+    explicit ProgramBuilder(std::string name = "") : prog(std::move(name)) {}
+
+    /** Current instruction index (the PC the next emit() will get). */
+    InstAddr here() const { return InstAddr(prog.size()); }
+
+    /** Define @p name as the current position. Names must be unique. */
+    ProgramBuilder &label(const std::string &name);
+
+    /** Append a fully formed instruction. */
+    ProgramBuilder &emit(const StaticInst &inst);
+
+    // --- Integer ALU ---
+    ProgramBuilder &add(RegIndex d, RegIndex a, RegIndex b);
+    ProgramBuilder &sub(RegIndex d, RegIndex a, RegIndex b);
+    ProgramBuilder &and_(RegIndex d, RegIndex a, RegIndex b);
+    ProgramBuilder &or_(RegIndex d, RegIndex a, RegIndex b);
+    ProgramBuilder &xor_(RegIndex d, RegIndex a, RegIndex b);
+    ProgramBuilder &shl(RegIndex d, RegIndex a, RegIndex b);
+    ProgramBuilder &shr(RegIndex d, RegIndex a, RegIndex b);
+    ProgramBuilder &slt(RegIndex d, RegIndex a, RegIndex b);
+    ProgramBuilder &min_(RegIndex d, RegIndex a, RegIndex b);
+    ProgramBuilder &max_(RegIndex d, RegIndex a, RegIndex b);
+    ProgramBuilder &addi(RegIndex d, RegIndex a, std::int64_t imm);
+    ProgramBuilder &andi(RegIndex d, RegIndex a, std::int64_t imm);
+    ProgramBuilder &ori(RegIndex d, RegIndex a, std::int64_t imm);
+    ProgramBuilder &xori(RegIndex d, RegIndex a, std::int64_t imm);
+    ProgramBuilder &shli(RegIndex d, RegIndex a, std::int64_t imm);
+    ProgramBuilder &shri(RegIndex d, RegIndex a, std::int64_t imm);
+    ProgramBuilder &slti(RegIndex d, RegIndex a, std::int64_t imm);
+    ProgramBuilder &movi(RegIndex d, std::int64_t imm);
+    ProgramBuilder &mov(RegIndex d, RegIndex a);
+    ProgramBuilder &mul(RegIndex d, RegIndex a, RegIndex b);
+    ProgramBuilder &div(RegIndex d, RegIndex a, RegIndex b);
+    ProgramBuilder &rem(RegIndex d, RegIndex a, RegIndex b);
+
+    // --- Floating point ---
+    ProgramBuilder &fadd(RegIndex d, RegIndex a, RegIndex b);
+    ProgramBuilder &fsub(RegIndex d, RegIndex a, RegIndex b);
+    ProgramBuilder &fmul(RegIndex d, RegIndex a, RegIndex b);
+    ProgramBuilder &fdiv(RegIndex d, RegIndex a, RegIndex b);
+    ProgramBuilder &fmin(RegIndex d, RegIndex a, RegIndex b);
+    ProgramBuilder &fmax(RegIndex d, RegIndex a, RegIndex b);
+    ProgramBuilder &fneg(RegIndex d, RegIndex a);
+    ProgramBuilder &fabs_(RegIndex d, RegIndex a);
+    ProgramBuilder &fsqrt(RegIndex d, RegIndex a);
+    ProgramBuilder &fclt(RegIndex d, RegIndex a, RegIndex b);
+    ProgramBuilder &cvtif(RegIndex d, RegIndex a);
+    ProgramBuilder &cvtfi(RegIndex d, RegIndex a);
+    ProgramBuilder &fmovi(RegIndex d, double value);
+
+    // --- Memory ---
+    ProgramBuilder &ld(RegIndex d, RegIndex base, std::int64_t offset = 0);
+    ProgramBuilder &st(RegIndex base, RegIndex value,
+                       std::int64_t offset = 0);
+    ProgramBuilder &fld(RegIndex d, RegIndex base, std::int64_t offset = 0);
+    ProgramBuilder &fst(RegIndex base, RegIndex value,
+                        std::int64_t offset = 0);
+
+    // --- Control (targets are labels, resolved at build()) ---
+    ProgramBuilder &beq(RegIndex a, RegIndex b, const std::string &target);
+    ProgramBuilder &bne(RegIndex a, RegIndex b, const std::string &target);
+    ProgramBuilder &blt(RegIndex a, RegIndex b, const std::string &target);
+    ProgramBuilder &bge(RegIndex a, RegIndex b, const std::string &target);
+    ProgramBuilder &jmp(const std::string &target);
+    ProgramBuilder &call(RegIndex link, const std::string &target);
+    ProgramBuilder &ret(RegIndex link);
+    ProgramBuilder &nop();
+    ProgramBuilder &halt();
+
+    /**
+     * Resolve all label references and return the finished program.
+     * @throws FatalError on undefined or duplicate labels.
+     */
+    Program build();
+
+  private:
+    ProgramBuilder &emitBranch(Opcode op, RegIndex a, RegIndex b,
+                               const std::string &target);
+
+    Program prog;
+    std::map<std::string, InstAddr> labels;
+    /// (instruction index, label) pairs awaiting resolution.
+    std::vector<std::pair<InstAddr, std::string>> fixups;
+    bool built = false;
+};
+
+} // namespace dynaspam::isa
+
+#endif // DYNASPAM_ISA_PROGRAM_HH

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Dynamic-trace representation for the timing-directed simulation model.
+ *
+ * The functional executor runs a program to completion in program order and
+ * records one DynRecord per retired instruction: the resolved control-flow
+ * outcome and the effective memory address. The timing models (the OOO
+ * pipeline and the DynaSpAM fabric) then consume this oracle trace,
+ * simulating speculation, squash and replay as timing phenomena.
+ */
+
+#ifndef DYNASPAM_ISA_TRACE_HH
+#define DYNASPAM_ISA_TRACE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "isa/inst.hh"
+#include "isa/program.hh"
+
+namespace dynaspam::isa
+{
+
+/** One retired dynamic instruction in the oracle trace. */
+struct DynRecord
+{
+    InstAddr pc = 0;            ///< static instruction index
+    InstAddr nextPc = 0;        ///< architecturally correct next PC
+    Addr effAddr = 0;           ///< effective address (memory ops only)
+    bool taken = false;         ///< branch outcome (control ops only)
+};
+
+/**
+ * The oracle dynamic trace of a whole program execution, plus summary
+ * statistics gathered functionally.
+ */
+class DynamicTrace
+{
+  public:
+    explicit DynamicTrace(const Program &program) : prog(&program) {}
+
+    const Program &program() const { return *prog; }
+
+    std::size_t size() const { return records.size(); }
+    bool empty() const { return records.empty(); }
+
+    const DynRecord &operator[](SeqNum i) const { return records[i]; }
+    const DynRecord &at(SeqNum i) const { return records.at(i); }
+
+    const StaticInst &
+    staticInst(SeqNum i) const
+    {
+        return prog->inst(records[i].pc);
+    }
+
+    void append(const DynRecord &rec) { records.push_back(rec); }
+    void reserve(std::size_t n) { records.reserve(n); }
+
+  private:
+    const Program *prog;
+    std::vector<DynRecord> records;
+};
+
+} // namespace dynaspam::isa
+
+#endif // DYNASPAM_ISA_TRACE_HH

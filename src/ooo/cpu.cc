@@ -1,0 +1,992 @@
+/**
+ * @file
+ * Out-of-order CPU timing model implementation.
+ *
+ * Stages run in reverse pipeline order each tick (commit, execute, issue,
+ * rename/dispatch, fetch), which naturally models same-cycle structural
+ * hazards conservatively.
+ */
+
+#include "ooo/cpu.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "isa/opcodes.hh"
+
+namespace dynaspam::ooo
+{
+
+unsigned
+FuPoolParams::count(isa::FuType type) const
+{
+    switch (type) {
+      case isa::FuType::IntAlu:
+        return intAlu;
+      case isa::FuType::IntMulDiv:
+        return intMulDiv;
+      case isa::FuType::FpAlu:
+        return fpAlu;
+      case isa::FuType::FpMulDiv:
+        return fpMulDiv;
+      case isa::FuType::Ldst:
+        return ldst;
+      default:
+        return 0;
+    }
+}
+
+namespace
+{
+
+/** Front-end (fetch + decode) depth in cycles before rename. */
+constexpr Cycle frontEndLatency = 2;
+
+/** Global FU index = typeOffset(type) + unit index within the type. */
+unsigned
+fuTypeOffset(const FuPoolParams &pool, isa::FuType type)
+{
+    unsigned off = 0;
+    for (unsigned t = 0; t < unsigned(isa::FuType::NUM_FU_TYPES); t++) {
+        if (isa::FuType(t) == type)
+            return off;
+        off += pool.count(isa::FuType(t));
+    }
+    return off;
+}
+
+} // namespace
+
+OooCpu::OooCpu(const OooParams &p, const isa::DynamicTrace &t,
+               mem::MemoryHierarchy &h)
+    : params(p), trace(t), hierarchy(h), bpred(p.bpred),
+      storeSets(p.storeSets), activePolicy(&defaultPolicy),
+      frontEndCap(4 * p.fetchWidth),
+      rat(isa::NUM_ARCH_REGS, REG_INVALID),
+      physReadyCycle(p.numPhysRegs, 0)
+{
+    if (p.numPhysRegs < isa::NUM_ARCH_REGS + p.renameWidth)
+        fatal("too few physical registers (", p.numPhysRegs, ")");
+
+    // Initial mapping: arch reg i -> phys reg i, all ready (value 0).
+    for (RegIndex i = 0; i < isa::NUM_ARCH_REGS; i++)
+        rat[i] = i;
+    for (RegIndex i = isa::NUM_ARCH_REGS; i < p.numPhysRegs; i++)
+        freeList.push_back(i);
+
+    fuBusyUntil.resize(unsigned(isa::FuType::NUM_FU_TYPES));
+    for (unsigned t = 0; t < fuBusyUntil.size(); t++)
+        fuBusyUntil[t].assign(params.fuPool.count(isa::FuType(t)), 0);
+}
+
+OooCpu::~OooCpu() = default;
+
+Cycle
+OooCpu::physReady(RegIndex phys) const
+{
+    return phys == REG_INVALID ? 0 : physReadyCycle[phys];
+}
+
+DynInst &
+OooCpu::robAt(SeqNum seq)
+{
+    if (rob.empty() || seq < rob.front().seq ||
+        seq > rob.back().seq) {
+        panic("robAt(", seq, ") out of range");
+    }
+    return rob[std::size_t(seq - rob.front().seq)];
+}
+
+const DynInst *
+OooCpu::robFind(SeqNum seq) const
+{
+    if (rob.empty() || seq < rob.front().seq || seq > rob.back().seq)
+        return nullptr;
+    return &rob[std::size_t(seq - rob.front().seq)];
+}
+
+Cycle
+OooCpu::run()
+{
+    while (!done())
+        tick();
+    return curCycle;
+}
+
+void
+OooCpu::tick()
+{
+    commitStage();
+    executeStage();
+    issueStage();
+    renameStage();
+    fetchStage();
+    curCycle++;
+    pstats.cycles = curCycle;
+}
+
+// ---------------------------------------------------------------------
+// Fetch
+// ---------------------------------------------------------------------
+
+void
+OooCpu::fetchStage()
+{
+    if (fetchBlockedOnBranch || curCycle < fetchResumeCycle)
+        return;
+
+    unsigned fetched = 0;
+    while (fetched < params.fetchWidth && frontEnd.size() < frontEndCap &&
+           fetchIdx < trace.size()) {
+        // Consult the DynaSpAM controller unless we are in the middle of
+        // marking an already-directed trace.
+        if (traceHooks && mappingFetchRemaining == 0) {
+            FetchDirective dir = traceHooks->beforeFetch(fetchIdx, curCycle);
+            if (dir.kind == FetchDirective::Kind::Offload) {
+                FrontEndInst fe;
+                fe.traceIdx = fetchIdx;
+                fe.readyAtRename = curCycle + frontEndLatency;
+                fe.isInvocation = true;
+                fe.numRecords = dir.numRecords;
+                fe.liveIns = std::move(dir.liveIns);
+                fe.liveOuts = std::move(dir.liveOuts);
+                fe.hasStores = dir.hasStores;
+                frontEnd.push_back(std::move(fe));
+                fetchIdx += dir.numRecords;
+                fetched++;
+                continue;
+            }
+            if (dir.kind == FetchDirective::Kind::BeginMapping &&
+                dir.numRecords > 0) {
+                mappingFetchRemaining = dir.numRecords;
+                mappingDispatchRemaining = dir.numRecords;
+                pendingMappingPolicy = dir.policy;
+                mappingTraceIdx = fetchIdx;
+            }
+        }
+
+        const isa::DynRecord &rec = trace[fetchIdx];
+        const isa::StaticInst &inst = trace.program().inst(rec.pc);
+
+        // Instruction cache: charge an access per new block touched.
+        Addr block = (Addr(rec.pc) * params.instBytes) / 64;
+        if (block != lastFetchBlock) {
+            pstats.icacheAccesses++;
+            auto access = hierarchy.fetchAccess(Addr(rec.pc) *
+                                                params.instBytes);
+            lastFetchBlock = block;
+            if (!access.hit) {
+                fetchResumeCycle = curCycle + access.latency;
+                return;
+            }
+        }
+
+        FrontEndInst fe;
+        fe.traceIdx = fetchIdx;
+        fe.readyAtRename = curCycle + frontEndLatency;
+
+        if (mappingFetchRemaining > 0) {
+            fe.mappingInst = true;
+            fe.firstMappingInst = (fetchIdx == mappingTraceIdx);
+            mappingFetchRemaining--;
+            fe.lastMappingInst = (mappingFetchRemaining == 0);
+        }
+
+        bool stop_after = false;
+        if (inst.isControl()) {
+            BPrediction pred = bpred.predict(rec.pc, inst);
+            fe.predictedTaken = pred.taken;
+
+            bool direction_wrong =
+                inst.isCondBranch() && pred.taken != rec.taken;
+            bool target_needed = rec.taken;
+            bool target_wrong =
+                target_needed && !direction_wrong &&
+                (!pred.targetKnown || pred.target != rec.nextPc);
+
+            if (direction_wrong || target_wrong) {
+                fe.mispredicted = true;
+                fetchBlockedOnBranch = true;
+                stop_after = true;
+                if (inst.isCondBranch())
+                    bpred.fixupLastHistoryBit(rec.taken);
+
+                // A mispredicted branch inside the trace being mapped
+                // aborts the mapping (Section 3.1): the remaining records
+                // no longer follow the mapped path, and the issue unit
+                // must not keep waiting for them.
+                if (fe.mappingInst)
+                    abortActiveMapping();
+            }
+        }
+
+        // A fetch group ends at a taken branch: the front end cannot
+        // fetch across a redirect within one cycle. (Offloaded traces
+        // bypass this limit entirely — one of the front-end costs
+        // DynaSpAM removes.)
+        const bool taken_branch = inst.isControl() && rec.taken;
+
+        frontEnd.push_back(std::move(fe));
+        fetchIdx++;
+        fetched++;
+        pstats.fetchedInsts++;
+
+        if (stop_after)
+            return;
+        if (taken_branch)
+            break;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Rename / dispatch
+// ---------------------------------------------------------------------
+
+void
+OooCpu::renameStage()
+{
+    unsigned renamed = 0;
+    while (renamed < params.renameWidth && !frontEnd.empty()) {
+        FrontEndInst &fe = frontEnd.front();
+        if (fe.readyAtRename > curCycle)
+            break;
+
+        // The first trace instruction holds in dispatch until all
+        // on-the-fly instructions drain through the back-end (Section 3.1).
+        if (fe.firstMappingInst && !rob.empty())
+            break;
+
+        if (rob.size() >= params.robEntries)
+            break;
+
+        if (fe.isInvocation) {
+            if (freeList.size() < fe.liveOuts.size())
+                break;
+
+            DynInst d;
+            d.seq = nextSeq++;
+            d.traceIdx = fe.traceIdx;
+            d.kind = RobKind::TraceInvoke;
+            d.traceLen = fe.numRecords;
+            d.record = &trace[fe.traceIdx];
+            d.pc = d.record->pc;
+            d.dispatchCycle = curCycle;
+
+            InvocationState inv;
+            inv.hasStores = fe.hasStores;
+            inv.liveOutArch = fe.liveOuts;
+            for (RegIndex arch : fe.liveIns)
+                inv.liveInPhys.push_back(rat[arch]);
+            for (RegIndex arch : fe.liveOuts) {
+                RegIndex phys = freeList.back();
+                freeList.pop_back();
+                inv.liveOutPrevPhys.push_back(rat[arch]);
+                inv.liveOutPhys.push_back(phys);
+                rat[arch] = phys;
+                physReadyCycle[phys] = CYCLE_INVALID;
+            }
+            invocations.emplace(d.seq, std::move(inv));
+            rob.push_back(d);
+            pstats.robWrites++;
+            pstats.renamedInsts++;
+            pstats.dispatchedInsts++;
+            frontEnd.pop_front();
+            renamed++;
+            continue;
+        }
+
+        const isa::DynRecord &rec = trace[fe.traceIdx];
+        const isa::StaticInst &inst = trace.program().inst(rec.pc);
+
+        if (inst.hasDest() && freeList.empty())
+            break;
+        if (iq.size() >= params.iqEntries)
+            break;
+        if (inst.isLoad() && loadQueue.size() >= params.lqEntries)
+            break;
+        if (inst.isStore() && storeQueue.size() >= params.sqEntries)
+            break;
+
+        DynInst d;
+        d.seq = nextSeq++;
+        d.traceIdx = fe.traceIdx;
+        d.pc = rec.pc;
+        d.inst = &inst;
+        d.record = &rec;
+        d.dispatchCycle = curCycle;
+        d.mispredicted = fe.mispredicted;
+        d.predictedTaken = fe.predictedTaken;
+        d.mappingInst = fe.mappingInst;
+        d.lastMappingInst = fe.lastMappingInst;
+
+        d.src1Phys = inst.src1 == REG_INVALID ? REG_INVALID : rat[inst.src1];
+        d.src2Phys = inst.src2 == REG_INVALID ? REG_INVALID : rat[inst.src2];
+        if (inst.hasDest()) {
+            d.prevPhys = rat[inst.dest];
+            d.destPhys = freeList.back();
+            freeList.pop_back();
+            rat[inst.dest] = d.destPhys;
+            physReadyCycle[d.destPhys] = CYCLE_INVALID;
+        }
+
+        if (inst.isLoad()) {
+            d.dependsOnStore = params.memorySpeculation
+                                   ? storeSets.lookupDependence(rec.pc)
+                                   : 0;
+            loadQueue.push_back(d.seq);
+        } else if (inst.isStore()) {
+            if (params.memorySpeculation)
+                storeSets.dispatchStore(rec.pc, d.seq);
+            storeQueue.push_back(d.seq);
+        }
+
+        if (fe.firstMappingInst && pendingMappingPolicy) {
+            activePolicy = pendingMappingPolicy;
+            mappingActive = true;
+            mappingIssueRemaining = 0;
+            mappingCommitRemaining = 0;
+            if (traceHooks)
+                traceHooks->mappingStarted(fe.traceIdx, curCycle);
+        }
+        if (fe.mappingInst && mappingActive) {
+            mappingIssueRemaining++;
+            mappingCommitRemaining++;
+            if (mappingDispatchRemaining > 0)
+                mappingDispatchRemaining--;
+        }
+
+        d.inIq = true;
+        iq.push_back(d.seq);
+        rob.push_back(d);
+        pstats.robWrites++;
+        pstats.renamedInsts++;
+        pstats.dispatchedInsts++;
+        frontEnd.pop_front();
+        renamed++;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Issue (wakeup + select)
+// ---------------------------------------------------------------------
+
+bool
+OooCpu::olderStoresAllComplete(const DynInst &load) const
+{
+    for (SeqNum seq : storeQueue) {
+        if (seq >= load.seq)
+            break;
+        const DynInst *store = robFind(seq);
+        if (store &&
+            (!store->issued || store->completeCycle > curCycle)) {
+            return false;
+        }
+    }
+    return true;
+}
+
+bool
+OooCpu::isInstReady(const DynInst &d) const
+{
+    if (!d.inIq || d.issued)
+        return false;
+
+    Cycle r1 = physReady(d.src1Phys);
+    Cycle r2 = physReady(d.src2Phys);
+    if (r1 == CYCLE_INVALID || r1 > curCycle)
+        return false;
+    if (r2 == CYCLE_INVALID || r2 > curCycle)
+        return false;
+
+    if (d.isLoad()) {
+        if (!params.memorySpeculation) {
+            if (!olderStoresAllComplete(d))
+                return false;
+        } else if (d.dependsOnStore != 0) {
+            // Store-set predicted dependence: wait for the store.
+            const DynInst *store = robFind(d.dependsOnStore);
+            if (store && store->seq < d.seq &&
+                (!store->issued || store->completeCycle > curCycle)) {
+                return false;
+            }
+        }
+        // Loads proceed speculatively past older in-flight invocations;
+        // startReadyInvocations() checks for bypassed invocation stores
+        // when the invocation resolves, and squashes violators.
+    }
+    return true;
+}
+
+void
+OooCpu::issueLoad(DynInst &load)
+{
+    const Addr addr = load.record->effAddr;
+    load.addrReady = true;
+
+    // Store-to-load forwarding: youngest older store with a matching
+    // address whose address is known.
+    const DynInst *src_store = nullptr;
+    for (auto it = storeQueue.rbegin(); it != storeQueue.rend(); ++it) {
+        if (*it >= load.seq)
+            continue;
+        const DynInst *store = robFind(*it);
+        if (store && store->issued && store->record->effAddr == addr) {
+            src_store = store;
+            break;
+        }
+    }
+
+    const Cycle agu_done = curCycle + 1 + params.loadIssueToExecuteExtra;
+
+    if (src_store) {
+        Cycle data_ready = std::max(agu_done, src_store->completeCycle);
+        load.completeCycle = data_ready + params.forwardLatency;
+        load.forwardedFromSeq = src_store->seq;
+        pstats.loadForwards++;
+        return;
+    }
+
+    // No match in flight: try the post-commit store buffer (all entries
+    // are architecturally older than any in-flight load).
+    for (auto it = storeBuffer.rbegin(); it != storeBuffer.rend(); ++it) {
+        if (it->addr == addr) {
+            Cycle data_ready = std::max(agu_done, it->dataReady);
+            load.completeCycle = data_ready + params.forwardLatency;
+            load.forwardedFromSeq = it->seq;
+            pstats.loadForwards++;
+            return;
+        }
+    }
+
+    {
+        pstats.dcacheAccesses++;
+        auto access = hierarchy.dataAccess(addr, false);
+        load.completeCycle = agu_done + access.latency;
+        load.forwardedFromSeq = 0;
+    }
+}
+
+void
+OooCpu::issueStore(DynInst &store)
+{
+    store.addrReady = true;
+    store.completeCycle = curCycle + 1;
+    checkViolations(store);
+}
+
+void
+OooCpu::checkViolations(const DynInst &store)
+{
+    // A younger load that already read a value not produced by this store
+    // (from cache or from an older store) violated the memory order.
+    const Addr addr = store.record->effAddr;
+    SeqNum victim = 0;
+    for (SeqNum seq : loadQueue) {
+        if (seq <= store.seq)
+            continue;
+        const DynInst *load = robFind(seq);
+        if (load && load->issued && load->record->effAddr == addr &&
+            load->forwardedFromSeq < store.seq) {
+            if (!victim || seq < victim)
+                victim = seq;
+        }
+    }
+    if (!victim)
+        return;
+
+    DynInst &load = robAt(victim);
+    pstats.memOrderViolations++;
+    storeSets.recordViolation(load.pc, store.pc);
+    squashFrom(victim, load.traceIdx,
+               curCycle + 1 + params.squashPenalty);
+}
+
+void
+OooCpu::issueStage()
+{
+    // During a mapping phase, scheduling begins only once the whole
+    // trace sits in the reservation station — the large-window scope
+    // that lets the resource-aware scheduler see all trace instructions
+    // at once (Section 4.1). The back end is drained at this point, so
+    // the pause costs at most a few cycles.
+    if (mappingActive && mappingDispatchRemaining > 0)
+        return;
+
+    if (!activePolicy->beginCycle(curCycle))
+        return;
+
+    unsigned issued_total = 0;
+
+    for (unsigned t = 0; t < unsigned(isa::FuType::NUM_FU_TYPES) &&
+                         issued_total < params.issueWidth;
+         t++) {
+        auto fu_type = isa::FuType(t);
+        auto &units = fuBusyUntil[t];
+        const unsigned type_offset = fuTypeOffset(params.fuPool, fu_type);
+
+        for (unsigned u = 0;
+             u < units.size() && issued_total < params.issueWidth; u++) {
+            if (units[u] > curCycle)
+                continue;
+
+            // Select: score every ready candidate of this FU type
+            // (Algorithm 1, lines 7-12). Ties break oldest-first.
+            DynInst *best = nullptr;
+            int best_score = -1;
+            for (SeqNum seq : iq) {
+                DynInst &d = robAt(seq);
+                if (d.inst->fuType() != fu_type || !isInstReady(d))
+                    continue;
+                int score = activePolicy->score(type_offset + u, d);
+                if (score < 0)
+                    continue;
+                if (!best || score > best_score ||
+                    (score == best_score && d.seq < best->seq)) {
+                    best = &d;
+                    best_score = score;
+                }
+            }
+            if (!best)
+                continue;
+
+            DynInst &d = *best;
+            d.issued = true;
+            d.inIq = false;
+            d.issueCycle = curCycle;
+            iq.erase(std::find(iq.begin(), iq.end(), d.seq));
+
+            const isa::OpClass cls = d.inst->opClass();
+            const unsigned lat = isa::opLatency(cls);
+
+            if (d.isLoad()) {
+                issueLoad(d);
+            } else if (d.isStore()) {
+                issueStore(d);
+                // A violation squash may have emptied everything younger,
+                // including entries this loop still references: stop.
+                if (rob.empty() || rob.back().seq < d.seq)
+                    return;
+            } else {
+                d.completeCycle = curCycle + lat;
+            }
+
+            // Unpipelined dividers occupy their unit for the full
+            // latency; everything else accepts a new op next cycle.
+            const bool unpipelined = cls == isa::OpClass::IntDiv ||
+                                     cls == isa::OpClass::FloatDiv;
+            units[u] = unpipelined ? d.completeCycle : curCycle + 1;
+
+            // Algorithm 1 line 13: UpdateTables — notify the policy so
+            // the mapping generator records the placement.
+            activePolicy->selected(type_offset + u, d);
+
+            if (d.inst->hasDest())
+                physReadyCycle[d.destPhys] = d.completeCycle;
+            d.completed = true;   // completion time is now determined
+
+            // Statistics: register reads, bypass detection, wakeups.
+            pstats.issuedInsts++;
+            pstats.fuOps[t]++;
+            pstats.iqWakeups += iq.size();
+            for (RegIndex src : {d.src1Phys, d.src2Phys}) {
+                if (src == REG_INVALID)
+                    continue;
+                pstats.regReads++;
+                if (physReadyCycle[src] == curCycle)
+                    pstats.bypasses++;
+            }
+            if (d.inst->hasDest())
+                pstats.regWrites++;
+
+            if (d.mappingInst && mappingActive) {
+                if (mappingIssueRemaining > 0)
+                    mappingIssueRemaining--;
+                if (mappingIssueRemaining == 0) {
+                    // Whole trace issued: restore the host priority rule.
+                    activePolicy = &defaultPolicy;
+                }
+            }
+
+            // Branch resolution: schedule the front-end redirect.
+            if (d.mispredicted) {
+                pstats.branchMispredicts++;
+                fetchBlockedOnBranch = false;
+                fetchResumeCycle = std::max(
+                    fetchResumeCycle,
+                    d.completeCycle + params.branchMispredictPenalty);
+            }
+
+            issued_total++;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Execute (invocation launch)
+// ---------------------------------------------------------------------
+
+void
+OooCpu::startReadyInvocations()
+{
+    for (auto &[seq, inv] : invocations) {
+        if (inv.resolved)
+            continue;
+
+        // All live-in arrival times must be known.
+        bool ready = true;
+        Cycle live_in_max = curCycle;
+        std::vector<Cycle> arrivals;
+        arrivals.reserve(inv.liveInPhys.size());
+        for (RegIndex phys : inv.liveInPhys) {
+            Cycle r = physReadyCycle[phys];
+            if (r == CYCLE_INVALID) {
+                ready = false;
+                break;
+            }
+            arrivals.push_back(std::max(r, curCycle));
+            live_in_max = std::max(live_in_max, r);
+        }
+        if (!ready)
+            continue;
+
+        // All older host stores must have issued so the memory-safe
+        // cycle is known. Ordering against older *invocations* is the
+        // fabric's job: its store-set predictor and recent-store buffer
+        // detect cross-invocation aliasing, and without memory
+        // speculation it serializes memory operations itself.
+        Cycle mem_safe = curCycle;
+        for (SeqNum sq : storeQueue) {
+            if (sq >= seq)
+                break;
+            const DynInst *store = robFind(sq);
+            if (store) {
+                if (!store->issued) {
+                    ready = false;
+                    break;
+                }
+                mem_safe = std::max(mem_safe, store->completeCycle);
+            }
+        }
+        if (!ready)
+            continue;
+
+        DynInst &d = robAt(seq);
+        inv.result = traceHooks->offloadStart(d.traceIdx, d.traceLen,
+                                              curCycle, arrivals, mem_safe);
+        inv.resolved = true;
+        d.completed = true;
+        d.completeCycle = inv.result.completeCycle;
+
+        if (inv.result.squashed) {
+            // Early resolution: the fabric reported a branch off the
+            // mapped path or a memory-order violation. Redirect fetch
+            // now instead of waiting for the entry to reach the ROB
+            // head — exactly as an ordinary branch mispredict resolves —
+            // so the machine stops piling up doomed younger work.
+            pstats.invocationsSquashed++;
+            const SeqNum resume = d.traceIdx;
+            const Cycle restart =
+                std::max(curCycle, inv.result.completeCycle) +
+                params.squashPenalty;
+            if (traceHooks)
+                traceHooks->invocationSquashed(d.traceIdx, curCycle, true);
+            squashFrom(seq, resume, restart);
+            return;     // invocation map changed under us
+        }
+
+        {
+            if (inv.result.liveOutReady.size() != inv.liveOutPhys.size())
+                panic("offload engine live-out count mismatch");
+            for (std::size_t i = 0; i < inv.liveOutPhys.size(); i++)
+                physReadyCycle[inv.liveOutPhys[i]] =
+                    inv.result.liveOutReady[i];
+
+            // Younger host loads issued speculatively past this
+            // invocation: any that read a location the invocation
+            // stores to must replay (same discipline as store-set
+            // violation handling between host instructions).
+            SeqNum victim = 0;
+            InstAddr victim_store_pc = 0;
+            for (SeqNum lq_seq : loadQueue) {
+                if (lq_seq <= seq)
+                    continue;
+                const DynInst *load = robFind(lq_seq);
+                if (!load || !load->issued ||
+                    load->forwardedFromSeq > seq) {
+                    continue;
+                }
+                for (const auto &[addr, store_pc] :
+                     inv.result.storeEvents) {
+                    if (load->record->effAddr == addr) {
+                        if (!victim || lq_seq < victim) {
+                            victim = lq_seq;
+                            victim_store_pc = store_pc;
+                        }
+                        break;
+                    }
+                }
+            }
+            if (victim) {
+                DynInst &load = robAt(victim);
+                pstats.memOrderViolations++;
+                if (params.memorySpeculation)
+                    storeSets.recordViolation(load.pc, victim_store_pc);
+                squashFrom(victim, load.traceIdx,
+                           curCycle + 1 + params.squashPenalty);
+                return;     // invocation map iterator invalidated
+            }
+        }
+    }
+}
+
+void
+OooCpu::executeStage()
+{
+    if (traceHooks && !invocations.empty())
+        startReadyInvocations();
+}
+
+// ---------------------------------------------------------------------
+// Commit
+// ---------------------------------------------------------------------
+
+void
+OooCpu::commitStage()
+{
+    unsigned committed = 0;
+    while (committed < params.commitWidth && !rob.empty()) {
+        DynInst &head = rob.front();
+
+        if (head.kind == RobKind::TraceInvoke) {
+            auto it = invocations.find(head.seq);
+            if (it == invocations.end())
+                panic("invocation state missing for seq ", head.seq);
+            InvocationState &inv = it->second;
+            if (!inv.resolved || inv.result.completeCycle > curCycle)
+                break;
+
+            if (inv.result.squashed) {
+                pstats.invocationsSquashed++;
+                if (traceHooks)
+                    traceHooks->invocationSquashed(head.traceIdx, curCycle,
+                                                   true);
+                // Squash this entry and everything younger; the host
+                // pipeline re-executes the trace records.
+                squashFrom(head.seq, head.traceIdx,
+                           curCycle + params.squashPenalty);
+                return;
+            }
+
+            pstats.invocationsCommitted++;
+            pstats.committedInsts += head.traceLen;
+            pstats.robReads++;
+            commitIdx = head.traceIdx + head.traceLen;
+            for (RegIndex prev : inv.liveOutPrevPhys)
+                freeList.push_back(prev);
+            if (traceHooks)
+                traceHooks->invocationCommitted(head.traceIdx, curCycle);
+            invocations.erase(it);
+            rob.pop_front();
+            committed++;
+            continue;
+        }
+
+        if (!head.completed || head.completeCycle > curCycle)
+            break;
+
+        // Stores write the data cache at commit and stay visible for
+        // forwarding in the post-commit store buffer while draining.
+        if (head.isStore()) {
+            pstats.dcacheAccesses++;
+            hierarchy.dataAccess(head.record->effAddr, true);
+            if (params.memorySpeculation)
+                storeSets.retireStore(head.pc, head.seq);
+            storeBuffer.push_back(
+                {head.record->effAddr, head.completeCycle, head.seq});
+            if (storeBuffer.size() > storeBufferEntries)
+                storeBuffer.pop_front();
+        }
+
+        if (head.isControl()) {
+            bpred.update(head.pc, *head.inst, head.record->taken,
+                         head.record->nextPc, head.mispredicted);
+            if (traceHooks) {
+                traceHooks->onCommitControl(head.pc, head.record->taken,
+                                            head.traceIdx, curCycle);
+            }
+        }
+
+        if (head.inst->hasDest() && head.prevPhys != REG_INVALID)
+            freeList.push_back(head.prevPhys);
+
+        if (head.mappingInst && mappingActive) {
+            if (mappingCommitRemaining > 0)
+                mappingCommitRemaining--;
+            if (mappingCommitRemaining == 0) {
+                mappingActive = false;
+                pendingMappingPolicy = nullptr;
+                activePolicy = &defaultPolicy;
+                if (traceHooks)
+                    traceHooks->mappingFinished(mappingTraceIdx, curCycle);
+            }
+        }
+
+        if (head.isLoad()) {
+            if (!loadQueue.empty() && loadQueue.front() == head.seq)
+                loadQueue.pop_front();
+        } else if (head.isStore()) {
+            if (!storeQueue.empty() && storeQueue.front() == head.seq)
+                storeQueue.pop_front();
+        }
+
+        pstats.robReads++;
+        pstats.committedInsts++;
+        pstats.committedOnHost++;
+        if (head.mappingInst)
+            pstats.mappingInstsExecuted++;
+        commitIdx = head.traceIdx + 1;
+        rob.pop_front();
+        committed++;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Squash
+// ---------------------------------------------------------------------
+
+void
+OooCpu::abortActiveMapping()
+{
+    if (traceHooks && (mappingActive || mappingFetchRemaining > 0))
+        traceHooks->mappingAborted(mappingTraceIdx, curCycle);
+    mappingActive = false;
+    pendingMappingPolicy = nullptr;
+    activePolicy = &defaultPolicy;
+    mappingFetchRemaining = 0;
+    mappingDispatchRemaining = 0;
+    mappingIssueRemaining = 0;
+    mappingCommitRemaining = 0;
+}
+
+void
+OooCpu::squashFrom(SeqNum seq, SeqNum resume_trace_idx, Cycle restart)
+{
+    bool mapping_killed = false;
+
+    while (!rob.empty() && rob.back().seq >= seq) {
+        DynInst &d = rob.back();
+        pstats.squashedInsts++;
+
+        if (d.kind == RobKind::TraceInvoke) {
+            auto it = invocations.find(d.seq);
+            if (it != invocations.end()) {
+                InvocationState &inv = it->second;
+                // Restore live-out mappings youngest-first.
+                for (std::size_t i = inv.liveOutPhys.size(); i-- > 0;) {
+                    rat[inv.liveOutArch[i]] = inv.liveOutPrevPhys[i];
+                    freeList.push_back(inv.liveOutPhys[i]);
+                }
+                if (traceHooks && !(inv.resolved && inv.result.squashed))
+                    traceHooks->invocationSquashed(d.traceIdx, curCycle,
+                                                   false);
+                invocations.erase(it);
+            }
+        } else {
+            if (d.inst->hasDest()) {
+                rat[d.inst->dest] = d.prevPhys;
+                freeList.push_back(d.destPhys);
+            }
+            if (d.isStore() && params.memorySpeculation)
+                storeSets.retireStore(d.pc, d.seq);
+            if (d.mappingInst)
+                mapping_killed = true;
+        }
+        rob.pop_back();
+    }
+
+    const SeqNum bound = seq;
+    std::erase_if(iq, [bound](SeqNum s) { return s >= bound; });
+    while (!loadQueue.empty() && loadQueue.back() >= bound)
+        loadQueue.pop_back();
+    while (!storeQueue.empty() && storeQueue.back() >= bound)
+        storeQueue.pop_back();
+
+    frontEnd.clear();
+    if (mappingFetchRemaining > 0)
+        mapping_killed = true;
+
+    if (mapping_killed || mappingActive)
+        abortActiveMapping();
+
+    // Keep ROB sequence numbers contiguous: robAt() indexes the deque by
+    // (seq - head seq), so renames after a squash must continue exactly
+    // where the surviving tail ends. Squashed sequence numbers were
+    // scrubbed from every side structure above, so reuse is safe.
+    if (!rob.empty())
+        nextSeq = rob.back().seq + 1;
+
+    fetchIdx = resume_trace_idx;
+    fetchBlockedOnBranch = false;
+    fetchResumeCycle = restart;
+    lastFetchBlock = ~Addr(0);
+}
+
+// ---------------------------------------------------------------------
+// Stats
+// ---------------------------------------------------------------------
+
+void
+OooCpu::dumpState(std::ostream &os) const
+{
+    os << "cycle=" << curCycle << " fetchIdx=" << fetchIdx
+       << " commitIdx=" << commitIdx << " rob=" << rob.size()
+       << " iq=" << iq.size() << " lq=" << loadQueue.size()
+       << " sq=" << storeQueue.size() << " frontEnd=" << frontEnd.size()
+       << " freeRegs=" << freeList.size() << "\n";
+    os << "fetchResume=" << fetchResumeCycle << " blockedOnBranch="
+       << fetchBlockedOnBranch << " mappingActive=" << mappingActive
+       << " mapFetchRem=" << mappingFetchRemaining << " mapDispRem="
+       << mappingDispatchRemaining << " mapIssueRem="
+       << mappingIssueRemaining << " mapCommitRem="
+       << mappingCommitRemaining << " invocations=" << invocations.size()
+       << "\n";
+    if (!rob.empty()) {
+        const DynInst &head = rob.front();
+        os << "robHead seq=" << head.seq << " traceIdx=" << head.traceIdx
+           << " kind=" << int(head.kind) << " issued=" << head.issued
+           << " completed=" << head.completed << " completeCycle="
+           << head.completeCycle << " inIq=" << head.inIq << "\n";
+    }
+}
+
+void
+OooCpu::exportStats(StatRegistry &reg) const
+{
+    reg.counter("ooo.cycles").inc(pstats.cycles);
+    reg.counter("ooo.fetchedInsts").inc(pstats.fetchedInsts);
+    reg.counter("ooo.renamedInsts").inc(pstats.renamedInsts);
+    reg.counter("ooo.dispatchedInsts").inc(pstats.dispatchedInsts);
+    reg.counter("ooo.issuedInsts").inc(pstats.issuedInsts);
+    reg.counter("ooo.committedInsts").inc(pstats.committedInsts);
+    reg.counter("ooo.committedOnHost").inc(pstats.committedOnHost);
+    reg.counter("ooo.squashedInsts").inc(pstats.squashedInsts);
+    reg.counter("ooo.branchMispredicts").inc(pstats.branchMispredicts);
+    reg.counter("ooo.memOrderViolations").inc(pstats.memOrderViolations);
+    reg.counter("ooo.regReads").inc(pstats.regReads);
+    reg.counter("ooo.regWrites").inc(pstats.regWrites);
+    reg.counter("ooo.bypasses").inc(pstats.bypasses);
+    reg.counter("ooo.iqWakeups").inc(pstats.iqWakeups);
+    reg.counter("ooo.loadForwards").inc(pstats.loadForwards);
+    reg.counter("ooo.icacheAccesses").inc(pstats.icacheAccesses);
+    reg.counter("ooo.dcacheAccesses").inc(pstats.dcacheAccesses);
+    reg.counter("ooo.robWrites").inc(pstats.robWrites);
+    reg.counter("ooo.robReads").inc(pstats.robReads);
+    reg.counter("ooo.invocationsCommitted").inc(pstats.invocationsCommitted);
+    reg.counter("ooo.invocationsSquashed").inc(pstats.invocationsSquashed);
+    reg.counter("ooo.mappingInstsExecuted").inc(pstats.mappingInstsExecuted);
+    reg.counter("ooo.bpredLookups").inc(bpred.lookups());
+    reg.counter("ooo.bpredMispredicts").inc(bpred.mispredicts());
+    reg.counter("ooo.storeSetViolations").inc(storeSets.violations());
+}
+
+} // namespace dynaspam::ooo

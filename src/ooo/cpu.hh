@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Cycle-level out-of-order superscalar CPU timing model.
+ *
+ * Timing-directed, oracle-functional: the CPU consumes a pre-computed
+ * DynamicTrace (resolved branch outcomes and effective addresses) and
+ * simulates the pipeline cycle by cycle — fetch with branch prediction,
+ * rename onto a unified physical register file, dispatch into ROB/IQ/LSQ,
+ * wakeup-select issue with a pluggable priority policy, functional-unit
+ * timing, store-set memory dependence speculation with violation squash
+ * and replay, and in-order commit.
+ *
+ * Branch mispredictions are modelled as front-end stalls until the branch
+ * resolves plus a redirect penalty (wrong-path instructions do not execute,
+ * which is the standard approximation in trace-driven simulation). Memory
+ * order violations squash and replay the oracle trace from the violating
+ * load.
+ */
+
+#ifndef DYNASPAM_OOO_CPU_HH
+#define DYNASPAM_OOO_CPU_HH
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "isa/trace.hh"
+#include "memory/cache.hh"
+#include "ooo/bpred.hh"
+#include "ooo/dyninst.hh"
+#include "ooo/hooks.hh"
+#include "ooo/params.hh"
+#include "ooo/policy.hh"
+#include "ooo/storesets.hh"
+
+namespace dynaspam::ooo
+{
+
+/** Aggregate timing/energy-relevant event counts for one simulation. */
+struct PipelineStats
+{
+    std::uint64_t cycles = 0;
+    std::uint64_t fetchedInsts = 0;
+    std::uint64_t renamedInsts = 0;
+    std::uint64_t dispatchedInsts = 0;
+    std::uint64_t issuedInsts = 0;
+    std::uint64_t committedInsts = 0;   ///< program insts (incl. offloaded)
+    std::uint64_t committedOnHost = 0;  ///< committed via the host back-end
+    std::uint64_t squashedInsts = 0;
+    std::uint64_t branchMispredicts = 0;
+    std::uint64_t memOrderViolations = 0;
+    std::uint64_t regReads = 0;
+    std::uint64_t regWrites = 0;
+    std::uint64_t bypasses = 0;
+    std::uint64_t iqWakeups = 0;
+    std::uint64_t fuOps[unsigned(isa::FuType::NUM_FU_TYPES)] = {};
+    std::uint64_t loadForwards = 0;
+    std::uint64_t icacheAccesses = 0;
+    std::uint64_t dcacheAccesses = 0;
+    std::uint64_t robWrites = 0;
+    std::uint64_t robReads = 0;
+    std::uint64_t invocationsCommitted = 0;
+    std::uint64_t invocationsSquashed = 0;
+    std::uint64_t mappingInstsExecuted = 0;
+};
+
+/**
+ * The out-of-order CPU. One instance simulates one complete program run
+ * over a given oracle trace.
+ */
+class OooCpu
+{
+  public:
+    /**
+     * @param params pipeline configuration (Table 4 defaults)
+     * @param trace oracle dynamic trace to simulate
+     * @param hierarchy cache hierarchy (timing only)
+     */
+    OooCpu(const OooParams &params, const isa::DynamicTrace &trace,
+           mem::MemoryHierarchy &hierarchy);
+    ~OooCpu();
+
+    OooCpu(const OooCpu &) = delete;
+    OooCpu &operator=(const OooCpu &) = delete;
+
+    /** Attach the DynaSpAM controller (nullptr detaches). */
+    void setHooks(TraceHooks *hooks) { traceHooks = hooks; }
+
+    /**
+     * Replace the issue-select policy for the whole run (ablation and
+     * test use; DynaSpAM installs its policy per mapping phase through
+     * the hooks instead). Pass nullptr to restore oldest-first.
+     */
+    void
+    setSelectPolicyForTesting(SelectPolicy *policy)
+    {
+        activePolicy = policy ? policy : &defaultPolicy;
+    }
+
+    /** Run until the whole trace commits. @return total cycles. */
+    Cycle run();
+
+    /** Advance one cycle (exposed for unit tests). */
+    void tick();
+
+    /** @return true when every oracle record has committed. */
+    bool done() const { return commitIdx >= trace.size(); }
+
+    Cycle now() const { return curCycle; }
+    const PipelineStats &stats() const { return pstats; }
+    BranchPredictor &branchPredictor() { return bpred; }
+    StoreSetPredictor &storeSetPredictor() { return storeSets; }
+    const OooParams &config() const { return params; }
+
+    /** Export statistics into @p registry under the "ooo." prefix. */
+    void exportStats(StatRegistry &registry) const;
+
+    /** Dump pipeline occupancy and control state (debugging aid). */
+    void dumpState(std::ostream &os) const;
+
+  private:
+    // --- Front-end entry awaiting rename ---
+    struct FrontEndInst
+    {
+        SeqNum traceIdx = 0;
+        Cycle readyAtRename = 0;    ///< models fetch/decode latency
+        bool mispredicted = false;
+        bool predictedTaken = false;
+        bool mappingInst = false;   ///< part of a trace being mapped
+        bool firstMappingInst = false;
+        bool lastMappingInst = false;
+        // Trace invocation pseudo-op (RobKind::TraceInvoke) fields.
+        bool isInvocation = false;
+        std::uint32_t numRecords = 0;
+        std::vector<RegIndex> liveIns;
+        std::vector<RegIndex> liveOuts;
+        bool hasStores = false;
+    };
+
+    /** Per-invocation rename/issue bookkeeping. */
+    struct InvocationState
+    {
+        std::vector<RegIndex> liveInPhys;
+        std::vector<RegIndex> liveOutArch;
+        std::vector<RegIndex> liveOutPhys;
+        std::vector<RegIndex> liveOutPrevPhys;
+        bool hasStores = false;
+        bool resolved = false;
+        InvocationResult result;
+    };
+
+    // Stage functions, called in reverse pipeline order each tick.
+    void commitStage();
+    void executeStage();
+    void issueStage();
+    void renameStage();
+    void fetchStage();
+
+    // Helpers.
+    DynInst &robAt(SeqNum seq);
+    const DynInst *robFind(SeqNum seq) const;
+    bool isInstReady(const DynInst &inst) const;
+    bool olderStoresAllComplete(const DynInst &load) const;
+    void issueLoad(DynInst &load);
+    void issueStore(DynInst &store);
+    void checkViolations(const DynInst &store);
+    void squashFrom(SeqNum seq, SeqNum resume_trace_idx, Cycle restart);
+    void abortActiveMapping();
+    void startReadyInvocations();
+    Cycle physReady(RegIndex phys) const;
+
+    OooParams params;
+    const isa::DynamicTrace &trace;
+    mem::MemoryHierarchy &hierarchy;
+
+    BranchPredictor bpred;
+    StoreSetPredictor storeSets;
+    OldestFirstPolicy defaultPolicy;
+    SelectPolicy *activePolicy;     ///< never null
+    TraceHooks *traceHooks = nullptr;
+
+    Cycle curCycle = 0;
+    SeqNum nextSeq = 1;             ///< 0 reserved as "no instruction"
+    SeqNum fetchIdx = 0;            ///< next oracle record to fetch
+    SeqNum commitIdx = 0;           ///< next oracle record to commit
+    Cycle fetchResumeCycle = 0;     ///< fetch blocked until this cycle
+    bool fetchBlockedOnBranch = false;  ///< waiting for mispredict resolve
+    Addr lastFetchBlock = ~Addr(0);
+
+    std::deque<FrontEndInst> frontEnd;
+    std::size_t frontEndCap;
+
+    // Rename state.
+    std::vector<RegIndex> rat;              ///< arch -> phys
+    std::vector<RegIndex> freeList;
+    std::vector<Cycle> physReadyCycle;      ///< CYCLE_INVALID = not ready
+
+    // Back-end structures.
+    std::deque<DynInst> rob;                ///< contiguous seq numbers
+    std::vector<SeqNum> iq;
+    std::deque<SeqNum> loadQueue;
+    std::deque<SeqNum> storeQueue;
+    std::map<SeqNum, InvocationState> invocations;
+
+    /** Post-commit store buffer: recently committed stores remain
+     *  visible for store-to-load forwarding while they drain. */
+    struct RetiredStore
+    {
+        Addr addr = 0;
+        Cycle dataReady = 0;
+        SeqNum seq = 0;
+    };
+    std::deque<RetiredStore> storeBuffer;
+    static constexpr std::size_t storeBufferEntries = 16;
+
+    // FU pool: busy-until cycle per unit, grouped by type.
+    std::vector<std::vector<Cycle>> fuBusyUntil;
+
+    // Mapping-phase state. Fetch marks trace records; the first trace
+    // instruction stalls in rename until the back-end drains; the policy
+    // is active from first dispatch until last trace-instruction issue.
+    bool mappingActive = false;
+    SeqNum mappingTraceIdx = 0;
+    SelectPolicy *pendingMappingPolicy = nullptr;
+    std::uint32_t mappingFetchRemaining = 0;  ///< records left to mark
+    std::uint32_t mappingDispatchRemaining = 0; ///< marked, not dispatched
+    std::uint32_t mappingIssueRemaining = 0;  ///< dispatched, not issued
+    std::uint32_t mappingCommitRemaining = 0; ///< dispatched, not committed
+
+    PipelineStats pstats;
+};
+
+} // namespace dynaspam::ooo
+
+#endif // DYNASPAM_OOO_CPU_HH

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * In-flight dynamic instruction state shared by the pipeline stages.
+ */
+
+#ifndef DYNASPAM_OOO_DYNINST_HH
+#define DYNASPAM_OOO_DYNINST_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "isa/inst.hh"
+#include "isa/trace.hh"
+
+namespace dynaspam::ooo
+{
+
+/** Kind of a reorder-buffer entry. */
+enum class RobKind : std::uint8_t
+{
+    Inst,           ///< ordinary dynamic instruction
+    TraceInvoke,    ///< DynaSpAM fat atomic trace invocation (uses ROB')
+};
+
+/**
+ * One in-flight dynamic instruction (a ROB entry). Identified by a unique
+ * sequence number; carries the trace index it was fetched from so squash
+ * and replay can re-fetch the same oracle records.
+ */
+struct DynInst
+{
+    SeqNum seq = 0;             ///< unique per in-flight instance
+    SeqNum traceIdx = 0;        ///< index into the oracle DynamicTrace
+    InstAddr pc = 0;
+    const isa::StaticInst *inst = nullptr;
+    const isa::DynRecord *record = nullptr;
+
+    RobKind kind = RobKind::Inst;
+    /** For TraceInvoke entries: how many oracle records this covers. */
+    std::uint32_t traceLen = 0;
+    /** For TraceInvoke entries: handle into the offload engine. */
+    std::uint32_t invocationId = 0;
+
+    // Rename state.
+    RegIndex destPhys = REG_INVALID;
+    RegIndex prevPhys = REG_INVALID;    ///< previous mapping of dest
+    RegIndex src1Phys = REG_INVALID;
+    RegIndex src2Phys = REG_INVALID;
+
+    // Pipeline timestamps.
+    Cycle fetchCycle = CYCLE_INVALID;
+    Cycle dispatchCycle = CYCLE_INVALID;
+    Cycle issueCycle = CYCLE_INVALID;
+    Cycle completeCycle = CYCLE_INVALID;
+
+    // Status flags.
+    bool inIq = false;          ///< waiting in the issue queue
+    bool issued = false;
+    bool completed = false;
+    bool mispredicted = false;  ///< branch direction/target mispredicted
+    bool predictedTaken = false;
+
+    // Memory state.
+    bool addrReady = false;     ///< effective address computed
+    SeqNum dependsOnStore = 0;  ///< store-set predicted producer (seq)
+    /** Store that forwarded this load's value (0 = value from cache). */
+    SeqNum forwardedFromSeq = 0;
+
+    // Mapping-phase state.
+    bool mappingInst = false;       ///< trace instruction being mapped
+    bool lastMappingInst = false;   ///< last instruction of the trace
+
+    bool isLoad() const { return inst && inst->isLoad(); }
+    bool isStore() const { return inst && inst->isStore(); }
+    bool isControl() const { return inst && inst->isControl(); }
+};
+
+} // namespace dynaspam::ooo
+
+#endif // DYNASPAM_OOO_DYNINST_HH

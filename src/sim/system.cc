@@ -1,0 +1,140 @@
+/**
+ * @file
+ * System driver implementation.
+ */
+
+#include "sim/system.hh"
+
+#include "common/logging.hh"
+#include "isa/trace.hh"
+
+namespace dynaspam::sim
+{
+
+const char *
+modeName(SystemMode mode)
+{
+    switch (mode) {
+      case SystemMode::BaselineOoo:
+        return "baseline-ooo";
+      case SystemMode::MappingOnly:
+        return "mapping-only";
+      case SystemMode::AccelNoSpec:
+        return "accel-nospec";
+      case SystemMode::AccelSpec:
+        return "accel-spec";
+      case SystemMode::AccelNaive:
+        return "accel-naive";
+    }
+    return "unknown";
+}
+
+SystemConfig
+SystemConfig::make(SystemMode mode, unsigned trace_length,
+                   unsigned num_fabrics)
+{
+    SystemConfig cfg;
+    cfg.mode = mode;
+    cfg.dynaspam.traceLength = trace_length;
+    cfg.dynaspam.numFabrics = num_fabrics;
+
+    switch (mode) {
+      case SystemMode::BaselineOoo:
+        break;
+      case SystemMode::MappingOnly:
+        cfg.dynaspam.enableOffload = false;
+        break;
+      case SystemMode::AccelNoSpec:
+        cfg.dynaspam.fabricParams.memorySpeculation = false;
+        break;
+      case SystemMode::AccelSpec:
+        break;
+      case SystemMode::AccelNaive:
+        cfg.dynaspam.mapper = core::MapperKind::NaiveOrder;
+        break;
+    }
+    return cfg;
+}
+
+RunResult
+System::run(const isa::Program &program,
+            const mem::FunctionalMemory &initial_memory)
+{
+    RunResult result;
+
+    // Functional (oracle) pass.
+    mem::FunctionalMemory memory = initial_memory;
+    isa::DynamicTrace trace(program);
+    trace.reserve(1 << 16);
+    auto func = isa::Executor::run(program, memory, &trace);
+    if (!func.halted)
+        fatal("program '", program.name(), "' did not halt");
+
+    // Reference re-execution for a functional cross-check (the timing
+    // model is oracle-directed, so this validates the trace itself).
+    {
+        mem::FunctionalMemory memory2 = initial_memory;
+        auto func2 = isa::Executor::run(program, memory2, nullptr);
+        result.functionallyCorrect =
+            func2.instCount == func.instCount && func2.halted;
+    }
+
+    // Timing pass.
+    mem::MemoryHierarchy hierarchy(cfg.memory);
+    ooo::OooCpu cpu(cfg.ooo, trace, hierarchy);
+
+    std::unique_ptr<core::DynaSpamController> controller;
+    if (cfg.mode != SystemMode::BaselineOoo) {
+        controller = std::make_unique<core::DynaSpamController>(
+            cfg.dynaspam, trace, cpu.branchPredictor(),
+            cpu.storeSetPredictor(), hierarchy);
+        cpu.setHooks(controller.get());
+    }
+
+    result.cycles = cpu.run();
+    result.pipeline = cpu.stats();
+
+    if (controller) {
+        controller->finalizeStats();
+        result.dynaspam = controller->stats();
+        controller->exportStats(result.stats);
+    }
+    cpu.exportStats(result.stats);
+    hierarchy.exportStats(result.stats);
+
+    // Instruction accounting for Figure 7.
+    result.instsTotal = result.pipeline.committedInsts;
+    result.instsMapping = result.pipeline.mappingInstsExecuted;
+    result.instsFabric =
+        result.pipeline.committedInsts - result.pipeline.committedOnHost;
+    result.instsHost =
+        result.pipeline.committedOnHost - result.instsMapping;
+
+    // Energy.
+    energy::EnergyModel model(cfg.energy);
+    auto mem_events = energy::MemoryEvents::fromHierarchy(hierarchy);
+    energy::FabricEvents fab_events;
+    if (controller) {
+        for (const auto &fab : controller->fabrics()) {
+            const auto &fs = fab->stats();
+            fab_events.peOps += fs.peOps;
+            fab_events.hops += fs.datapathHops;
+            fab_events.fifoPushes += fs.fifoPushes;
+            fab_events.busTransfers += fs.busTransfers;
+            fab_events.gatedStripeCycles +=
+                fs.activeStripeInvocations;
+            fab_events.configCacheAccesses += fs.reconfigurations;
+        }
+        fab_events.configCacheAccesses +=
+            result.dynaspam.tracesConsidered;
+        // Each reconfiguration rewrites every PE configuration word.
+        fab_events.configuredInsts =
+            result.dynaspam.reconfigurations *
+            cfg.dynaspam.fabricParams.pesPerStripe();
+    }
+    result.energy = model.compute(result.pipeline, mem_events, fab_events);
+
+    return result;
+}
+
+} // namespace dynaspam::sim

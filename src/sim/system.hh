@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Top-level simulation driver.
+ *
+ * A System wires the functional executor, cache hierarchy, OOO CPU,
+ * DynaSpAM controller and energy model together, and runs one program
+ * under one of the paper's named configurations:
+ *
+ *  - BaselineOoo: the 8-issue OOO pipeline of Table 4, no DynaSpAM
+ *  - MappingOnly: traces are detected and mapped but never offloaded
+ *    (isolates the mapping overhead, Figure 8 "mapping")
+ *  - AccelNoSpec: mapping + acceleration, fabric memory ops conservative
+ *    (Figure 8 "mapping + acceleration w/o speculation")
+ *  - AccelSpec: mapping + acceleration with memory speculation
+ *    (Figure 8 "mapping + acceleration w/ speculation")
+ *  - AccelNaive: like AccelSpec but with the naive in-order mapper
+ *    (ablation of the resource-aware scheduler)
+ */
+
+#ifndef DYNASPAM_SIM_SYSTEM_HH
+#define DYNASPAM_SIM_SYSTEM_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/stats.hh"
+#include "core/controller.hh"
+#include "energy/energy.hh"
+#include "isa/executor.hh"
+#include "isa/program.hh"
+#include "memory/cache.hh"
+#include "memory/functional_mem.hh"
+#include "ooo/cpu.hh"
+
+namespace dynaspam::sim
+{
+
+/** Named system configurations from the evaluation. */
+enum class SystemMode : std::uint8_t
+{
+    BaselineOoo,
+    MappingOnly,
+    AccelNoSpec,
+    AccelSpec,
+    AccelNaive,
+};
+
+/** @return a short display name for @p mode. */
+const char *modeName(SystemMode mode);
+
+/** Full system configuration. */
+struct SystemConfig
+{
+    SystemMode mode = SystemMode::BaselineOoo;
+    ooo::OooParams ooo;
+    core::DynaSpamParams dynaspam;
+    energy::EnergyParams energy;
+    mem::MemoryHierarchy::Params memory;
+
+    /** Build the canonical configuration for @p mode with the given
+     *  trace length and fabric count. */
+    static SystemConfig make(SystemMode mode, unsigned trace_length = 32,
+                             unsigned num_fabrics = 1);
+};
+
+/** Everything a run produces. */
+struct RunResult
+{
+    Cycle cycles = 0;
+    ooo::PipelineStats pipeline;
+    core::DynaSpamStats dynaspam;
+    energy::EnergyBreakdown energy;
+    StatRegistry stats;
+
+    std::uint64_t instsTotal = 0;
+    std::uint64_t instsMapping = 0;   ///< executed during mapping phases
+    std::uint64_t instsFabric = 0;    ///< committed via fabric invocations
+    std::uint64_t instsHost = 0;      ///< remaining host-committed
+
+    bool functionallyCorrect = false; ///< final regs match reference run
+
+    double ipc() const
+    {
+        return cycles ? double(instsTotal) / double(cycles) : 0.0;
+    }
+    double energyTotal() const { return energy.total(); }
+};
+
+/**
+ * One-shot simulation of a program under a configuration. Stateless
+ * between runs; create one per experiment point.
+ */
+class System
+{
+  public:
+    explicit System(SystemConfig config) : cfg(std::move(config)) {}
+
+    /**
+     * Execute @p program functionally, then simulate it.
+     * @param initial_memory pre-initialized data memory (copied)
+     */
+    RunResult run(const isa::Program &program,
+                  const mem::FunctionalMemory &initial_memory);
+
+    /** Convenience overload starting from empty memory. */
+    RunResult
+    run(const isa::Program &program)
+    {
+        mem::FunctionalMemory empty;
+        return run(program, empty);
+    }
+
+    const SystemConfig &config() const { return cfg; }
+
+  private:
+    SystemConfig cfg;
+};
+
+} // namespace dynaspam::sim
+
+#endif // DYNASPAM_SIM_SYSTEM_HH

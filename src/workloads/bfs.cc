@@ -1,0 +1,185 @@
+/**
+ * @file
+ * BFS — Breadth-First Search (mirrors Rodinia bfs, BFSGraph kernel).
+ *
+ * Structure mirrored: level-synchronous frontier expansion over a CSR
+ * graph with mask/visited/cost arrays. The per-node "is it on the
+ * frontier?" and per-edge "already visited?" branches are data dependent
+ * and largely unbiased — exactly why BFS shows many short-lived
+ * configurations in the paper's Table 5.
+ */
+
+#include "workloads/workload.hh"
+
+#include <queue>
+
+#include "common/random.hh"
+
+namespace dynaspam::workloads
+{
+
+namespace
+{
+
+constexpr Addr ROW_BASE = 0x100000;
+constexpr Addr COL_BASE = 0x200000;
+constexpr Addr MASK_BASE = 0x300000;
+constexpr Addr NEWMASK_BASE = 0x400000;
+constexpr Addr VISITED_BASE = 0x500000;
+constexpr Addr COST_BASE = 0x600000;
+
+} // namespace
+
+Workload
+makeBfs(unsigned scale)
+{
+    const unsigned num_nodes = 512 * scale;
+    const unsigned avg_degree = 4;
+
+    Workload wl;
+    wl.name = "BFS";
+    wl.fullName = "Breadth-First Search";
+    wl.kernel = "BFSGraph";
+
+    // --- Graph generation (deterministic random CSR) ----------------------
+    Rng rng(0xbf501);
+    std::vector<std::vector<std::int64_t>> adj(num_nodes);
+    for (unsigned n = 0; n < num_nodes; n++) {
+        unsigned degree = 1 + unsigned(rng.below(2 * avg_degree));
+        for (unsigned d = 0; d < degree; d++)
+            adj[n].push_back(std::int64_t(rng.below(num_nodes)));
+    }
+    // Chain edges guarantee connectivity (so BFS reaches every node).
+    for (unsigned n = 0; n + 1 < num_nodes; n++)
+        adj[n].push_back(n + 1);
+
+    std::vector<std::int64_t> row(num_nodes + 1), col;
+    for (unsigned n = 0; n < num_nodes; n++) {
+        row[n] = std::int64_t(col.size());
+        for (auto t : adj[n])
+            col.push_back(t);
+    }
+    row[num_nodes] = std::int64_t(col.size());
+
+    pokeInts(wl.initialMemory, ROW_BASE, row);
+    pokeInts(wl.initialMemory, COL_BASE, col);
+    std::vector<std::int64_t> mask(num_nodes, 0), visited(num_nodes, 0),
+        cost(num_nodes, 0);
+    mask[0] = 1;
+    visited[0] = 1;
+    pokeInts(wl.initialMemory, MASK_BASE, mask);
+    pokeInts(wl.initialMemory, VISITED_BASE, visited);
+    pokeInts(wl.initialMemory, COST_BASE, cost);
+
+    // --- Reference BFS -----------------------------------------------------
+    std::vector<std::int64_t> cost_ref(num_nodes, 0);
+    {
+        std::vector<bool> seen(num_nodes, false);
+        std::queue<unsigned> q;
+        q.push(0);
+        seen[0] = true;
+        while (!q.empty()) {
+            unsigned n = q.front();
+            q.pop();
+            for (std::int64_t e = row[n]; e < row[n + 1]; e++) {
+                auto id = unsigned(col[std::size_t(e)]);
+                if (!seen[id]) {
+                    seen[id] = true;
+                    cost_ref[id] = cost_ref[n] + 1;
+                    q.push(id);
+                }
+            }
+        }
+    }
+
+    // --- Program ------------------------------------------------------------
+    using isa::intReg;
+    isa::ProgramBuilder b("bfs");
+    const auto n = intReg(1), off = intReg(2), maskp = intReg(3),
+               maskv = intReg(4), rowp = intReg(5), e = intReg(6),
+               eend = intReg(7), costp = intReg(8), lvl = intReg(9),
+               stop = intReg(10), eoff = intReg(11), colp = intReg(12),
+               id = intReg(13), idoff = intReg(14), visp = intReg(15),
+               visv = intReg(16), onev = intReg(17), dstp = intReg(18),
+               nmp = intReg(19), num = intReg(20), zero = intReg(31);
+
+    b.movi(num, num_nodes);
+    b.movi(zero, 0);
+    b.movi(onev, 1);
+
+    b.label("level");
+    b.movi(stop, 1);
+    b.movi(n, 0);
+
+    b.label("node");
+    b.shli(off, n, 3);
+    b.movi(maskp, MASK_BASE);
+    b.add(maskp, maskp, off);
+    b.ld(maskv, maskp, 0);
+    b.beq(maskv, zero, "skip_node");
+
+    b.st(maskp, zero, 0);                       // mask[n] = 0
+    b.movi(rowp, ROW_BASE);
+    b.add(rowp, rowp, off);
+    b.ld(e, rowp, 0);                           // rowstart[n]
+    b.ld(eend, rowp, 8);                        // rowstart[n+1]
+    b.movi(costp, COST_BASE);
+    b.add(costp, costp, off);
+    b.ld(lvl, costp, 0);
+    b.addi(lvl, lvl, 1);                        // next level
+
+    b.label("edge");
+    b.bge(e, eend, "skip_node");
+    b.shli(eoff, e, 3);
+    b.movi(colp, COL_BASE);
+    b.add(colp, colp, eoff);
+    b.ld(id, colp, 0);
+    b.shli(idoff, id, 3);
+    b.movi(visp, VISITED_BASE);
+    b.add(visp, visp, idoff);
+    b.ld(visv, visp, 0);
+    b.bne(visv, zero, "next_edge");
+
+    b.st(visp, onev, 0);                        // visited[id] = 1
+    b.movi(dstp, COST_BASE);
+    b.add(dstp, dstp, idoff);
+    b.st(dstp, lvl, 0);                         // cost[id] = lvl
+    b.movi(nmp, NEWMASK_BASE);
+    b.add(nmp, nmp, idoff);
+    b.st(nmp, onev, 0);                         // newmask[id] = 1
+    b.movi(stop, 0);
+
+    b.label("next_edge");
+    b.addi(e, e, 1);
+    b.jmp("edge");
+
+    b.label("skip_node");
+    b.addi(n, n, 1);
+    b.blt(n, num, "node");
+
+    // Swap: mask <- newmask, newmask <- 0.
+    b.movi(n, 0);
+    b.label("swap");
+    b.shli(off, n, 3);
+    b.movi(nmp, NEWMASK_BASE);
+    b.add(nmp, nmp, off);
+    b.ld(maskv, nmp, 0);
+    b.movi(maskp, MASK_BASE);
+    b.add(maskp, maskp, off);
+    b.st(maskp, maskv, 0);
+    b.st(nmp, zero, 0);
+    b.addi(n, n, 1);
+    b.blt(n, num, "swap");
+
+    b.beq(stop, zero, "level");
+    b.halt();
+    wl.program = b.build();
+
+    // --- Validator ----------------------------------------------------------
+    wl.validate = [cost_ref, num_nodes](const mem::FunctionalMemory &m) {
+        return peekInts(m, COST_BASE, num_nodes) == cost_ref;
+    };
+    return wl;
+}
+
+} // namespace dynaspam::workloads

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * BP — Back Propagation (mirrors Rodinia backprop, bpnn_train_kernel).
+ *
+ * Structure mirrored: a dense forward pass (hidden[j] = squash(sum_i
+ * w[j][i] * x[i])) followed by a weight-update sweep (w += eta * h * x).
+ * Both are regular FP multiply-accumulate loop nests with highly biased
+ * loop branches — the trace-friendly behaviour that gives BP its long
+ * configuration lifetimes in Table 5. The squash function uses the
+ * rational s/(1+|s|) form (the micro-ISA has no exp).
+ */
+
+#include "workloads/workload.hh"
+
+#include <cmath>
+
+#include "common/random.hh"
+
+namespace dynaspam::workloads
+{
+
+namespace
+{
+
+constexpr Addr X_BASE = 0x100000;
+constexpr Addr W_BASE = 0x200000;
+constexpr Addr H_BASE = 0x300000;
+constexpr unsigned NUM_IN = 256;
+
+} // namespace
+
+Workload
+makeBp(unsigned scale)
+{
+    const unsigned num_hidden = 16 * scale;
+    const double eta = 0.3;
+
+    Workload wl;
+    wl.name = "BP";
+    wl.fullName = "Back Propagation";
+    wl.kernel = "bpnn_train_kernel";
+
+    // --- Data generation -------------------------------------------------
+    Rng rng(0xbp01);
+    std::vector<double> x(NUM_IN), w(std::size_t(num_hidden) * NUM_IN);
+    for (auto &v : x)
+        v = rng.uniform() * 2.0 - 1.0;
+    for (auto &v : w)
+        v = rng.uniform() * 0.2 - 0.1;
+    pokeDoubles(wl.initialMemory, X_BASE, x);
+    pokeDoubles(wl.initialMemory, W_BASE, w);
+
+    // --- Reference model --------------------------------------------------
+    std::vector<double> href(num_hidden);
+    std::vector<double> wref = w;
+    for (unsigned j = 0; j < num_hidden; j++) {
+        double s = 0.0;
+        for (unsigned i = 0; i < NUM_IN; i++)
+            s += wref[j * NUM_IN + i] * x[i];
+        href[j] = s / (1.0 + std::fabs(s));
+    }
+    for (unsigned j = 0; j < num_hidden; j++)
+        for (unsigned i = 0; i < NUM_IN; i++)
+            wref[j * NUM_IN + i] += eta * href[j] * x[i];
+
+    // --- Program ----------------------------------------------------------
+    using isa::fpReg;
+    using isa::intReg;
+    isa::ProgramBuilder b("bp");
+    const auto j = intReg(1), nh = intReg(2), i = intReg(3), ni = intReg(4);
+    const auto wp = intReg(5), xp = intReg(6), hp = intReg(7);
+    const auto sum = fpReg(1), wv = fpReg(2), xv = fpReg(3);
+    const auto one = fpReg(10), etaR = fpReg(11), hj = fpReg(5),
+               tmp = fpReg(6);
+
+    b.movi(nh, num_hidden);
+    b.movi(ni, NUM_IN);
+    b.fmovi(one, 1.0);
+    b.fmovi(etaR, eta);
+
+    // Forward pass.
+    b.movi(j, 0);
+    b.movi(wp, W_BASE);
+    b.movi(hp, H_BASE);
+    b.label("fwd_j");
+    {
+        b.fmovi(sum, 0.0);
+        b.movi(i, 0);
+        b.movi(xp, X_BASE);
+        b.label("fwd_i");
+        b.fld(wv, wp, 0);
+        b.fld(xv, xp, 0);
+        b.fmul(wv, wv, xv);
+        b.fadd(sum, sum, wv);
+        b.addi(wp, wp, 8);
+        b.addi(xp, xp, 8);
+        b.addi(i, i, 1);
+        b.blt(i, ni, "fwd_i");
+
+        b.fabs_(tmp, sum);
+        b.fadd(tmp, tmp, one);
+        b.fdiv(hj, sum, tmp);
+        b.fst(hp, hj, 0);
+        b.addi(hp, hp, 8);
+        b.addi(j, j, 1);
+        b.blt(j, nh, "fwd_j");
+    }
+
+    // Weight update.
+    b.movi(j, 0);
+    b.movi(wp, W_BASE);
+    b.movi(hp, H_BASE);
+    b.label("upd_j");
+    {
+        b.fld(hj, hp, 0);
+        b.fmul(hj, hj, etaR);       // eta * h[j]
+        b.movi(i, 0);
+        b.movi(xp, X_BASE);
+        b.label("upd_i");
+        b.fld(xv, xp, 0);
+        b.fmul(xv, xv, hj);
+        b.fld(wv, wp, 0);
+        b.fadd(wv, wv, xv);
+        b.fst(wp, wv, 0);
+        b.addi(wp, wp, 8);
+        b.addi(xp, xp, 8);
+        b.addi(i, i, 1);
+        b.blt(i, ni, "upd_i");
+
+        b.addi(hp, hp, 8);
+        b.addi(j, j, 1);
+        b.blt(j, nh, "upd_j");
+    }
+    b.halt();
+    wl.program = b.build();
+
+    // --- Validator ---------------------------------------------------------
+    wl.validate = [href, wref,
+                   num_hidden](const mem::FunctionalMemory &memory) {
+        auto h = peekDoubles(memory, H_BASE, num_hidden);
+        auto w_final =
+            peekDoubles(memory, W_BASE, std::size_t(num_hidden) * NUM_IN);
+        return nearlyEqual(h, href) && nearlyEqual(w_final, wref);
+    };
+    return wl;
+}
+
+} // namespace dynaspam::workloads

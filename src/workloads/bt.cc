@@ -1,0 +1,212 @@
+/**
+ * @file
+ * BT — B+ Tree search (mirrors Rodinia b+tree, kernel_cpu).
+ *
+ * Structure mirrored: a stream of key lookups descending an array-encoded
+ * B+ tree — pointer chasing through inner nodes with short key-scan loops
+ * whose exit branches are data dependent, then a leaf scan. Node layout
+ * (8-byte words): [isLeaf][nkeys][key0..key7][ptr0..ptr8].
+ */
+
+#include "workloads/workload.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+
+namespace dynaspam::workloads
+{
+
+namespace
+{
+
+constexpr Addr TREE_BASE = 0x100000;
+constexpr Addr QUERY_BASE = 0x600000;
+constexpr Addr RESULT_BASE = 0x700000;
+
+constexpr unsigned FANOUT = 8;              ///< max keys per node
+constexpr unsigned NODE_WORDS = 2 + FANOUT + (FANOUT + 1);
+constexpr unsigned NODE_BYTES = NODE_WORDS * 8;
+
+/** In-memory node being built. */
+struct Node
+{
+    bool leaf = true;
+    std::vector<std::int64_t> keys;
+    std::vector<unsigned> children;     ///< node indices
+    std::int64_t subtreeMin = 0;        ///< smallest key in the subtree
+};
+
+} // namespace
+
+Workload
+makeBt(unsigned scale)
+{
+    const unsigned num_keys = 512;
+    const unsigned num_queries = 600 * scale;
+
+    Workload wl;
+    wl.name = "BT";
+    wl.fullName = "B+ Tree";
+    wl.kernel = "kernel_cpu";
+
+    // --- Bulk-load a B+ tree over sorted keys ------------------------------
+    std::vector<std::int64_t> keys(num_keys);
+    for (unsigned i = 0; i < num_keys; i++)
+        keys[i] = std::int64_t(i) * 7 + 3;   // sorted, distinct
+
+    std::vector<Node> nodes;
+    std::vector<unsigned> level;        // node indices of current level
+    for (unsigned i = 0; i < num_keys; i += FANOUT) {
+        Node leaf;
+        leaf.leaf = true;
+        for (unsigned k = i; k < std::min(num_keys, i + FANOUT); k++)
+            leaf.keys.push_back(keys[k]);
+        leaf.subtreeMin = leaf.keys.front();
+        level.push_back(unsigned(nodes.size()));
+        nodes.push_back(leaf);
+    }
+    while (level.size() > 1) {
+        std::vector<unsigned> next;
+        for (std::size_t i = 0; i < level.size(); i += FANOUT + 1) {
+            Node inner;
+            inner.leaf = false;
+            std::size_t end = std::min(level.size(), i + FANOUT + 1);
+            inner.subtreeMin = nodes[level[i]].subtreeMin;
+            for (std::size_t c = i; c < end; c++) {
+                inner.children.push_back(level[c]);
+                // Separator: the smallest key reachable through the
+                // next child's subtree.
+                if (c + 1 < end)
+                    inner.keys.push_back(nodes[level[c + 1]].subtreeMin);
+            }
+            next.push_back(unsigned(nodes.size()));
+            nodes.push_back(inner);
+        }
+        level = next;
+    }
+    const unsigned root = level.front();
+
+    // --- Serialize the tree -------------------------------------------------
+    auto nodeAddr = [](unsigned idx) {
+        return TREE_BASE + Addr(idx) * NODE_BYTES;
+    };
+    for (unsigned idx = 0; idx < nodes.size(); idx++) {
+        const Node &node = nodes[idx];
+        Addr base = nodeAddr(idx);
+        wl.initialMemory.write64(base, node.leaf ? 1 : 0);
+        wl.initialMemory.write64(base + 8, node.keys.size());
+        for (unsigned k = 0; k < FANOUT; k++) {
+            std::int64_t key = k < node.keys.size()
+                                   ? node.keys[k]
+                                   : std::int64_t(1) << 60;
+            wl.initialMemory.write64(base + 16 + 8 * k,
+                                     std::uint64_t(key));
+        }
+        for (unsigned c = 0; c <= FANOUT; c++) {
+            Addr child = c < node.children.size()
+                             ? nodeAddr(node.children[c])
+                             : 0;
+            wl.initialMemory.write64(base + 16 + 8 * FANOUT + 8 * c,
+                                     child);
+        }
+    }
+
+    // --- Queries and reference answers --------------------------------------
+    // Skewed query distribution, as in real index workloads: most
+    // probes revisit a handful of hot keys (so a handful of descend
+    // paths dominate — the paper detects only 4 BT traces), with a tail
+    // of random hits and misses.
+    Rng rng(0xb7e3);
+    std::vector<std::int64_t> hot_keys;
+    for (unsigned h = 0; h < 4; h++)
+        hot_keys.push_back(keys[rng.below(num_keys)]);
+    std::vector<std::int64_t> queries(num_queries), expect(num_queries);
+    for (unsigned q = 0; q < num_queries; q++) {
+        std::int64_t probe;
+        if (rng.bernoulli(0.8))
+            probe = hot_keys[rng.below(hot_keys.size())];
+        else if (rng.bernoulli(0.6))
+            probe = keys[rng.below(num_keys)];
+        else
+            probe = std::int64_t(rng.below(4096));
+        queries[q] = probe;
+        expect[q] =
+            std::binary_search(keys.begin(), keys.end(), probe) ? probe
+                                                                : -1;
+    }
+    pokeInts(wl.initialMemory, QUERY_BASE, queries);
+
+    // --- Program -----------------------------------------------------------
+    using isa::intReg;
+    isa::ProgramBuilder b("bt");
+    const auto q = intReg(1), nq = intReg(2), qp = intReg(3),
+               key = intReg(4), node = intReg(5), leaf = intReg(6),
+               nk = intReg(7), i = intReg(8), kp = intReg(9),
+               kv = intReg(10), ptr = intReg(11), res = intReg(12),
+               rp = intReg(13), zero = intReg(31), off = intReg(14),
+               rootr = intReg(15);
+
+    b.movi(nq, num_queries);
+    b.movi(zero, 0);
+    b.movi(rootr, std::int64_t(nodeAddr(root)));
+    b.movi(q, 0);
+    b.movi(qp, QUERY_BASE);
+    b.movi(rp, RESULT_BASE);
+
+    b.label("query");
+    b.ld(key, qp, 0);
+    b.mov(node, rootr);
+
+    b.label("descend");
+    b.ld(leaf, node, 0);
+    b.bne(leaf, zero, "at_leaf");
+    // Inner node: find first key > probe; child index = that position.
+    b.ld(nk, node, 8);
+    b.movi(i, 0);
+    b.addi(kp, node, 16);
+    b.label("scan_inner");
+    b.bge(i, nk, "pick_child");
+    b.ld(kv, kp, 0);
+    b.blt(key, kv, "pick_child");
+    b.addi(i, i, 1);
+    b.addi(kp, kp, 8);
+    b.jmp("scan_inner");
+    b.label("pick_child");
+    b.shli(off, i, 3);
+    b.add(ptr, node, off);
+    b.ld(node, ptr, 16 + 8 * FANOUT);
+    b.jmp("descend");
+
+    b.label("at_leaf");
+    b.ld(nk, node, 8);
+    b.movi(i, 0);
+    b.addi(kp, node, 16);
+    b.movi(res, -1);
+    b.label("scan_leaf");
+    b.bge(i, nk, "done_leaf");
+    b.ld(kv, kp, 0);
+    b.beq(kv, key, "found");
+    b.addi(i, i, 1);
+    b.addi(kp, kp, 8);
+    b.jmp("scan_leaf");
+    b.label("found");
+    b.mov(res, key);
+    b.label("done_leaf");
+    b.st(rp, res, 0);
+    b.addi(rp, rp, 8);
+    b.addi(qp, qp, 8);
+    b.addi(q, q, 1);
+    b.blt(q, nq, "query");
+    b.halt();
+    wl.program = b.build();
+
+    // --- Validator ------------------------------------------------------------
+    wl.validate = [expect, num_queries](const mem::FunctionalMemory &m) {
+        return peekInts(m, RESULT_BASE, num_queries) == expect;
+    };
+    return wl;
+}
+
+} // namespace dynaspam::workloads

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * HS — Hotspot (mirrors Rodinia hotspot, compute_tran_temp).
+ *
+ * Structure mirrored: an iterative 5-point stencil over a 2D temperature
+ * grid with a power-density source term. Regular FP loads along rows,
+ * highly biased loop branches, read-one-grid/write-the-other double
+ * buffering per time step.
+ */
+
+#include "workloads/workload.hh"
+
+#include "common/random.hh"
+
+namespace dynaspam::workloads
+{
+
+namespace
+{
+
+constexpr Addr T_BASE = 0x100000;
+constexpr Addr P_BASE = 0x300000;
+constexpr Addr OUT_BASE = 0x500000;
+
+} // namespace
+
+Workload
+makeHs(unsigned scale)
+{
+    const unsigned dim = 64;
+    const unsigned steps = 2 * scale;
+    const double cx = 0.15, cy = 0.12, cp = 0.08;
+
+    Workload wl;
+    wl.name = "HS";
+    wl.fullName = "Hotspot";
+    wl.kernel = "compute_tran_temp";
+
+    Rng rng(0x4057);
+    std::vector<double> temp(std::size_t(dim) * dim),
+        power(std::size_t(dim) * dim);
+    for (auto &v : temp)
+        v = 320.0 + rng.uniform() * 10.0;
+    for (auto &v : power)
+        v = rng.uniform() * 0.5;
+    pokeDoubles(wl.initialMemory, T_BASE, temp);
+    pokeDoubles(wl.initialMemory, P_BASE, power);
+
+    // --- Reference stencil ---------------------------------------------------
+    std::vector<double> tref = temp, tnew = temp;
+    for (unsigned s = 0; s < steps; s++) {
+        for (unsigned i = 1; i + 1 < dim; i++) {
+            for (unsigned j = 1; j + 1 < dim; j++) {
+                std::size_t c = std::size_t(i) * dim + j;
+                double center = tref[c];
+                double dx = tref[c - 1] + tref[c + 1] - 2.0 * center;
+                double dy = tref[c - dim] + tref[c + dim] - 2.0 * center;
+                tnew[c] = center + cx * dx + cy * dy + cp * power[c];
+            }
+        }
+        std::swap(tref, tnew);
+    }
+
+    // --- Program ---------------------------------------------------------------
+    // Double buffering: even steps read T write OUT, odd steps the
+    // reverse; `steps` swaps happen, so the final result lives in T when
+    // steps is even, OUT when odd. The program swaps base pointers.
+    using isa::fpReg;
+    using isa::intReg;
+    isa::ProgramBuilder b("hs");
+    const auto s = intReg(1), nsteps = intReg(2), i = intReg(3),
+               j = intReg(4), lim = intReg(5), src = intReg(6),
+               dst = intReg(7), rowp = intReg(8), pp = intReg(10),
+               tmpr = intReg(11), one = intReg(12), rowb = intReg(13);
+    const auto center = fpReg(1), dx = fpReg(2), dy = fpReg(3),
+               acc = fpReg(4), t2 = fpReg(5), cxr = fpReg(10),
+               cyr = fpReg(11), cpr = fpReg(12), two = fpReg(13),
+               pv = fpReg(6);
+
+    const std::int64_t row_bytes = std::int64_t(dim) * 8;
+
+    b.movi(nsteps, steps);
+    b.movi(lim, dim - 1);
+    b.movi(one, 1);
+    b.fmovi(cxr, cx);
+    b.fmovi(cyr, cy);
+    b.fmovi(cpr, cp);
+    b.fmovi(two, 2.0);
+    b.movi(src, T_BASE);
+    b.movi(dst, OUT_BASE);
+    b.movi(s, 0);
+
+    b.label("step");
+    // Copy borders: dst row 0 and dim-1, plus per-row edges are handled
+    // by copying the whole frame first (simple and keeps the reference
+    // model exact).
+    b.movi(i, 0);
+    b.label("copy_i");
+    b.movi(tmpr, std::int64_t(dim));
+    b.mul(rowb, i, tmpr);               // i*dim
+    b.shli(rowb, rowb, 3);              // byte offset
+    b.add(rowp, src, rowb);
+    b.add(pp, dst, rowb);
+    b.movi(j, 0);
+    b.label("copy_j");
+    b.fld(center, rowp, 0);
+    b.fst(pp, center, 0);
+    b.addi(rowp, rowp, 8);
+    b.addi(pp, pp, 8);
+    b.addi(j, j, 1);
+    b.movi(tmpr, std::int64_t(dim));
+    b.blt(j, tmpr, "copy_j");
+    b.addi(i, i, 1);
+    b.blt(i, tmpr, "copy_i");
+
+    // Interior stencil.
+    b.movi(i, 1);
+    b.label("row");
+    b.movi(tmpr, std::int64_t(dim));
+    b.mul(rowb, i, tmpr);
+    b.addi(rowb, rowb, 1);              // (i*dim + 1)
+    b.shli(rowb, rowb, 3);
+    b.add(rowp, src, rowb);             // &src[i][1]
+    b.movi(pp, P_BASE);
+    b.add(pp, pp, rowb);                // &power[i][1]
+    b.add(tmpr, dst, rowb);             // &dst[i][1] (reuse tmpr)
+    b.movi(j, 1);
+
+    b.label("col");
+    b.fld(center, rowp, 0);
+    b.fld(dx, rowp, -8);
+    b.fld(t2, rowp, 8);
+    b.fadd(dx, dx, t2);
+    b.fmul(t2, center, two);
+    b.fsub(dx, dx, t2);                 // left+right-2c
+    b.fld(dy, rowp, -row_bytes);
+    b.fld(t2, rowp, row_bytes);
+    b.fadd(dy, dy, t2);
+    b.fmul(t2, center, two);
+    b.fsub(dy, dy, t2);                 // up+down-2c
+    b.fmul(dx, dx, cxr);
+    b.fmul(dy, dy, cyr);
+    b.fadd(acc, center, dx);
+    b.fadd(acc, acc, dy);
+    b.fld(pv, pp, 0);
+    b.fmul(pv, pv, cpr);
+    b.fadd(acc, acc, pv);
+    b.fst(tmpr, acc, 0);
+    b.addi(rowp, rowp, 8);
+    b.addi(pp, pp, 8);
+    b.addi(tmpr, tmpr, 8);
+    b.addi(j, j, 1);
+    b.blt(j, lim, "col");
+
+    b.addi(i, i, 1);
+    b.blt(i, lim, "row");
+
+    // Swap src/dst.
+    b.mov(rowb, src);
+    b.mov(src, dst);
+    b.mov(dst, rowb);
+    b.addi(s, s, 1);
+    b.blt(s, nsteps, "step");
+    b.halt();
+    wl.program = b.build();
+
+    // --- Validator -----------------------------------------------------------
+    const Addr final_base = (steps % 2 == 0) ? T_BASE : OUT_BASE;
+    wl.validate = [tref, dim, final_base](const mem::FunctionalMemory &m) {
+        auto got = peekDoubles(m, final_base, std::size_t(dim) * dim);
+        return nearlyEqual(got, tref, 1e-9);
+    };
+    return wl;
+}
+
+} // namespace dynaspam::workloads

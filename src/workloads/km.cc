@@ -1,0 +1,132 @@
+/**
+ * @file
+ * KM — Kmeans (mirrors Rodinia kmeans, kmeans_clustering).
+ *
+ * Structure mirrored: the assignment step — for every point, compute the
+ * squared Euclidean distance to each cluster centre over all features and
+ * record the argmin. Dense FP multiply-accumulate inner loop, one
+ * data-dependent "new minimum?" branch per centre, membership stores.
+ */
+
+#include "workloads/workload.hh"
+
+#include <limits>
+
+#include "common/random.hh"
+
+namespace dynaspam::workloads
+{
+
+namespace
+{
+
+constexpr Addr PTS_BASE = 0x100000;
+constexpr Addr CTR_BASE = 0x400000;
+constexpr Addr MEMB_BASE = 0x500000;
+constexpr unsigned FEATURES = 32;
+constexpr unsigned CLUSTERS = 5;
+
+} // namespace
+
+Workload
+makeKm(unsigned scale)
+{
+    const unsigned num_points = 160 * scale;
+
+    Workload wl;
+    wl.name = "KM";
+    wl.fullName = "Kmeans";
+    wl.kernel = "kmeans_clustering";
+
+    Rng rng(0x6b31);
+    std::vector<double> pts(std::size_t(num_points) * FEATURES),
+        ctr(std::size_t(CLUSTERS) * FEATURES);
+    for (auto &v : pts)
+        v = rng.uniform() * 10.0;
+    for (auto &v : ctr)
+        v = rng.uniform() * 10.0;
+    pokeDoubles(wl.initialMemory, PTS_BASE, pts);
+    pokeDoubles(wl.initialMemory, CTR_BASE, ctr);
+
+    // --- Reference assignment ------------------------------------------------
+    std::vector<std::int64_t> memb_ref(num_points);
+    for (unsigned p = 0; p < num_points; p++) {
+        double best = std::numeric_limits<double>::max();
+        std::int64_t arg = 0;
+        for (unsigned c = 0; c < CLUSTERS; c++) {
+            double d = 0.0;
+            for (unsigned f = 0; f < FEATURES; f++) {
+                double diff = pts[p * FEATURES + f] - ctr[c * FEATURES + f];
+                d += diff * diff;
+            }
+            if (d < best) {
+                best = d;
+                arg = c;
+            }
+        }
+        memb_ref[p] = arg;
+    }
+
+    // --- Program ---------------------------------------------------------------
+    using isa::fpReg;
+    using isa::intReg;
+    isa::ProgramBuilder b("km");
+    const auto p = intReg(1), np = intReg(2), c = intReg(3),
+               nc = intReg(4), f = intReg(5), nf = intReg(6),
+               pp = intReg(7), cp = intReg(8), best_c = intReg(9),
+               mp = intReg(10), cond = intReg(11), prow = intReg(12);
+    const auto dist = fpReg(1), diff = fpReg(2), pv = fpReg(3),
+               cv = fpReg(4), best = fpReg(5);
+
+    b.movi(np, num_points);
+    b.movi(nc, CLUSTERS);
+    b.movi(nf, FEATURES);
+    b.movi(p, 0);
+    b.movi(prow, PTS_BASE);
+    b.movi(mp, MEMB_BASE);
+
+    b.label("point");
+    b.fmovi(best, 1e300);
+    b.movi(best_c, 0);
+    b.movi(c, 0);
+    b.movi(cp, CTR_BASE);
+
+    b.label("center");
+    b.fmovi(dist, 0.0);
+    b.movi(f, 0);
+    b.mov(pp, prow);
+    b.label("feat");
+    b.fld(pv, pp, 0);
+    b.fld(cv, cp, 0);
+    b.fsub(diff, pv, cv);
+    b.fmul(diff, diff, diff);
+    b.fadd(dist, dist, diff);
+    b.addi(pp, pp, 8);
+    b.addi(cp, cp, 8);
+    b.addi(f, f, 1);
+    b.blt(f, nf, "feat");
+
+    b.fclt(cond, dist, best);
+    b.movi(intReg(13), 1);
+    b.bne(cond, intReg(13), "not_better");
+    b.fadd(best, dist, fpReg(10));      // best = dist (f10 stays 0.0)
+    b.mov(best_c, c);
+    b.label("not_better");
+    b.addi(c, c, 1);
+    b.blt(c, nc, "center");
+
+    b.st(mp, best_c, 0);
+    b.addi(mp, mp, 8);
+    b.addi(prow, prow, 8 * FEATURES);
+    b.addi(p, p, 1);
+    b.blt(p, np, "point");
+    b.halt();
+    wl.program = b.build();
+
+    wl.validate = [memb_ref, num_points](const mem::FunctionalMemory &m) {
+        return peekInts(m, MEMB_BASE, num_points) == memb_ref;
+    };
+    return wl;
+}
+
+} // namespace dynaspam::workloads

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * KNN — K-Nearest Neighbors (mirrors Rodinia nn, main kernel).
+ *
+ * Structure mirrored: a distance sweep over an unstructured record set
+ * (2D coordinates, as in Rodinia's hurricane data) computing
+ * sqrt((lat-qlat)^2 + (lng-qlng)^2) per record, followed by k rounds of
+ * min-extraction to produce the k nearest records.
+ */
+
+#include "workloads/workload.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/random.hh"
+
+namespace dynaspam::workloads
+{
+
+namespace
+{
+
+constexpr Addr LAT_BASE = 0x100000;
+constexpr Addr LNG_BASE = 0x200000;
+constexpr Addr DIST_BASE = 0x300000;
+constexpr Addr BEST_BASE = 0x400000;
+constexpr unsigned K = 4;
+
+} // namespace
+
+Workload
+makeKnn(unsigned scale)
+{
+    const unsigned num_records = 2200 * scale;
+    const double qlat = 30.0, qlng = -90.0;
+
+    Workload wl;
+    wl.name = "KNN";
+    wl.fullName = "K-Nearest Neighbors";
+    wl.kernel = "main";
+
+    Rng rng(0x6e6e);
+    std::vector<double> lat(num_records), lng(num_records);
+    for (unsigned r = 0; r < num_records; r++) {
+        lat[r] = 25.0 + rng.uniform() * 20.0;
+        lng[r] = -100.0 + rng.uniform() * 30.0;
+    }
+    pokeDoubles(wl.initialMemory, LAT_BASE, lat);
+    pokeDoubles(wl.initialMemory, LNG_BASE, lng);
+
+    // --- Reference -------------------------------------------------------------
+    std::vector<double> dist_ref(num_records);
+    for (unsigned r = 0; r < num_records; r++) {
+        double dx = lat[r] - qlat, dy = lng[r] - qlng;
+        dist_ref[r] = std::sqrt(dx * dx + dy * dy);
+    }
+    std::vector<double> working = dist_ref;
+    std::vector<std::int64_t> best_ref(K);
+    for (unsigned k = 0; k < K; k++) {
+        auto it = std::min_element(working.begin(), working.end());
+        best_ref[k] = it - working.begin();
+        *it = std::numeric_limits<double>::max();
+    }
+
+    // --- Program -----------------------------------------------------------------
+    using isa::fpReg;
+    using isa::intReg;
+    isa::ProgramBuilder b("knn");
+    const auto r = intReg(1), nr = intReg(2), latp = intReg(3),
+               lngp = intReg(4), dp = intReg(5), k = intReg(6),
+               kk = intReg(7), argmin = intReg(8), bp = intReg(9),
+               cond = intReg(10), onec = intReg(11), minp = intReg(12);
+    const auto dx = fpReg(1), dy = fpReg(2), d = fpReg(3),
+               qlatr = fpReg(10), qlngr = fpReg(11), minv = fpReg(4),
+               dv = fpReg(5), big = fpReg(12);
+
+    b.movi(nr, num_records);
+    b.fmovi(qlatr, qlat);
+    b.fmovi(qlngr, qlng);
+    b.fmovi(big, std::numeric_limits<double>::max());
+    b.movi(onec, 1);
+
+    // Distance sweep.
+    b.movi(r, 0);
+    b.movi(latp, LAT_BASE);
+    b.movi(lngp, LNG_BASE);
+    b.movi(dp, DIST_BASE);
+    b.label("sweep");
+    b.fld(dx, latp, 0);
+    b.fsub(dx, dx, qlatr);
+    b.fld(dy, lngp, 0);
+    b.fsub(dy, dy, qlngr);
+    b.fmul(dx, dx, dx);
+    b.fmul(dy, dy, dy);
+    b.fadd(d, dx, dy);
+    b.fsqrt(d, d);
+    b.fst(dp, d, 0);
+    b.addi(latp, latp, 8);
+    b.addi(lngp, lngp, 8);
+    b.addi(dp, dp, 8);
+    b.addi(r, r, 1);
+    b.blt(r, nr, "sweep");
+
+    // K rounds of min-extraction.
+    b.movi(kk, K);
+    b.movi(k, 0);
+    b.movi(bp, BEST_BASE);
+    b.label("round");
+    b.fadd(minv, big, fpReg(13));       // minv = +inf (f13 stays 0)
+    b.movi(argmin, 0);
+    b.movi(r, 0);
+    b.movi(dp, DIST_BASE);
+    b.label("scan");
+    b.fld(dv, dp, 0);
+    b.fclt(cond, dv, minv);
+    b.bne(cond, onec, "no_min");
+    b.fadd(minv, dv, fpReg(13));
+    b.mov(argmin, r);
+    b.mov(minp, dp);
+    b.label("no_min");
+    b.addi(dp, dp, 8);
+    b.addi(r, r, 1);
+    b.blt(r, nr, "scan");
+
+    b.st(bp, argmin, 0);
+    b.fst(minp, big, 0);                // exclude the winner
+    b.addi(bp, bp, 8);
+    b.addi(k, k, 1);
+    b.blt(k, kk, "round");
+    b.halt();
+    wl.program = b.build();
+
+    wl.validate = [dist_ref, best_ref,
+                   num_records](const mem::FunctionalMemory &m) {
+        // Distances were overwritten for the K winners; check the rest.
+        auto got = peekDoubles(m, DIST_BASE, num_records);
+        for (unsigned r2 = 0; r2 < num_records; r2++) {
+            bool excluded = false;
+            for (auto w : best_ref)
+                excluded |= (w == std::int64_t(r2));
+            if (excluded)
+                continue;
+            double diff = std::fabs(got[r2] - dist_ref[r2]);
+            if (diff > 1e-9 * std::fmax(1.0, std::fabs(dist_ref[r2])))
+                return false;
+        }
+        return peekInts(m, BEST_BASE, K) == best_ref;
+    };
+    return wl;
+}
+
+} // namespace dynaspam::workloads

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * LD — LU Decomposition (mirrors Rodinia lud, lud_base).
+ *
+ * Structure mirrored: in-place Doolittle factorization with the classic
+ * triple loop nest — an upper-row update and a lower-column update with a
+ * division, then the trailing-submatrix rank-1 update. Loop trip counts
+ * shrink as the factorization proceeds, producing several distinct hot
+ * traces (the paper detects 9 for LD).
+ */
+
+#include "workloads/workload.hh"
+
+#include "common/random.hh"
+
+namespace dynaspam::workloads
+{
+
+namespace
+{
+
+constexpr Addr A_BASE = 0x100000;
+
+} // namespace
+
+Workload
+makeLd(unsigned scale)
+{
+    const unsigned n = 24 + 8 * scale;
+
+    Workload wl;
+    wl.name = "LD";
+    wl.fullName = "LU Decomposition";
+    wl.kernel = "lud_base";
+
+    // A diagonally dominant matrix keeps the factorization stable.
+    Rng rng(0x1d02);
+    std::vector<double> a(std::size_t(n) * n);
+    for (unsigned i = 0; i < n; i++) {
+        double row_sum = 0.0;
+        for (unsigned j = 0; j < n; j++) {
+            a[i * n + j] = rng.uniform() * 2.0 - 1.0;
+            row_sum += 2.0;
+        }
+        a[i * n + i] += row_sum;
+    }
+    pokeDoubles(wl.initialMemory, A_BASE, a);
+
+    // --- Reference: in-place Doolittle LU ------------------------------------
+    std::vector<double> lu = a;
+    for (unsigned k = 0; k < n; k++) {
+        for (unsigned i = k + 1; i < n; i++) {
+            lu[i * n + k] /= lu[k * n + k];
+            for (unsigned j = k + 1; j < n; j++)
+                lu[i * n + j] -= lu[i * n + k] * lu[k * n + j];
+        }
+    }
+
+    // --- Program -----------------------------------------------------------
+    using isa::fpReg;
+    using isa::intReg;
+    isa::ProgramBuilder b("ld");
+    const auto k = intReg(1), nn = intReg(2), i = intReg(3),
+               j = intReg(4), kp1 = intReg(5), rowk = intReg(6),
+               rowi = intReg(7), pj = intReg(8), pkj = intReg(9),
+               tmp = intReg(10), nbytes = intReg(11);
+    const auto pivot = fpReg(1), lik = fpReg(2), av = fpReg(3),
+               kv = fpReg(4);
+
+    const std::int64_t row_bytes = std::int64_t(n) * 8;
+
+    b.movi(nn, n);
+    b.movi(nbytes, row_bytes);
+    b.movi(k, 0);
+    b.movi(rowk, A_BASE);
+
+    b.label("k_loop");
+    b.addi(kp1, k, 1);
+
+    // lik = a[i][k] / pivot, then row update.
+    b.shli(tmp, k, 3);
+    b.add(pkj, rowk, tmp);
+    b.fld(pivot, pkj, 0);               // a[k][k]
+
+    // Bottom-tested loops (the shape loop inversion produces at -O3):
+    // the back edge is the strongly biased branch the trace anchors on.
+    b.mov(i, kp1);
+    b.bge(i, nn, "k_next");             // zero-trip guard
+    b.add(rowi, rowk, nbytes);
+    b.label("i_loop");
+
+    b.shli(tmp, k, 3);
+    b.add(pj, rowi, tmp);
+    b.fld(lik, pj, 0);
+    b.fdiv(lik, lik, pivot);
+    b.fst(pj, lik, 0);                  // a[i][k] = lik
+
+    b.mov(j, kp1);
+    b.bge(j, nn, "i_next");             // zero-trip guard
+    b.shli(tmp, kp1, 3);
+    b.add(pj, rowi, tmp);               // &a[i][k+1]
+    b.add(pkj, rowk, tmp);              // &a[k][k+1]
+    b.label("j_loop");
+    b.fld(kv, pkj, 0);
+    b.fmul(kv, kv, lik);
+    b.fld(av, pj, 0);
+    b.fsub(av, av, kv);
+    b.fst(pj, av, 0);
+    b.addi(pj, pj, 8);
+    b.addi(pkj, pkj, 8);
+    b.addi(j, j, 1);
+    b.blt(j, nn, "j_loop");
+
+    b.label("i_next");
+    b.add(rowi, rowi, nbytes);
+    b.addi(i, i, 1);
+    b.blt(i, nn, "i_loop");
+
+    b.label("k_next");
+    b.add(rowk, rowk, nbytes);
+    b.addi(k, k, 1);
+    b.blt(k, nn, "k_loop");
+    b.halt();
+    wl.program = b.build();
+
+    wl.validate = [lu, n](const mem::FunctionalMemory &m) {
+        auto got = peekDoubles(m, A_BASE, std::size_t(n) * n);
+        return nearlyEqual(got, lu, 1e-8);
+    };
+    return wl;
+}
+
+} // namespace dynaspam::workloads

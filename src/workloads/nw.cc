@@ -1,0 +1,119 @@
+/**
+ * @file
+ * NW — Needleman-Wunsch (mirrors Rodinia nw, runTest kernel).
+ *
+ * Structure mirrored: the dynamic-programming score matrix fill —
+ * m[i][j] = max(m[i-1][j-1] + sim[i][j], m[i-1][j] - penalty,
+ * m[i][j-1] - penalty) — with true loop-carried memory dependences in
+ * two dimensions and a high fraction of memory instructions. This is one
+ * of the two benchmarks the paper reports slowing down when memory
+ * speculation is disabled.
+ */
+
+#include "workloads/workload.hh"
+
+#include <algorithm>
+
+#include "common/random.hh"
+
+namespace dynaspam::workloads
+{
+
+namespace
+{
+
+constexpr Addr M_BASE = 0x100000;
+constexpr Addr SIM_BASE = 0x500000;
+constexpr std::int64_t PENALTY = 10;
+
+} // namespace
+
+Workload
+makeNw(unsigned scale)
+{
+    const unsigned n = 64 + 16 * scale;     // (n x n) score matrix
+
+    Workload wl;
+    wl.name = "NW";
+    wl.fullName = "Needleman-Wunsch";
+    wl.kernel = "runTest";
+
+    Rng rng(0x9a77);
+    std::vector<std::int64_t> sim(std::size_t(n) * n);
+    for (auto &v : sim)
+        v = std::int64_t(rng.below(21)) - 10;   // similarity in [-10, 10]
+
+    std::vector<std::int64_t> m(std::size_t(n) * n, 0);
+    for (unsigned i = 0; i < n; i++) {
+        m[i * n] = -PENALTY * std::int64_t(i);
+        m[i] = -PENALTY * std::int64_t(i);
+    }
+    pokeInts(wl.initialMemory, SIM_BASE, sim);
+    pokeInts(wl.initialMemory, M_BASE, m);
+
+    // --- Reference DP fill --------------------------------------------------
+    std::vector<std::int64_t> mref = m;
+    for (unsigned i = 1; i < n; i++) {
+        for (unsigned j = 1; j < n; j++) {
+            std::int64_t diag = mref[(i - 1) * n + (j - 1)] + sim[i * n + j];
+            std::int64_t up = mref[(i - 1) * n + j] - PENALTY;
+            std::int64_t left = mref[i * n + (j - 1)] - PENALTY;
+            mref[i * n + j] = std::max({diag, up, left});
+        }
+    }
+
+    // --- Program --------------------------------------------------------------
+    using isa::intReg;
+    isa::ProgramBuilder b("nw");
+    const auto i = intReg(1), j = intReg(2), nn = intReg(3),
+               mp = intReg(4), sp = intReg(5), diag = intReg(6),
+               up = intReg(7), left = intReg(8), simv = intReg(9),
+               best = intReg(10), pen = intReg(11), rowb = intReg(12),
+               tmp = intReg(13);
+    const std::int64_t row_bytes = std::int64_t(n) * 8;
+
+    b.movi(nn, n);
+    b.movi(pen, PENALTY);
+    b.movi(i, 1);
+
+    b.label("row");
+    b.movi(tmp, std::int64_t(n));
+    b.mul(rowb, i, tmp);
+    b.addi(rowb, rowb, 1);
+    b.shli(rowb, rowb, 3);              // byte offset of (i, 1)
+    b.movi(mp, M_BASE);
+    b.add(mp, mp, rowb);                // &m[i][1]
+    b.movi(sp, SIM_BASE);
+    b.add(sp, sp, rowb);                // &sim[i][1]
+    b.movi(j, 1);
+
+    b.label("col");
+    b.ld(diag, mp, -row_bytes - 8);
+    b.ld(simv, sp, 0);
+    b.add(diag, diag, simv);
+    b.ld(up, mp, -row_bytes);
+    b.sub(up, up, pen);
+    b.ld(left, mp, -8);
+    b.sub(left, left, pen);
+    // best = max(diag, up, left), branchless — mirrors the conditional
+    // moves an optimizing compiler emits for this reduction.
+    b.max_(best, diag, up);
+    b.max_(best, best, left);
+    b.st(mp, best, 0);
+    b.addi(mp, mp, 8);
+    b.addi(sp, sp, 8);
+    b.addi(j, j, 1);
+    b.blt(j, nn, "col");
+
+    b.addi(i, i, 1);
+    b.blt(i, nn, "row");
+    b.halt();
+    wl.program = b.build();
+
+    wl.validate = [mref, n](const mem::FunctionalMemory &memory) {
+        return peekInts(memory, M_BASE, std::size_t(n) * n) == mref;
+    };
+    return wl;
+}
+
+} // namespace dynaspam::workloads

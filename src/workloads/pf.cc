@@ -1,0 +1,140 @@
+/**
+ * @file
+ * PF — PathFinder (mirrors Rodinia pathfinder, run kernel).
+ *
+ * Structure mirrored: row-by-row dynamic programming over a 2D grid —
+ * dst[j] = wall[i][j] + min(src[j-1], src[j], src[j+1]) — with the
+ * three-way min computed through data-dependent compare-branches and
+ * double-buffered rows.
+ */
+
+#include "workloads/workload.hh"
+
+#include <algorithm>
+
+#include "common/random.hh"
+
+namespace dynaspam::workloads
+{
+
+namespace
+{
+
+constexpr Addr WALL_BASE = 0x100000;
+constexpr Addr SRC_BASE = 0x600000;
+constexpr Addr DST_BASE = 0x700000;
+
+} // namespace
+
+Workload
+makePf(unsigned scale)
+{
+    const unsigned cols = 256;
+    const unsigned rows = 8 * scale;
+
+    Workload wl;
+    wl.name = "PF";
+    wl.fullName = "PathFinder";
+    wl.kernel = "run";
+
+    Rng rng(0x9f01);
+    std::vector<std::int64_t> wall(std::size_t(rows) * cols);
+    for (auto &v : wall)
+        v = std::int64_t(rng.below(10));
+    std::vector<std::int64_t> first_row(cols);
+    for (auto &v : first_row)
+        v = std::int64_t(rng.below(10));
+    pokeInts(wl.initialMemory, WALL_BASE, wall);
+    pokeInts(wl.initialMemory, SRC_BASE, first_row);
+
+    // --- Reference DP ----------------------------------------------------
+    std::vector<std::int64_t> src = first_row, dst(cols);
+    for (unsigned i = 0; i < rows; i++) {
+        for (unsigned j = 0; j < cols; j++) {
+            std::int64_t best = src[j];
+            if (j > 0)
+                best = std::min(best, src[j - 1]);
+            if (j + 1 < cols)
+                best = std::min(best, src[j + 1]);
+            dst[j] = wall[i * cols + j] + best;
+        }
+        std::swap(src, dst);
+    }
+    const std::vector<std::int64_t> result_ref = src;
+    const Addr final_base = (rows % 2 == 0) ? SRC_BASE : DST_BASE;
+
+    // --- Program -------------------------------------------------------------
+    using isa::intReg;
+    isa::ProgramBuilder b("pf");
+    const auto i = intReg(1), j = intReg(2), nrows = intReg(3),
+               ncols = intReg(4), srcp = intReg(5), dstp = intReg(6),
+               wp = intReg(7), best = intReg(8), cand = intReg(9),
+               wv = intReg(10), lastj = intReg(11), tmp = intReg(12),
+               sp = intReg(13), dp = intReg(14);
+
+    b.movi(nrows, rows);
+    b.movi(ncols, cols);
+    b.movi(lastj, cols - 1);
+    b.movi(srcp, SRC_BASE);
+    b.movi(dstp, DST_BASE);
+    b.movi(wp, WALL_BASE);
+    b.movi(i, 0);
+
+    b.label("row");
+    // Peel j = 0: min(src[0], src[1]).
+    b.ld(best, srcp, 0);
+    b.ld(cand, srcp, 8);
+    b.min_(best, best, cand);
+    b.ld(wv, wp, 0);
+    b.add(best, best, wv);
+    b.st(dstp, best, 0);
+    // Interior columns.
+    b.movi(j, 1);
+    b.addi(sp, srcp, 8);
+    b.addi(dp, dstp, 8);
+    b.addi(wp, wp, 8);
+
+    b.label("col");
+    // best = min(src[j-1], src[j], src[j+1]), branchless (compilers emit
+    // min/cmov here). The interior is the hot path; the first and last
+    // columns are peeled below.
+    b.ld(best, sp, 0);                  // src[j]
+    b.ld(cand, sp, -8);
+    b.min_(best, best, cand);
+    b.ld(cand, sp, 8);
+    b.min_(best, best, cand);
+    b.ld(wv, wp, 0);
+    b.add(best, best, wv);
+    b.st(dp, best, 0);
+    b.addi(sp, sp, 8);
+    b.addi(dp, dp, 8);
+    b.addi(wp, wp, 8);
+    b.addi(j, j, 1);
+    b.blt(j, lastj, "col");
+
+    // Peel j = cols-1: min(src[cols-2], src[cols-1]).
+    b.ld(best, sp, 0);
+    b.ld(cand, sp, -8);
+    b.min_(best, best, cand);
+    b.ld(wv, wp, 0);
+    b.add(best, best, wv);
+    b.st(dp, best, 0);
+    b.addi(wp, wp, 8);
+
+    // Swap row buffers.
+    b.mov(tmp, srcp);
+    b.mov(srcp, dstp);
+    b.mov(dstp, tmp);
+    b.addi(i, i, 1);
+    b.blt(i, nrows, "row");
+    b.halt();
+    wl.program = b.build();
+
+    wl.validate = [result_ref, final_base,
+                   cols](const mem::FunctionalMemory &m) {
+        return peekInts(m, final_base, cols) == result_ref;
+    };
+    return wl;
+}
+
+} // namespace dynaspam::workloads

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * PTF — Particle Filter (mirrors Rodinia particlefilter, particleFilter).
+ *
+ * Structure mirrored: the per-frame estimation loop — propagate each
+ * particle with a deterministic pseudo-noise model, compute a likelihood
+ * weight from the distance to the (noisy) measurement, normalize the
+ * weights, and produce the weighted state estimate. FP-heavy loops with
+ * a division in the normalization pass.
+ */
+
+#include "workloads/workload.hh"
+
+#include <cmath>
+
+#include "common/random.hh"
+
+namespace dynaspam::workloads
+{
+
+namespace
+{
+
+constexpr Addr X_BASE = 0x100000;       // particle positions
+constexpr Addr W_BASE = 0x200000;       // weights
+constexpr Addr NOISE_BASE = 0x300000;   // pre-generated noise
+constexpr Addr EST_BASE = 0x400000;     // per-frame estimates
+} // namespace
+
+Workload
+makePtf(unsigned scale)
+{
+    const unsigned num_particles = 256;
+    const unsigned frames = 6 * scale;
+
+    Workload wl;
+    wl.name = "PTF";
+    wl.fullName = "Particle Filter";
+    wl.kernel = "particleFilter";
+
+    Rng rng(0x97f1);
+    std::vector<double> x(num_particles), noise(num_particles * frames);
+    for (auto &v : x)
+        v = rng.uniform() * 4.0 - 2.0;
+    for (auto &v : noise)
+        v = rng.uniform() * 0.5 - 0.25;
+    std::vector<double> meas(frames);
+    for (unsigned f = 0; f < frames; f++)
+        meas[f] = double(f) * 0.1;
+    pokeDoubles(wl.initialMemory, X_BASE, x);
+    pokeDoubles(wl.initialMemory, NOISE_BASE, noise);
+
+    // --- Reference model ------------------------------------------------------
+    std::vector<double> xref = x, est_ref(frames);
+    for (unsigned f = 0; f < frames; f++) {
+        std::vector<double> w(num_particles);
+        double wsum = 0.0;
+        for (unsigned p = 0; p < num_particles; p++) {
+            xref[p] += noise[f * num_particles + p];
+            double d = xref[p] - meas[f];
+            w[p] = 1.0 / (1.0 + d * d);     // rational likelihood
+            wsum += w[p];
+        }
+        double estimate = 0.0;
+        for (unsigned p = 0; p < num_particles; p++) {
+            w[p] /= wsum;
+            estimate += xref[p] * w[p];
+        }
+        est_ref[f] = estimate;
+    }
+
+    // --- Program ---------------------------------------------------------------
+    using isa::fpReg;
+    using isa::intReg;
+    isa::ProgramBuilder b("ptf");
+    const auto f = intReg(1), nf = intReg(2), p = intReg(3),
+               np = intReg(4), xp = intReg(5), wp = intReg(6),
+               npz = intReg(7), ep = intReg(8), measp = intReg(9);
+    const auto xv = fpReg(1), nv = fpReg(2), d = fpReg(3), wv = fpReg(4),
+               wsum = fpReg(5), mv = fpReg(6), one = fpReg(10),
+               estv = fpReg(7), step = fpReg(11);
+
+    b.movi(nf, frames);
+    b.movi(np, num_particles);
+    b.fmovi(one, 1.0);
+    b.fmovi(step, 0.1);
+    b.movi(f, 0);
+    b.movi(npz, NOISE_BASE);
+    b.movi(ep, EST_BASE);
+    b.fmovi(mv, 0.0);                   // measurement accumulator
+
+    b.label("frame");
+    // Propagate + weigh.
+    b.fmovi(wsum, 0.0);
+    b.movi(p, 0);
+    b.movi(xp, X_BASE);
+    b.movi(wp, W_BASE);
+    b.label("weigh");
+    b.fld(xv, xp, 0);
+    b.fld(nv, npz, 0);
+    b.fadd(xv, xv, nv);
+    b.fst(xp, xv, 0);
+    b.fsub(d, xv, mv);
+    b.fmul(d, d, d);
+    b.fadd(d, d, one);
+    b.fdiv(wv, one, d);
+    b.fst(wp, wv, 0);
+    b.fadd(wsum, wsum, wv);
+    b.addi(xp, xp, 8);
+    b.addi(wp, wp, 8);
+    b.addi(npz, npz, 8);
+    b.addi(p, p, 1);
+    b.blt(p, np, "weigh");
+
+    // Normalize + estimate.
+    b.fmovi(estv, 0.0);
+    b.movi(p, 0);
+    b.movi(xp, X_BASE);
+    b.movi(wp, W_BASE);
+    b.label("norm");
+    b.fld(wv, wp, 0);
+    b.fdiv(wv, wv, wsum);
+    b.fst(wp, wv, 0);
+    b.fld(xv, xp, 0);
+    b.fmul(xv, xv, wv);
+    b.fadd(estv, estv, xv);
+    b.addi(xp, xp, 8);
+    b.addi(wp, wp, 8);
+    b.addi(p, p, 1);
+    b.blt(p, np, "norm");
+
+    b.fst(ep, estv, 0);
+    b.addi(ep, ep, 8);
+    b.fadd(mv, mv, step);               // meas[f] = 0.1 * f
+    b.addi(f, f, 1);
+    b.blt(f, nf, "frame");
+    b.halt();
+    wl.program = b.build();
+
+    wl.validate = [est_ref, frames](const mem::FunctionalMemory &m) {
+        return nearlyEqual(peekDoubles(m, EST_BASE, frames), est_ref, 1e-9);
+    };
+    return wl;
+}
+
+} // namespace dynaspam::workloads

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Workload registry and shared helpers.
+ */
+
+#include "workloads/workload.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace dynaspam::workloads
+{
+
+const std::vector<std::string> &
+allWorkloadNames()
+{
+    static const std::vector<std::string> names = {
+        "BP", "BFS", "BT", "HS", "KM", "LD", "KNN", "NW", "PF", "PTF",
+        "SRAD",
+    };
+    return names;
+}
+
+Workload
+makeWorkload(const std::string &name, unsigned scale)
+{
+    if (name == "BP")
+        return makeBp(scale);
+    if (name == "BFS")
+        return makeBfs(scale);
+    if (name == "BT")
+        return makeBt(scale);
+    if (name == "HS")
+        return makeHs(scale);
+    if (name == "KM")
+        return makeKm(scale);
+    if (name == "LD")
+        return makeLd(scale);
+    if (name == "KNN")
+        return makeKnn(scale);
+    if (name == "NW")
+        return makeNw(scale);
+    if (name == "PF")
+        return makePf(scale);
+    if (name == "PTF")
+        return makePtf(scale);
+    if (name == "SRAD")
+        return makeSrad(scale);
+    fatal("unknown workload '", name, "'");
+}
+
+bool
+nearlyEqual(const std::vector<double> &a, const std::vector<double> &b,
+            double tolerance)
+{
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t i = 0; i < a.size(); i++) {
+        double diff = std::fabs(a[i] - b[i]);
+        double mag = std::fmax(std::fabs(a[i]), std::fabs(b[i]));
+        if (diff > tolerance * std::fmax(1.0, mag))
+            return false;
+    }
+    return true;
+}
+
+} // namespace dynaspam::workloads

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * SRAD — Speckle Reducing Anisotropic Diffusion (mirrors Rodinia srad,
+ * main kernel).
+ *
+ * Structure mirrored: the two-sweep PDE update over an image — first
+ * compute per-pixel gradients, Laplacian and the diffusion coefficient
+ * c = 1/(1+q) (division-heavy), then apply the diffusion update from the
+ * neighbouring coefficients. High memory-instruction fraction plus FP
+ * divides: the second benchmark the paper reports slowing down without
+ * memory speculation.
+ */
+
+#include "workloads/workload.hh"
+
+#include "common/random.hh"
+
+namespace dynaspam::workloads
+{
+
+namespace
+{
+
+constexpr Addr IMG_BASE = 0x100000;
+constexpr Addr C_BASE = 0x400000;
+
+} // namespace
+
+Workload
+makeSrad(unsigned scale)
+{
+    const unsigned dim = 48;
+    const unsigned iters = 2 * scale;
+    const double lambda = 0.1;
+
+    Workload wl;
+    wl.name = "SRAD";
+    wl.fullName = "SRAD";
+    wl.kernel = "main";
+
+    Rng rng(0x57ad);
+    std::vector<double> img(std::size_t(dim) * dim);
+    for (auto &v : img)
+        v = 1.0 + rng.uniform() * 4.0;
+    pokeDoubles(wl.initialMemory, IMG_BASE, img);
+
+    // --- Reference model -----------------------------------------------------
+    std::vector<double> iref = img, cref(std::size_t(dim) * dim, 0.0);
+    for (unsigned it = 0; it < iters; it++) {
+        for (unsigned i = 1; i + 1 < dim; i++) {
+            for (unsigned j = 1; j + 1 < dim; j++) {
+                std::size_t k = std::size_t(i) * dim + j;
+                double c0 = iref[k];
+                double dn = iref[k - dim] - c0;
+                double ds = iref[k + dim] - c0;
+                double dw = iref[k - 1] - c0;
+                double de = iref[k + 1] - c0;
+                double g2 = (dn * dn + ds * ds + dw * dw + de * de) /
+                            (c0 * c0);
+                cref[k] = 1.0 / (1.0 + g2);
+            }
+        }
+        for (unsigned i = 1; i + 1 < dim; i++) {
+            for (unsigned j = 1; j + 1 < dim; j++) {
+                std::size_t k = std::size_t(i) * dim + j;
+                double c0 = iref[k];
+                double div = cref[k] * (iref[k - dim] - c0) +
+                             cref[k] * (iref[k + dim] - c0) +
+                             cref[k] * (iref[k - 1] - c0) +
+                             cref[k] * (iref[k + 1] - c0);
+                iref[k] = c0 + lambda * div;
+            }
+        }
+    }
+
+    // --- Program ----------------------------------------------------------------
+    using isa::fpReg;
+    using isa::intReg;
+    isa::ProgramBuilder b("srad");
+    const auto it = intReg(1), niters = intReg(2), i = intReg(3),
+               j = intReg(4), lim = intReg(5), ip = intReg(6),
+               cp = intReg(7), rowb = intReg(8), tmp = intReg(9);
+    const auto c0 = fpReg(1), dn = fpReg(2), ds = fpReg(3), dw = fpReg(4),
+               de = fpReg(5), g2 = fpReg(6), cv = fpReg(7), one = fpReg(10),
+               lam = fpReg(11), acc = fpReg(8);
+    const std::int64_t row_bytes = std::int64_t(dim) * 8;
+
+    b.movi(niters, iters);
+    b.movi(lim, dim - 1);
+    b.fmovi(one, 1.0);
+    b.fmovi(lam, lambda);
+    b.movi(it, 0);
+
+    b.label("iter");
+
+    // Sweep 1: diffusion coefficients.
+    b.movi(i, 1);
+    b.label("c_row");
+    b.movi(tmp, std::int64_t(dim));
+    b.mul(rowb, i, tmp);
+    b.addi(rowb, rowb, 1);
+    b.shli(rowb, rowb, 3);
+    b.movi(ip, IMG_BASE);
+    b.add(ip, ip, rowb);
+    b.movi(cp, C_BASE);
+    b.add(cp, cp, rowb);
+    b.movi(j, 1);
+    b.label("c_col");
+    b.fld(c0, ip, 0);
+    b.fld(dn, ip, -row_bytes);
+    b.fsub(dn, dn, c0);
+    b.fld(ds, ip, row_bytes);
+    b.fsub(ds, ds, c0);
+    b.fld(dw, ip, -8);
+    b.fsub(dw, dw, c0);
+    b.fld(de, ip, 8);
+    b.fsub(de, de, c0);
+    b.fmul(dn, dn, dn);
+    b.fmul(ds, ds, ds);
+    b.fmul(dw, dw, dw);
+    b.fmul(de, de, de);
+    b.fadd(g2, dn, ds);
+    b.fadd(g2, g2, dw);
+    b.fadd(g2, g2, de);
+    b.fmul(acc, c0, c0);
+    b.fdiv(g2, g2, acc);
+    b.fadd(g2, g2, one);
+    b.fdiv(cv, one, g2);
+    b.fst(cp, cv, 0);
+    b.addi(ip, ip, 8);
+    b.addi(cp, cp, 8);
+    b.addi(j, j, 1);
+    b.blt(j, lim, "c_col");
+    b.addi(i, i, 1);
+    b.blt(i, lim, "c_row");
+
+    // Sweep 2: diffusion update.
+    b.movi(i, 1);
+    b.label("u_row");
+    b.movi(tmp, std::int64_t(dim));
+    b.mul(rowb, i, tmp);
+    b.addi(rowb, rowb, 1);
+    b.shli(rowb, rowb, 3);
+    b.movi(ip, IMG_BASE);
+    b.add(ip, ip, rowb);
+    b.movi(cp, C_BASE);
+    b.add(cp, cp, rowb);
+    b.movi(j, 1);
+    b.label("u_col");
+    b.fld(c0, ip, 0);
+    b.fld(cv, cp, 0);
+    b.fld(dn, ip, -row_bytes);
+    b.fsub(dn, dn, c0);
+    b.fld(ds, ip, row_bytes);
+    b.fsub(ds, ds, c0);
+    b.fadd(acc, dn, ds);
+    b.fld(dw, ip, -8);
+    b.fsub(dw, dw, c0);
+    b.fadd(acc, acc, dw);
+    b.fld(de, ip, 8);
+    b.fsub(de, de, c0);
+    b.fadd(acc, acc, de);
+    b.fmul(acc, acc, cv);
+    b.fmul(acc, acc, lam);
+    b.fadd(c0, c0, acc);
+    b.fst(ip, c0, 0);
+    b.addi(ip, ip, 8);
+    b.addi(cp, cp, 8);
+    b.addi(j, j, 1);
+    b.blt(j, lim, "u_col");
+    b.addi(i, i, 1);
+    b.blt(i, lim, "u_row");
+
+    b.addi(it, it, 1);
+    b.blt(it, niters, "iter");
+    b.halt();
+    wl.program = b.build();
+
+    wl.validate = [iref, dim](const mem::FunctionalMemory &m) {
+        auto got = peekDoubles(m, IMG_BASE, std::size_t(dim) * dim);
+        return nearlyEqual(got, iref, 1e-8);
+    };
+    return wl;
+}
+
+} // namespace dynaspam::workloads

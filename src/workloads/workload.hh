@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Workload interface: the 11 Rodinia-mirroring kernels of Table 3.
+ *
+ * Each workload provides a micro-ISA program, pre-initialized data
+ * memory, and a golden-model validator that checks the program's outputs
+ * against a C++ reference computation. The kernels mirror the *structure*
+ * of the corresponding Rodinia kernels — loop nests, data-access
+ * patterns, branch behaviour and operation mix — which is what drives
+ * trace detection, mapping quality and speedup shape; see DESIGN.md.
+ */
+
+#ifndef DYNASPAM_WORKLOADS_WORKLOAD_HH
+#define DYNASPAM_WORKLOADS_WORKLOAD_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "isa/program.hh"
+#include "memory/functional_mem.hh"
+
+namespace dynaspam::workloads
+{
+
+/** A runnable benchmark kernel. */
+struct Workload
+{
+    std::string name;           ///< short tag (BP, BFS, ...)
+    std::string fullName;       ///< Rodinia benchmark it mirrors
+    std::string kernel;         ///< Rodinia kernel function it mirrors
+    isa::Program program;
+    mem::FunctionalMemory initialMemory;
+
+    /**
+     * Golden-model check: inspects the final data memory after a
+     * functional run and returns true when outputs match the reference.
+     */
+    std::function<bool(const mem::FunctionalMemory &)> validate;
+};
+
+/**
+ * Factory functions, one per benchmark. @p scale grows the problem size
+ * roughly linearly in dynamic instruction count (scale 1 runs a few
+ * hundred thousand instructions).
+ */
+Workload makeBp(unsigned scale = 1);    ///< Back Propagation
+Workload makeBfs(unsigned scale = 1);   ///< Breadth-First Search
+Workload makeBt(unsigned scale = 1);    ///< B+ Tree search
+Workload makeHs(unsigned scale = 1);    ///< Hotspot stencil
+Workload makeKm(unsigned scale = 1);    ///< Kmeans clustering
+Workload makeLd(unsigned scale = 1);    ///< LU Decomposition
+Workload makeKnn(unsigned scale = 1);   ///< K-Nearest Neighbors
+Workload makeNw(unsigned scale = 1);    ///< Needleman-Wunsch
+Workload makePf(unsigned scale = 1);    ///< PathFinder
+Workload makePtf(unsigned scale = 1);   ///< Particle Filter
+Workload makeSrad(unsigned scale = 1);  ///< SRAD diffusion
+
+/** The 11 benchmark tags in the paper's Table 3 order. */
+const std::vector<std::string> &allWorkloadNames();
+
+/** Build a workload by tag. @throws FatalError on unknown tag. */
+Workload makeWorkload(const std::string &name, unsigned scale = 1);
+
+// --- Data-memory helpers for generators and validators ------------------
+
+/** Write an array of doubles starting at @p base (8 bytes per element). */
+inline void
+pokeDoubles(mem::FunctionalMemory &memory, Addr base,
+            const std::vector<double> &values)
+{
+    for (std::size_t i = 0; i < values.size(); i++)
+        memory.writeDouble(base + 8 * i, values[i]);
+}
+
+/** Write an array of 64-bit integers starting at @p base. */
+inline void
+pokeInts(mem::FunctionalMemory &memory, Addr base,
+         const std::vector<std::int64_t> &values)
+{
+    for (std::size_t i = 0; i < values.size(); i++)
+        memory.write64(base + 8 * i, std::uint64_t(values[i]));
+}
+
+/** Read back @p count doubles from @p base. */
+inline std::vector<double>
+peekDoubles(const mem::FunctionalMemory &memory, Addr base,
+            std::size_t count)
+{
+    std::vector<double> out(count);
+    for (std::size_t i = 0; i < count; i++)
+        out[i] = memory.readDouble(base + 8 * i);
+    return out;
+}
+
+/** Read back @p count 64-bit integers from @p base. */
+inline std::vector<std::int64_t>
+peekInts(const mem::FunctionalMemory &memory, Addr base, std::size_t count)
+{
+    std::vector<std::int64_t> out(count);
+    for (std::size_t i = 0; i < count; i++)
+        out[i] = std::int64_t(memory.read64(base + 8 * i));
+    return out;
+}
+
+/** Compare double arrays within a tolerance. */
+bool nearlyEqual(const std::vector<double> &a, const std::vector<double> &b,
+                 double tolerance = 1e-9);
+
+} // namespace dynaspam::workloads
+
+#endif // DYNASPAM_WORKLOADS_WORKLOAD_HH

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Unit tests for the common module: stats, histogram, RNG, logging.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "common/stats.hh"
+
+using namespace dynaspam;
+
+TEST(StatCounter, StartsAtZeroAndIncrements)
+{
+    StatCounter c("c");
+    EXPECT_EQ(c.value(), 0u);
+    c.inc();
+    c.inc(41);
+    EXPECT_EQ(c.value(), 42u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(StatAccum, AccumulatesDoubles)
+{
+    StatAccum a("a");
+    a.add(1.5);
+    a.add(2.25);
+    EXPECT_DOUBLE_EQ(a.value(), 3.75);
+}
+
+TEST(StatRegistry, CounterIsSharedByName)
+{
+    StatRegistry reg;
+    reg.counter("x").inc(3);
+    reg.counter("x").inc(4);
+    EXPECT_EQ(reg.get("x"), 7u);
+    EXPECT_EQ(reg.get("missing"), 0u);
+}
+
+TEST(StatRegistry, ResetAllClearsEverything)
+{
+    StatRegistry reg;
+    reg.counter("x").inc(3);
+    reg.accum("e").add(1.0);
+    reg.resetAll();
+    EXPECT_EQ(reg.get("x"), 0u);
+    EXPECT_DOUBLE_EQ(reg.getAccum("e"), 0.0);
+}
+
+TEST(Histogram, BucketsAndOverflow)
+{
+    Histogram h("h", 10, 4);   // buckets [0,10) [10,20) [20,30) [30,40)
+    h.sample(0);
+    h.sample(9);
+    h.sample(10);
+    h.sample(35);
+    h.sample(100);             // overflow
+    EXPECT_EQ(h.samples(), 5u);
+    EXPECT_EQ(h.bucket(0), 2u);
+    EXPECT_EQ(h.bucket(1), 1u);
+    EXPECT_EQ(h.bucket(2), 0u);
+    EXPECT_EQ(h.bucket(3), 1u);
+    EXPECT_EQ(h.overflowCount(), 1u);
+    EXPECT_DOUBLE_EQ(h.mean(), (0 + 9 + 10 + 35 + 100) / 5.0);
+}
+
+TEST(Geomean, MatchesHandComputedValue)
+{
+    // geomean(2, 8) = 4
+    EXPECT_NEAR(geomean({2.0, 8.0}), 4.0, 1e-12);
+    EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+    EXPECT_NEAR(geomean({1.0, 1.0, 1.0}), 1.0, 1e-12);
+}
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; i++)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; i++)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(7);
+    double sum = 0;
+    for (int i = 0; i < 10000; i++) {
+        double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, BelowRespectsBound)
+{
+    Rng rng(9);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; i++) {
+        auto v = rng.below(7);
+        ASSERT_LT(v, 7u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 7u);  // all residues hit
+}
+
+TEST(Logging, FatalThrowsFatalError)
+{
+    EXPECT_THROW(fatal("bad config value ", 42), FatalError);
+    try {
+        fatal("x=", 1, " y=", 2);
+    } catch (const FatalError &e) {
+        EXPECT_STREQ(e.what(), "x=1 y=2");
+    }
+}

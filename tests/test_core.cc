@@ -1,0 +1,422 @@
+/**
+ * @file
+ * Unit tests for the DynaSpAM core: T-Cache, configuration cache,
+ * predicted-path walker and mapping session.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/configcache.hh"
+#include "core/session.hh"
+#include "core/tcache.hh"
+#include "core/walker.hh"
+#include "isa/executor.hh"
+#include "isa/program.hh"
+#include "memory/functional_mem.hh"
+#include "ooo/bpred.hh"
+
+using namespace dynaspam;
+using namespace dynaspam::core;
+using isa::intReg;
+
+// --- T-Cache ---------------------------------------------------------------
+
+TEST(TCache, ColdTracesAreNotHot)
+{
+    TCache tc;
+    EXPECT_FALSE(tc.isHot(makeTraceKey(10, true, true, false)));
+}
+
+TEST(TCache, RepeatedTripleBecomesHot)
+{
+    TCacheParams params;
+    params.hotThreshold = 4;
+    TCache tc(params);
+
+    // Same three branches committing repeatedly (a loop with 3 branches).
+    for (int i = 0; i < 10; i++) {
+        tc.commitBranch(10, true);
+        tc.commitBranch(20, false);
+        tc.commitBranch(30, true);
+    }
+    // Sliding window: one of the trained keys is (10, T, F, T).
+    EXPECT_TRUE(tc.isHot(makeTraceKey(10, true, false, true)));
+}
+
+TEST(TCache, DifferentOutcomesAreDifferentTraces)
+{
+    TCacheParams params;
+    params.hotThreshold = 4;
+    TCache tc(params);
+    for (int i = 0; i < 10; i++) {
+        tc.commitBranch(10, true);
+        tc.commitBranch(20, false);
+        tc.commitBranch(30, true);
+    }
+    EXPECT_FALSE(tc.isHot(makeTraceKey(10, false, false, true)));
+    EXPECT_FALSE(tc.isHot(makeTraceKey(10, true, true, true)));
+}
+
+TEST(TCache, PeriodicClearingResetsHotness)
+{
+    TCacheParams params;
+    params.hotThreshold = 4;
+    params.clearInterval = 50;
+    TCache tc(params);
+    for (int i = 0; i < 10; i++) {
+        tc.commitBranch(10, true);
+        tc.commitBranch(20, false);
+        tc.commitBranch(30, true);
+    }
+    ASSERT_TRUE(tc.isHot(makeTraceKey(10, true, false, true)));
+    // Push enough unrelated commits to cross the clear interval.
+    for (int i = 0; i < 60; i++)
+        tc.commitBranch(100 + i, i % 2 == 0);
+    EXPECT_FALSE(tc.isHot(makeTraceKey(10, true, false, true)));
+    EXPECT_GE(tc.clears(), 1u);
+}
+
+TEST(TCache, BadThresholdIsFatal)
+{
+    TCacheParams params;
+    params.counterBits = 2;
+    params.hotThreshold = 10;   // > 2-bit max
+    EXPECT_THROW(TCache{params}, FatalError);
+}
+
+// --- Configuration cache ----------------------------------------------------
+
+namespace
+{
+
+fabric::FabricConfig
+dummyConfig(std::uint64_t key)
+{
+    fabric::FabricConfig config;
+    config.key = key;
+    config.numRecords = 4;
+    fabric::MappedInst mi;
+    mi.pc = 1;
+    config.insts.push_back(mi);
+    config.stripesUsed = 1;
+    return config;
+}
+
+} // namespace
+
+TEST(ConfigCache, InsertAndFind)
+{
+    ConfigCache cc;
+    EXPECT_EQ(cc.find(42), nullptr);
+    cc.insert(42, dummyConfig(42));
+    ASSERT_NE(cc.find(42), nullptr);
+    EXPECT_EQ(cc.find(42)->key, 42u);
+}
+
+TEST(ConfigCache, CounterGatesOffload)
+{
+    ConfigCacheParams params;
+    params.offloadThreshold = 4;
+    ConfigCache cc(params);
+    cc.insert(42, dummyConfig(42));
+    EXPECT_FALSE(cc.readyToOffload(42));
+    EXPECT_FALSE(cc.recordPrediction(42));  // 1
+    EXPECT_FALSE(cc.recordPrediction(42));  // 2
+    EXPECT_FALSE(cc.recordPrediction(42));  // 3
+    EXPECT_TRUE(cc.recordPrediction(42));   // 4 -> threshold
+    EXPECT_TRUE(cc.readyToOffload(42));
+}
+
+TEST(ConfigCache, DirectMappedEviction)
+{
+    ConfigCacheParams params;
+    params.entries = 4;
+    ConfigCache cc(params);
+    cc.insert(1, dummyConfig(1));
+    // A colliding key evicts: with 4 entries, keys mapping to the same
+    // index collide. Find one.
+    std::uint64_t other = 1;
+    for (std::uint64_t k = 2; k < 200; k++) {
+        cc.insert(k, dummyConfig(k));
+        if (cc.find(1) == nullptr) {
+            other = k;
+            break;
+        }
+    }
+    ASSERT_NE(other, 1u) << "expected some key to collide with key 1";
+    EXPECT_NE(cc.find(other), nullptr);
+    EXPECT_GE(cc.evictions(), 1u);
+}
+
+TEST(ConfigCache, PredictionOnMissingKeyIsFalse)
+{
+    ConfigCache cc;
+    EXPECT_FALSE(cc.recordPrediction(999));
+}
+
+// --- Walker -----------------------------------------------------------------
+
+namespace
+{
+
+/** Loop with 3 conditional branches per iteration. */
+isa::Program
+threeBranchLoop()
+{
+    isa::ProgramBuilder b("walk3");
+    b.movi(intReg(1), 0);        // i
+    b.movi(intReg(2), 100);      // trips
+    b.movi(intReg(7), 0);        // zero
+    b.label("head");
+    b.addi(intReg(3), intReg(1), 0);
+    b.beq(intReg(7), intReg(2), "head2");   // never taken (r7=0,r2=100)
+    b.addi(intReg(4), intReg(3), 1);
+    b.label("head2");
+    b.beq(intReg(7), intReg(2), "head3");   // never taken
+    b.addi(intReg(5), intReg(4), 1);
+    b.label("head3");
+    b.addi(intReg(1), intReg(1), 1);
+    b.blt(intReg(1), intReg(2), "head");    // taken until the end
+    b.halt();
+    return b.build();
+}
+
+/** Train the predictor so that the loop path predicts correctly. */
+void
+trainPredictor(const isa::Program &prog, ooo::BranchPredictor &bp,
+               int iterations = 50)
+{
+    mem::FunctionalMemory memory;
+    isa::DynamicTrace trace(prog);
+    isa::Executor::run(prog, memory, &trace);
+    int seen = 0;
+    for (SeqNum i = 0; i < trace.size() && seen < iterations * 3; i++) {
+        const auto &rec = trace[i];
+        const auto &inst = prog.inst(rec.pc);
+        if (inst.isCondBranch()) {
+            auto pred = bp.predict(rec.pc, inst);
+            bool wrong = pred.taken != rec.taken;
+            bp.update(rec.pc, inst, rec.taken, rec.nextPc, wrong);
+            seen++;
+        }
+    }
+}
+
+} // namespace
+
+TEST(Walker, FollowsTrainedLoopPath)
+{
+    isa::Program prog = threeBranchLoop();
+    ooo::BranchPredictor bp;
+    trainPredictor(prog, bp);
+
+    // Anchor at the first branch of the loop body (pc 4: the first beq).
+    TraceWalk walk = walkPredictedPath(prog, bp, 4, 32);
+    ASSERT_TRUE(walk.valid);
+    EXPECT_EQ(walk.pcs.front(), 4u);
+    EXPECT_EQ(walk.numCondBranches, 3u);
+    // Extent: branch1(4), add(5), branch2(6), add(7), addi(8), blt(9),
+    // then next iteration up to (not including) the 4th branch at pc 4:
+    // addi(3) ... wait, next iteration starts at head (pc 3).
+    // The 4th conditional branch ends the extent.
+    for (std::size_t i = 1; i < walk.pcs.size(); i++)
+        EXPECT_NE(walk.pcs[i], walk.pcs.front())
+            << "extent must stop before the anchor branch repeats";
+    // Key encodes predicted outcomes (not-taken, not-taken, taken).
+    EXPECT_EQ(walk.key, makeTraceKey(4, false, false, true));
+}
+
+TEST(Walker, InvalidAnchorsRejected)
+{
+    isa::Program prog = threeBranchLoop();
+    ooo::BranchPredictor bp;
+    EXPECT_FALSE(walkPredictedPath(prog, bp, 0, 32).valid);   // movi
+    EXPECT_FALSE(walkPredictedPath(prog, bp, 9999, 32).valid);
+}
+
+TEST(Walker, HaltInsidePathInvalidatesTrace)
+{
+    isa::ProgramBuilder b("halts");
+    b.movi(intReg(1), 0);
+    b.movi(intReg(2), 10);
+    b.label("head");
+    b.blt(intReg(1), intReg(2), "head2");  // cond branch anchor
+    b.label("head2");
+    b.halt();
+    isa::Program prog = b.build();
+    ooo::BranchPredictor bp;
+    EXPECT_FALSE(walkPredictedPath(prog, bp, 2, 32).valid);
+}
+
+TEST(Walker, RespectsLengthCap)
+{
+    // Loop body much longer than the cap.
+    isa::ProgramBuilder b("long");
+    b.movi(intReg(1), 0);
+    b.movi(intReg(2), 50);
+    b.label("head");
+    b.beq(intReg(1), intReg(2), "out");     // branch 1 (not taken)
+    for (int i = 0; i < 60; i++)
+        b.addi(intReg(3 + (i % 8)), intReg(3 + ((i + 1) % 8)), 1);
+    b.beq(intReg(1), intReg(2), "out");     // branch 2
+    b.addi(intReg(1), intReg(1), 1);
+    b.blt(intReg(1), intReg(2), "head");    // branch 3
+    b.label("out");
+    b.halt();
+    isa::Program prog = b.build();
+
+    ooo::BranchPredictor bp;
+    trainPredictor(prog, bp, 30);
+    TraceWalk walk = walkPredictedPath(prog, bp, 2, 32);
+    if (walk.valid)
+        EXPECT_LE(walk.pcs.size(), 32u);
+}
+
+// --- Mapping session ---------------------------------------------------------
+
+namespace
+{
+
+/** Make a DynInst sufficient for session calls. */
+ooo::DynInst
+makeDyn(SeqNum trace_idx, const isa::StaticInst *inst, RegIndex s1p,
+        RegIndex s2p, RegIndex dp)
+{
+    ooo::DynInst d;
+    d.traceIdx = trace_idx;
+    d.inst = inst;
+    d.pc = 0;
+    d.src1Phys = s1p;
+    d.src2Phys = s2p;
+    d.destPhys = dp;
+    d.mappingInst = true;
+    return d;
+}
+
+} // namespace
+
+class MappingSessionTest : public ::testing::Test
+{
+  protected:
+    MappingSessionTest() : session(params, 100, 4, 0xabc)
+    {
+        // Static insts for the session to inspect (arch regs).
+        add1.op = isa::Opcode::ADD;
+        add1.dest = intReg(3);
+        add1.src1 = intReg(1);
+        add1.src2 = intReg(2);
+        add2 = add1;
+        add2.dest = intReg(4);
+        add2.src1 = intReg(3);
+        add2.src2 = intReg(1);
+    }
+
+    fabric::FabricParams params;
+    MappingSession session;
+    isa::StaticInst add1, add2;
+};
+
+TEST_F(MappingSessionTest, TwoLiveInsScoreThreeOnFirstStripe)
+{
+    auto d = makeDyn(100, &add1, 200, 201, 210);
+    EXPECT_EQ(session.priorityScore(0, d), 3);
+}
+
+TEST_F(MappingSessionTest, TwoLiveInsInfeasibleBeyondFirstStripe)
+{
+    auto d0 = makeDyn(100, &add1, 200, 201, 210);
+    session.recordSelection(0, d0, 100);
+    session.advanceFrontier();  // frontier now stripe 1
+    auto d1 = makeDyn(101, &add2, 202, 203, 211);
+    EXPECT_EQ(session.priorityScore(1, d1), -1)
+        << "two live-ins need two input ports, only stripe 0 has them";
+}
+
+TEST_F(MappingSessionTest, ReuseFromPassRegistersScoresTwo)
+{
+    // Producer on stripe 0 writes phys 210; after advance, a consumer
+    // reading phys 210 twice gets full reuse (priority 2).
+    auto producer = makeDyn(100, &add1, 200, 201, 210);
+    session.recordSelection(0, producer, 100);
+    session.advanceFrontier();
+
+    isa::StaticInst use;
+    use.op = isa::Opcode::ADD;
+    use.dest = intReg(5);
+    use.src1 = intReg(3);
+    use.src2 = intReg(3);
+    auto consumer = makeDyn(101, &use, 210, 210, 211);
+    EXPECT_EQ(session.priorityScore(0, consumer), 2);
+}
+
+TEST_F(MappingSessionTest, MixedReuseAndLiveInScoresOne)
+{
+    auto producer = makeDyn(100, &add1, 200, 201, 210);
+    session.recordSelection(0, producer, 100);
+    session.advanceFrontier();
+
+    // One operand from pass regs (210), one live-in (299).
+    auto consumer = makeDyn(101, &add2, 210, 299, 211);
+    EXPECT_EQ(session.priorityScore(0, consumer), 1);
+}
+
+TEST_F(MappingSessionTest, AllocatedPeIsVetoed)
+{
+    auto d = makeDyn(100, &add1, 200, 201, 210);
+    session.recordSelection(0, d, 100);
+    auto d2 = makeDyn(101, &add2, 202, 203, 211);
+    EXPECT_EQ(session.priorityScore(0, d2), -1);
+    EXPECT_GE(session.priorityScore(1, d2), 0);
+}
+
+TEST_F(MappingSessionTest, SameStripeProducerIsInfeasible)
+{
+    auto producer = makeDyn(100, &add1, 200, 201, 210);
+    session.recordSelection(0, producer, 100);
+    // Consumer of phys 210 while frontier is still stripe 0.
+    auto consumer = makeDyn(101, &add2, 210, 200, 211);
+    EXPECT_EQ(session.priorityScore(1, consumer), -1)
+        << "intra-stripe communication is not possible";
+}
+
+TEST_F(MappingSessionTest, FrontierOverrunFailsSchedule)
+{
+    for (unsigned i = 0; i <= params.numStripes; i++)
+        session.advanceFrontier();
+    EXPECT_TRUE(session.failed());
+    // After failure the session scores everything neutrally.
+    auto d = makeDyn(100, &add1, 200, 201, 210);
+    EXPECT_EQ(session.priorityScore(0, d), 0);
+}
+
+TEST_F(MappingSessionTest, BuildConfigRequiresAllPlacements)
+{
+    mem::FunctionalMemory memory;
+    isa::ProgramBuilder b;
+    b.movi(intReg(1), 1);
+    b.halt();
+    isa::Program prog = b.build();
+    isa::DynamicTrace trace(prog);
+    isa::Executor::run(prog, memory, &trace);
+
+    // Only 1 of 4 records placed: no config.
+    auto d = makeDyn(100, &add1, 200, 201, 210);
+    session.recordSelection(0, d, 100);
+    EXPECT_FALSE(session.buildConfig(trace).has_value());
+}
+
+TEST_F(MappingSessionTest, RoutedOperandCountsHops)
+{
+    // Producer at stripe 0; consumer at stripe 3 after value propagation
+    // stops covering it... Force routing by killing propagation: values
+    // propagate automatically, so route distance shows as reuse instead.
+    // Here we verify the hop statistic stays zero under pure reuse.
+    auto producer = makeDyn(100, &add1, 200, 201, 210);
+    session.recordSelection(0, producer, 100);
+    session.advanceFrontier();
+    isa::StaticInst use = add2;
+    auto consumer = makeDyn(101, &use, 210, 299, 211);
+    session.recordSelection(0, consumer, 100);
+    EXPECT_EQ(session.totalHops(), 0u);
+    EXPECT_GE(session.reuseHits(), 1u);
+}

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Unit tests for the energy and area models.
+ */
+
+#include <gtest/gtest.h>
+
+#include "energy/area.hh"
+#include "energy/energy.hh"
+
+using namespace dynaspam;
+using namespace dynaspam::energy;
+
+namespace
+{
+
+ooo::PipelineStats
+somePipelineActivity()
+{
+    ooo::PipelineStats p;
+    p.cycles = 1000;
+    p.fetchedInsts = 800;
+    p.renamedInsts = 780;
+    p.dispatchedInsts = 780;
+    p.issuedInsts = 760;
+    p.committedInsts = 750;
+    p.regReads = 1400;
+    p.regWrites = 700;
+    p.bypasses = 300;
+    p.iqWakeups = 5000;
+    p.robWrites = 780;
+    p.robReads = 750;
+    p.fuOps[unsigned(isa::FuType::IntAlu)] = 400;
+    p.fuOps[unsigned(isa::FuType::FpAlu)] = 200;
+    p.fuOps[unsigned(isa::FuType::Ldst)] = 160;
+    return p;
+}
+
+} // namespace
+
+TEST(EnergyModel, AllComponentsPresent)
+{
+    EnergyModel model;
+    MemoryEvents memory;
+    memory.l1iAccesses = 100;
+    memory.l1dAccesses = 160;
+    auto breakdown = model.compute(somePipelineActivity(), memory);
+    for (const char *comp :
+         {"Fetch", "Rename", "InstSchedule", "Datapath", "ROB",
+          "Execution", "Memory", "Fabric", "ConfigCache", "Leakage"}) {
+        ASSERT_TRUE(breakdown.component.count(comp)) << comp;
+        EXPECT_GE(breakdown.component.at(comp), 0.0) << comp;
+    }
+    EXPECT_GT(breakdown.total(), 0.0);
+}
+
+TEST(EnergyModel, NoFabricEventsMeansNoFabricEnergy)
+{
+    EnergyModel model;
+    auto breakdown =
+        model.compute(somePipelineActivity(), MemoryEvents{});
+    EXPECT_DOUBLE_EQ(breakdown.component.at("Fabric"), 0.0);
+    EXPECT_DOUBLE_EQ(breakdown.component.at("ConfigCache"), 0.0);
+}
+
+TEST(EnergyModel, FabricEventsAddFabricEnergy)
+{
+    EnergyModel model;
+    FabricEvents fab;
+    fab.peOps = 500;
+    fab.hops = 50;
+    fab.fifoPushes = 100;
+    fab.busTransfers = 120;
+    auto with =
+        model.compute(somePipelineActivity(), MemoryEvents{}, fab);
+    EXPECT_GT(with.component.at("Fabric"), 0.0);
+}
+
+TEST(EnergyModel, DramAccessesDominateMemoryEnergy)
+{
+    EnergyModel model;
+    MemoryEvents cheap, pricey;
+    cheap.l1dAccesses = 1000;
+    pricey.l1dAccesses = 1000;
+    pricey.dramAccesses = 100;
+    auto a = model.compute(ooo::PipelineStats{}, cheap);
+    auto b = model.compute(ooo::PipelineStats{}, pricey);
+    EXPECT_GT(b.component.at("Memory"), 2.0 * a.component.at("Memory"));
+}
+
+TEST(EnergyModel, FpOpsCostMoreThanIntOps)
+{
+    EnergyModel model;
+    ooo::PipelineStats int_only, fp_only;
+    int_only.fuOps[unsigned(isa::FuType::IntAlu)] = 1000;
+    fp_only.fuOps[unsigned(isa::FuType::FpMulDiv)] = 1000;
+    auto a = model.compute(int_only, MemoryEvents{});
+    auto b = model.compute(fp_only, MemoryEvents{});
+    EXPECT_GT(b.component.at("Execution"), a.component.at("Execution"));
+}
+
+TEST(EnergyModel, LeakageScalesWithCycles)
+{
+    EnergyModel model;
+    ooo::PipelineStats p1, p2;
+    p1.cycles = 1000;
+    p2.cycles = 2000;
+    auto a = model.compute(p1, MemoryEvents{});
+    auto b = model.compute(p2, MemoryEvents{});
+    EXPECT_DOUBLE_EQ(b.component.at("Leakage"),
+                     2.0 * a.component.at("Leakage"));
+}
+
+// --- Area ----------------------------------------------------------------
+
+TEST(AreaModel, EightStripeFabricMatchesPaper)
+{
+    AreaParams areas;
+    fabric::FabricParams geometry;
+    auto report = computeFabricArea(areas, geometry, 8);
+    // The paper quotes ~2.9 mm^2 for the 8-stripe fabric.
+    EXPECT_GT(report.totalMm2(), 2.5);
+    EXPECT_LT(report.totalMm2(), 3.3);
+    EXPECT_DOUBLE_EQ(report.configCacheMm2, 0.003);
+}
+
+TEST(AreaModel, AreaScalesWithStripes)
+{
+    AreaParams areas;
+    fabric::FabricParams geometry;
+    auto a8 = computeFabricArea(areas, geometry, 8);
+    auto a16 = computeFabricArea(areas, geometry, 16);
+    EXPECT_NEAR(a16.fabricUm2, 2.0 * a8.fabricUm2, 1.0);
+    EXPECT_DOUBLE_EQ(a8.fifosUm2, a16.fifosUm2);   // FIFOs are shared
+}
+
+TEST(AreaModel, DatapathBlockComparableToIntAlu)
+{
+    // The paper's Table 6 observation: the datapath block is almost as
+    // large as an OpenSparc integer ALU.
+    AreaParams areas;
+    EXPECT_NEAR(areas.dataPath, areas.sparcExuAlu, 600.0);
+}
+
+TEST(AreaModel, FifoMuchSmallerThanFunctionalUnits)
+{
+    AreaParams areas;
+    EXPECT_LT(areas.fifo * 5, areas.sparcExuAlu);
+}

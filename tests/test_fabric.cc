@@ -1,0 +1,405 @@
+/**
+ * @file
+ * Unit tests for the spatial fabric: configuration, dataflow timing,
+ * routing latencies, back-to-back pipelining, memory ordering in both
+ * speculation modes, branch-mismatch squash, and snapshot rollback.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "fabric/fabric.hh"
+#include "isa/executor.hh"
+#include "isa/program.hh"
+#include "memory/cache.hh"
+#include "memory/functional_mem.hh"
+#include "ooo/storesets.hh"
+
+using namespace dynaspam;
+using namespace dynaspam::fabric;
+using isa::intReg;
+
+namespace
+{
+
+/** Test rig bundling the fabric's collaborators. */
+struct Rig
+{
+    mem::MemoryHierarchy hierarchy;
+    ooo::StoreSetPredictor storeSets;
+    FabricParams params;
+    std::unique_ptr<Fabric> fabric;
+
+    explicit Rig(bool speculation = true)
+    {
+        params.memorySpeculation = speculation;
+        fabric =
+            std::make_unique<Fabric>(params, hierarchy, storeSets);
+    }
+};
+
+/**
+ * Build a 4-instruction straight-line trace and a matching config:
+ *   [0] add r3 <- r1(live-in 0), r2(live-in 1)    stripe 0
+ *   [1] add r4 <- r3, r1(live-in 0)               stripe 1 (pass reg)
+ *   [2] add r5 <- r4, r4                          stripe 2 (pass reg)
+ *   [3] blt (expected taken)                      stripe 3
+ */
+struct SimpleTrace
+{
+    isa::Program prog;
+    std::unique_ptr<isa::DynamicTrace> trace;
+    std::shared_ptr<FabricConfig> config;
+
+    SimpleTrace(bool branch_taken = true)
+    {
+        isa::ProgramBuilder b("t");
+        b.label("head");
+        b.add(intReg(3), intReg(1), intReg(2));     // pc 0
+        b.add(intReg(4), intReg(3), intReg(1));     // pc 1
+        b.add(intReg(5), intReg(4), intReg(4));     // pc 2
+        b.blt(intReg(6), intReg(7), "head");        // pc 3
+        b.halt();                                   // pc 4
+        prog = b.build();
+
+        // Craft a 5-record oracle: one loop body then halt. Use the
+        // functional executor with registers preloaded through movi is
+        // overkill here; hand-build the records instead.
+        trace = std::make_unique<isa::DynamicTrace>(prog);
+        for (InstAddr pc = 0; pc < 4; pc++) {
+            isa::DynRecord rec;
+            rec.pc = pc;
+            rec.nextPc = pc + 1;
+            if (pc == 3) {
+                rec.taken = branch_taken;
+                rec.nextPc = branch_taken ? 0 : 4;
+            }
+            trace->append(rec);
+        }
+
+        config = std::make_shared<FabricConfig>();
+        config->key = 0x99;
+        config->numRecords = 4;
+        config->liveIns = {intReg(1), intReg(2)};
+
+        MappedInst m0;
+        m0.pc = 0;
+        m0.op = isa::Opcode::ADD;
+        m0.pe = {0, 0};
+        m0.src1 = {OperandRoute::Kind::LiveIn, 0xffff, 0, 0};
+        m0.src2 = {OperandRoute::Kind::LiveIn, 0xffff, 1, 0};
+        m0.destArch = intReg(3);
+
+        MappedInst m1;
+        m1.pc = 1;
+        m1.op = isa::Opcode::ADD;
+        m1.pe = {1, 0};
+        m1.src1 = {OperandRoute::Kind::PassReg, 0, 0, 0};
+        m1.src2 = {OperandRoute::Kind::LiveIn, 0xffff, 0, 0};
+        m1.destArch = intReg(4);
+
+        MappedInst m2;
+        m2.pc = 2;
+        m2.op = isa::Opcode::ADD;
+        m2.pe = {2, 0};
+        m2.src1 = {OperandRoute::Kind::PassReg, 1, 0, 0};
+        m2.src2 = {OperandRoute::Kind::PassReg, 1, 0, 0};
+        m2.destArch = intReg(5);
+
+        MappedInst m3;
+        m3.pc = 3;
+        m3.op = isa::Opcode::BLT;
+        m3.pe = {3, 0};
+        m3.isBranch = true;
+        m3.expectedTaken = true;
+
+        config->insts = {m0, m1, m2, m3};
+        config->liveOuts = {{intReg(3), 0}, {intReg(4), 1}, {intReg(5), 2}};
+        config->stripesUsed = 4;
+    }
+};
+
+} // namespace
+
+TEST(Fabric, ConfigureChargesPerStripeLatency)
+{
+    Rig rig;
+    SimpleTrace st;
+    Cycle ready = rig.fabric->configure(st.config, 100);
+    EXPECT_EQ(ready, 100 + 4 * rig.params.configureCyclesPerStripe);
+    EXPECT_TRUE(rig.fabric->hasConfig(0x99));
+    EXPECT_FALSE(rig.fabric->hasConfig(0x42));
+    EXPECT_TRUE(rig.fabric->configured());
+}
+
+TEST(Fabric, InvalidConfigIsFatal)
+{
+    Rig rig;
+    auto bad = std::make_shared<FabricConfig>();
+    EXPECT_THROW(rig.fabric->configure(bad, 0), FatalError);
+}
+
+TEST(Fabric, DataflowChainsThroughPassRegisters)
+{
+    Rig rig;
+    SimpleTrace st;
+    rig.fabric->configure(st.config, 0);
+
+    auto r = rig.fabric->execute(*st.trace, 0, {100, 100}, 0, 100);
+    ASSERT_FALSE(r.squashed);
+    ASSERT_EQ(r.liveOutReady.size(), 3u);
+    // Chain: arrival 100+bus, then +1 per dependent add; live-outs come
+    // back over the bus, so each later producer is strictly later.
+    EXPECT_LT(r.liveOutReady[0], r.liveOutReady[1]);
+    EXPECT_LT(r.liveOutReady[1], r.liveOutReady[2]);
+    EXPECT_GE(r.completeCycle, r.liveOutReady[2]);
+}
+
+TEST(Fabric, RoutedOperandsPayHopLatency)
+{
+    Rig rig;
+    SimpleTrace st;
+    // Make inst 2 receive inst 0's value over a 2-hop route instead of
+    // the previous stripe's pass registers.
+    st.config->insts[2].src1 = {OperandRoute::Kind::Routed, 0, 0, 2};
+    st.config->insts[2].src2 = {OperandRoute::Kind::Routed, 0, 0, 2};
+    rig.fabric->configure(st.config, 0);
+    auto routed = rig.fabric->execute(*st.trace, 0, {0, 0}, 0, 0);
+
+    Rig rig2;
+    SimpleTrace st2;
+    rig2.fabric->configure(st2.config, 0);
+    auto direct = rig2.fabric->execute(*st2.trace, 0, {0, 0}, 0, 0);
+
+    EXPECT_GT(routed.liveOutReady[2], direct.liveOutReady[2]);
+}
+
+TEST(Fabric, BackToBackInvocationsPipeline)
+{
+    Rig rig;
+    SimpleTrace st;
+    rig.fabric->configure(st.config, 0);
+
+    auto first = rig.fabric->execute(*st.trace, 0, {50, 50}, 0, 50);
+    Cycle first_latency = first.completeCycle - 50;
+
+    // Re-execute back-to-back from the same trace position stream: the
+    // second invocation overlaps the first, so its marginal completion
+    // delta is below the full latency.
+    auto second = rig.fabric->execute(*st.trace, 0, {51, 51}, 0, 51);
+    (void)second;
+    auto third = rig.fabric->execute(*st.trace, 0, {52, 52}, 0, 52);
+    Cycle ii = third.completeCycle - second.completeCycle;
+    EXPECT_LT(ii, first_latency);
+    EXPECT_EQ(rig.fabric->invocationsSinceConfigure(), 3u);
+}
+
+TEST(Fabric, BranchMismatchSquashes)
+{
+    Rig rig;
+    SimpleTrace st(/*branch_taken=*/false);   // oracle says not taken
+    rig.fabric->configure(st.config, 0);      // config expects taken
+
+    auto r = rig.fabric->execute(*st.trace, 0, {0, 0}, 0, 0);
+    EXPECT_TRUE(r.squashed);
+    EXPECT_EQ(r.cause, FabricExecResult::SquashCause::BranchMismatch);
+    EXPECT_TRUE(r.liveOutReady.empty());
+    EXPECT_EQ(rig.fabric->stats().squashedInvocations, 1u);
+}
+
+TEST(Fabric, StatsCountPeOpsAndBusTransfers)
+{
+    Rig rig;
+    SimpleTrace st;
+    rig.fabric->configure(st.config, 0);
+    rig.fabric->execute(*st.trace, 0, {0, 0}, 0, 0);
+    const auto &s = rig.fabric->stats();
+    EXPECT_EQ(s.invocations, 1u);
+    EXPECT_EQ(s.peOps, 4u);
+    // 2 live-ins + 3 live-outs + 1 branch result.
+    EXPECT_GE(s.busTransfers, 6u);
+    EXPECT_EQ(s.activeStripeInvocations, 4u);
+}
+
+TEST(Fabric, RollbackRestoresPipeliningState)
+{
+    Rig rig;
+    SimpleTrace st;
+    rig.fabric->configure(st.config, 0);
+
+    auto first = rig.fabric->execute(*st.trace, 0, {0, 0}, 0, 0);
+    ASSERT_FALSE(first.squashed);
+    EXPECT_EQ(rig.fabric->invocationsSinceConfigure(), 1u);
+
+    // Roll the invocation back: the fabric forgets it ever ran.
+    rig.fabric->rollback(0);
+    EXPECT_EQ(rig.fabric->invocationsSinceConfigure(), 0u);
+
+    // Re-execution now sees a fresh fabric: identical timing.
+    auto replay = rig.fabric->execute(*st.trace, 0, {0, 0}, 0, 0);
+    EXPECT_EQ(replay.completeCycle, first.completeCycle);
+}
+
+TEST(Fabric, NoteCommittedDropsSnapshots)
+{
+    Rig rig;
+    SimpleTrace st;
+    rig.fabric->configure(st.config, 0);
+    rig.fabric->execute(*st.trace, 0, {0, 0}, 0, 0);
+    rig.fabric->noteCommitted(0);
+    // After commit, rollback of the same invocation must be a no-op.
+    rig.fabric->rollback(0);
+    EXPECT_EQ(rig.fabric->invocationsSinceConfigure(), 1u);
+}
+
+// --- Memory behaviour --------------------------------------------------
+
+namespace
+{
+
+/** ld then st to distinct addresses, plus a biased branch. */
+struct MemTrace
+{
+    isa::Program prog;
+    std::unique_ptr<isa::DynamicTrace> trace;
+    std::shared_ptr<FabricConfig> config;
+
+    /** @param alias make the load read the address the store writes */
+    explicit MemTrace(bool alias)
+    {
+        isa::ProgramBuilder b("m");
+        b.label("head");
+        b.ld(intReg(3), intReg(1), 0);          // pc 0
+        b.st(intReg(2), intReg(3), 0);          // pc 1
+        b.blt(intReg(6), intReg(7), "head");    // pc 2
+        b.halt();
+        prog = b.build();
+
+        trace = std::make_unique<isa::DynamicTrace>(prog);
+        for (int inv = 0; inv < 4; inv++) {
+            isa::DynRecord ld;
+            ld.pc = 0;
+            ld.nextPc = 1;
+            // With aliasing, invocation k's load reads what invocation
+            // k-1 stored.
+            ld.effAddr = alias ? 0x1000 : Addr(0x1000 + 0x100 * inv);
+            trace->append(ld);
+            isa::DynRecord stc;
+            stc.pc = 1;
+            stc.nextPc = 2;
+            stc.effAddr = alias ? 0x1000 : Addr(0x9000 + 0x100 * inv);
+            trace->append(stc);
+            isa::DynRecord br;
+            br.pc = 2;
+            br.taken = true;
+            br.nextPc = 0;
+            trace->append(br);
+        }
+
+        config = std::make_shared<FabricConfig>();
+        config->key = 0xabcd;
+        config->numRecords = 3;
+        config->liveIns = {intReg(1), intReg(2)};
+        config->hasStores = true;
+
+        MappedInst ld;
+        ld.pc = 0;
+        ld.op = isa::Opcode::LD;
+        ld.pe = {0, 10};
+        ld.isLoad = true;
+        ld.src1 = {OperandRoute::Kind::LiveIn, 0xffff, 0, 0};
+        ld.destArch = intReg(3);
+
+        MappedInst stm;
+        stm.pc = 1;
+        stm.op = isa::Opcode::ST;
+        stm.pe = {1, 10};
+        stm.isStore = true;
+        stm.src1 = {OperandRoute::Kind::LiveIn, 0xffff, 1, 0};
+        stm.src2 = {OperandRoute::Kind::PassReg, 0, 0, 0};
+
+        MappedInst br;
+        br.pc = 2;
+        br.op = isa::Opcode::BLT;
+        br.pe = {2, 0};
+        br.isBranch = true;
+        br.expectedTaken = true;
+
+        config->insts = {ld, stm, br};
+        config->liveOuts = {{intReg(3), 0}};
+        config->stripesUsed = 3;
+    }
+};
+
+} // namespace
+
+TEST(FabricMemory, NoSpecSerializesMemoryOps)
+{
+    Rig spec(true), nospec(false);
+    MemTrace mt(false);
+
+    spec.fabric->configure(mt.config, 0);
+    nospec.fabric->configure(mt.config, 0);
+
+    Cycle spec_last = 0, nospec_last = 0;
+    for (int inv = 0; inv < 4; inv++) {
+        auto rs = spec.fabric->execute(*mt.trace, SeqNum(inv) * 3,
+                                       {0, 0}, 0, 0);
+        auto rn = nospec.fabric->execute(*mt.trace, SeqNum(inv) * 3,
+                                         {0, 0}, 0, 0);
+        spec_last = rs.completeCycle;
+        nospec_last = rn.completeCycle;
+    }
+    EXPECT_LT(spec_last, nospec_last)
+        << "strict memory ordering must serialize the pipeline";
+}
+
+TEST(FabricMemory, CrossInvocationAliasTriggersViolationThenLearns)
+{
+    Rig rig(true);
+    MemTrace mt(true);
+    rig.fabric->configure(mt.config, 0);
+
+    bool saw_violation = false;
+    for (int inv = 0; inv < 4; inv++) {
+        auto r = rig.fabric->execute(*mt.trace, SeqNum(inv) * 3,
+                                     {0, 0}, 0, 0);
+        if (r.squashed &&
+            r.cause == FabricExecResult::SquashCause::MemoryViolation) {
+            saw_violation = true;
+        }
+    }
+    EXPECT_TRUE(saw_violation);
+    EXPECT_GE(rig.storeSets.violations(), 1u);
+    // The predictor must have learned the pair: both PCs now belong to
+    // a store set. (The LFST gating itself engages once the next store
+    // instance dispatches — exercised by the system-level tests.)
+    EXPECT_TRUE(rig.storeSets.hasSet(0));
+    EXPECT_TRUE(rig.storeSets.hasSet(1));
+}
+
+TEST(FabricMemory, StoreEventsReported)
+{
+    Rig rig(true);
+    MemTrace mt(false);
+    rig.fabric->configure(mt.config, 0);
+    auto r = rig.fabric->execute(*mt.trace, 0, {0, 0}, 0, 0);
+    ASSERT_FALSE(r.squashed);
+    ASSERT_EQ(r.storeEvents.size(), 1u);
+    EXPECT_EQ(r.storeEvents[0].addr, 0x9000u);
+    EXPECT_EQ(r.storeEvents[0].pc, 1u);
+}
+
+TEST(FabricMemory, MemSafeDelaysMemoryOps)
+{
+    Rig rig(true);
+    MemTrace mt(false);
+    rig.fabric->configure(mt.config, 0);
+    auto early = rig.fabric->execute(*mt.trace, 0, {0, 0}, 0, 0);
+
+    Rig rig2(true);
+    rig2.fabric->configure(mt.config, 0);
+    auto gated = rig2.fabric->execute(*mt.trace, 0, {0, 0}, 500, 0);
+    EXPECT_GT(gated.completeCycle, early.completeCycle);
+}

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Unit tests for the memory module: functional memory and cache timing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "memory/cache.hh"
+#include "memory/functional_mem.hh"
+
+using namespace dynaspam;
+using namespace dynaspam::mem;
+
+TEST(FunctionalMemory, UnmappedReadsAsZero)
+{
+    FunctionalMemory memory;
+    EXPECT_EQ(memory.read64(0x123456789000ULL), 0u);
+    EXPECT_EQ(memory.numPages(), 0u);
+}
+
+TEST(FunctionalMemory, WriteThenReadRoundTrips)
+{
+    FunctionalMemory memory;
+    memory.write64(0x1000, 0xdeadbeefcafef00dULL);
+    EXPECT_EQ(memory.read64(0x1000), 0xdeadbeefcafef00dULL);
+    memory.writeDouble(0x2000, 3.14159);
+    EXPECT_DOUBLE_EQ(memory.readDouble(0x2000), 3.14159);
+}
+
+TEST(FunctionalMemory, PagesAllocateLazily)
+{
+    FunctionalMemory memory;
+    memory.write64(0x0, 1);
+    memory.write64(0x1000, 2);      // second page
+    memory.write64(0x1008, 3);      // same page as above
+    EXPECT_EQ(memory.numPages(), 2u);
+    memory.clear();
+    EXPECT_EQ(memory.numPages(), 0u);
+    EXPECT_EQ(memory.read64(0x0), 0u);
+}
+
+TEST(FunctionalMemory, SparseRegionsAreIndependent)
+{
+    FunctionalMemory memory;
+    memory.write64(0x10000, 42);
+    memory.write64(0x9000000, 43);
+    EXPECT_EQ(memory.read64(0x10000), 42u);
+    EXPECT_EQ(memory.read64(0x9000000), 43u);
+    EXPECT_EQ(memory.read64(0x10008), 0u);
+}
+
+TEST(Cache, HitAfterMiss)
+{
+    CacheParams params{"t", 1024, 2, 64, 2};
+    Cache cache(params, nullptr, 100);
+
+    auto first = cache.access(0x100, false);
+    EXPECT_FALSE(first.hit);
+    EXPECT_EQ(first.latency, 102u);   // hitLatency + memory
+
+    auto second = cache.access(0x100, false);
+    EXPECT_TRUE(second.hit);
+    EXPECT_EQ(second.latency, 2u);
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(Cache, SameBlockDifferentWordsHit)
+{
+    CacheParams params{"t", 1024, 2, 64, 2};
+    Cache cache(params, nullptr, 100);
+    cache.access(0x100, false);
+    EXPECT_TRUE(cache.access(0x138, false).hit);   // same 64B block
+    EXPECT_FALSE(cache.access(0x140, false).hit);  // next block
+}
+
+TEST(Cache, LruEvictsLeastRecentlyUsed)
+{
+    // 2-way, 64B blocks, 1024B -> 8 sets. Addresses 64*8 apart share a set.
+    CacheParams params{"t", 1024, 2, 64, 2};
+    Cache cache(params, nullptr, 100);
+    const Addr a = 0x0, b = 0x200, c = 0x400;   // all map to set 0
+
+    cache.access(a, false);
+    cache.access(b, false);
+    cache.access(a, false);       // touch a so b is LRU
+    cache.access(c, false);       // evicts b
+    EXPECT_TRUE(cache.probe(a));
+    EXPECT_FALSE(cache.probe(b));
+    EXPECT_TRUE(cache.probe(c));
+}
+
+TEST(Cache, DirtyEvictionCountsWriteback)
+{
+    CacheParams params{"t", 128, 1, 64, 1};   // direct mapped, 2 sets
+    Cache cache(params, nullptr, 100);
+    cache.access(0x0, true);         // miss, fill dirty
+    cache.access(0x80, false);       // same set, evicts dirty line
+    EXPECT_EQ(cache.writebacks(), 1u);
+}
+
+TEST(Cache, ProbeDoesNotDisturbState)
+{
+    CacheParams params{"t", 1024, 2, 64, 2};
+    Cache cache(params, nullptr, 100);
+    EXPECT_FALSE(cache.probe(0x100));
+    EXPECT_EQ(cache.misses(), 0u);   // probe is not an access
+    cache.access(0x100, false);
+    EXPECT_TRUE(cache.probe(0x100));
+}
+
+TEST(Cache, InvalidateAllForcesMisses)
+{
+    CacheParams params{"t", 1024, 2, 64, 2};
+    Cache cache(params, nullptr, 100);
+    cache.access(0x100, false);
+    cache.invalidateAll();
+    EXPECT_FALSE(cache.access(0x100, false).hit);
+}
+
+TEST(Cache, BadGeometryIsFatal)
+{
+    CacheParams params{"t", 100, 3, 64, 2};   // not divisible
+    EXPECT_THROW(Cache(params, nullptr, 100), FatalError);
+}
+
+TEST(MemoryHierarchy, Table4LatenciesCompose)
+{
+    MemoryHierarchy hierarchy;
+
+    // Cold access: L1D(2) + L2(20) + memory(100).
+    auto cold = hierarchy.dataAccess(0x1000, false);
+    EXPECT_FALSE(cold.hit);
+    EXPECT_EQ(cold.latency, 2u + 20u + 100u);
+
+    // Warm L1 hit.
+    auto warm = hierarchy.dataAccess(0x1000, false);
+    EXPECT_TRUE(warm.hit);
+    EXPECT_EQ(warm.latency, 2u);
+}
+
+TEST(MemoryHierarchy, L2IsSharedBetweenL1s)
+{
+    MemoryHierarchy hierarchy;
+    hierarchy.fetchAccess(0x4000);               // fills L2 via L1I miss
+    auto data = hierarchy.dataAccess(0x4000, false);
+    EXPECT_FALSE(data.hit);                       // L1D still cold
+    EXPECT_EQ(data.latency, 2u + 20u);            // but L2 hits
+}
+
+TEST(MemoryHierarchy, L1EvictionStillHitsInL2)
+{
+    MemoryHierarchy hierarchy;
+    // L1D: 64KB 2-way, 64B blocks -> 512 sets; stride 512*64 = 32KB aliases.
+    const Addr a = 0x0, b = 0x8000, c = 0x10000;
+    hierarchy.dataAccess(a, false);
+    hierarchy.dataAccess(b, false);
+    hierarchy.dataAccess(c, false);   // evicts a from L1D
+    auto again = hierarchy.dataAccess(a, false);
+    EXPECT_FALSE(again.hit);
+    EXPECT_EQ(again.latency, 2u + 20u);   // L2 hit, no memory trip
+}
+
+TEST(MemoryHierarchy, StatsExport)
+{
+    MemoryHierarchy hierarchy;
+    StatRegistry reg;
+    hierarchy.dataAccess(0x0, false);
+    hierarchy.dataAccess(0x0, false);
+    hierarchy.exportStats(reg);
+    EXPECT_EQ(reg.get("l1d.hits"), 1u);
+    EXPECT_EQ(reg.get("l1d.misses"), 1u);
+    EXPECT_EQ(reg.get("l2.misses"), 1u);
+}

@@ -1,0 +1,416 @@
+/**
+ * @file
+ * Integration tests for the out-of-order CPU timing model: basic IPC,
+ * dependence stalls, branch misprediction penalties, memory speculation,
+ * violation squash/replay, and the hooks interface.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "isa/executor.hh"
+#include "isa/program.hh"
+#include "memory/cache.hh"
+#include "memory/functional_mem.hh"
+#include "ooo/cpu.hh"
+
+using namespace dynaspam;
+using namespace dynaspam::ooo;
+using isa::fpReg;
+using isa::intReg;
+using isa::Program;
+using isa::ProgramBuilder;
+
+namespace
+{
+
+struct SimRun
+{
+    std::unique_ptr<isa::DynamicTrace> trace;
+    std::unique_ptr<mem::MemoryHierarchy> hierarchy;
+    std::unique_ptr<OooCpu> cpu;
+    Cycle cycles = 0;
+};
+
+SimRun
+simulate(Program &prog, const OooParams &params = OooParams{},
+         TraceHooks *hooks = nullptr)
+{
+    SimRun run;
+    mem::FunctionalMemory memory;
+    run.trace = std::make_unique<isa::DynamicTrace>(prog);
+    isa::Executor::run(prog, memory, run.trace.get());
+    run.hierarchy = std::make_unique<mem::MemoryHierarchy>();
+    run.cpu = std::make_unique<OooCpu>(params, *run.trace, *run.hierarchy);
+    if (hooks)
+        run.cpu->setHooks(hooks);
+    run.cycles = run.cpu->run();
+    return run;
+}
+
+/** Straight-line independent adds: should reach high IPC. */
+Program
+independentAdds(int n)
+{
+    ProgramBuilder b("indep");
+    for (int i = 0; i < n; i++)
+        b.addi(intReg(1 + (i % 8)), intReg(10 + (i % 8)), i);
+    b.halt();
+    return b.build();
+}
+
+/** A serial dependence chain: IPC must be ~1 at best. */
+Program
+dependentChain(int n)
+{
+    ProgramBuilder b("chain");
+    b.movi(intReg(1), 0);
+    for (int i = 0; i < n; i++)
+        b.addi(intReg(1), intReg(1), 1);
+    b.halt();
+    return b.build();
+}
+
+} // namespace
+
+TEST(OooCpu, CommitsEveryInstructionExactlyOnce)
+{
+    Program p = independentAdds(100);
+    auto run = simulate(p);
+    EXPECT_EQ(run.cpu->stats().committedInsts, 101u);   // adds + halt
+    EXPECT_TRUE(run.cpu->done());
+}
+
+TEST(OooCpu, IndependentInstsReachSuperscalarIpc)
+{
+    // Long enough to amortize the one cold I-cache miss at startup.
+    Program p = independentAdds(4000);
+    auto run = simulate(p);
+    double ipc = double(run.cpu->stats().committedInsts) / run.cycles;
+    // 8-wide machine with 4 int ALUs: ALU throughput caps IPC at 4.
+    EXPECT_GT(ipc, 3.0);
+    EXPECT_LE(ipc, 4.5);
+}
+
+TEST(OooCpu, DependenceChainLimitsIpcToOne)
+{
+    Program p = dependentChain(800);
+    auto run = simulate(p);
+    double ipc = double(run.cpu->stats().committedInsts) / run.cycles;
+    EXPECT_LT(ipc, 1.2);
+    EXPECT_GT(ipc, 0.7);
+}
+
+TEST(OooCpu, ChainRunsSlowerThanIndependent)
+{
+    Program pi = independentAdds(600);
+    Program pc = dependentChain(600);
+    auto ri = simulate(pi);
+    auto rc = simulate(pc);
+    EXPECT_LT(ri.cycles * 2, rc.cycles);
+}
+
+TEST(OooCpu, PredictableLoopBranchesMostlyHit)
+{
+    ProgramBuilder b("loop");
+    b.movi(intReg(1), 0);
+    b.movi(intReg(2), 500);
+    b.label("head");
+    b.addi(intReg(1), intReg(1), 1);
+    b.blt(intReg(1), intReg(2), "head");
+    b.halt();
+    Program p = b.build();
+
+    auto run = simulate(p);
+    const auto &s = run.cpu->stats();
+    // 500 executions of the backward branch; after warmup nearly all
+    // should predict correctly.
+    EXPECT_LT(s.branchMispredicts, 20u);
+}
+
+TEST(OooCpu, RandomBranchesMispredictOften)
+{
+    // Branch on the low bit of a xorshift-ish sequence: unpredictable.
+    ProgramBuilder b("rand");
+    b.movi(intReg(1), 0);        // i
+    b.movi(intReg(2), 400);      // trip count
+    b.movi(intReg(3), 123456789);// state
+    b.movi(intReg(7), 0);
+    b.label("head");
+    // state = state * 1103515245 + 12345 (mod 2^64)
+    b.movi(intReg(4), 1103515245);
+    b.mul(intReg(3), intReg(3), intReg(4));
+    b.addi(intReg(3), intReg(3), 12345);
+    b.shri(intReg(5), intReg(3), 16);
+    b.andi(intReg(5), intReg(5), 1);
+    b.beq(intReg(5), intReg(7), "skip");
+    b.addi(intReg(6), intReg(6), 1);
+    b.label("skip");
+    b.addi(intReg(1), intReg(1), 1);
+    b.blt(intReg(1), intReg(2), "head");
+    b.halt();
+    Program p = b.build();
+
+    auto run = simulate(p);
+    // ~400 data-dependent branches: expect a sizable misprediction count.
+    EXPECT_GT(run.cpu->stats().branchMispredicts, 60u);
+}
+
+TEST(OooCpu, MispredictsCostCycles)
+{
+    // Same loop body; one version uses a highly biased branch, the other
+    // an unpredictable one. The unpredictable one must take longer.
+    auto makeLoop = [](bool predictable) {
+        ProgramBuilder b(predictable ? "pred" : "unpred");
+        b.movi(intReg(1), 0);
+        b.movi(intReg(2), 300);
+        b.movi(intReg(3), 99991);
+        b.movi(intReg(7), 0);
+        b.label("head");
+        b.movi(intReg(4), 6364136223846793005LL);
+        b.mul(intReg(3), intReg(3), intReg(4));
+        b.addi(intReg(3), intReg(3), 1442695040888963407LL);
+        b.shri(intReg(5), intReg(3), 33);
+        if (predictable)
+            b.andi(intReg(5), intReg(5), 0);   // always 0
+        else
+            b.andi(intReg(5), intReg(5), 1);   // random 0/1
+        b.beq(intReg(5), intReg(7), "skip");
+        b.addi(intReg(6), intReg(6), 1);
+        b.label("skip");
+        b.addi(intReg(1), intReg(1), 1);
+        b.blt(intReg(1), intReg(2), "head");
+        b.halt();
+        return b.build();
+    };
+
+    Program pp = makeLoop(true);
+    Program pu = makeLoop(false);
+    auto rp = simulate(pp);
+    auto ru = simulate(pu);
+    EXPECT_LT(rp.cycles, ru.cycles);
+}
+
+TEST(OooCpu, StoreToLoadForwardingIsFasterThanCache)
+{
+    // Loop: store then immediately load the same address.
+    ProgramBuilder b("fwd");
+    b.movi(intReg(1), 0x1000);
+    b.movi(intReg(2), 0);
+    b.movi(intReg(3), 200);
+    b.label("head");
+    b.st(intReg(1), intReg(2), 0);
+    b.ld(intReg(4), intReg(1), 0);
+    b.add(intReg(2), intReg(2), intReg(4));
+    b.addi(intReg(2), intReg(2), 1);
+    b.addi(intReg(5), intReg(5), 1);
+    b.blt(intReg(5), intReg(3), "head");
+    b.halt();
+    Program p = b.build();
+
+    auto run = simulate(p);
+    EXPECT_GT(run.cpu->stats().loadForwards, 150u);
+}
+
+TEST(OooCpu, MemorySpeculationDetectsViolations)
+{
+    // Pointer-chasing store followed by aliasing load: the store address
+    // depends on a long-latency computation while the load's address is
+    // ready immediately, so a speculative load can bypass the store.
+    ProgramBuilder b("alias");
+    b.movi(intReg(1), 0x1000);   // base
+    b.movi(intReg(8), 1);        // divisor for delay
+    b.movi(intReg(5), 0);        // i
+    b.movi(intReg(6), 100);      // trips
+    b.label("head");
+    // Slow computation of the store address (always base+0).
+    b.div(intReg(2), intReg(1), intReg(8));
+    b.div(intReg(2), intReg(2), intReg(8));
+    b.st(intReg(2), intReg(5), 0);       // store to base
+    b.ld(intReg(4), intReg(1), 0);       // aliasing load from base
+    b.add(intReg(7), intReg(7), intReg(4));
+    b.addi(intReg(5), intReg(5), 1);
+    b.blt(intReg(5), intReg(6), "head");
+    b.halt();
+    Program p = b.build();
+
+    OooParams params;
+    params.memorySpeculation = true;
+    auto run = simulate(p, params);
+    const auto &s = run.cpu->stats();
+    // At least one violation must occur before the store-set predictor
+    // learns to synchronize the pair.
+    EXPECT_GE(s.memOrderViolations, 1u);
+    // But the predictor must learn: violations far fewer than trips.
+    EXPECT_LT(s.memOrderViolations, 50u);
+    EXPECT_GT(s.squashedInsts, 0u);
+}
+
+TEST(OooCpu, NoSpeculationMeansNoViolations)
+{
+    ProgramBuilder b("alias2");
+    b.movi(intReg(1), 0x1000);
+    b.movi(intReg(8), 1);
+    b.movi(intReg(5), 0);
+    b.movi(intReg(6), 50);
+    b.label("head");
+    b.div(intReg(2), intReg(1), intReg(8));
+    b.st(intReg(2), intReg(5), 0);
+    b.ld(intReg(4), intReg(1), 0);
+    b.addi(intReg(5), intReg(5), 1);
+    b.blt(intReg(5), intReg(6), "head");
+    b.halt();
+    Program p = b.build();
+
+    OooParams params;
+    params.memorySpeculation = false;
+    auto run = simulate(p, params);
+    EXPECT_EQ(run.cpu->stats().memOrderViolations, 0u);
+    EXPECT_EQ(run.cpu->stats().squashedInsts, 0u);
+}
+
+TEST(OooCpu, SpeculationHelpsAliasFreeMemoryCode)
+{
+    // Stores and loads to disjoint addresses, with store addresses
+    // computed slowly: speculation lets loads proceed.
+    auto makeProg = []() {
+        ProgramBuilder b("disjoint");
+        b.movi(intReg(1), 0x1000);   // store region
+        b.movi(intReg(9), 0x8000);   // load region
+        b.movi(intReg(8), 1);
+        b.movi(intReg(5), 0);
+        b.movi(intReg(6), 150);
+        b.label("head");
+        b.div(intReg(2), intReg(1), intReg(8));
+        b.st(intReg(2), intReg(5), 0);
+        b.ld(intReg(4), intReg(9), 0);
+        b.add(intReg(7), intReg(7), intReg(4));
+        b.addi(intReg(5), intReg(5), 1);
+        b.blt(intReg(5), intReg(6), "head");
+        b.halt();
+        return b.build();
+    };
+
+    Program p1 = makeProg();
+    OooParams spec;
+    spec.memorySpeculation = true;
+    auto rs = simulate(p1, spec);
+
+    Program p2 = makeProg();
+    OooParams nospec;
+    nospec.memorySpeculation = false;
+    auto rn = simulate(p2, nospec);
+
+    EXPECT_LT(rs.cycles, rn.cycles);
+    EXPECT_EQ(rs.cpu->stats().memOrderViolations, 0u);
+}
+
+TEST(OooCpu, LongLatencyDividerSerializes)
+{
+    ProgramBuilder b("divs");
+    b.movi(intReg(1), 1000);
+    b.movi(intReg(2), 3);
+    for (int i = 0; i < 50; i++)
+        b.div(intReg(3 + (i % 4)), intReg(1), intReg(2));
+    b.halt();
+    Program p = b.build();
+
+    auto run = simulate(p);
+    // One unpipelined divider with 12-cycle latency: ~600 cycles minimum.
+    EXPECT_GT(run.cycles, 550u);
+}
+
+TEST(OooCpu, CacheMissesStallLoads)
+{
+    // Strided loads with 4KB stride: every access is a fresh block and,
+    // with 512-set L1D, conflicts recur -> many misses.
+    ProgramBuilder b("stride");
+    b.movi(intReg(1), 0x100000);
+    b.movi(intReg(5), 0);
+    b.movi(intReg(6), 100);
+    b.label("head");
+    b.ld(intReg(4), intReg(1), 0);
+    b.add(intReg(7), intReg(7), intReg(4));
+    b.addi(intReg(1), intReg(1), 4096);
+    b.addi(intReg(5), intReg(5), 1);
+    b.blt(intReg(5), intReg(6), "head");
+    b.halt();
+    Program p = b.build();
+
+    auto run = simulate(p);
+    EXPECT_GT(run.hierarchy->l1d().misses(), 90u);
+}
+
+TEST(OooCpu, StatsExportContainsKeyCounters)
+{
+    Program p = independentAdds(50);
+    auto run = simulate(p);
+    StatRegistry reg;
+    run.cpu->exportStats(reg);
+    EXPECT_EQ(reg.get("ooo.committedInsts"), 51u);
+    EXPECT_GT(reg.get("ooo.cycles"), 0u);
+    EXPECT_GT(reg.get("ooo.issuedInsts"), 0u);
+    EXPECT_GT(reg.get("ooo.regWrites"), 0u);
+}
+
+// --- Hooks interface ---
+
+namespace
+{
+
+/** Hooks that count fetch consultations and branch commits. */
+class CountingHooks : public TraceHooks
+{
+  public:
+    FetchDirective
+    beforeFetch(SeqNum, Cycle) override
+    {
+        fetchCalls++;
+        return {};
+    }
+
+    void
+    onCommitControl(InstAddr pc, bool taken, SeqNum, Cycle) override
+    {
+        commitCalls++;
+        lastPc = pc;
+        lastTaken = taken;
+    }
+
+    std::uint64_t fetchCalls = 0;
+    std::uint64_t commitCalls = 0;
+    InstAddr lastPc = 0;
+    bool lastTaken = false;
+};
+
+} // namespace
+
+TEST(OooCpuHooks, BeforeFetchConsultedPerRecord)
+{
+    Program p = independentAdds(20);
+    CountingHooks hooks;
+    auto run = simulate(p, OooParams{}, &hooks);
+    // Every record is consulted at least once; fetch retries after an
+    // I-cache miss consult the same record again, so >= not ==.
+    EXPECT_GE(hooks.fetchCalls, 21u);
+    EXPECT_LE(hooks.fetchCalls, 42u);
+}
+
+TEST(OooCpuHooks, ControlCommitsReported)
+{
+    ProgramBuilder b("loop");
+    b.movi(intReg(1), 0);
+    b.movi(intReg(2), 10);
+    b.label("head");
+    b.addi(intReg(1), intReg(1), 1);
+    b.blt(intReg(1), intReg(2), "head");
+    b.halt();
+    Program p = b.build();
+
+    CountingHooks hooks;
+    auto run = simulate(p, OooParams{}, &hooks);
+    EXPECT_EQ(hooks.commitCalls, 10u);      // 10 branch executions
+    EXPECT_EQ(hooks.lastPc, 3u);            // the blt (after 2 movi, 1 addi)
+    EXPECT_FALSE(hooks.lastTaken);          // final iteration falls through
+}

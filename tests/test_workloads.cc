@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Workload tests: every kernel must execute functionally, halt, and
+ * validate against its C++ golden model; parameterized across all 11
+ * benchmarks plus per-kernel structural checks.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/executor.hh"
+#include "workloads/workload.hh"
+
+using namespace dynaspam;
+using namespace dynaspam::workloads;
+
+class WorkloadGolden : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(WorkloadGolden, FunctionalRunMatchesReference)
+{
+    Workload wl = makeWorkload(GetParam());
+    mem::FunctionalMemory memory = wl.initialMemory;
+    isa::DynamicTrace trace(wl.program);
+    auto result = isa::Executor::run(wl.program, memory, &trace);
+    EXPECT_TRUE(result.halted);
+    ASSERT_TRUE(wl.validate) << "workload must install a validator";
+    EXPECT_TRUE(wl.validate(memory))
+        << wl.name << " output does not match the golden model";
+}
+
+TEST_P(WorkloadGolden, ScaleTwoAlsoValidates)
+{
+    Workload wl = makeWorkload(GetParam(), 2);
+    mem::FunctionalMemory memory = wl.initialMemory;
+    auto result = isa::Executor::run(wl.program, memory, nullptr);
+    EXPECT_TRUE(result.halted);
+    EXPECT_TRUE(wl.validate(memory));
+}
+
+TEST_P(WorkloadGolden, DynamicLengthIsBenchable)
+{
+    Workload wl = makeWorkload(GetParam());
+    mem::FunctionalMemory memory = wl.initialMemory;
+    auto result = isa::Executor::run(wl.program, memory, nullptr);
+    // Large enough to exercise trace detection, small enough to sweep.
+    EXPECT_GT(result.instCount, 20'000u) << wl.name;
+    EXPECT_LT(result.instCount, 5'000'000u) << wl.name;
+}
+
+TEST_P(WorkloadGolden, MetadataIsComplete)
+{
+    Workload wl = makeWorkload(GetParam());
+    EXPECT_FALSE(wl.name.empty());
+    EXPECT_FALSE(wl.fullName.empty());
+    EXPECT_FALSE(wl.kernel.empty());
+    EXPECT_FALSE(wl.program.empty());
+    EXPECT_EQ(wl.program.name().empty(), false);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, WorkloadGolden,
+                         ::testing::ValuesIn(allWorkloadNames()),
+                         [](const auto &info) { return info.param; });
+
+TEST(WorkloadRegistry, ListsElevenBenchmarks)
+{
+    EXPECT_EQ(allWorkloadNames().size(), 11u);
+}
+
+TEST(WorkloadRegistry, UnknownNameIsFatal)
+{
+    EXPECT_THROW(makeWorkload("NOPE"), FatalError);
+}
+
+TEST(WorkloadHelpers, PokePeekRoundTrip)
+{
+    mem::FunctionalMemory memory;
+    pokeDoubles(memory, 0x1000, {1.5, -2.25, 0.0});
+    pokeInts(memory, 0x2000, {7, -9, 42});
+    EXPECT_EQ(peekDoubles(memory, 0x1000, 3),
+              (std::vector<double>{1.5, -2.25, 0.0}));
+    EXPECT_EQ(peekInts(memory, 0x2000, 3),
+              (std::vector<std::int64_t>{7, -9, 42}));
+}
+
+TEST(WorkloadHelpers, NearlyEqualTolerates)
+{
+    EXPECT_TRUE(nearlyEqual({1.0}, {1.0 + 1e-12}));
+    EXPECT_FALSE(nearlyEqual({1.0}, {1.1}));
+    EXPECT_FALSE(nearlyEqual({1.0, 2.0}, {1.0}));
+}
+
+// Structural spot checks that matter for the evaluation's behaviour.
+
+TEST(WorkloadStructure, BfsBranchesAreDataDependent)
+{
+    Workload wl = makeBfs();
+    mem::FunctionalMemory memory = wl.initialMemory;
+    isa::DynamicTrace trace(wl.program);
+    isa::Executor::run(wl.program, memory, &trace);
+
+    // Count taken/not-taken for the visited check: both sides exercised.
+    std::size_t taken = 0, total = 0;
+    for (SeqNum i = 0; i < trace.size(); i++) {
+        const auto &inst = trace.staticInst(i);
+        if (inst.isCondBranch()) {
+            total++;
+            taken += trace[i].taken;
+        }
+    }
+    ASSERT_GT(total, 0u);
+    double ratio = double(taken) / double(total);
+    EXPECT_GT(ratio, 0.15);
+    EXPECT_LT(ratio, 0.9);
+}
+
+TEST(WorkloadStructure, BpIsFpMultiplyAccumulateHeavy)
+{
+    Workload wl = makeBp();
+    mem::FunctionalMemory memory = wl.initialMemory;
+    isa::DynamicTrace trace(wl.program);
+    isa::Executor::run(wl.program, memory, &trace);
+    std::size_t fp = 0;
+    for (SeqNum i = 0; i < trace.size(); i++) {
+        auto cls = trace.staticInst(i).opClass();
+        fp += cls == isa::OpClass::FloatAdd ||
+              cls == isa::OpClass::FloatMult ||
+              cls == isa::OpClass::FloatDiv;
+    }
+    EXPECT_GT(double(fp) / double(trace.size()), 0.2);
+}
+
+TEST(WorkloadStructure, NwAndSradAreMemoryHeavy)
+{
+    for (const char *name : {"NW", "SRAD"}) {
+        Workload wl = makeWorkload(name);
+        mem::FunctionalMemory memory = wl.initialMemory;
+        isa::DynamicTrace trace(wl.program);
+        isa::Executor::run(wl.program, memory, &trace);
+        std::size_t mem_ops = 0;
+        for (SeqNum i = 0; i < trace.size(); i++)
+            mem_ops += trace.staticInst(i).isMem();
+        EXPECT_GT(double(mem_ops) / double(trace.size()), 0.2)
+            << name << " should have a large dynamic memory fraction";
+    }
+}
+
+TEST(WorkloadStructure, BtSearchesChasePointers)
+{
+    Workload wl = makeBt();
+    mem::FunctionalMemory memory = wl.initialMemory;
+    isa::DynamicTrace trace(wl.program);
+    isa::Executor::run(wl.program, memory, &trace);
+    std::size_t loads = 0;
+    for (SeqNum i = 0; i < trace.size(); i++)
+        loads += trace.staticInst(i).isLoad();
+    EXPECT_GT(loads, 1000u);
+}
