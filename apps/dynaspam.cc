@@ -1,0 +1,347 @@
+/**
+ * @file
+ * The `dynaspam` command-line driver.
+ *
+ * Front-end to the runner subsystem: executes single experiment points
+ * or whole figure/table sweeps in parallel, with result caching and
+ * JSON reporting (schema documented in EXPERIMENTS.md).
+ *
+ *   dynaspam run --workload bfs --mode accel-spec [--trace-length 32]
+ *                [--fabrics 1] [--scale 1] [--out point.json]
+ *   dynaspam sweep --figure 8 [--jobs N] [--out fig8.json] [--scale 1]
+ *   dynaspam sweep --table 5 --jobs 4
+ *   dynaspam list
+ *
+ * Caching defaults to .dynaspam-cache/ in the working directory; a
+ * second run of the same sweep performs zero simulations. Disable with
+ * --no-cache or redirect with --cache DIR.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "runner/runner.hh"
+#include "workloads/workload.hh"
+
+using namespace dynaspam;
+using runner::Job;
+using sim::SystemMode;
+
+namespace
+{
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+        "usage: %s <command> [options]\n"
+        "\n"
+        "commands:\n"
+        "  run    simulate one experiment point\n"
+        "           --workload NAME      (required; see `dynaspam list`)\n"
+        "           --mode MODE          (default accel-spec)\n"
+        "           --trace-length N     (default 32)\n"
+        "           --fabrics N          (default 1)\n"
+        "           --scale N            (default 1)\n"
+        "           --out FILE           write a JSON report\n"
+        "  sweep  run a whole figure/table sweep in parallel\n"
+        "           --figure {7,8,9} | --table 5 | --ablation mapper\n"
+        "           --jobs N             worker threads (default: cores)\n"
+        "           --out FILE           (default <sweep>.json)\n"
+        "           --scale N            (default 1)\n"
+        "           --workloads a,b,c    subset of workloads\n"
+        "  list   print workload tags and mode names\n"
+        "\n"
+        "common options:\n"
+        "  --cache DIR    result-cache directory (default .dynaspam-cache)\n"
+        "  --no-cache     disable the result cache\n",
+        argv0);
+    return 1;
+}
+
+/** Simple argv cursor with typed accessors. */
+class Args
+{
+  public:
+    Args(int argc, char **argv) : argc(argc), argv(argv) {}
+
+    bool
+    next(std::string &flag)
+    {
+        if (pos >= argc)
+            return false;
+        flag = argv[pos++];
+        return true;
+    }
+
+    std::string
+    value(const std::string &flag)
+    {
+        if (pos >= argc)
+            fatal("missing value for ", flag);
+        return argv[pos++];
+    }
+
+    unsigned
+    uvalue(const std::string &flag)
+    {
+        std::string v = value(flag);
+        char *end = nullptr;
+        long n = std::strtol(v.c_str(), &end, 10);
+        if (!end || *end || n < 0)
+            fatal("bad value for ", flag, ": ", v);
+        return unsigned(n);
+    }
+
+  private:
+    int argc;
+    char **argv;
+    int pos = 0;
+};
+
+std::vector<std::string>
+splitCommas(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::stringstream ss(s);
+    std::string item;
+    while (std::getline(ss, item, ','))
+        if (!item.empty())
+            out.push_back(item);
+    return out;
+}
+
+struct CommonOptions
+{
+    std::string cacheDir = ".dynaspam-cache";
+    unsigned jobs = 0;          ///< 0 = ThreadPool::defaultWorkers()
+    unsigned scale = 1;
+    std::string out;
+};
+
+/** Build the job list for one named sweep. */
+std::vector<Job>
+sweepJobs(const std::string &sweep, const std::vector<std::string> &names,
+          unsigned scale, unsigned trace_length)
+{
+    std::vector<Job> jobs;
+    auto add = [&](const std::string &wl, SystemMode mode, unsigned len,
+                   unsigned fabrics) {
+        jobs.push_back(Job{wl, mode, len, fabrics, scale});
+    };
+
+    for (const std::string &wl : names) {
+        if (sweep == "fig7") {
+            for (unsigned len : {16u, 24u, 32u, 40u})
+                add(wl, SystemMode::AccelSpec, len, 1);
+        } else if (sweep == "fig8") {
+            for (SystemMode mode :
+                 {SystemMode::BaselineOoo, SystemMode::MappingOnly,
+                  SystemMode::AccelNoSpec, SystemMode::AccelSpec})
+                add(wl, mode, trace_length, 1);
+        } else if (sweep == "fig9") {
+            for (SystemMode mode :
+                 {SystemMode::BaselineOoo, SystemMode::AccelSpec})
+                add(wl, mode, trace_length, 1);
+        } else if (sweep == "table5") {
+            for (unsigned fabrics : {1u, 2u, 4u, 8u})
+                add(wl, SystemMode::AccelSpec, trace_length, fabrics);
+        } else if (sweep == "ablation-mapper") {
+            for (SystemMode mode :
+                 {SystemMode::AccelSpec, SystemMode::AccelNaive})
+                add(wl, mode, trace_length, 1);
+        } else {
+            fatal("unknown sweep \"", sweep, "\"");
+        }
+    }
+    return jobs;
+}
+
+int
+cmdRun(Args &args)
+{
+    Job job;
+    job.mode = SystemMode::AccelSpec;
+    CommonOptions common;
+    bool use_cache = true;
+
+    std::string flag;
+    while (args.next(flag)) {
+        if (flag == "--workload")
+            job.workload = args.value(flag);
+        else if (flag == "--mode")
+            job.mode = runner::parseMode(args.value(flag));
+        else if (flag == "--trace-length")
+            job.traceLength = args.uvalue(flag);
+        else if (flag == "--fabrics")
+            job.numFabrics = args.uvalue(flag);
+        else if (flag == "--scale")
+            job.scale = args.uvalue(flag);
+        else if (flag == "--out")
+            common.out = args.value(flag);
+        else if (flag == "--cache")
+            common.cacheDir = args.value(flag);
+        else if (flag == "--no-cache")
+            use_cache = false;
+        else
+            fatal("unknown option ", flag);
+    }
+    if (job.workload.empty())
+        fatal("run: --workload is required");
+
+    runner::RunnerOptions opts;
+    opts.jobs = 1;
+    opts.cacheDir = use_cache ? common.cacheDir : "";
+    runner::Runner r(opts);
+    auto outcomes = r.runAll({job});
+    const runner::JobOutcome &outcome = outcomes.at(0);
+    const sim::RunResult &res = outcome.result;
+
+    std::printf("%s @ %s (trace %u, %u fabric%s, scale %u)%s\n",
+                job.workload.c_str(), sim::modeName(job.mode),
+                job.traceLength, job.numFabrics,
+                job.numFabrics == 1 ? "" : "s", job.scale,
+                outcome.fromCache ? "  [cached]" : "");
+    std::printf("  cycles              %llu\n",
+                static_cast<unsigned long long>(res.cycles));
+    std::printf("  ipc                 %.3f\n", res.ipc());
+    std::printf("  insts total         %llu (host %llu, mapping %llu, "
+                "fabric %llu)\n",
+                static_cast<unsigned long long>(res.instsTotal),
+                static_cast<unsigned long long>(res.instsHost),
+                static_cast<unsigned long long>(res.instsMapping),
+                static_cast<unsigned long long>(res.instsFabric));
+    std::printf("  energy total        %.1f pJ\n", res.energyTotal());
+    std::printf("  mapped/offloaded    %llu / %llu traces\n",
+                static_cast<unsigned long long>(
+                    res.dynaspam.distinctMappedTraces),
+                static_cast<unsigned long long>(
+                    res.dynaspam.distinctOffloadedTraces));
+    std::printf("  functionally correct %s\n",
+                res.functionallyCorrect ? "yes" : "NO");
+
+    if (!common.out.empty()) {
+        std::ofstream os(common.out);
+        if (!os)
+            fatal("cannot write ", common.out);
+        runner::writeSweepReport(os, "run", outcomes, &r.stats());
+        std::printf("report written to %s\n", common.out.c_str());
+    }
+    return 0;
+}
+
+int
+cmdSweep(Args &args)
+{
+    CommonOptions common;
+    bool use_cache = true;
+    std::string sweep;
+    unsigned trace_length = 32;
+    std::vector<std::string> names = workloads::allWorkloadNames();
+
+    std::string flag;
+    while (args.next(flag)) {
+        if (flag == "--figure")
+            sweep = "fig" + args.value(flag);
+        else if (flag == "--table")
+            sweep = "table" + args.value(flag);
+        else if (flag == "--ablation")
+            sweep = "ablation-" + args.value(flag);
+        else if (flag == "--jobs")
+            common.jobs = args.uvalue(flag);
+        else if (flag == "--out")
+            common.out = args.value(flag);
+        else if (flag == "--scale")
+            common.scale = args.uvalue(flag);
+        else if (flag == "--trace-length")
+            trace_length = args.uvalue(flag);
+        else if (flag == "--workloads")
+            names = splitCommas(args.value(flag));
+        else if (flag == "--cache")
+            common.cacheDir = args.value(flag);
+        else if (flag == "--no-cache")
+            use_cache = false;
+        else
+            fatal("unknown option ", flag);
+    }
+    if (sweep.empty())
+        fatal("sweep: one of --figure, --table or --ablation is required");
+    if (names.empty())
+        fatal("sweep: empty workload list");
+    if (common.out.empty())
+        common.out = sweep + ".json";
+
+    std::vector<Job> jobs =
+        sweepJobs(sweep, names, common.scale, trace_length);
+
+    runner::RunnerOptions opts;
+    opts.jobs = common.jobs;
+    opts.cacheDir = use_cache ? common.cacheDir : "";
+    runner::Runner r(opts);
+    auto outcomes = r.runAll(jobs);
+
+    std::ofstream os(common.out);
+    if (!os)
+        fatal("cannot write ", common.out);
+    runner::writeSweepReport(os, sweep, outcomes, &r.stats());
+
+    std::printf("%s: %zu jobs on %u worker%s, %llu simulated, "
+                "%llu from cache -> %s\n",
+                sweep.c_str(), jobs.size(), r.workers(),
+                r.workers() == 1 ? "" : "s",
+                static_cast<unsigned long long>(
+                    r.stats().get("runner.jobs_executed")),
+                static_cast<unsigned long long>(
+                    r.stats().get("runner.cache_hits")),
+                common.out.c_str());
+    return 0;
+}
+
+int
+cmdList()
+{
+    std::printf("workloads:");
+    for (const std::string &name : workloads::allWorkloadNames())
+        std::printf(" %s", name.c_str());
+    std::printf("\nmodes:     ");
+    for (SystemMode mode :
+         {SystemMode::BaselineOoo, SystemMode::MappingOnly,
+          SystemMode::AccelNoSpec, SystemMode::AccelSpec,
+          SystemMode::AccelNaive})
+        std::printf(" %s", sim::modeName(mode));
+    std::printf("\nsweeps:     --figure 7 | --figure 8 | --figure 9 | "
+                "--table 5 | --ablation mapper\n");
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage(argv[0]);
+    std::string command = argv[1];
+    Args args(argc - 2, argv + 2);
+    try {
+        if (command == "run")
+            return cmdRun(args);
+        if (command == "sweep")
+            return cmdSweep(args);
+        if (command == "list")
+            return cmdList();
+        if (command == "--help" || command == "-h" || command == "help")
+            return usage(argv[0]);
+        std::fprintf(stderr, "unknown command \"%s\"\n", command.c_str());
+        return usage(argv[0]);
+    } catch (const FatalError &err) {
+        std::fprintf(stderr, "error: %s\n", err.what());
+        return 2;
+    }
+}

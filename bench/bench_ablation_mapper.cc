@@ -26,10 +26,21 @@ main()
                 "NV-cyc", "NV/RA");
     rule(8);
 
-    std::vector<double> ratios;
+    // Resource-aware and naive runs for all workloads, in parallel.
+    std::vector<runner::Job> jobs;
     for (const auto &name : workloads::allWorkloadNames()) {
-        auto ra = runWorkload(name, SystemMode::AccelSpec);
-        auto nv = runWorkload(name, SystemMode::AccelNaive);
+        jobs.push_back(runner::Job{name, SystemMode::AccelSpec, 32, 1, 1});
+        jobs.push_back(
+            runner::Job{name, SystemMode::AccelNaive, 32, 1, 1});
+    }
+    const auto results = runJobs(jobs);
+
+    std::vector<double> ratios;
+    std::size_t row = 0;
+    for (const auto &name : workloads::allWorkloadNames()) {
+        const auto &ra = results[row * 2 + 0];
+        const auto &nv = results[row * 2 + 1];
+        row++;
 
         double ratio = double(nv.cycles) / double(ra.cycles);
         ratios.push_back(ratio);

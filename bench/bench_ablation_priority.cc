@@ -16,6 +16,7 @@
 #include "isa/executor.hh"
 #include "ooo/cpu.hh"
 #include "ooo/policy.hh"
+#include "runner/thread_pool.hh"
 
 using namespace dynaspam;
 using namespace dynaspam::bench;
@@ -50,9 +51,14 @@ main()
                 "perturbed", "delta");
     rule(4);
 
-    std::vector<double> deltas;
-    for (const auto &name : workloads::allWorkloadNames()) {
-        workloads::Workload wl = workloads::makeWorkload(name);
+    // These runs use a custom SelectPolicy, which a runner::Job cannot
+    // express, so they go through the work-stealing pool directly: one
+    // task per workload, results stored by index.
+    const auto &names = workloads::allWorkloadNames();
+    std::vector<std::pair<Cycle, Cycle>> cycles(names.size());
+    runner::ThreadPool pool(runner::ThreadPool::defaultWorkers());
+    pool.parallelFor(names.size(), [&](std::size_t i) {
+        workloads::Workload wl = workloads::makeWorkload(names[i]);
 
         mem::FunctionalMemory m1 = wl.initialMemory;
         isa::DynamicTrace trace(wl.program);
@@ -68,9 +74,15 @@ main()
         cpu2.setSelectPolicyForTesting(&perturbed);
         Cycle alt = cpu2.run();
 
+        cycles[i] = {base, alt};
+    });
+
+    std::vector<double> deltas;
+    for (std::size_t i = 0; i < names.size(); i++) {
+        auto [base, alt] = cycles[i];
         double delta = 100.0 * (double(alt) - double(base)) / double(base);
         deltas.push_back(delta);
-        std::printf("%-6s %12llu %12llu %8.2f%%\n", name.c_str(),
+        std::printf("%-6s %12llu %12llu %8.2f%%\n", names[i].c_str(),
                     static_cast<unsigned long long>(base),
                     static_cast<unsigned long long>(alt), delta);
     }

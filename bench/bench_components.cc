@@ -9,6 +9,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+
 #include "core/session.hh"
 #include "isa/executor.hh"
 #include "memory/cache.hh"
@@ -16,6 +18,7 @@
 #include "ooo/bpred.hh"
 #include "ooo/cpu.hh"
 #include "ooo/storesets.hh"
+#include "runner/thread_pool.hh"
 #include "workloads/workload.hh"
 
 using namespace dynaspam;
@@ -120,6 +123,22 @@ BM_MappingSessionScore(benchmark::State &state)
     }
 }
 BENCHMARK(BM_MappingSessionScore);
+
+void
+BM_ThreadPoolDispatch(benchmark::State &state)
+{
+    // Scheduling overhead of the runner's work-stealing pool: how fast
+    // can a batch of trivial tasks be dealt, stolen and retired.
+    runner::ThreadPool pool(unsigned(state.range(0)));
+    const std::size_t tasks = 256;
+    for (auto _ : state) {
+        std::atomic<std::uint64_t> sum{0};
+        pool.parallelFor(tasks, [&](std::size_t i) { sum += i; });
+        benchmark::DoNotOptimize(sum.load());
+    }
+    state.SetItemsProcessed(std::int64_t(state.iterations() * tasks));
+}
+BENCHMARK(BM_ThreadPoolDispatch)->Arg(1)->Arg(4);
 
 } // namespace
 

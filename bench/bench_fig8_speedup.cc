@@ -28,12 +28,25 @@ main()
                 "mapping", "accel-nosp", "accel-spec");
     rule(5);
 
+    // All 44 simulation points up front, executed in parallel by the
+    // runner; results come back in enqueue order (4 modes per workload).
+    const SystemMode modes[] = {
+        SystemMode::BaselineOoo, SystemMode::MappingOnly,
+        SystemMode::AccelNoSpec, SystemMode::AccelSpec};
+    std::vector<runner::Job> jobs;
+    for (const auto &name : workloads::allWorkloadNames())
+        for (SystemMode mode : modes)
+            jobs.push_back(runner::Job{name, mode, 32, 1, 1});
+    const auto results = runJobs(jobs);
+
     std::vector<double> sp_map, sp_nospec, sp_spec;
+    std::size_t row = 0;
     for (const auto &name : workloads::allWorkloadNames()) {
-        auto base = runWorkload(name, SystemMode::BaselineOoo);
-        auto mapo = runWorkload(name, SystemMode::MappingOnly);
-        auto nosp = runWorkload(name, SystemMode::AccelNoSpec);
-        auto spec = runWorkload(name, SystemMode::AccelSpec);
+        const auto &base = results[row * 4 + 0];
+        const auto &mapo = results[row * 4 + 1];
+        const auto &nosp = results[row * 4 + 2];
+        const auto &spec = results[row * 4 + 3];
+        row++;
 
         double s_map = double(base.cycles) / double(mapo.cycles);
         double s_nosp = double(base.cycles) / double(nosp.cycles);

@@ -36,10 +36,21 @@ main()
     std::printf("Figure 9: per-component energy, accel-spec vs baseline "
                 "(%% of baseline total)\n\n");
 
-    std::vector<double> reductions;
+    // One baseline + one accelerated run per workload, in parallel.
+    std::vector<runner::Job> jobs;
     for (const auto &name : workloads::allWorkloadNames()) {
-        auto base = runWorkload(name, SystemMode::BaselineOoo);
-        auto accel = runWorkload(name, SystemMode::AccelSpec);
+        jobs.push_back(
+            runner::Job{name, SystemMode::BaselineOoo, 32, 1, 1});
+        jobs.push_back(runner::Job{name, SystemMode::AccelSpec, 32, 1, 1});
+    }
+    const auto results = runJobs(jobs);
+
+    std::vector<double> reductions;
+    std::size_t row = 0;
+    for (const auto &name : workloads::allWorkloadNames()) {
+        const auto &base = results[row * 2 + 0];
+        const auto &accel = results[row * 2 + 1];
+        row++;
         const double base_total = base.energy.total();
 
         std::printf("%-5s %-13s %10s %10s\n", name.c_str(), "component",

@@ -32,18 +32,27 @@ main()
                 "8 fabrics");
     rule(8);
 
+    // 11 workloads x 4 fabric counts, executed in parallel.
+    std::vector<runner::Job> jobs;
+    for (const auto &name : workloads::allWorkloadNames())
+        for (unsigned fabrics : fabric_counts)
+            jobs.push_back(
+                runner::Job{name, SystemMode::AccelSpec, 32, fabrics, 1});
+    const auto results = runJobs(jobs);
+
+    std::size_t row = 0;
     for (const auto &name : workloads::allWorkloadNames()) {
         std::uint64_t mapped = 0, offloaded = 0;
         double lifetime[4] = {};
         for (unsigned fi = 0; fi < 4; fi++) {
-            auto r = runWorkload(name, SystemMode::AccelSpec, 32,
-                                 fabric_counts[fi]);
+            const auto &r = results[row * 4 + fi];
             lifetime[fi] = r.dynaspam.avgConfigLifetime();
             if (fi == 0) {
                 mapped = r.dynaspam.distinctMappedTraces;
                 offloaded = r.dynaspam.distinctOffloadedTraces;
             }
         }
+        row++;
         std::printf("%-6s %8llu %10llu %12.1f %12.1f %12.1f %12.1f\n",
                     name.c_str(),
                     static_cast<unsigned long long>(mapped),

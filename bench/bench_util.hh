@@ -9,32 +9,69 @@
  * repository's simulator, not the authors' gem5 testbed); the *shape* —
  * who wins, by roughly what factor, where the crossovers fall — is the
  * reproduction target. See EXPERIMENTS.md.
+ *
+ * Since the runner subsystem landed, benches are two-phase: build the
+ * full job list up front, execute it through runner::Runner (parallel
+ * across worker threads, optionally cached), then print rows from the
+ * in-order result vector. Knobs, via environment variables so the
+ * binaries stay argument-free:
+ *
+ *   DYNASPAM_JOBS=N     worker threads (default: hardware concurrency)
+ *   DYNASPAM_CACHE=DIR  enable the on-disk result cache at DIR
  */
 
 #ifndef DYNASPAM_BENCH_UTIL_HH
 #define DYNASPAM_BENCH_UTIL_HH
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "common/stats.hh"
+#include "runner/runner.hh"
 #include "sim/system.hh"
 #include "workloads/workload.hh"
 
 namespace dynaspam::bench
 {
 
-/** Run one workload under one configuration. */
+/** Runner options honoring the bench environment knobs. */
+inline runner::RunnerOptions
+benchRunnerOptions()
+{
+    runner::RunnerOptions opts;
+    opts.jobs = 0;      // DYNASPAM_JOBS / hardware concurrency
+    if (const char *dir = std::getenv("DYNASPAM_CACHE"))
+        opts.cacheDir = dir;
+    return opts;
+}
+
+/**
+ * Execute @p jobs through a fresh Runner and return the results in job
+ * order. Results are independent of the worker count.
+ */
+inline std::vector<sim::RunResult>
+runJobs(const std::vector<runner::Job> &jobs)
+{
+    runner::Runner r(benchRunnerOptions());
+    std::vector<runner::JobOutcome> outcomes = r.runAll(jobs);
+    std::vector<sim::RunResult> results;
+    results.reserve(outcomes.size());
+    for (runner::JobOutcome &outcome : outcomes)
+        results.push_back(std::move(outcome.result));
+    return results;
+}
+
+/** Run one workload under one configuration (one-off; sweeps should
+ *  batch through runJobs instead). */
 inline sim::RunResult
 runWorkload(const std::string &name, sim::SystemMode mode,
             unsigned trace_length = 32, unsigned num_fabrics = 1,
             unsigned scale = 1)
 {
-    workloads::Workload wl = workloads::makeWorkload(name, scale);
-    sim::System system(
-        sim::SystemConfig::make(mode, trace_length, num_fabrics));
-    return system.run(wl.program, wl.initialMemory);
+    return runner::execute(
+        runner::Job{name, mode, trace_length, num_fabrics, scale});
 }
 
 /** Print a horizontal rule sized for @p width columns of 10 chars. */

@@ -14,6 +14,9 @@
 #include <string>
 #include <vector>
 
+#include "common/json.hh"
+#include "common/logging.hh"
+
 namespace dynaspam
 {
 
@@ -68,6 +71,10 @@ class Histogram
         : _name(std::move(name)), bucketWidth(bucket_width),
           buckets(num_buckets, 0)
     {
+        if (bucket_width == 0)
+            fatal("histogram \"", _name, "\": bucket_width must be > 0");
+        if (num_buckets == 0)
+            fatal("histogram \"", _name, "\": needs at least one bucket");
     }
 
     void
@@ -85,8 +92,30 @@ class Histogram
     std::uint64_t samples() const { return count; }
     double mean() const { return count ? double(sum) / count : 0.0; }
     std::uint64_t bucket(std::size_t i) const { return buckets.at(i); }
+    std::size_t numBuckets() const { return buckets.size(); }
+    std::uint64_t width() const { return bucketWidth; }
+    std::uint64_t total() const { return sum; }
     std::uint64_t overflowCount() const { return overflow; }
     const std::string &name() const { return _name; }
+
+    /**
+     * Overwrite the contents with previously recorded state. Used by the
+     * runner's result cache to round-trip histograms through JSON.
+     * @throws FatalError when @p bucket_counts has a different shape
+     */
+    void
+    restore(const std::vector<std::uint64_t> &bucket_counts,
+            std::uint64_t overflow_count, std::uint64_t sample_count,
+            std::uint64_t sample_sum)
+    {
+        if (bucket_counts.size() != buckets.size())
+            fatal("histogram \"", _name, "\": restore with ",
+                  bucket_counts.size(), " buckets into ", buckets.size());
+        buckets = bucket_counts;
+        overflow = overflow_count;
+        count = sample_count;
+        sum = sample_sum;
+    }
 
     void
     reset()
@@ -134,6 +163,32 @@ class StatRegistry
         return it->second;
     }
 
+    /**
+     * Register (or fetch) a histogram under @p name. The bucket geometry
+     * is fixed at first registration; later calls with the same name
+     * return the existing histogram regardless of the arguments.
+     */
+    Histogram &
+    histogram(const std::string &name, std::uint64_t bucket_width,
+              std::size_t num_buckets)
+    {
+        auto it = histograms.find(name);
+        if (it == histograms.end())
+            it = histograms
+                     .emplace(name,
+                              Histogram(name, bucket_width, num_buckets))
+                     .first;
+        return it->second;
+    }
+
+    /** @return histogram registered under @p name, or nullptr. */
+    const Histogram *
+    findHistogram(const std::string &name) const
+    {
+        auto it = histograms.find(name);
+        return it == histograms.end() ? nullptr : &it->second;
+    }
+
     /** @return counter value, or 0 if never registered. */
     std::uint64_t
     get(const std::string &name) const
@@ -157,6 +212,8 @@ class StatRegistry
             kv.second.reset();
         for (auto &kv : accums)
             kv.second.reset();
+        for (auto &kv : histograms)
+            kv.second.reset();
     }
 
     /** Dump all statistics, sorted by name, one per line. */
@@ -167,6 +224,57 @@ class StatRegistry
             os << kv.first << " " << kv.second.value() << "\n";
         for (const auto &kv : accums)
             os << kv.first << " " << kv.second.value() << "\n";
+        for (const auto &kv : histograms) {
+            const Histogram &h = kv.second;
+            os << kv.first << " count=" << h.samples()
+               << " mean=" << h.mean() << " overflow=" << h.overflowCount()
+               << " buckets=";
+            for (std::size_t i = 0; i < h.numBuckets(); i++)
+                os << (i ? "," : "") << h.bucket(i);
+            os << "\n";
+        }
+    }
+
+    /**
+     * @return the registry as a JSON object:
+     * `{"counters": {name: value}, "accums": {name: value},
+     *   "histograms": {name: {"bucket_width", "buckets", "overflow",
+     *   "count", "sum"}}}`. Deterministic (sorted keys).
+     */
+    json::Value
+    toJson() const
+    {
+        json::Object counters_obj, accums_obj, histograms_obj;
+        for (const auto &kv : counters)
+            counters_obj.emplace(kv.first, kv.second.value());
+        for (const auto &kv : accums)
+            accums_obj.emplace(kv.first, kv.second.value());
+        for (const auto &kv : histograms) {
+            const Histogram &h = kv.second;
+            json::Array buckets_arr;
+            for (std::size_t i = 0; i < h.numBuckets(); i++)
+                buckets_arr.emplace_back(h.bucket(i));
+            json::Object hist_obj;
+            hist_obj.emplace("bucket_width", h.width());
+            hist_obj.emplace("buckets", std::move(buckets_arr));
+            hist_obj.emplace("overflow", h.overflowCount());
+            hist_obj.emplace("count", h.samples());
+            hist_obj.emplace("sum", h.total());
+            histograms_obj.emplace(kv.first, std::move(hist_obj));
+        }
+        json::Object root;
+        root.emplace("counters", std::move(counters_obj));
+        root.emplace("accums", std::move(accums_obj));
+        root.emplace("histograms", std::move(histograms_obj));
+        return json::Value(std::move(root));
+    }
+
+    /** Dump all statistics as a JSON document (see toJson). */
+    void
+    dumpJson(std::ostream &os) const
+    {
+        toJson().write(os, 2);
+        os << "\n";
     }
 
     const std::map<std::string, StatCounter> &allCounters() const
@@ -174,9 +282,20 @@ class StatRegistry
         return counters;
     }
 
+    const std::map<std::string, StatAccum> &allAccums() const
+    {
+        return accums;
+    }
+
+    const std::map<std::string, Histogram> &allHistograms() const
+    {
+        return histograms;
+    }
+
   private:
     std::map<std::string, StatCounter> counters;
     std::map<std::string, StatAccum> accums;
+    std::map<std::string, Histogram> histograms;
 };
 
 /** Geometric mean of a vector of positive values (0 on empty input). */

@@ -6,6 +6,7 @@
 #include "fabric/fabric.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <deque>
@@ -303,8 +304,9 @@ Fabric::execute(const isa::DynamicTrace &trace, SeqNum trace_idx,
         }
 
         if (getenv("DBG_FAB")) {
-            static int dbg_n = 0;
-            dbg_n++;
+            // Atomic: fabrics on different runner threads share this.
+            static std::atomic<int> dbg_counter{0};
+            int dbg_n = ++dbg_counter;
             if (dbg_n >= 20000 && dbg_n < 20040)
                 std::fprintf(stderr,
                     "DBG fab idx=%llu i=%zu op=%d ready=%llu done=%llu b2b=%d\n",

@@ -1,0 +1,72 @@
+#include "runner/job.hh"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "workloads/workload.hh"
+
+namespace dynaspam::runner
+{
+
+std::string
+Job::key() const
+{
+    // The workload tag is canonicalized so "bfs" and "BFS" are the same
+    // cache entry.
+    std::ostringstream os;
+    os << workloads::canonicalWorkloadName(workload) << "|"
+       << sim::modeName(mode) << "|" << traceLength << "|" << numFabrics
+       << "|" << scale;
+    return os.str();
+}
+
+std::uint64_t
+Job::hash() const
+{
+    // FNV-1a, 64-bit: stable across platforms, good enough dispersion
+    // for cache file naming (collisions additionally guarded by storing
+    // the full key inside the cache file).
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (char c : key()) {
+        h ^= std::uint64_t(static_cast<unsigned char>(c));
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+std::string
+Job::hashHex() const
+{
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(hash()));
+    return std::string(buf);
+}
+
+sim::SystemMode
+parseMode(const std::string &token)
+{
+    for (sim::SystemMode mode :
+         {sim::SystemMode::BaselineOoo, sim::SystemMode::MappingOnly,
+          sim::SystemMode::AccelNoSpec, sim::SystemMode::AccelSpec,
+          sim::SystemMode::AccelNaive}) {
+        if (token == sim::modeName(mode))
+            return mode;
+    }
+    fatal("unknown system mode \"", token,
+          "\" (expected baseline-ooo, mapping-only, accel-nospec, "
+          "accel-spec or accel-naive)");
+}
+
+sim::RunResult
+execute(const Job &job)
+{
+    workloads::Workload wl = workloads::makeWorkload(job.workload,
+                                                     job.scale);
+    sim::System system(sim::SystemConfig::make(job.mode, job.traceLength,
+                                               job.numFabrics));
+    return system.run(wl.program, wl.initialMemory);
+}
+
+} // namespace dynaspam::runner

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Experiment job specification.
+ *
+ * A Job names one simulation point of the evaluation space: a workload,
+ * a named system configuration, and the sweep parameters (trace length,
+ * fabric count, problem scale). Jobs are plain values so they can be
+ * queued on the thread pool, hashed for the on-disk result cache, and
+ * serialized into sweep reports.
+ *
+ * The content hash is FNV-1a over the canonical key string, so it is
+ * stable across processes, platforms and standard-library versions —
+ * a requirement for the cache file naming scheme.
+ */
+
+#ifndef DYNASPAM_RUNNER_JOB_HH
+#define DYNASPAM_RUNNER_JOB_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/system.hh"
+
+namespace dynaspam::runner
+{
+
+/** One schedulable simulation point. */
+struct Job
+{
+    std::string workload;                ///< registry tag ("bfs", ...)
+    sim::SystemMode mode = sim::SystemMode::BaselineOoo;
+    unsigned traceLength = 32;
+    unsigned numFabrics = 1;
+    unsigned scale = 1;
+
+    /** Canonical key: `workload|mode|trace|fabrics|scale`. */
+    std::string key() const;
+
+    /** Stable 64-bit FNV-1a content hash of key(). */
+    std::uint64_t hash() const;
+
+    /** hash() as a fixed-width lowercase hex string (cache file stem). */
+    std::string hashHex() const;
+
+    bool operator==(const Job &other) const = default;
+};
+
+/**
+ * Parse a mode token as printed by sim::modeName ("baseline-ooo",
+ * "mapping-only", "accel-nospec", "accel-spec", "accel-naive").
+ * @throws FatalError on an unknown token
+ */
+sim::SystemMode parseMode(const std::string &token);
+
+/**
+ * Execute @p job: build the workload, construct a fresh System and run
+ * it. Thread-safe — every call uses only job-local state.
+ */
+sim::RunResult execute(const Job &job);
+
+} // namespace dynaspam::runner
+
+#endif // DYNASPAM_RUNNER_JOB_HH

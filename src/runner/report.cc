@@ -1,0 +1,270 @@
+#include "runner/report.hh"
+
+#include "common/logging.hh"
+#include "isa/opcodes.hh"
+#include "workloads/workload.hh"
+
+namespace dynaspam::runner
+{
+
+namespace
+{
+
+constexpr std::size_t kNumFuTypes =
+    std::size_t(isa::FuType::NUM_FU_TYPES);
+
+json::Value
+pipelineToJson(const ooo::PipelineStats &p)
+{
+    json::Object o;
+    o.emplace("cycles", p.cycles);
+    o.emplace("fetched_insts", p.fetchedInsts);
+    o.emplace("renamed_insts", p.renamedInsts);
+    o.emplace("dispatched_insts", p.dispatchedInsts);
+    o.emplace("issued_insts", p.issuedInsts);
+    o.emplace("committed_insts", p.committedInsts);
+    o.emplace("committed_on_host", p.committedOnHost);
+    o.emplace("squashed_insts", p.squashedInsts);
+    o.emplace("branch_mispredicts", p.branchMispredicts);
+    o.emplace("mem_order_violations", p.memOrderViolations);
+    o.emplace("reg_reads", p.regReads);
+    o.emplace("reg_writes", p.regWrites);
+    o.emplace("bypasses", p.bypasses);
+    o.emplace("iq_wakeups", p.iqWakeups);
+    json::Array fu_ops;
+    for (std::size_t i = 0; i < kNumFuTypes; i++)
+        fu_ops.emplace_back(p.fuOps[i]);
+    o.emplace("fu_ops", std::move(fu_ops));
+    o.emplace("load_forwards", p.loadForwards);
+    o.emplace("icache_accesses", p.icacheAccesses);
+    o.emplace("dcache_accesses", p.dcacheAccesses);
+    o.emplace("rob_writes", p.robWrites);
+    o.emplace("rob_reads", p.robReads);
+    o.emplace("invocations_committed", p.invocationsCommitted);
+    o.emplace("invocations_squashed", p.invocationsSquashed);
+    o.emplace("mapping_insts_executed", p.mappingInstsExecuted);
+    return json::Value(std::move(o));
+}
+
+ooo::PipelineStats
+pipelineFromJson(const json::Value &v)
+{
+    ooo::PipelineStats p;
+    p.cycles = v.at("cycles").asUint();
+    p.fetchedInsts = v.at("fetched_insts").asUint();
+    p.renamedInsts = v.at("renamed_insts").asUint();
+    p.dispatchedInsts = v.at("dispatched_insts").asUint();
+    p.issuedInsts = v.at("issued_insts").asUint();
+    p.committedInsts = v.at("committed_insts").asUint();
+    p.committedOnHost = v.at("committed_on_host").asUint();
+    p.squashedInsts = v.at("squashed_insts").asUint();
+    p.branchMispredicts = v.at("branch_mispredicts").asUint();
+    p.memOrderViolations = v.at("mem_order_violations").asUint();
+    p.regReads = v.at("reg_reads").asUint();
+    p.regWrites = v.at("reg_writes").asUint();
+    p.bypasses = v.at("bypasses").asUint();
+    p.iqWakeups = v.at("iq_wakeups").asUint();
+    const json::Array &fu_ops = v.at("fu_ops").asArray();
+    if (fu_ops.size() != kNumFuTypes)
+        fatal("result json: fu_ops has ", fu_ops.size(), " entries, "
+              "expected ", kNumFuTypes);
+    for (std::size_t i = 0; i < kNumFuTypes; i++)
+        p.fuOps[i] = fu_ops[i].asUint();
+    p.loadForwards = v.at("load_forwards").asUint();
+    p.icacheAccesses = v.at("icache_accesses").asUint();
+    p.dcacheAccesses = v.at("dcache_accesses").asUint();
+    p.robWrites = v.at("rob_writes").asUint();
+    p.robReads = v.at("rob_reads").asUint();
+    p.invocationsCommitted = v.at("invocations_committed").asUint();
+    p.invocationsSquashed = v.at("invocations_squashed").asUint();
+    p.mappingInstsExecuted = v.at("mapping_insts_executed").asUint();
+    return p;
+}
+
+json::Value
+dynaspamToJson(const core::DynaSpamStats &d)
+{
+    json::Object o;
+    o.emplace("traces_considered", d.tracesConsidered);
+    o.emplace("mappings_started", d.mappingsStarted);
+    o.emplace("mappings_completed", d.mappingsCompleted);
+    o.emplace("mappings_aborted", d.mappingsAborted);
+    o.emplace("mappings_discarded", d.mappingsDiscarded);
+    o.emplace("offloads_issued", d.offloadsIssued);
+    o.emplace("invocations_committed", d.invocationsCommitted);
+    o.emplace("invocations_squashed", d.invocationsSquashed);
+    o.emplace("invocations_collateral", d.invocationsCollateral);
+    o.emplace("hot_not_mapped", d.hotNotMapped);
+    o.emplace("offload_below_threshold", d.offloadBelowThreshold);
+    o.emplace("offload_suppressed", d.offloadSuppressed);
+    o.emplace("insts_offloaded", d.instsOffloaded);
+    o.emplace("reconfigurations", d.reconfigurations);
+    o.emplace("distinct_mapped_traces", d.distinctMappedTraces);
+    o.emplace("distinct_offloaded_traces", d.distinctOffloadedTraces);
+    o.emplace("lifetime_sum", d.lifetimeSum);
+    o.emplace("lifetime_count", d.lifetimeCount);
+    return json::Value(std::move(o));
+}
+
+core::DynaSpamStats
+dynaspamFromJson(const json::Value &v)
+{
+    core::DynaSpamStats d;
+    d.tracesConsidered = v.at("traces_considered").asUint();
+    d.mappingsStarted = v.at("mappings_started").asUint();
+    d.mappingsCompleted = v.at("mappings_completed").asUint();
+    d.mappingsAborted = v.at("mappings_aborted").asUint();
+    d.mappingsDiscarded = v.at("mappings_discarded").asUint();
+    d.offloadsIssued = v.at("offloads_issued").asUint();
+    d.invocationsCommitted = v.at("invocations_committed").asUint();
+    d.invocationsSquashed = v.at("invocations_squashed").asUint();
+    d.invocationsCollateral = v.at("invocations_collateral").asUint();
+    d.hotNotMapped = v.at("hot_not_mapped").asUint();
+    d.offloadBelowThreshold = v.at("offload_below_threshold").asUint();
+    d.offloadSuppressed = v.at("offload_suppressed").asUint();
+    d.instsOffloaded = v.at("insts_offloaded").asUint();
+    d.reconfigurations = v.at("reconfigurations").asUint();
+    d.distinctMappedTraces = v.at("distinct_mapped_traces").asUint();
+    d.distinctOffloadedTraces = v.at("distinct_offloaded_traces").asUint();
+    d.lifetimeSum = v.at("lifetime_sum").asUint();
+    d.lifetimeCount = v.at("lifetime_count").asUint();
+    return d;
+}
+
+json::Value
+energyToJson(const energy::EnergyBreakdown &e)
+{
+    json::Object components;
+    for (const auto &kv : e.component)
+        components.emplace(kv.first, kv.second);
+    json::Object o;
+    o.emplace("components", std::move(components));
+    o.emplace("total", e.total());
+    return json::Value(std::move(o));
+}
+
+energy::EnergyBreakdown
+energyFromJson(const json::Value &v)
+{
+    energy::EnergyBreakdown e;
+    for (const auto &kv : v.at("components").asObject())
+        e.component.emplace(kv.first, kv.second.asDouble());
+    return e;
+}
+
+StatRegistry
+registryFromJson(const json::Value &v)
+{
+    StatRegistry reg;
+    for (const auto &kv : v.at("counters").asObject())
+        reg.counter(kv.first).inc(kv.second.asUint());
+    for (const auto &kv : v.at("accums").asObject())
+        reg.accum(kv.first).add(kv.second.asDouble());
+    for (const auto &kv : v.at("histograms").asObject()) {
+        const json::Value &h = kv.second;
+        const json::Array &buckets = h.at("buckets").asArray();
+        std::vector<std::uint64_t> counts;
+        counts.reserve(buckets.size());
+        for (const json::Value &b : buckets)
+            counts.push_back(b.asUint());
+        reg.histogram(kv.first, h.at("bucket_width").asUint(),
+                      counts.size())
+            .restore(counts, h.at("overflow").asUint(),
+                     h.at("count").asUint(), h.at("sum").asUint());
+    }
+    return reg;
+}
+
+} // namespace
+
+json::Value
+resultToJson(const sim::RunResult &result)
+{
+    json::Object insts;
+    insts.emplace("total", result.instsTotal);
+    insts.emplace("mapping", result.instsMapping);
+    insts.emplace("fabric", result.instsFabric);
+    insts.emplace("host", result.instsHost);
+
+    json::Object o;
+    o.emplace("cycles", std::uint64_t(result.cycles));
+    o.emplace("ipc", result.ipc());
+    o.emplace("insts", std::move(insts));
+    o.emplace("functionally_correct", result.functionallyCorrect);
+    o.emplace("pipeline", pipelineToJson(result.pipeline));
+    o.emplace("dynaspam", dynaspamToJson(result.dynaspam));
+    o.emplace("energy", energyToJson(result.energy));
+    o.emplace("stats", result.stats.toJson());
+    return json::Value(std::move(o));
+}
+
+sim::RunResult
+resultFromJson(const json::Value &v)
+{
+    sim::RunResult r;
+    r.cycles = v.at("cycles").asUint();
+    const json::Value &insts = v.at("insts");
+    r.instsTotal = insts.at("total").asUint();
+    r.instsMapping = insts.at("mapping").asUint();
+    r.instsFabric = insts.at("fabric").asUint();
+    r.instsHost = insts.at("host").asUint();
+    r.functionallyCorrect = v.at("functionally_correct").asBool();
+    r.pipeline = pipelineFromJson(v.at("pipeline"));
+    r.dynaspam = dynaspamFromJson(v.at("dynaspam"));
+    r.energy = energyFromJson(v.at("energy"));
+    r.stats = registryFromJson(v.at("stats"));
+    return r;
+}
+
+json::Value
+jobToJson(const Job &job)
+{
+    json::Object o;
+    o.emplace("workload", workloads::canonicalWorkloadName(job.workload));
+    o.emplace("mode", std::string(sim::modeName(job.mode)));
+    o.emplace("trace_length", job.traceLength);
+    o.emplace("num_fabrics", job.numFabrics);
+    o.emplace("scale", job.scale);
+    o.emplace("hash", job.hashHex());
+    return json::Value(std::move(o));
+}
+
+Job
+jobFromJson(const json::Value &v)
+{
+    Job job;
+    job.workload = v.at("workload").asString();
+    job.mode = parseMode(v.at("mode").asString());
+    job.traceLength = unsigned(v.at("trace_length").asUint());
+    job.numFabrics = unsigned(v.at("num_fabrics").asUint());
+    job.scale = unsigned(v.at("scale").asUint());
+    return job;
+}
+
+void
+writeSweepReport(std::ostream &os, const std::string &name,
+                 const std::vector<JobOutcome> &outcomes,
+                 const StatRegistry *runner_stats)
+{
+    json::Array results;
+    for (const JobOutcome &outcome : outcomes) {
+        json::Object entry;
+        entry.emplace("job", jobToJson(outcome.job));
+        entry.emplace("from_cache", outcome.fromCache);
+        entry.emplace("result", resultToJson(outcome.result));
+        results.emplace_back(std::move(entry));
+    }
+
+    json::Object root;
+    root.emplace("schema_version", kSweepSchemaVersion);
+    root.emplace("tool", "dynaspam");
+    root.emplace("sweep", name);
+    root.emplace("num_jobs", std::uint64_t(outcomes.size()));
+    if (runner_stats)
+        root.emplace("runner", runner_stats->toJson());
+    root.emplace("results", std::move(results));
+    json::Value(std::move(root)).write(os, 2);
+    os << "\n";
+}
+
+} // namespace dynaspam::runner

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * JSON serialization of experiment results and sweep reports.
+ *
+ * Two layers:
+ *  - resultToJson / resultFromJson round-trip a complete sim::RunResult
+ *    (cycle count, pipeline/DynaSpAM stats, energy breakdown, stat
+ *    registry, instruction split) — this is the on-disk format of the
+ *    ResultCache.
+ *  - writeSweepReport emits the documented sweep schema: a top-level
+ *    object with schema_version, sweep metadata, runner stats, and one
+ *    entry per job. See EXPERIMENTS.md ("Sweep JSON schema").
+ *
+ * Everything here is deterministic: keys are sorted, doubles use
+ * shortest-round-trip formatting, and no timestamps are emitted, so the
+ * same jobs produce byte-identical reports regardless of thread count.
+ */
+
+#ifndef DYNASPAM_RUNNER_REPORT_HH
+#define DYNASPAM_RUNNER_REPORT_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/json.hh"
+#include "runner/job.hh"
+#include "sim/system.hh"
+
+namespace dynaspam::runner
+{
+
+/** The result of one executed (or cache-served) job. */
+struct JobOutcome
+{
+    Job job;
+    sim::RunResult result;
+    bool fromCache = false;
+};
+
+/** Serialize a full RunResult (cache round-trip format, version 1). */
+json::Value resultToJson(const sim::RunResult &result);
+
+/**
+ * Rebuild a RunResult from resultToJson output.
+ * @throws FatalError on schema mismatch
+ */
+sim::RunResult resultFromJson(const json::Value &value);
+
+/** Serialize a job spec (workload, mode, parameters, hash). */
+json::Value jobToJson(const Job &job);
+
+/** Parse a job spec serialized by jobToJson. @throws FatalError */
+Job jobFromJson(const json::Value &value);
+
+/**
+ * Write a sweep report: one JSON document covering all @p outcomes.
+ * @param name sweep name recorded in the report (e.g. "fig8")
+ * @param runner_stats the runner's stat registry (cache hits etc.);
+ *        may be null for reports produced without a Runner
+ */
+void writeSweepReport(std::ostream &os, const std::string &name,
+                      const std::vector<JobOutcome> &outcomes,
+                      const StatRegistry *runner_stats = nullptr);
+
+/** Current sweep report schema version. */
+inline constexpr unsigned kSweepSchemaVersion = 1;
+
+} // namespace dynaspam::runner
+
+#endif // DYNASPAM_RUNNER_REPORT_HH

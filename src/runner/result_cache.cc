@@ -1,0 +1,99 @@
+#include "runner/result_cache.hh"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include <unistd.h>
+
+#include "common/logging.hh"
+#include "runner/report.hh"
+
+namespace dynaspam::runner
+{
+
+namespace fs = std::filesystem;
+
+ResultCache::ResultCache(std::string dir_, std::string epoch_)
+    : dir(std::move(dir_)), epoch(std::move(epoch_))
+{
+}
+
+std::string
+ResultCache::pathFor(const Job &job) const
+{
+    return (fs::path(dir) / (job.hashHex() + ".json")).string();
+}
+
+std::optional<sim::RunResult>
+ResultCache::load(const Job &job) const
+{
+    if (!enabled())
+        return std::nullopt;
+
+    std::ifstream in(pathFor(job));
+    if (!in)
+        return std::nullopt;
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+
+    try {
+        json::Value doc = json::Value::parse(buffer.str());
+        if (doc.at("epoch").asString() != epoch)
+            return std::nullopt;
+        if (doc.at("key").asString() != job.key())
+            return std::nullopt;
+        return resultFromJson(doc.at("result"));
+    } catch (const FatalError &) {
+        // Corrupt or stale-schema entry: fall back to simulation.
+        return std::nullopt;
+    }
+}
+
+void
+ResultCache::store(const Job &job, const sim::RunResult &result) const
+{
+    if (!enabled())
+        return;
+
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    if (ec) {
+        warn("result cache: cannot create ", dir, ": ", ec.message());
+        return;
+    }
+
+    json::Object doc;
+    doc.emplace("epoch", epoch);
+    doc.emplace("key", job.key());
+    doc.emplace("job", jobToJson(job));
+    doc.emplace("result", resultToJson(result));
+
+    const std::string final_path = pathFor(job);
+    // Unique temp name per writer so concurrent stores never interleave;
+    // rename() is atomic within a filesystem.
+    std::ostringstream tmp_name;
+    tmp_name << final_path << ".tmp." << ::getpid() << "."
+             << std::hash<std::thread::id>{}(std::this_thread::get_id());
+    const std::string tmp_path = tmp_name.str();
+
+    {
+        std::ofstream out(tmp_path);
+        if (!out) {
+            warn("result cache: cannot write ", tmp_path);
+            return;
+        }
+        json::Value(std::move(doc)).write(out, 2);
+        out << "\n";
+    }
+    fs::rename(tmp_path, final_path, ec);
+    if (ec) {
+        warn("result cache: rename to ", final_path, " failed: ",
+             ec.message());
+        fs::remove(tmp_path, ec);
+    }
+}
+
+} // namespace dynaspam::runner

@@ -1,0 +1,41 @@
+#include "runner/runner.hh"
+
+#include <atomic>
+
+namespace dynaspam::runner
+{
+
+Runner::Runner(RunnerOptions options_)
+    : options(std::move(options_)),
+      pool(options.jobs ? options.jobs : ThreadPool::defaultWorkers()),
+      resultCache(options.cacheDir)
+{
+}
+
+std::vector<JobOutcome>
+Runner::runAll(const std::vector<Job> &jobs)
+{
+    std::vector<JobOutcome> outcomes(jobs.size());
+    std::atomic<std::uint64_t> hits{0}, misses{0};
+
+    pool.parallelFor(jobs.size(), [&](std::size_t i) {
+        const Job &job = jobs[i];
+        if (auto cached = resultCache.load(job)) {
+            outcomes[i] = JobOutcome{job, std::move(*cached), true};
+            hits++;
+            return;
+        }
+        sim::RunResult result = execute(job);
+        resultCache.store(job, result);
+        outcomes[i] = JobOutcome{job, std::move(result), false};
+        misses++;
+    });
+
+    registry.counter("runner.jobs_total").inc(jobs.size());
+    registry.counter("runner.cache_hits").inc(hits.load());
+    registry.counter("runner.cache_misses").inc(misses.load());
+    registry.counter("runner.jobs_executed").inc(misses.load());
+    return outcomes;
+}
+
+} // namespace dynaspam::runner

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * The experiment runner: jobs in, deterministic results out.
+ *
+ * Runner ties the pieces together: each job is first probed against the
+ * ResultCache; misses are simulated on the work-stealing ThreadPool;
+ * results land in a slot owned by the job's index, so the returned
+ * vector is identical for any worker count. Cache bookkeeping is
+ * exposed through a StatRegistry ("runner.cache_hits",
+ * "runner.cache_misses", "runner.jobs_executed", "runner.jobs_total"),
+ * which tests and the CLI use to prove that a warm-cache rerun performs
+ * zero simulations.
+ */
+
+#ifndef DYNASPAM_RUNNER_RUNNER_HH
+#define DYNASPAM_RUNNER_RUNNER_HH
+
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "runner/job.hh"
+#include "runner/report.hh"
+#include "runner/result_cache.hh"
+#include "runner/thread_pool.hh"
+
+namespace dynaspam::runner
+{
+
+/** Execution knobs for a Runner. */
+struct RunnerOptions
+{
+    /** Worker threads; 0 means ThreadPool::defaultWorkers(). */
+    unsigned jobs = 0;
+    /** Result-cache directory; empty disables caching. */
+    std::string cacheDir;
+};
+
+/** Executes batches of jobs with caching and parallelism. */
+class Runner
+{
+  public:
+    explicit Runner(RunnerOptions options);
+
+    /**
+     * Run every job in @p jobs, returning outcomes in job order.
+     * Deterministic: the outcome vector depends only on the job list
+     * (and cache contents), never on the worker count.
+     * @throws whatever a failing job throws (e.g. FatalError for an
+     *         unknown workload), after the batch drains
+     */
+    std::vector<JobOutcome> runAll(const std::vector<Job> &jobs);
+
+    /** Cache/EXECUTION bookkeeping, cumulative across runAll calls. */
+    const StatRegistry &stats() const { return registry; }
+
+    unsigned workers() const { return pool.workers(); }
+    const ResultCache &cache() const { return resultCache; }
+
+  private:
+    RunnerOptions options;
+    ThreadPool pool;
+    ResultCache resultCache;
+    StatRegistry registry;
+};
+
+} // namespace dynaspam::runner
+
+#endif // DYNASPAM_RUNNER_RUNNER_HH

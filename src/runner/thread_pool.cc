@@ -1,0 +1,148 @@
+#include "runner/thread_pool.hh"
+
+#include <cstdlib>
+#include <memory>
+
+#include "common/logging.hh"
+
+namespace dynaspam::runner
+{
+
+ThreadPool::ThreadPool(unsigned workers)
+{
+    if (workers == 0)
+        workers = 1;
+    deques.reserve(workers);
+    for (unsigned i = 0; i < workers; i++)
+        deques.push_back(std::make_unique<WorkerDeque>());
+    threads.reserve(workers);
+    for (unsigned i = 0; i < workers; i++)
+        threads.emplace_back([this, i] { workerLoop(i); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(batchMutex);
+        shutdown = true;
+    }
+    workAvailable.notify_all();
+    for (std::thread &t : threads)
+        t.join();
+}
+
+unsigned
+ThreadPool::defaultWorkers(unsigned fallback)
+{
+    if (const char *env = std::getenv("DYNASPAM_JOBS")) {
+        long n = std::strtol(env, nullptr, 10);
+        if (n >= 1)
+            return unsigned(n);
+    }
+    if (fallback == 0) {
+        fallback = std::thread::hardware_concurrency();
+        if (fallback == 0)
+            fallback = 1;
+    }
+    return fallback;
+}
+
+void
+ThreadPool::parallelFor(std::size_t n,
+                        const std::function<void(std::size_t)> &fn)
+{
+    if (n == 0)
+        return;
+
+    {
+        std::lock_guard<std::mutex> lock(batchMutex);
+        if (batchFn)
+            panic("ThreadPool::parallelFor is not reentrant");
+        batchFn = &fn;
+        remaining = n;
+        firstError = nullptr;
+        // Deal indices round-robin; workers are idle so deque locks are
+        // uncontended here.
+        for (std::size_t i = 0; i < n; i++) {
+            WorkerDeque &dq = *deques[i % deques.size()];
+            std::lock_guard<std::mutex> dlock(dq.mutex);
+            dq.tasks.push_back(i);
+        }
+        generation++;
+    }
+    workAvailable.notify_all();
+
+    std::unique_lock<std::mutex> lock(batchMutex);
+    batchDone.wait(lock, [this] { return remaining == 0; });
+    batchFn = nullptr;
+    if (firstError)
+        std::rethrow_exception(firstError);
+}
+
+bool
+ThreadPool::popOwn(std::size_t self, std::size_t &index)
+{
+    WorkerDeque &dq = *deques[self];
+    std::lock_guard<std::mutex> lock(dq.mutex);
+    if (dq.tasks.empty())
+        return false;
+    index = dq.tasks.front();
+    dq.tasks.pop_front();
+    return true;
+}
+
+bool
+ThreadPool::stealOther(std::size_t self, std::size_t &index)
+{
+    for (std::size_t k = 1; k < deques.size(); k++) {
+        WorkerDeque &dq = *deques[(self + k) % deques.size()];
+        std::lock_guard<std::mutex> lock(dq.mutex);
+        if (dq.tasks.empty())
+            continue;
+        index = dq.tasks.back();
+        dq.tasks.pop_back();
+        return true;
+    }
+    return false;
+}
+
+void
+ThreadPool::runTask(std::size_t index)
+{
+    try {
+        (*batchFn)(index);
+    } catch (...) {
+        std::lock_guard<std::mutex> lock(batchMutex);
+        if (!firstError)
+            firstError = std::current_exception();
+    }
+    bool last = false;
+    {
+        std::lock_guard<std::mutex> lock(batchMutex);
+        last = --remaining == 0;
+    }
+    if (last)
+        batchDone.notify_all();
+}
+
+void
+ThreadPool::workerLoop(std::size_t self)
+{
+    std::uint64_t seen_generation = 0;
+    while (true) {
+        {
+            std::unique_lock<std::mutex> lock(batchMutex);
+            workAvailable.wait(lock, [&] {
+                return shutdown || generation != seen_generation;
+            });
+            if (shutdown)
+                return;
+            seen_generation = generation;
+        }
+        std::size_t index;
+        while (popOwn(self, index) || stealOther(self, index))
+            runTask(index);
+    }
+}
+
+} // namespace dynaspam::runner

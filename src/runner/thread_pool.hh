@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Work-stealing thread pool for experiment execution.
+ *
+ * A fixed set of worker threads each owns a deque of task indices.
+ * Workers pop work from the front of their own deque and, when it runs
+ * dry, steal from the back of a victim's deque — the classic split that
+ * keeps owner and thieves on opposite ends. Simulation jobs are coarse
+ * (milliseconds to seconds each), so each deque is guarded by a plain
+ * mutex rather than a lock-free Chase-Lev structure; contention is
+ * negligible at this granularity.
+ *
+ * Determinism: the pool schedules *indices* and the caller stores each
+ * task's result into a slot owned by that index, so the combined result
+ * vector is identical no matter how many workers run or in what order
+ * tasks finish. Tasks must not share mutable state for this to hold.
+ */
+
+#ifndef DYNASPAM_RUNNER_THREAD_POOL_HH
+#define DYNASPAM_RUNNER_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dynaspam::runner
+{
+
+/** Fixed-size pool executing indexed task batches with work stealing. */
+class ThreadPool
+{
+  public:
+    /**
+     * Spawn @p workers persistent worker threads (clamped to >= 1).
+     * Workers idle on a condition variable between batches.
+     */
+    explicit ThreadPool(unsigned workers);
+
+    /** Join all workers. Must not be called while a batch is running. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    unsigned workers() const { return unsigned(deques.size()); }
+
+    /**
+     * Execute fn(0) ... fn(n-1) across the workers and block until all
+     * complete. Task indices are dealt round-robin to the worker deques
+     * up front; idle workers steal from the back of busy workers'
+     * deques. If any task throws, the first exception is rethrown here
+     * after the batch drains (remaining tasks still run).
+     */
+    void parallelFor(std::size_t n,
+                     const std::function<void(std::size_t)> &fn);
+
+    /** @return a worker count from the DYNASPAM_JOBS environment
+     *  variable, or @p fallback (hardware concurrency when 0). */
+    static unsigned defaultWorkers(unsigned fallback = 0);
+
+  private:
+    struct WorkerDeque
+    {
+        std::mutex mutex;
+        std::deque<std::size_t> tasks;
+    };
+
+    void workerLoop(std::size_t self);
+    bool popOwn(std::size_t self, std::size_t &index);
+    bool stealOther(std::size_t self, std::size_t &index);
+    void runTask(std::size_t index);
+
+    std::vector<std::unique_ptr<WorkerDeque>> deques;
+    std::vector<std::thread> threads;
+
+    // Batch state, guarded by batchMutex.
+    std::mutex batchMutex;
+    std::condition_variable workAvailable;
+    std::condition_variable batchDone;
+    const std::function<void(std::size_t)> *batchFn = nullptr;
+    std::size_t remaining = 0;      ///< tasks not yet finished
+    std::uint64_t generation = 0;   ///< bumped per batch to wake workers
+    bool shutdown = false;
+    std::exception_ptr firstError;
+};
+
+} // namespace dynaspam::runner
+
+#endif // DYNASPAM_RUNNER_THREAD_POOL_HH

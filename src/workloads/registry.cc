@@ -5,6 +5,7 @@
 
 #include "workloads/workload.hh"
 
+#include <cctype>
 #include <cmath>
 
 #include "common/logging.hh"
@@ -22,9 +23,20 @@ allWorkloadNames()
     return names;
 }
 
-Workload
-makeWorkload(const std::string &name, unsigned scale)
+std::string
+canonicalWorkloadName(const std::string &tag)
 {
+    std::string name;
+    name.reserve(tag.size());
+    for (char c : tag)
+        name += char(std::toupper(static_cast<unsigned char>(c)));
+    return name;
+}
+
+Workload
+makeWorkload(const std::string &raw_name, unsigned scale)
+{
+    const std::string name = canonicalWorkloadName(raw_name);
     if (name == "BP")
         return makeBp(scale);
     if (name == "BFS")

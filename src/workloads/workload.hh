@@ -59,7 +59,11 @@ Workload makeSrad(unsigned scale = 1);  ///< SRAD diffusion
 /** The 11 benchmark tags in the paper's Table 3 order. */
 const std::vector<std::string> &allWorkloadNames();
 
-/** Build a workload by tag. @throws FatalError on unknown tag. */
+/** @return @p tag upper-cased to the registry's canonical form. */
+std::string canonicalWorkloadName(const std::string &tag);
+
+/** Build a workload by tag (case-insensitive).
+ *  @throws FatalError on unknown tag. */
 Workload makeWorkload(const std::string &name, unsigned scale = 1);
 
 // --- Data-memory helpers for generators and validators ------------------

@@ -69,6 +69,37 @@ TEST(Histogram, BucketsAndOverflow)
     EXPECT_DOUBLE_EQ(h.mean(), (0 + 9 + 10 + 35 + 100) / 5.0);
 }
 
+TEST(Histogram, RejectsDegenerateGeometry)
+{
+    EXPECT_THROW(Histogram("h", 0, 4), FatalError);
+    EXPECT_THROW(Histogram("h", 10, 0), FatalError);
+}
+
+TEST(Histogram, RestoreRoundTripsState)
+{
+    Histogram h("h", 10, 3);
+    h.restore({1, 2, 3}, 4, 10, 250);
+    EXPECT_EQ(h.bucket(0), 1u);
+    EXPECT_EQ(h.bucket(2), 3u);
+    EXPECT_EQ(h.overflowCount(), 4u);
+    EXPECT_EQ(h.samples(), 10u);
+    EXPECT_DOUBLE_EQ(h.mean(), 25.0);
+    EXPECT_THROW(h.restore({1, 2}, 0, 0, 0), FatalError);
+}
+
+TEST(StatRegistry, HistogramRegistrationAndReset)
+{
+    StatRegistry reg;
+    Histogram &h = reg.histogram("lat", 10, 4);
+    h.sample(12);
+    // Same name returns the same histogram regardless of geometry args.
+    EXPECT_EQ(&reg.histogram("lat", 999, 1), &h);
+    EXPECT_EQ(reg.findHistogram("lat"), &h);
+    EXPECT_EQ(reg.findHistogram("absent"), nullptr);
+    reg.resetAll();
+    EXPECT_EQ(h.samples(), 0u);
+}
+
 TEST(Geomean, MatchesHandComputedValue)
 {
     // geomean(2, 8) = 4

@@ -1,0 +1,375 @@
+/**
+ * @file
+ * Tests for the experiment-runner subsystem: JSON round-trips, the
+ * work-stealing thread pool, job hashing, result-cache hit/miss and
+ * corruption recovery, and the headline determinism guarantee — a sweep
+ * executed on 1 thread and on 8 threads produces byte-identical
+ * reports.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include <unistd.h>
+
+#include "common/json.hh"
+#include "common/logging.hh"
+#include "common/stats.hh"
+#include "runner/runner.hh"
+
+using namespace dynaspam;
+using runner::Job;
+using sim::SystemMode;
+
+namespace fs = std::filesystem;
+
+namespace
+{
+
+/** Fresh unique directory under the system temp dir, removed on exit. */
+class TempDir
+{
+  public:
+    explicit TempDir(const std::string &tag)
+    {
+        static std::atomic<unsigned> next{0};
+        path_ = (fs::temp_directory_path() /
+                 ("dynaspam-test-" + tag + "-" + std::to_string(getpid()) +
+                  "-" + std::to_string(next++)))
+                    .string();
+        fs::create_directories(path_);
+    }
+    ~TempDir()
+    {
+        std::error_code ec;
+        fs::remove_all(path_, ec);
+    }
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+};
+
+/** The documented 20-point determinism sweep: 5 workloads x 4 modes. */
+std::vector<Job>
+determinismSweep()
+{
+    std::vector<Job> jobs;
+    for (const char *wl : {"BP", "BFS", "HS", "KM", "PF"})
+        for (SystemMode mode :
+             {SystemMode::BaselineOoo, SystemMode::MappingOnly,
+              SystemMode::AccelNoSpec, SystemMode::AccelSpec})
+            jobs.push_back(Job{wl, mode, 32, 1, 1});
+    return jobs;
+}
+
+std::string
+reportFor(const std::vector<runner::JobOutcome> &outcomes,
+          const StatRegistry *stats)
+{
+    std::ostringstream os;
+    runner::writeSweepReport(os, "test", outcomes, stats);
+    return os.str();
+}
+
+} // namespace
+
+// --- JSON ----------------------------------------------------------------
+
+TEST(Json, ScalarRoundTrip)
+{
+    EXPECT_EQ(json::Value(std::uint64_t(18446744073709551615ULL)).dump(),
+              "18446744073709551615");
+    EXPECT_EQ(json::Value(std::int64_t(-42)).dump(), "-42");
+    EXPECT_EQ(json::Value(true).dump(), "true");
+    EXPECT_EQ(json::Value(nullptr).dump(), "null");
+    EXPECT_EQ(json::Value("a\"b\n").dump(), "\"a\\\"b\\n\"");
+    // Integral doubles keep a visible fraction so they re-parse as
+    // doubles.
+    EXPECT_EQ(json::Value(2.0).dump(), "2.0");
+    EXPECT_EQ(json::Value(0.25).dump(), "0.25");
+}
+
+TEST(Json, ParseRoundTrip)
+{
+    const std::string text =
+        R"({"a": [1, 2.5, "x"], "b": {"c": true, "d": null}})";
+    json::Value v = json::Value::parse(text);
+    EXPECT_EQ(v.at("a").asArray().size(), 3u);
+    EXPECT_EQ(v.at("a").asArray()[0].asUint(), 1u);
+    EXPECT_DOUBLE_EQ(v.at("a").asArray()[1].asDouble(), 2.5);
+    EXPECT_EQ(v.at("a").asArray()[2].asString(), "x");
+    EXPECT_TRUE(v.at("b").at("c").asBool());
+    EXPECT_TRUE(v.at("b").at("d").isNull());
+    // Dump -> parse -> dump is a fixed point.
+    EXPECT_EQ(json::Value::parse(v.dump()).dump(), v.dump());
+    EXPECT_EQ(json::Value::parse(v.dump(2)).dump(2), v.dump(2));
+}
+
+TEST(Json, LargeCountersSurviveExactly)
+{
+    const std::uint64_t big = (1ULL << 62) + 12345;
+    json::Value v = json::Value::parse(json::Value(big).dump());
+    EXPECT_EQ(v.asUint(), big);
+}
+
+TEST(Json, ParseErrorsThrow)
+{
+    EXPECT_THROW(json::Value::parse(""), FatalError);
+    EXPECT_THROW(json::Value::parse("{"), FatalError);
+    EXPECT_THROW(json::Value::parse("{\"a\": }"), FatalError);
+    EXPECT_THROW(json::Value::parse("[1,]2"), FatalError);
+    EXPECT_THROW(json::Value::parse("truex"), FatalError);
+    EXPECT_THROW(json::Value::parse("{} garbage"), FatalError);
+}
+
+// --- Stats registry JSON -------------------------------------------------
+
+TEST(StatRegistryJson, DumpsCountersAccumsAndHistograms)
+{
+    StatRegistry reg;
+    reg.counter("alpha").inc(7);
+    reg.accum("beta").add(2.5);
+    Histogram &h = reg.histogram("gamma", 10, 4);
+    h.sample(5);
+    h.sample(15);
+    h.sample(1000);     // overflow
+
+    std::ostringstream os;
+    reg.dumpJson(os);
+    json::Value v = json::Value::parse(os.str());
+    EXPECT_EQ(v.at("counters").at("alpha").asUint(), 7u);
+    EXPECT_DOUBLE_EQ(v.at("accums").at("beta").asDouble(), 2.5);
+    const json::Value &hist = v.at("histograms").at("gamma");
+    EXPECT_EQ(hist.at("bucket_width").asUint(), 10u);
+    EXPECT_EQ(hist.at("buckets").asArray().size(), 4u);
+    EXPECT_EQ(hist.at("buckets").asArray()[0].asUint(), 1u);
+    EXPECT_EQ(hist.at("buckets").asArray()[1].asUint(), 1u);
+    EXPECT_EQ(hist.at("overflow").asUint(), 1u);
+    EXPECT_EQ(hist.at("count").asUint(), 3u);
+    EXPECT_EQ(hist.at("sum").asUint(), 1020u);
+}
+
+// --- Thread pool ---------------------------------------------------------
+
+TEST(ThreadPool, ExecutesEveryIndexOnce)
+{
+    for (unsigned workers : {1u, 2u, 8u}) {
+        runner::ThreadPool pool(workers);
+        std::vector<std::atomic<int>> seen(1000);
+        pool.parallelFor(seen.size(),
+                         [&](std::size_t i) { seen[i]++; });
+        for (const auto &count : seen)
+            EXPECT_EQ(count.load(), 1);
+    }
+}
+
+TEST(ThreadPool, ReusableAcrossBatches)
+{
+    runner::ThreadPool pool(4);
+    for (int round = 0; round < 5; round++) {
+        std::atomic<std::uint64_t> sum{0};
+        pool.parallelFor(100, [&](std::size_t i) { sum += i; });
+        EXPECT_EQ(sum.load(), 4950u);
+    }
+}
+
+TEST(ThreadPool, PropagatesTaskExceptions)
+{
+    runner::ThreadPool pool(4);
+    std::atomic<int> completed{0};
+    EXPECT_THROW(pool.parallelFor(50,
+                                  [&](std::size_t i) {
+                                      if (i == 13)
+                                          fatal("boom");
+                                      completed++;
+                                  }),
+                 FatalError);
+    // The batch drains even after a failure.
+    EXPECT_EQ(completed.load(), 49);
+    // ...and the pool remains usable.
+    std::atomic<int> after{0};
+    pool.parallelFor(10, [&](std::size_t) { after++; });
+    EXPECT_EQ(after.load(), 10);
+}
+
+// --- Job -----------------------------------------------------------------
+
+TEST(Job, KeyAndHashAreStable)
+{
+    Job job{"BFS", SystemMode::AccelSpec, 32, 1, 1};
+    EXPECT_EQ(job.key(), "BFS|accel-spec|32|1|1");
+    EXPECT_EQ(job.hash(), Job(job).hash());
+    EXPECT_EQ(job.hashHex().size(), 16u);
+
+    // Workload tags are canonicalized: same point, same cache entry.
+    Job lower{"bfs", SystemMode::AccelSpec, 32, 1, 1};
+    EXPECT_EQ(lower.hash(), job.hash());
+
+    Job other = job;
+    other.traceLength = 16;
+    EXPECT_NE(other.hash(), job.hash());
+}
+
+TEST(Job, ParseModeRejectsUnknown)
+{
+    EXPECT_EQ(runner::parseMode("accel-spec"), SystemMode::AccelSpec);
+    EXPECT_EQ(runner::parseMode("baseline-ooo"), SystemMode::BaselineOoo);
+    EXPECT_THROW(runner::parseMode("warp-drive"), FatalError);
+}
+
+// --- Result round-trip ---------------------------------------------------
+
+TEST(ResultJson, FullRoundTrip)
+{
+    sim::RunResult original =
+        runner::execute(Job{"BP", SystemMode::AccelSpec, 32, 1, 1});
+    json::Value v = runner::resultToJson(original);
+    sim::RunResult restored = runner::resultFromJson(v);
+
+    EXPECT_EQ(restored.cycles, original.cycles);
+    EXPECT_EQ(restored.instsTotal, original.instsTotal);
+    EXPECT_EQ(restored.instsFabric, original.instsFabric);
+    EXPECT_EQ(restored.functionallyCorrect, original.functionallyCorrect);
+    EXPECT_EQ(restored.pipeline.committedInsts,
+              original.pipeline.committedInsts);
+    EXPECT_EQ(restored.dynaspam.distinctMappedTraces,
+              original.dynaspam.distinctMappedTraces);
+    EXPECT_DOUBLE_EQ(restored.energy.total(), original.energy.total());
+    // Byte-identical re-serialization proves nothing was lost.
+    EXPECT_EQ(runner::resultToJson(restored).dump(2), v.dump(2));
+}
+
+// --- Determinism ---------------------------------------------------------
+
+TEST(RunnerDeterminism, OneThreadAndEightThreadsMatchByteForByte)
+{
+    const std::vector<Job> jobs = determinismSweep();
+    ASSERT_EQ(jobs.size(), 20u);
+
+    runner::Runner serial(runner::RunnerOptions{1, ""});
+    runner::Runner parallel(runner::RunnerOptions{8, ""});
+    auto serial_outcomes = serial.runAll(jobs);
+    auto parallel_outcomes = parallel.runAll(jobs);
+
+    ASSERT_EQ(serial_outcomes.size(), parallel_outcomes.size());
+    for (std::size_t i = 0; i < jobs.size(); i++) {
+        EXPECT_EQ(serial_outcomes[i].result.cycles,
+                  parallel_outcomes[i].result.cycles)
+            << "cycle mismatch for " << jobs[i].key();
+        std::ostringstream serial_stats, parallel_stats;
+        serial_outcomes[i].result.stats.dump(serial_stats);
+        parallel_outcomes[i].result.stats.dump(parallel_stats);
+        EXPECT_EQ(serial_stats.str(), parallel_stats.str())
+            << "stat dump mismatch for " << jobs[i].key();
+    }
+
+    EXPECT_EQ(reportFor(serial_outcomes, &serial.stats()),
+              reportFor(parallel_outcomes, &parallel.stats()));
+}
+
+// --- Result cache --------------------------------------------------------
+
+TEST(ResultCache, WarmRerunPerformsZeroSimulations)
+{
+    TempDir dir("cache");
+    std::vector<Job> jobs = {
+        Job{"BP", SystemMode::BaselineOoo, 32, 1, 1},
+        Job{"BP", SystemMode::AccelSpec, 32, 1, 1},
+        Job{"PF", SystemMode::BaselineOoo, 32, 1, 1},
+        Job{"PF", SystemMode::AccelSpec, 32, 1, 1},
+    };
+
+    runner::Runner cold(runner::RunnerOptions{2, dir.path()});
+    auto cold_outcomes = cold.runAll(jobs);
+    EXPECT_EQ(cold.stats().get("runner.cache_hits"), 0u);
+    EXPECT_EQ(cold.stats().get("runner.cache_misses"), jobs.size());
+    EXPECT_EQ(cold.stats().get("runner.jobs_executed"), jobs.size());
+    for (const auto &outcome : cold_outcomes)
+        EXPECT_FALSE(outcome.fromCache);
+
+    runner::Runner warm(runner::RunnerOptions{2, dir.path()});
+    auto warm_outcomes = warm.runAll(jobs);
+    EXPECT_EQ(warm.stats().get("runner.cache_hits"), jobs.size());
+    EXPECT_EQ(warm.stats().get("runner.jobs_executed"), 0u);
+    for (std::size_t i = 0; i < jobs.size(); i++) {
+        EXPECT_TRUE(warm_outcomes[i].fromCache);
+        EXPECT_EQ(warm_outcomes[i].result.cycles,
+                  cold_outcomes[i].result.cycles);
+        EXPECT_EQ(runner::resultToJson(warm_outcomes[i].result).dump(),
+                  runner::resultToJson(cold_outcomes[i].result).dump());
+    }
+}
+
+TEST(ResultCache, DistinctJobsGetDistinctEntries)
+{
+    TempDir dir("cache-distinct");
+    runner::ResultCache cache(dir.path());
+    Job a{"BP", SystemMode::BaselineOoo, 32, 1, 1};
+    Job b{"BP", SystemMode::AccelSpec, 32, 1, 1};
+    EXPECT_NE(cache.pathFor(a), cache.pathFor(b));
+    EXPECT_FALSE(cache.load(a).has_value());
+}
+
+TEST(ResultCache, CorruptEntryFallsBackToSimulation)
+{
+    TempDir dir("cache-corrupt");
+    const Job job{"BP", SystemMode::BaselineOoo, 32, 1, 1};
+    const sim::RunResult reference = runner::execute(job);
+
+    runner::ResultCache cache(dir.path());
+    const std::string path = cache.pathFor(job);
+
+    // Truncated garbage, invalid JSON, and valid JSON with the wrong
+    // shape must all read as a miss, never crash.
+    for (const char *content :
+         {"", "not json at all {{{", "{\"epoch\": \"dynaspam-sim-1\"",
+          "{\"unexpected\": []}", "[1, 2, 3]"}) {
+        {
+            std::ofstream os(path);
+            os << content;
+        }
+        EXPECT_FALSE(cache.load(job).has_value()) << content;
+
+        runner::Runner r(runner::RunnerOptions{1, dir.path()});
+        auto outcomes = r.runAll({job});
+        EXPECT_FALSE(outcomes[0].fromCache) << content;
+        EXPECT_EQ(outcomes[0].result.cycles, reference.cycles);
+        fs::remove(path);
+    }
+}
+
+TEST(ResultCache, EpochMismatchInvalidates)
+{
+    TempDir dir("cache-epoch");
+    const Job job{"PF", SystemMode::BaselineOoo, 32, 1, 1};
+    const sim::RunResult result = runner::execute(job);
+
+    runner::ResultCache old_epoch(dir.path(), "old-epoch");
+    old_epoch.store(job, result);
+    EXPECT_TRUE(old_epoch.load(job).has_value());
+
+    // A cache reading with the current epoch must treat it as a miss...
+    runner::ResultCache current(dir.path());
+    EXPECT_FALSE(current.load(job).has_value());
+
+    // ...and a run through the Runner re-simulates and repairs it.
+    runner::Runner r(runner::RunnerOptions{1, dir.path()});
+    auto outcomes = r.runAll({job});
+    EXPECT_FALSE(outcomes[0].fromCache);
+    EXPECT_TRUE(current.load(job).has_value());
+}
+
+TEST(ResultCache, DisabledCacheNeverStores)
+{
+    runner::ResultCache cache("");
+    EXPECT_FALSE(cache.enabled());
+    const Job job{"BP", SystemMode::BaselineOoo, 32, 1, 1};
+    cache.store(job, sim::RunResult{});
+    EXPECT_FALSE(cache.load(job).has_value());
+}
