@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "check/fault_inject.hh"
 #include "common/logging.hh"
 #include "runner/runner.hh"
 #include "workloads/workload.hh"
@@ -57,6 +58,9 @@ usage(const char *argv0)
         "           --scale N            (default 1)\n"
         "           --workloads a,b,c    subset of workloads\n"
         "  list   print workload tags and mode names\n"
+        "  check-selftest\n"
+        "         fault-inject every simulator invariant auditor and\n"
+        "         verify each one catches its seeded violation\n"
         "\n"
         "common options:\n"
         "  --cache DIR    result-cache directory (default .dynaspam-cache)\n"
@@ -69,7 +73,7 @@ usage(const char *argv0)
 class Args
 {
   public:
-    Args(int argc, char **argv) : argc(argc), argv(argv) {}
+    Args(int count, char **vec) : argc(count), argv(vec) {}
 
     bool
     next(std::string &flag)
@@ -304,6 +308,12 @@ cmdSweep(Args &args)
 }
 
 int
+cmdCheckSelftest()
+{
+    return check::runSelfTest(std::cout) ? 0 : 1;
+}
+
+int
 cmdList()
 {
     std::printf("workloads:");
@@ -336,6 +346,8 @@ main(int argc, char **argv)
             return cmdSweep(args);
         if (command == "list")
             return cmdList();
+        if (command == "check-selftest")
+            return cmdCheckSelftest();
         if (command == "--help" || command == "-h" || command == "help")
             return usage(argv[0]);
         std::fprintf(stderr, "unknown command \"%s\"\n", command.c_str());

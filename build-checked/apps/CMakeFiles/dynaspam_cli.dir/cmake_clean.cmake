@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynaspam_cli.dir/dynaspam.cc.o"
+  "CMakeFiles/dynaspam_cli.dir/dynaspam.cc.o.d"
+  "dynaspam"
+  "dynaspam.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynaspam_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_lifetime.dir/bench_table5_lifetime.cc.o"
+  "CMakeFiles/bench_table5_lifetime.dir/bench_table5_lifetime.cc.o.d"
+  "bench_table5_lifetime"
+  "bench_table5_lifetime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_lifetime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_fabric.dir/multi_fabric.cpp.o"
+  "CMakeFiles/multi_fabric.dir/multi_fabric.cpp.o.d"
+  "multi_fabric"
+  "multi_fabric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_fabric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

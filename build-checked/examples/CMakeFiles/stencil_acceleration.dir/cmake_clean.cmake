@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stencil_acceleration.dir/stencil_acceleration.cpp.o"
+  "CMakeFiles/stencil_acceleration.dir/stencil_acceleration.cpp.o.d"
+  "stencil_acceleration"
+  "stencil_acceleration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stencil_acceleration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,57 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/check/auditors.cc" "src/CMakeFiles/dynaspam.dir/check/auditors.cc.o" "gcc" "src/CMakeFiles/dynaspam.dir/check/auditors.cc.o.d"
+  "/root/repo/src/check/check.cc" "src/CMakeFiles/dynaspam.dir/check/check.cc.o" "gcc" "src/CMakeFiles/dynaspam.dir/check/check.cc.o.d"
+  "/root/repo/src/check/fault_inject.cc" "src/CMakeFiles/dynaspam.dir/check/fault_inject.cc.o" "gcc" "src/CMakeFiles/dynaspam.dir/check/fault_inject.cc.o.d"
+  "/root/repo/src/check/golden.cc" "src/CMakeFiles/dynaspam.dir/check/golden.cc.o" "gcc" "src/CMakeFiles/dynaspam.dir/check/golden.cc.o.d"
+  "/root/repo/src/check/verifier.cc" "src/CMakeFiles/dynaspam.dir/check/verifier.cc.o" "gcc" "src/CMakeFiles/dynaspam.dir/check/verifier.cc.o.d"
+  "/root/repo/src/common/common.cc" "src/CMakeFiles/dynaspam.dir/common/common.cc.o" "gcc" "src/CMakeFiles/dynaspam.dir/common/common.cc.o.d"
+  "/root/repo/src/common/json.cc" "src/CMakeFiles/dynaspam.dir/common/json.cc.o" "gcc" "src/CMakeFiles/dynaspam.dir/common/json.cc.o.d"
+  "/root/repo/src/core/configcache.cc" "src/CMakeFiles/dynaspam.dir/core/configcache.cc.o" "gcc" "src/CMakeFiles/dynaspam.dir/core/configcache.cc.o.d"
+  "/root/repo/src/core/controller.cc" "src/CMakeFiles/dynaspam.dir/core/controller.cc.o" "gcc" "src/CMakeFiles/dynaspam.dir/core/controller.cc.o.d"
+  "/root/repo/src/core/session.cc" "src/CMakeFiles/dynaspam.dir/core/session.cc.o" "gcc" "src/CMakeFiles/dynaspam.dir/core/session.cc.o.d"
+  "/root/repo/src/core/tcache.cc" "src/CMakeFiles/dynaspam.dir/core/tcache.cc.o" "gcc" "src/CMakeFiles/dynaspam.dir/core/tcache.cc.o.d"
+  "/root/repo/src/core/walker.cc" "src/CMakeFiles/dynaspam.dir/core/walker.cc.o" "gcc" "src/CMakeFiles/dynaspam.dir/core/walker.cc.o.d"
+  "/root/repo/src/energy/energy.cc" "src/CMakeFiles/dynaspam.dir/energy/energy.cc.o" "gcc" "src/CMakeFiles/dynaspam.dir/energy/energy.cc.o.d"
+  "/root/repo/src/fabric/fabric.cc" "src/CMakeFiles/dynaspam.dir/fabric/fabric.cc.o" "gcc" "src/CMakeFiles/dynaspam.dir/fabric/fabric.cc.o.d"
+  "/root/repo/src/isa/executor.cc" "src/CMakeFiles/dynaspam.dir/isa/executor.cc.o" "gcc" "src/CMakeFiles/dynaspam.dir/isa/executor.cc.o.d"
+  "/root/repo/src/isa/opcodes.cc" "src/CMakeFiles/dynaspam.dir/isa/opcodes.cc.o" "gcc" "src/CMakeFiles/dynaspam.dir/isa/opcodes.cc.o.d"
+  "/root/repo/src/isa/program.cc" "src/CMakeFiles/dynaspam.dir/isa/program.cc.o" "gcc" "src/CMakeFiles/dynaspam.dir/isa/program.cc.o.d"
+  "/root/repo/src/memory/cache.cc" "src/CMakeFiles/dynaspam.dir/memory/cache.cc.o" "gcc" "src/CMakeFiles/dynaspam.dir/memory/cache.cc.o.d"
+  "/root/repo/src/ooo/bpred.cc" "src/CMakeFiles/dynaspam.dir/ooo/bpred.cc.o" "gcc" "src/CMakeFiles/dynaspam.dir/ooo/bpred.cc.o.d"
+  "/root/repo/src/ooo/cpu.cc" "src/CMakeFiles/dynaspam.dir/ooo/cpu.cc.o" "gcc" "src/CMakeFiles/dynaspam.dir/ooo/cpu.cc.o.d"
+  "/root/repo/src/ooo/storesets.cc" "src/CMakeFiles/dynaspam.dir/ooo/storesets.cc.o" "gcc" "src/CMakeFiles/dynaspam.dir/ooo/storesets.cc.o.d"
+  "/root/repo/src/runner/job.cc" "src/CMakeFiles/dynaspam.dir/runner/job.cc.o" "gcc" "src/CMakeFiles/dynaspam.dir/runner/job.cc.o.d"
+  "/root/repo/src/runner/report.cc" "src/CMakeFiles/dynaspam.dir/runner/report.cc.o" "gcc" "src/CMakeFiles/dynaspam.dir/runner/report.cc.o.d"
+  "/root/repo/src/runner/result_cache.cc" "src/CMakeFiles/dynaspam.dir/runner/result_cache.cc.o" "gcc" "src/CMakeFiles/dynaspam.dir/runner/result_cache.cc.o.d"
+  "/root/repo/src/runner/runner.cc" "src/CMakeFiles/dynaspam.dir/runner/runner.cc.o" "gcc" "src/CMakeFiles/dynaspam.dir/runner/runner.cc.o.d"
+  "/root/repo/src/runner/thread_pool.cc" "src/CMakeFiles/dynaspam.dir/runner/thread_pool.cc.o" "gcc" "src/CMakeFiles/dynaspam.dir/runner/thread_pool.cc.o.d"
+  "/root/repo/src/sim/system.cc" "src/CMakeFiles/dynaspam.dir/sim/system.cc.o" "gcc" "src/CMakeFiles/dynaspam.dir/sim/system.cc.o.d"
+  "/root/repo/src/workloads/bfs.cc" "src/CMakeFiles/dynaspam.dir/workloads/bfs.cc.o" "gcc" "src/CMakeFiles/dynaspam.dir/workloads/bfs.cc.o.d"
+  "/root/repo/src/workloads/bp.cc" "src/CMakeFiles/dynaspam.dir/workloads/bp.cc.o" "gcc" "src/CMakeFiles/dynaspam.dir/workloads/bp.cc.o.d"
+  "/root/repo/src/workloads/bt.cc" "src/CMakeFiles/dynaspam.dir/workloads/bt.cc.o" "gcc" "src/CMakeFiles/dynaspam.dir/workloads/bt.cc.o.d"
+  "/root/repo/src/workloads/hs.cc" "src/CMakeFiles/dynaspam.dir/workloads/hs.cc.o" "gcc" "src/CMakeFiles/dynaspam.dir/workloads/hs.cc.o.d"
+  "/root/repo/src/workloads/km.cc" "src/CMakeFiles/dynaspam.dir/workloads/km.cc.o" "gcc" "src/CMakeFiles/dynaspam.dir/workloads/km.cc.o.d"
+  "/root/repo/src/workloads/knn.cc" "src/CMakeFiles/dynaspam.dir/workloads/knn.cc.o" "gcc" "src/CMakeFiles/dynaspam.dir/workloads/knn.cc.o.d"
+  "/root/repo/src/workloads/ld.cc" "src/CMakeFiles/dynaspam.dir/workloads/ld.cc.o" "gcc" "src/CMakeFiles/dynaspam.dir/workloads/ld.cc.o.d"
+  "/root/repo/src/workloads/nw.cc" "src/CMakeFiles/dynaspam.dir/workloads/nw.cc.o" "gcc" "src/CMakeFiles/dynaspam.dir/workloads/nw.cc.o.d"
+  "/root/repo/src/workloads/pf.cc" "src/CMakeFiles/dynaspam.dir/workloads/pf.cc.o" "gcc" "src/CMakeFiles/dynaspam.dir/workloads/pf.cc.o.d"
+  "/root/repo/src/workloads/ptf.cc" "src/CMakeFiles/dynaspam.dir/workloads/ptf.cc.o" "gcc" "src/CMakeFiles/dynaspam.dir/workloads/ptf.cc.o.d"
+  "/root/repo/src/workloads/registry.cc" "src/CMakeFiles/dynaspam.dir/workloads/registry.cc.o" "gcc" "src/CMakeFiles/dynaspam.dir/workloads/registry.cc.o.d"
+  "/root/repo/src/workloads/srad.cc" "src/CMakeFiles/dynaspam.dir/workloads/srad.cc.o" "gcc" "src/CMakeFiles/dynaspam.dir/workloads/srad.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-checked/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("check")
+subdirs("common")
+subdirs("isa")
+subdirs("memory")
+subdirs("ooo")
+subdirs("fabric")
+subdirs("core")
+subdirs("energy")
+subdirs("workloads")
+subdirs("sim")
+subdirs("runner")

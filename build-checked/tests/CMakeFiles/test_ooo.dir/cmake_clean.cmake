@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ooo.dir/test_ooo.cc.o"
+  "CMakeFiles/test_ooo.dir/test_ooo.cc.o.d"
+  "test_ooo"
+  "test_ooo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ooo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-checked/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(test_common "/root/repo/build-checked/tests/test_common")
+set_tests_properties(test_common PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;9;dynaspam_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_isa "/root/repo/build-checked/tests/test_isa")
+set_tests_properties(test_isa PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;10;dynaspam_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_memory "/root/repo/build-checked/tests/test_memory")
+set_tests_properties(test_memory PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;11;dynaspam_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_bpred "/root/repo/build-checked/tests/test_bpred")
+set_tests_properties(test_bpred PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;12;dynaspam_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_ooo "/root/repo/build-checked/tests/test_ooo")
+set_tests_properties(test_ooo PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;13;dynaspam_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_core "/root/repo/build-checked/tests/test_core")
+set_tests_properties(test_core PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;14;dynaspam_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_system "/root/repo/build-checked/tests/test_system")
+set_tests_properties(test_system PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;15;dynaspam_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_workloads "/root/repo/build-checked/tests/test_workloads")
+set_tests_properties(test_workloads PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;16;dynaspam_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_fabric "/root/repo/build-checked/tests/test_fabric")
+set_tests_properties(test_fabric PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;17;dynaspam_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_energy "/root/repo/build-checked/tests/test_energy")
+set_tests_properties(test_energy PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;18;dynaspam_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_properties "/root/repo/build-checked/tests/test_properties")
+set_tests_properties(test_properties PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;19;dynaspam_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_runner "/root/repo/build-checked/tests/test_runner")
+set_tests_properties(test_runner PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;20;dynaspam_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_check "/root/repo/build-checked/tests/test_check")
+set_tests_properties(test_check PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;21;dynaspam_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_stress "/root/repo/build-checked/tests/test_stress")
+set_tests_properties(test_stress PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;22;dynaspam_add_test;/root/repo/tests/CMakeLists.txt;0;")

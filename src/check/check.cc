@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Invariant framework implementation: runtime knobs and reporting.
+ */
+
+#include "check/check.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace dynaspam::check
+{
+
+namespace
+{
+
+/** Parse a boolean-ish environment value; @return fallback when unset. */
+bool
+envFlag(const char *name, bool fallback)
+{
+    const char *value = std::getenv(name);
+    if (!value || !*value)
+        return fallback;
+    if (!std::strcmp(value, "0") || !std::strcmp(value, "off") ||
+        !std::strcmp(value, "false")) {
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+bool
+enabled()
+{
+    static const bool on = envFlag("DYNASPAM_CHECKS", compiledIn());
+    return on;
+}
+
+std::uint64_t
+auditInterval()
+{
+    static const std::uint64_t interval = [] {
+        const char *value = std::getenv("DYNASPAM_CHECK_INTERVAL");
+        if (!value || !*value)
+            return std::uint64_t(1);
+        char *end = nullptr;
+        const unsigned long long n = std::strtoull(value, &end, 10);
+        return (end && !*end && n > 0) ? std::uint64_t(n)
+                                       : std::uint64_t(1);
+    }();
+    return interval;
+}
+
+void
+ViolationSink::report(std::string_view auditor, Cycle cycle,
+                      std::string message)
+{
+    if (mode == Mode::Abort) {
+        std::fprintf(stderr,
+                     "invariant violation [%.*s] at cycle %llu: %s\n",
+                     int(auditor.size()), auditor.data(),
+                     static_cast<unsigned long long>(cycle),
+                     message.c_str());
+        std::abort();
+    }
+    all.push_back({std::string(auditor), std::move(message), cycle});
+}
+
+bool
+ViolationSink::firedFrom(std::string_view auditor) const
+{
+    for (const Violation &v : all) {
+        if (v.auditor == auditor)
+            return true;
+    }
+    return false;
+}
+
+namespace detail
+{
+
+void
+checkFailed(const char *file, int line, const char *expr,
+            const std::string &msg)
+{
+    std::fprintf(stderr, "DYNASPAM_CHECK failed at %s:%d: %s%s%s\n", file,
+                 line, expr, msg.empty() ? "" : " — ", msg.c_str());
+    std::abort();
+}
+
+} // namespace detail
+} // namespace dynaspam::check

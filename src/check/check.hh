@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Invariant-checking framework: the DYNASPAM_CHECK / DYNASPAM_DCHECK
+ * macros, the runtime enable knob, and the violation sink the
+ * per-subsystem auditors report through.
+ *
+ * Cost model: the macros compile to a dead `if (false && ...)` unless
+ * the build sets -DDYNASPAM_CHECKS=ON (which defines
+ * DYNASPAM_CHECKS_BUILD), so release binaries pay nothing while the
+ * checked expressions still parse and type-check in every
+ * configuration. In checked builds a runtime knob (environment
+ * variable DYNASPAM_CHECKS=0/1) can still turn enforcement off.
+ *
+ * Reporting: ad-hoc DYNASPAM_CHECK failures abort like panic() — they
+ * indicate simulator bugs. Auditors instead report through a
+ * ViolationSink, which either aborts (production checked runs) or
+ * collects (the fault-injection self-test, which must observe that an
+ * auditor fired without dying).
+ */
+
+#ifndef DYNASPAM_CHECK_CHECK_HH
+#define DYNASPAM_CHECK_CHECK_HH
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace dynaspam::check
+{
+
+/** True when the build compiled invariant checks in (-DDYNASPAM_CHECKS). */
+constexpr bool
+compiledIn()
+{
+#ifdef DYNASPAM_CHECKS_BUILD
+    return true;
+#else
+    return false;
+#endif
+}
+
+/**
+ * Master runtime switch. Defaults to compiledIn(); the DYNASPAM_CHECKS
+ * environment variable (0/1/off/on) overrides in either direction —
+ * note the auditors and golden model are always built, so even an
+ * unchecked build can opt in at runtime (only the inline
+ * DYNASPAM_CHECK macro sites are compiled out there).
+ */
+bool enabled();
+
+/** Cycles between per-subsystem audit passes (DYNASPAM_CHECK_INTERVAL,
+ *  default 1: every cycle). */
+std::uint64_t auditInterval();
+
+/** One detected invariant violation. */
+struct Violation
+{
+    std::string auditor;    ///< short auditor tag ("rob", "rename", ...)
+    std::string message;
+    Cycle cycle = 0;
+};
+
+/**
+ * Destination for auditor reports. Abort mode treats any violation as
+ * a simulator bug (prints and aborts, like panic()); Collect mode
+ * accumulates them for inspection by tests and the self-test.
+ */
+class ViolationSink
+{
+  public:
+    enum class Mode : std::uint8_t
+    {
+        Abort,
+        Collect,
+    };
+
+    explicit ViolationSink(Mode m = Mode::Abort) : mode(m) {}
+
+    /** Report one violation; aborts in Abort mode. */
+    void report(std::string_view auditor, Cycle cycle,
+                std::string message);
+
+    const std::vector<Violation> &violations() const { return all; }
+    bool empty() const { return all.empty(); }
+
+    /** @return true when any collected violation came from @p auditor. */
+    bool firedFrom(std::string_view auditor) const;
+
+    void clear() { all.clear(); }
+
+  private:
+    Mode mode;
+    std::vector<Violation> all;
+};
+
+namespace detail
+{
+
+/** Terminal handler for a failed DYNASPAM_CHECK (aborts). */
+[[noreturn]] void checkFailed(const char *file, int line,
+                              const char *expr, const std::string &msg);
+
+inline std::string
+formatMessage()
+{
+    return {};
+}
+
+template <typename... Args>
+std::string
+formatMessage(const Args &...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+} // namespace detail
+} // namespace dynaspam::check
+
+/**
+ * Check a simulator invariant. Compiled to dead code unless the build
+ * enables DYNASPAM_CHECKS; gated by check::enabled() at runtime. The
+ * condition must be side-effect free. Extra arguments are streamed
+ * into the failure message.
+ */
+#define DYNASPAM_CHECK(cond, ...)                                         \
+    do {                                                                  \
+        if (::dynaspam::check::compiledIn() &&                            \
+            ::dynaspam::check::enabled() && !(cond)) {                    \
+            ::dynaspam::check::detail::checkFailed(                       \
+                __FILE__, __LINE__, #cond,                                \
+                ::dynaspam::check::detail::formatMessage(__VA_ARGS__));   \
+        }                                                                 \
+    } while (false)
+
+/**
+ * Like DYNASPAM_CHECK but additionally compiled out in NDEBUG builds:
+ * for checks too hot even for routine checked runs.
+ */
+#ifdef NDEBUG
+#define DYNASPAM_DCHECK(cond, ...)                                        \
+    do {                                                                  \
+        if (false && !(cond)) {                                           \
+        }                                                                 \
+    } while (false)
+#else
+#define DYNASPAM_DCHECK(cond, ...) DYNASPAM_CHECK(cond, __VA_ARGS__)
+#endif
+
+#endif // DYNASPAM_CHECK_CHECK_HH

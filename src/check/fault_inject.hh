@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Fault-injection self-test for the verification layer.
+ *
+ * Each scenario builds a minimal consistent simulator state, confirms
+ * the targeted auditor stays silent on it, then seeds one specific
+ * invariant violation and confirms the auditor reports it through a
+ * collecting ViolationSink. A checker that cannot catch its own seeded
+ * bug is worse than no checker — this is the test of the tester.
+ *
+ * Run via `dynaspam check-selftest` or the test_check unit test.
+ */
+
+#ifndef DYNASPAM_CHECK_FAULT_INJECT_HH
+#define DYNASPAM_CHECK_FAULT_INJECT_HH
+
+#include <iosfwd>
+
+namespace dynaspam::check
+{
+
+/**
+ * Seeds violations into simulator structures. Declared a friend by
+ * OooCpu, TCache and ConfigCache so scenarios can corrupt private
+ * state directly.
+ *
+ * Each injector returns true when (a) the clean state produced no
+ * report and (b) the seeded fault was detected by the right auditor.
+ */
+class FaultInjector
+{
+  public:
+    static bool injectRobFault();        ///< break ROB seq contiguity
+    static bool injectRenameFault();     ///< alias a phys reg twice
+    static bool injectLsqFault();        ///< reorder the load queue
+    static bool injectAtomicityFault();  ///< expose a live-out early
+    static bool injectTCacheFault();     ///< hot below the threshold
+    static bool injectConfigCacheFault();///< valid entry, null config
+    static bool injectFrontierFault();   ///< backwards dataflow route
+    static bool injectGoldenFault();     ///< out-of-order + wrong trace
+};
+
+/**
+ * Run every injection scenario, reporting one PASS/FAIL line per
+ * auditor to @p os. @return true when every auditor caught its fault.
+ */
+bool runSelfTest(std::ostream &os);
+
+} // namespace dynaspam::check
+
+#endif // DYNASPAM_CHECK_FAULT_INJECT_HH

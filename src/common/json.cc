@@ -276,7 +276,7 @@ namespace
 class Parser
 {
   public:
-    explicit Parser(const std::string &text) : text(text) {}
+    explicit Parser(const std::string &s) : text(s) {}
 
     Value
     parseDocument()

@@ -6,6 +6,7 @@
 #ifndef DYNASPAM_COMMON_TYPES_HH
 #define DYNASPAM_COMMON_TYPES_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <limits>
 
@@ -37,6 +38,64 @@ inline constexpr InstAddr INST_ADDR_INVALID =
 
 /** Sentinel for "no cycle". */
 inline constexpr Cycle CYCLE_INVALID = std::numeric_limits<Cycle>::max();
+
+/**
+ * Explicitly 64-bit-unsigned bit arithmetic. Shift/mask expressions on
+ * narrower or signed operand types promote to `int` and can overflow or
+ * sign-extend in ways UBSan flags; routing them through these helpers
+ * keeps every intermediate an std::uint64_t by construction.
+ */
+namespace bits
+{
+
+/** Mask with the low @p n bits set. @p n may be 0..64. */
+constexpr std::uint64_t
+mask(unsigned n)
+{
+    return n >= 64 ? ~std::uint64_t(0)
+                   : (std::uint64_t(1) << n) - std::uint64_t(1);
+}
+
+/** @p value shifted left by @p n, computed in 64 bits. @p n must be <64. */
+constexpr std::uint64_t
+shiftLeft(std::uint64_t value, unsigned n)
+{
+    return value << (n & 63u);
+}
+
+/** Largest value of an @p n-bit saturating counter. */
+constexpr unsigned
+counterMax(unsigned n)
+{
+    return unsigned(mask(n));
+}
+
+/** FNV-1a offset basis (64-bit). */
+inline constexpr std::uint64_t FNV1A_OFFSET = 0xcbf29ce484222325ULL;
+/** FNV-1a prime (64-bit). */
+inline constexpr std::uint64_t FNV1A_PRIME = 0x100000001b3ULL;
+
+/** One FNV-1a step: fold @p byte into hash state @p h. */
+constexpr std::uint64_t
+fnv1aStep(std::uint64_t h, std::uint8_t byte)
+{
+    return (h ^ std::uint64_t(byte)) * FNV1A_PRIME;
+}
+
+/**
+ * Stable 64-bit FNV-1a over a byte sequence. Identical on every
+ * platform and standard library — safe for on-disk cache keys.
+ */
+constexpr std::uint64_t
+fnv1a(const char *data, std::size_t size,
+      std::uint64_t h = FNV1A_OFFSET)
+{
+    for (std::size_t i = 0; i < size; i++)
+        h = fnv1aStep(h, std::uint8_t(data[i]));
+    return h;
+}
+
+} // namespace bits
 
 } // namespace dynaspam
 

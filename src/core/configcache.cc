@@ -15,7 +15,7 @@ ConfigCache::ConfigCache(const ConfigCacheParams &p)
 {
     if (!p.entries)
         fatal("configuration cache must have at least one entry");
-    const unsigned max_counter = (1u << p.counterBits) - 1;
+    const unsigned max_counter = bits::counterMax(p.counterBits);
     if (p.offloadThreshold > max_counter)
         fatal("offload threshold ", p.offloadThreshold,
               " exceeds counter range ", max_counter);
@@ -56,7 +56,7 @@ ConfigCache::recordPrediction(std::uint64_t key)
     Entry &entry = entries[indexOf(key)];
     if (!entry.valid || entry.key != key)
         return false;
-    const unsigned max_counter = (1u << params.counterBits) - 1;
+    const unsigned max_counter = bits::counterMax(params.counterBits);
     if (entry.counter < max_counter)
         entry.counter++;
     return entry.counter >= params.offloadThreshold;

@@ -21,6 +21,12 @@
 #include "common/types.hh"
 #include "fabric/config.hh"
 
+namespace dynaspam::check
+{
+class StructureAuditor;
+class FaultInjector;
+} // namespace dynaspam::check
+
 namespace dynaspam::core
 {
 
@@ -73,6 +79,11 @@ class ConfigCache
     std::uint64_t evictions() const { return statEvictions; }
 
   private:
+    /** The structure auditor inspects entries directly. */
+    friend class dynaspam::check::StructureAuditor;
+    /** The fault-injection self-test seeds violations directly. */
+    friend class dynaspam::check::FaultInjector;
+
     struct Entry
     {
         bool valid = false;

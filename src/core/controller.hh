@@ -148,6 +148,10 @@ class DynaSpamController : public ooo::TraceHooks
     const DynaSpamStats &stats() const { return dstats; }
     const TCache &tcache() const { return tCache; }
     const ConfigCache &configCache() const { return cfgCache; }
+    const fabric::FabricParams &fabricConfigParams() const
+    {
+        return params.fabricParams;
+    }
     const std::vector<std::unique_ptr<fabric::Fabric>> &fabrics() const
     {
         return fabricPool;

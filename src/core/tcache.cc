@@ -14,7 +14,7 @@ TCache::TCache(const TCacheParams &p) : params(p), entries(p.entries)
 {
     if (!p.entries)
         fatal("T-Cache must have at least one entry");
-    const unsigned max_counter = (1u << p.counterBits) - 1;
+    const unsigned max_counter = bits::counterMax(p.counterBits);
     if (p.hotThreshold > max_counter)
         fatal("T-Cache hot threshold ", p.hotThreshold,
               " exceeds counter range ", max_counter);
@@ -51,7 +51,7 @@ TCache::commitBranch(InstAddr pc, bool taken)
         entry.counter = 0;
         entry.hot = false;
     }
-    const unsigned max_counter = (1u << params.counterBits) - 1;
+    const unsigned max_counter = bits::counterMax(params.counterBits);
     if (entry.counter < max_counter)
         entry.counter++;
     if (entry.counter > params.hotThreshold)

@@ -19,6 +19,12 @@
 
 #include "common/types.hh"
 
+namespace dynaspam::check
+{
+class StructureAuditor;
+class FaultInjector;
+} // namespace dynaspam::check
+
 namespace dynaspam::core
 {
 
@@ -58,6 +64,11 @@ class TCache
     std::uint64_t clears() const { return statClears; }
 
   private:
+    /** The structure auditor inspects entries directly. */
+    friend class dynaspam::check::StructureAuditor;
+    /** The fault-injection self-test seeds violations directly. */
+    friend class dynaspam::check::FaultInjector;
+
     struct Entry
     {
         std::uint64_t key = 0;

@@ -127,8 +127,8 @@ struct FabricEvents
 class EnergyModel
 {
   public:
-    explicit EnergyModel(const EnergyParams &params = EnergyParams{})
-        : params(params)
+    explicit EnergyModel(const EnergyParams &p = EnergyParams{})
+        : params(p)
     {
     }
 

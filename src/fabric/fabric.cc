@@ -189,7 +189,7 @@ Fabric::execute(const isa::DynamicTrace &trace, SeqNum trace_idx,
     for (std::size_t i = 0; i < n; i++) {
         const MappedInst &mi = cfg.insts[i];
         const isa::DynRecord &rec = trace[trace_idx + i];
-        const SeqNum pseudo_seq = trace_idx + i + 1;
+        const SeqNum pseudo_seq = ooo::FABRIC_SEQ_FLAG | (trace_idx + i + 1);
 
         Cycle ready = start;
         for (const OperandRoute *route : {&mi.src1, &mi.src2}) {

@@ -25,13 +25,18 @@ Cache::Cache(const CacheParams &p, Cache *next, Cycle memory_latency)
 std::size_t
 Cache::setIndex(Addr addr) const
 {
-    return std::size_t((addr / params.blockBytes) % numSets);
+    // Keep every intermediate an explicit std::uint64_t: blockBytes and
+    // numSets are narrower types, and letting them drive integer
+    // promotion here would truncate large simulated addresses.
+    const std::uint64_t block = addr / std::uint64_t(params.blockBytes);
+    return std::size_t(block % std::uint64_t(numSets));
 }
 
 Addr
 Cache::tagOf(Addr addr) const
 {
-    return addr / params.blockBytes / numSets;
+    const std::uint64_t block = addr / std::uint64_t(params.blockBytes);
+    return block / std::uint64_t(numSets);
 }
 
 AccessResult

@@ -42,7 +42,7 @@ BranchPredictor::localIndex(InstAddr pc) const
 std::size_t
 BranchPredictor::globalIndex(InstAddr pc, std::uint64_t history) const
 {
-    const std::uint64_t mask = (1ULL << params.historyBits) - 1;
+    const std::uint64_t mask = bits::mask(params.historyBits);
     return (pc ^ (history & mask)) % params.globalEntries;
 }
 

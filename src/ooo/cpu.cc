@@ -11,6 +11,7 @@
 
 #include <algorithm>
 
+#include "check/check.hh"
 #include "common/logging.hh"
 #include "isa/opcodes.hh"
 
@@ -75,8 +76,8 @@ OooCpu::OooCpu(const OooParams &p, const isa::DynamicTrace &t,
         freeList.push_back(i);
 
     fuBusyUntil.resize(unsigned(isa::FuType::NUM_FU_TYPES));
-    for (unsigned t = 0; t < fuBusyUntil.size(); t++)
-        fuBusyUntil[t].assign(params.fuPool.count(isa::FuType(t)), 0);
+    for (unsigned fu = 0; fu < fuBusyUntil.size(); fu++)
+        fuBusyUntil[fu].assign(params.fuPool.count(isa::FuType(fu)), 0);
 }
 
 OooCpu::~OooCpu() = default;
@@ -121,6 +122,8 @@ OooCpu::tick()
     issueStage();
     renameStage();
     fetchStage();
+    if (observer)
+        observer->onCycleEnd(curCycle);
     curCycle++;
     pstats.cycles = curCycle;
 }
@@ -330,9 +333,13 @@ OooCpu::renameStage()
         }
 
         if (inst.isLoad()) {
-            d.dependsOnStore = params.memorySpeculation
-                                   ? storeSets.lookupDependence(rec.pc)
-                                   : 0;
+            if (params.memorySpeculation) {
+                // A dependence on a fabric-registered store is not a ROB
+                // seq; ordering against invocations is enforced through
+                // mem_safe and invocation store events instead.
+                const SeqNum dep = storeSets.lookupDependence(rec.pc);
+                d.dependsOnStore = (dep & FABRIC_SEQ_FLAG) ? 0 : dep;
+            }
             loadQueue.push_back(d.seq);
         } else if (inst.isStore()) {
             if (params.memorySpeculation)
@@ -777,6 +784,9 @@ OooCpu::commitStage()
                 return;
             }
 
+            DYNASPAM_CHECK(head.traceIdx == commitIdx,
+                           "invocation commits record ", head.traceIdx,
+                           " but next to commit is ", commitIdx);
             pstats.invocationsCommitted++;
             pstats.committedInsts += head.traceLen;
             pstats.robReads++;
@@ -785,6 +795,10 @@ OooCpu::commitStage()
                 freeList.push_back(prev);
             if (traceHooks)
                 traceHooks->invocationCommitted(head.traceIdx, curCycle);
+            if (observer) {
+                observer->onCommit(head.traceIdx, head.traceLen, true,
+                                   curCycle);
+            }
             invocations.erase(it);
             rob.pop_front();
             committed++;
@@ -839,12 +853,16 @@ OooCpu::commitStage()
                 storeQueue.pop_front();
         }
 
+        DYNASPAM_CHECK(head.traceIdx == commitIdx, "host commit of record ",
+                       head.traceIdx, " but next to commit is ", commitIdx);
         pstats.robReads++;
         pstats.committedInsts++;
         pstats.committedOnHost++;
         if (head.mappingInst)
             pstats.mappingInstsExecuted++;
         commitIdx = head.traceIdx + 1;
+        if (observer)
+            observer->onCommit(head.traceIdx, 1, false, curCycle);
         rob.pop_front();
         committed++;
     }

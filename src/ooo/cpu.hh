@@ -37,8 +37,33 @@
 #include "ooo/policy.hh"
 #include "ooo/storesets.hh"
 
+namespace dynaspam::check
+{
+class OooAuditor;
+class FaultInjector;
+} // namespace dynaspam::check
+
 namespace dynaspam::ooo
 {
+
+/**
+ * Observer of architectural commits and cycle boundaries. Installed by
+ * the verification layer (src/check) in checked runs; a null observer
+ * costs one predictable branch per commit/cycle.
+ */
+class CommitObserver
+{
+  public:
+    virtual ~CommitObserver() = default;
+
+    /** Oracle records [first_idx, first_idx+count) committed atomically.
+     *  @p via_fabric marks fat trace-invocation (ROB') commits. */
+    virtual void onCommit(SeqNum first_idx, std::uint32_t count,
+                          bool via_fabric, Cycle now) = 0;
+
+    /** All pipeline stages of cycle @p now have run. */
+    virtual void onCycleEnd(Cycle now) = 0;
+};
 
 /** Aggregate timing/energy-relevant event counts for one simulation. */
 struct PipelineStats
@@ -90,6 +115,10 @@ class OooCpu
     /** Attach the DynaSpAM controller (nullptr detaches). */
     void setHooks(TraceHooks *hooks) { traceHooks = hooks; }
 
+    /** Attach a commit/cycle observer (nullptr detaches). Used by the
+     *  verification layer for golden-model lockstep and auditing. */
+    void setCommitObserver(CommitObserver *obs) { observer = obs; }
+
     /**
      * Replace the issue-select policy for the whole run (ablation and
      * test use; DynaSpAM installs its policy per mapping phase through
@@ -123,6 +152,11 @@ class OooCpu
     void dumpState(std::ostream &os) const;
 
   private:
+    /** The invariant auditors inspect pipeline internals directly. */
+    friend class dynaspam::check::OooAuditor;
+    /** The fault-injection self-test seeds violations directly. */
+    friend class dynaspam::check::FaultInjector;
+
     // --- Front-end entry awaiting rename ---
     struct FrontEndInst
     {
@@ -182,6 +216,7 @@ class OooCpu
     OldestFirstPolicy defaultPolicy;
     SelectPolicy *activePolicy;     ///< never null
     TraceHooks *traceHooks = nullptr;
+    CommitObserver *observer = nullptr;
 
     Cycle curCycle = 0;
     SeqNum nextSeq = 1;             ///< 0 reserved as "no instruction"

@@ -140,7 +140,9 @@ class TraceHooks
         (void)num_records;
         (void)live_in_ready;
         (void)mem_safe;
-        return InvocationResult{false, now + 1, {}};
+        InvocationResult result;
+        result.completeCycle = now + 1;
+        return result;
     }
 
     /** The invocation committed atomically at ROB head. */

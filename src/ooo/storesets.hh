@@ -34,6 +34,18 @@ using StoreSetId = std::uint32_t;
 inline constexpr StoreSetId STORE_SET_INVALID = ~StoreSetId(0);
 
 /**
+ * The predictor is shared between the host pipeline and the fabric's
+ * LDST units, but they number stores differently: the host registers
+ * ROB sequence numbers, the fabric trace-index-derived pseudo-sequence
+ * numbers. This flag keeps the two domains disjoint so a consumer can
+ * tell whose registration a dependence points at — the host must not
+ * interpret a fabric pseudo-seq as a ROB seq (host/fabric memory
+ * ordering is enforced via mem_safe and invocation store events, not
+ * through the LFST).
+ */
+inline constexpr SeqNum FABRIC_SEQ_FLAG = SeqNum(1) << 63;
+
+/**
  * Store-set predictor. PC-indexed; orthogonal to the structures that track
  * in-flight stores, which the caller owns (it supplies/queries sequence
  * numbers of the last fetched store per set).

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/logging.hh"
+#include "common/types.hh"
 #include "workloads/workload.hh"
 
 namespace dynaspam::runner
@@ -27,12 +28,8 @@ Job::hash() const
     // FNV-1a, 64-bit: stable across platforms, good enough dispersion
     // for cache file naming (collisions additionally guarded by storing
     // the full key inside the cache file).
-    std::uint64_t h = 0xcbf29ce484222325ULL;
-    for (char c : key()) {
-        h ^= std::uint64_t(static_cast<unsigned char>(c));
-        h *= 0x100000001b3ULL;
-    }
-    return h;
+    const std::string k = key();
+    return bits::fnv1a(k.data(), k.size());
 }
 
 std::string

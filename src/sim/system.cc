@@ -5,6 +5,8 @@
 
 #include "sim/system.hh"
 
+#include "check/check.hh"
+#include "check/verifier.hh"
 #include "common/logging.hh"
 #include "isa/trace.hh"
 
@@ -91,8 +93,25 @@ System::run(const isa::Program &program,
         cpu.setHooks(controller.get());
     }
 
+    // Verification layer: golden-model lockstep plus per-cycle
+    // invariant audits, opt-in via DYNASPAM_CHECKS (default on in
+    // -DDYNASPAM_CHECKS=ON builds).
+    check::ViolationSink sink;      // aborts on any violation
+    std::unique_ptr<check::Verifier> verifier;
+    if (check::enabled()) {
+        verifier = std::make_unique<check::Verifier>(
+            cpu, trace, initial_memory, controller.get(), sink);
+        cpu.setCommitObserver(verifier.get());
+    }
+
     result.cycles = cpu.run();
     result.pipeline = cpu.stats();
+
+    if (verifier) {
+        verifier->finish(result.cycles);
+        result.commitsChecked =
+            verifier->lockstepChecker().commitsChecked();
+    }
 
     if (controller) {
         controller->finalizeStats();

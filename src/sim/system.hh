@@ -80,6 +80,10 @@ struct RunResult
 
     bool functionallyCorrect = false; ///< final regs match reference run
 
+    /** Commits diffed against the golden model (0 when the
+     *  verification layer was not enabled for the run). */
+    std::uint64_t commitsChecked = 0;
+
     double ipc() const
     {
         return cycles ? double(instsTotal) / double(cycles) : 0.0;

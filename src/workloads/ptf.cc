@@ -75,7 +75,7 @@ makePtf(unsigned scale)
     isa::ProgramBuilder b("ptf");
     const auto f = intReg(1), nf = intReg(2), p = intReg(3),
                np = intReg(4), xp = intReg(5), wp = intReg(6),
-               npz = intReg(7), ep = intReg(8), measp = intReg(9);
+               npz = intReg(7), ep = intReg(8);
     const auto xv = fpReg(1), nv = fpReg(2), d = fpReg(3), wv = fpReg(4),
                wsum = fpReg(5), mv = fpReg(6), one = fpReg(10),
                estv = fpReg(7), step = fpReg(11);

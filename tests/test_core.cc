@@ -268,8 +268,9 @@ TEST(Walker, RespectsLengthCap)
     ooo::BranchPredictor bp;
     trainPredictor(prog, bp, 30);
     TraceWalk walk = walkPredictedPath(prog, bp, 2, 32);
-    if (walk.valid)
+    if (walk.valid) {
         EXPECT_LE(walk.pcs.size(), 32u);
+    }
 }
 
 // --- Mapping session ---------------------------------------------------------

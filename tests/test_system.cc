@@ -218,8 +218,9 @@ TEST(SystemOffload, MultiFabricRunsAndTracksLifetime)
         System sys(SystemConfig::make(SystemMode::AccelSpec, 32, fabrics));
         auto r = sys.run(p);
         EXPECT_TRUE(r.functionallyCorrect) << fabrics << " fabrics";
-        if (r.dynaspam.invocationsCommitted > 0)
+        if (r.dynaspam.invocationsCommitted > 0) {
             EXPECT_GT(r.dynaspam.avgConfigLifetime(), 0.0);
+        }
     }
 }
 

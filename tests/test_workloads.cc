@@ -60,7 +60,9 @@ TEST_P(WorkloadGolden, MetadataIsComplete)
 
 INSTANTIATE_TEST_SUITE_P(AllBenchmarks, WorkloadGolden,
                          ::testing::ValuesIn(allWorkloadNames()),
-                         [](const auto &info) { return info.param; });
+                         [](const auto &test_info) {
+                             return test_info.param;
+                         });
 
 TEST(WorkloadRegistry, ListsElevenBenchmarks)
 {
