@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Simulator-throughput benchmark: committed kilo-instructions per
+ * second (KIPS) of host wall time, per workload, host-only
+ * (baseline-ooo) and fabric-enabled (accel-spec).
+ *
+ * This is the repo's first *simulator speed* trajectory (all other
+ * benches report simulated cycles, which are wall-time independent).
+ * It exists so cycle-engine optimizations have a measurable target and
+ * so CI can gate on throughput regressions.
+ *
+ *   bench_simspeed [--scale N] [--repeat N] [--workloads a,b,c]
+ *                  [--out FILE] [--baseline FILE] [--tolerance FRAC]
+ *
+ * Each (workload, mode) point is simulated --repeat times (default 3)
+ * with the result cache disabled; the fastest run is reported, which
+ * suppresses scheduler noise. KIPS counts *committed program
+ * instructions* (result.instsTotal) against the wall time of the whole
+ * runner::execute call (functional pass + timing pass), timed with
+ * steady_clock.
+ *
+ * With --baseline, the emitted report is compared against a previously
+ * checked-in report: the run fails (exit 1) if the geomean KIPS of
+ * either mode drops more than --tolerance (default 0.25) below the
+ * baseline. Per-workload deltas are printed but do not gate, since
+ * single-point timings on shared CI hosts are noisy.
+ *
+ * Report schema: see EXPERIMENTS.md ("Simulator-throughput benchmark").
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hh"
+#include "common/json.hh"
+#include "common/logging.hh"
+#include "runner/job.hh"
+
+using namespace dynaspam;
+using runner::Job;
+using sim::SystemMode;
+
+namespace
+{
+
+/** One timed simulation point. */
+struct Point
+{
+    std::uint64_t insts = 0;
+    std::uint64_t cycles = 0;
+    double seconds = 0.0;
+
+    double kips() const
+    {
+        return seconds > 0.0 ? double(insts) / 1e3 / seconds : 0.0;
+    }
+};
+
+Point
+timePoint(const Job &job, unsigned repeat)
+{
+    Point best;
+    for (unsigned i = 0; i < repeat; i++) {
+        const auto t0 = std::chrono::steady_clock::now();
+        sim::RunResult res = runner::execute(job);
+        const auto t1 = std::chrono::steady_clock::now();
+        const double secs = std::chrono::duration<double>(t1 - t0).count();
+        if (i == 0 || secs < best.seconds) {
+            best.insts = res.instsTotal;
+            best.cycles = res.cycles;
+            best.seconds = secs;
+        }
+    }
+    return best;
+}
+
+json::Value
+pointToJson(const Point &p)
+{
+    json::Object o;
+    o["insts"] = p.insts;
+    o["cycles"] = p.cycles;
+    o["seconds"] = p.seconds;
+    o["kips"] = p.kips();
+    return o;
+}
+
+double
+geomeanKips(const json::Value &report, const char *mode)
+{
+    std::vector<double> vals;
+    for (const auto &[name, modes] : report.at("workloads").asObject())
+        vals.push_back(modes.at(mode).at("kips").asDouble());
+    return geomean(vals);
+}
+
+int
+usage()
+{
+    std::fprintf(stderr,
+        "usage: bench_simspeed [--scale N] [--repeat N]\n"
+        "                      [--workloads a,b,c] [--out FILE]\n"
+        "                      [--baseline FILE] [--tolerance FRAC]\n");
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    unsigned scale = 1;
+    unsigned repeat = 3;
+    double tolerance = 0.25;
+    std::string out = "BENCH_simspeed.json";
+    std::string baseline;
+    std::vector<std::string> names = workloads::allWorkloadNames();
+
+    for (int i = 1; i < argc; i++) {
+        const std::string flag = argv[i];
+        auto value = [&]() -> std::string {
+            if (++i >= argc)
+                fatal("missing value for ", flag);
+            return argv[i];
+        };
+        if (flag == "--scale")
+            scale = unsigned(std::stoul(value()));
+        else if (flag == "--repeat")
+            repeat = unsigned(std::stoul(value()));
+        else if (flag == "--out")
+            out = value();
+        else if (flag == "--baseline")
+            baseline = value();
+        else if (flag == "--tolerance")
+            tolerance = std::stod(value());
+        else if (flag == "--workloads") {
+            names.clear();
+            std::stringstream ss(value());
+            std::string item;
+            while (std::getline(ss, item, ','))
+                if (!item.empty())
+                    names.push_back(
+                        workloads::canonicalWorkloadName(item));
+        } else {
+            return usage();
+        }
+    }
+    if (repeat == 0 || names.empty())
+        return usage();
+
+    std::printf("simspeed: scale %u, best of %u run%s per point\n", scale,
+                repeat, repeat == 1 ? "" : "s");
+    std::printf("%-6s %14s %12s %14s %12s\n", "bench", "host insts",
+                "host KIPS", "fabric insts", "fabric KIPS");
+    bench::rule(6);
+
+    json::Object workloads_json;
+    std::vector<double> host_kips, fabric_kips;
+    for (const std::string &name : names) {
+        const Point host =
+            timePoint(Job{name, SystemMode::BaselineOoo, 32, 1, scale},
+                      repeat);
+        const Point fabric =
+            timePoint(Job{name, SystemMode::AccelSpec, 32, 1, scale},
+                      repeat);
+        host_kips.push_back(host.kips());
+        fabric_kips.push_back(fabric.kips());
+
+        json::Object modes;
+        modes["host"] = pointToJson(host);
+        modes["fabric"] = pointToJson(fabric);
+        workloads_json[name] = std::move(modes);
+
+        std::printf("%-6s %14llu %12.1f %14llu %12.1f\n", name.c_str(),
+                    static_cast<unsigned long long>(host.insts),
+                    host.kips(),
+                    static_cast<unsigned long long>(fabric.insts),
+                    fabric.kips());
+    }
+    bench::rule(6);
+
+    json::Object report_obj;
+    report_obj["schema_version"] = 1u;
+    report_obj["name"] = "simspeed";
+    report_obj["scale"] = scale;
+    report_obj["repeat"] = repeat;
+    report_obj["workloads"] = std::move(workloads_json);
+    json::Object geo;
+    geo["host_kips"] = geomean(host_kips);
+    geo["fabric_kips"] = geomean(fabric_kips);
+    report_obj["geomean"] = std::move(geo);
+    const json::Value report{std::move(report_obj)};
+
+    std::printf("%-6s %14s %12.1f %14s %12.1f   (geomean)\n", "geo", "",
+                geomean(host_kips), "", geomean(fabric_kips));
+
+    {
+        std::ofstream os(out);
+        if (!os)
+            fatal("cannot write ", out);
+        report.write(os, 2);
+        os << "\n";
+    }
+    std::printf("report written to %s\n", out.c_str());
+
+    if (baseline.empty())
+        return 0;
+
+    // --- Regression gate against the checked-in baseline ---
+    std::ifstream is(baseline);
+    if (!is)
+        fatal("cannot read baseline ", baseline);
+    std::stringstream buf;
+    buf << is.rdbuf();
+    const json::Value base = json::Value::parse(buf.str());
+
+    int failed = 0;
+    for (const char *mode : {"host", "fabric"}) {
+        const double base_geo = geomeanKips(base, mode);
+        const double cur_geo = geomeanKips(report, mode);
+        const double floor = base_geo * (1.0 - tolerance);
+        const bool ok = cur_geo >= floor;
+        std::printf("gate: %-6s geomean %10.1f KIPS vs baseline %10.1f "
+                    "(floor %10.1f, tol %.0f%%)  %s\n",
+                    mode, cur_geo, base_geo, floor, tolerance * 100.0,
+                    ok ? "ok" : "REGRESSION");
+        if (!ok)
+            failed = 1;
+    }
+    return failed;
+}

@@ -6,7 +6,9 @@
 #include "check/auditors.hh"
 
 #include <algorithm>
+#include <deque>
 #include <sstream>
+#include <unordered_map>
 
 #include "core/configcache.hh"
 #include "core/tcache.hh"
@@ -47,6 +49,7 @@ OooAuditor::auditAll(Cycle now)
     auditRename(now);
     auditLsq(now);
     auditAtomicity(now);
+    auditScheduler(now);
 }
 
 void
@@ -228,6 +231,195 @@ OooAuditor::auditAtomicity(Cycle now)
                 return;
             }
         }
+    }
+}
+
+void
+OooAuditor::auditScheduler(Cycle now)
+{
+    // The wakeup scheduler and the LSQ line indexes are derived views of
+    // the IQ and the memory queues; this audit proves the views stay an
+    // exact mirror (the sqBound watermark is cross-checked at its use
+    // site by a DYNASPAM_CHECK instead, where the reference predicate is
+    // evaluated on identical state).
+
+    // Pass 1: validate every ready/pending entry and count references.
+    std::unordered_map<SeqNum, unsigned> schedRefs;
+    std::size_t ready_total = 0;
+    std::size_t pending_total = 0;
+    auto checkEntry = [&](SeqNum seq, unsigned type,
+                          const char *where) -> bool {
+        const ooo::DynInst *d = cpu.robFind(seq);
+        if (!d || !d->inIq || d->issued) {
+            std::ostringstream os;
+            os << where << " list holds seq " << seq << " which is "
+               << (!d ? "not in the ROB"
+                      : (d->issued ? "already issued" : "not in the IQ"));
+            sink.report("scheduler", now, os.str());
+            return false;
+        }
+        if (unsigned(d->inst->fuType()) != type) {
+            std::ostringstream os;
+            os << where << " list " << type << " holds seq " << seq
+               << " whose FU type is " << unsigned(d->inst->fuType());
+            sink.report("scheduler", now, os.str());
+            return false;
+        }
+        if (d->waitCount != 0) {
+            std::ostringstream os;
+            os << where << " list holds seq " << seq << " which still has "
+               << unsigned(d->waitCount) << " unknown sources";
+            sink.report("scheduler", now, os.str());
+            return false;
+        }
+        if (schedRefs[seq]++) {
+            std::ostringstream os;
+            os << "seq " << seq
+               << " referenced twice across the ready/pending lists";
+            sink.report("scheduler", now, os.str());
+            return false;
+        }
+        return true;
+    };
+    for (unsigned t = 0; t < cpu.readyByType.size(); t++) {
+        ready_total += cpu.readyByType[t].size();
+        for (SeqNum seq : cpu.readyByType[t]) {
+            if (!checkEntry(seq, t, "ready"))
+                return;
+        }
+    }
+    for (unsigned t = 0; t < cpu.pendingByType.size(); t++) {
+        pending_total += cpu.pendingByType[t].size();
+        for (const auto &pw : cpu.pendingByType[t]) {
+            if (!checkEntry(pw.seq, t, "pending"))
+                return;
+        }
+    }
+    if (ready_total != cpu.readyCount || pending_total != cpu.pendingCount) {
+        std::ostringstream os;
+        os << "scheduler counters out of sync: readyCount "
+           << cpu.readyCount << " vs " << ready_total << " entries, "
+           << "pendingCount " << cpu.pendingCount << " vs "
+           << pending_total << " entries";
+        sink.report("scheduler", now, os.str());
+        return;
+    }
+
+    // Pass 2: consumer-list registrations, one per unknown source.
+    std::unordered_map<SeqNum, unsigned> consumerRefs;
+    for (std::size_t phys = 0; phys < cpu.regConsumers.size(); phys++) {
+        const auto &consumers = cpu.regConsumers[phys];
+        if (consumers.empty())
+            continue;
+        if (cpu.physReadyCycle[phys] != CYCLE_INVALID) {
+            std::ostringstream os;
+            os << "phys " << phys << " has " << consumers.size()
+               << " registered consumers but already reads as ready at "
+                  "cycle " << cpu.physReadyCycle[phys];
+            sink.report("scheduler", now, os.str());
+            return;
+        }
+        for (SeqNum seq : consumers) {
+            const ooo::DynInst *d = cpu.robFind(seq);
+            if (!d || !d->inIq || d->issued) {
+                std::ostringstream os;
+                os << "phys " << phys << " consumer list holds seq " << seq
+                   << " which is not waiting in the IQ";
+                sink.report("scheduler", now, os.str());
+                return;
+            }
+            consumerRefs[seq]++;
+        }
+    }
+
+    // Pass 3: every waiting IQ instruction is accounted for exactly once.
+    for (SeqNum seq : cpu.iq) {
+        const ooo::DynInst *d = cpu.robFind(seq);
+        if (!d || !d->inIq) {
+            std::ostringstream os;
+            os << "IQ holds seq " << seq
+               << (d ? " whose inIq flag is clear" : " not in the ROB");
+            sink.report("scheduler", now, os.str());
+            return;
+        }
+        const unsigned sched = schedRefs.count(seq) ? schedRefs[seq] : 0;
+        const unsigned cons =
+            consumerRefs.count(seq) ? consumerRefs[seq] : 0;
+        if (d->waitCount == 0 && (sched != 1 || cons != 0)) {
+            std::ostringstream os;
+            os << "seq " << seq << " has no unknown sources but " << sched
+               << " ready/pending references and " << cons
+               << " consumer registrations (want 1 and 0)";
+            sink.report("scheduler", now, os.str());
+            return;
+        }
+        if (d->waitCount != 0 &&
+            (sched != 0 || cons != unsigned(d->waitCount))) {
+            std::ostringstream os;
+            os << "seq " << seq << " waits on " << unsigned(d->waitCount)
+               << " sources but has " << sched
+               << " ready/pending references and " << cons
+               << " consumer registrations";
+            sink.report("scheduler", now, os.str());
+            return;
+        }
+    }
+    if (ready_total + pending_total > cpu.iq.size()) {
+        std::ostringstream os;
+        os << "scheduler lists hold " << ready_total + pending_total
+           << " entries but the IQ holds only " << cpu.iq.size();
+        sink.report("scheduler", now, os.str());
+        return;
+    }
+
+    // Pass 4: the LSQ line indexes mirror the queues exactly.
+    auto auditIndex = [&](const std::deque<SeqNum> &queue,
+                          const ooo::OooCpu::LsqIndex &index,
+                          const char *name) -> bool {
+        ooo::OooCpu::LsqIndex expect;
+        for (SeqNum seq : queue) {
+            const ooo::DynInst *d = cpu.robFind(seq);
+            if (!d || !d->record)
+                return true;    // auditLsq already reported this
+            expect[ooo::OooCpu::lsqLine(d->record->effAddr)].push_back(seq);
+        }
+        if (index == expect)
+            return true;
+        std::ostringstream os;
+        os << name << " line index does not mirror the queue ("
+           << index.size() << " lines indexed, " << expect.size()
+           << " expected)";
+        sink.report("scheduler", now, os.str());
+        return false;
+    };
+    if (!auditIndex(cpu.loadQueue, cpu.loadsByLine, "load"))
+        return;
+    if (!auditIndex(cpu.storeQueue, cpu.storesByLine, "store"))
+        return;
+
+    // Pass 5: retiredByLine mirrors the post-commit store buffer.
+    std::size_t retired_total = 0;
+    for (const auto &[line, entries] : cpu.retiredByLine) {
+        retired_total += entries.size();
+        SeqNum prev = 0;
+        for (const auto &rs : entries) {
+            if (ooo::OooCpu::lsqLine(rs.addr) != line || rs.seq <= prev) {
+                std::ostringstream os;
+                os << "retired-store line index entry seq " << rs.seq
+                   << " misfiled or out of age order on line " << line;
+                sink.report("scheduler", now, os.str());
+                return;
+            }
+            prev = rs.seq;
+        }
+    }
+    if (retired_total != cpu.storeBuffer.size()) {
+        std::ostringstream os;
+        os << "retired-store line index holds " << retired_total
+           << " entries but the store buffer holds "
+           << cpu.storeBuffer.size();
+        sink.report("scheduler", now, os.str());
+        return;
     }
 }
 

@@ -57,6 +57,14 @@ namespace dynaspam::check
  *  - "atomicity": an unresolved invocation's live-out registers are
  *    all still not-ready — a fat ROB' entry's results must become
  *    visible atomically, never early.
+ *  - "scheduler": the wakeup-driven issue bookkeeping mirrors the IQ
+ *    exactly — every waiting IQ instruction with no unknown sources
+ *    has exactly one ready/pending reference of the right FU type,
+ *    instructions with unknown sources are registered once per
+ *    unknown source on a not-ready producer's consumer list, the
+ *    ready/pending counters match, and the cacheline-keyed LSQ and
+ *    store-buffer indexes hold exactly the queues' entries in age
+ *    order.
  */
 class OooAuditor
 {
@@ -70,6 +78,7 @@ class OooAuditor
     void auditRename(Cycle now);
     void auditLsq(Cycle now);
     void auditAtomicity(Cycle now);
+    void auditScheduler(Cycle now);
 
   private:
     const ooo::OooCpu &cpu;

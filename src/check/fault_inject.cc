@@ -176,6 +176,43 @@ FaultInjector::injectAtomicityFault()
 }
 
 bool
+FaultInjector::injectSchedulerFault()
+{
+    isa::ProgramBuilder b("alu");
+    b.movi(1, 5);
+    b.halt();
+    const isa::Program program = b.build();
+    isa::DynamicTrace trace(program);
+    CpuFixture fx(trace);
+
+    // One dispatched, ready-to-issue instruction with its single
+    // scheduler reference in the matching ready list.
+    ooo::DynInst d;
+    d.seq = 1;
+    d.traceIdx = 0;
+    d.inst = &program.inst(0);
+    d.inIq = true;
+    fx.cpu.rob.push_back(d);
+    fx.cpu.iq.push_back(1);
+    const unsigned type = unsigned(program.inst(0).fuType());
+    fx.cpu.readyByType[type].push_back(1);
+    fx.cpu.readyCount = 1;
+
+    ViolationSink sink(ViolationSink::Mode::Collect);
+    OooAuditor auditor(fx.cpu, sink);
+    auditor.auditScheduler(0);
+    if (!sink.empty())
+        return false;
+
+    // A stale wakeup left behind by a squash: the ready list names an
+    // instruction the ROB no longer holds.
+    fx.cpu.readyByType[type].push_back(99);
+    fx.cpu.readyCount++;
+    auditor.auditScheduler(1);
+    return sink.firedFrom("scheduler");
+}
+
+bool
 FaultInjector::injectTCacheFault()
 {
     core::TCache tcache;
@@ -303,6 +340,7 @@ runSelfTest(std::ostream &os)
         {"rename map / free-list partition", FaultInjector::injectRenameFault},
         {"load-store queue ordering", FaultInjector::injectLsqFault},
         {"ROB' fat-commit atomicity", FaultInjector::injectAtomicityFault},
+        {"scheduler / LSQ-index mirror", FaultInjector::injectSchedulerFault},
         {"T-Cache coherence", FaultInjector::injectTCacheFault},
         {"config-cache validity", FaultInjector::injectConfigCacheFault},
         {"frontier scheduling legality", FaultInjector::injectFrontierFault},

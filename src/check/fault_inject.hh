@@ -34,6 +34,7 @@ class FaultInjector
     static bool injectRenameFault();     ///< alias a phys reg twice
     static bool injectLsqFault();        ///< reorder the load queue
     static bool injectAtomicityFault();  ///< expose a live-out early
+    static bool injectSchedulerFault();  ///< phantom ready-list entry
     static bool injectTCacheFault();     ///< hot below the threshold
     static bool injectConfigCacheFault();///< valid entry, null config
     static bool injectFrontierFault();   ///< backwards dataflow route

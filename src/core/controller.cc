@@ -94,7 +94,14 @@ DynaSpamController::beforeFetch(SeqNum trace_idx, Cycle now)
 {
     ooo::FetchDirective directive;
 
-    if (suppressed.count(trace_idx)) {
+    // Only conditional branches anchor traces, so only they can carry a
+    // suppression or an offload — bail before any hash probe otherwise.
+    const isa::DynRecord &rec = trace[trace_idx];
+    const isa::StaticInst &inst = trace.program().inst(rec.pc);
+    if (!inst.isCondBranch())
+        return directive;
+
+    if (!suppressed.empty() && suppressed.count(trace_idx)) {
         dstats.offloadSuppressed++;
         // This record's invocation just squashed: run it on the host.
         // (The entry is consumed at commit, not here, because fetch can
@@ -102,18 +109,21 @@ DynaSpamController::beforeFetch(SeqNum trace_idx, Cycle now)
         return directive;
     }
 
-    const isa::DynRecord &rec = trace[trace_idx];
-    const isa::StaticInst &inst = trace.program().inst(rec.pc);
-    if (!inst.isCondBranch())
-        return directive;
     if (mappingInProgress)
         return directive;
 
     // Build the T-Cache index from the predictions for this and the next
-    // two branches.
+    // two branches. The key-only probe avoids materialising the extent
+    // vectors for the (overwhelmingly common) cold case; isHot is pure,
+    // and probe.key equals the full walk's key, so behaviour is identical.
+    TraceKeyProbe probe = probeTraceKey(trace.program(), bpred, rec.pc,
+                                        params.traceLength);
+    if (!probe.valid || !tCache.isHot(probe.key))
+        return directive;
+
     TraceWalk walk = walkPredictedPath(trace.program(), bpred, rec.pc,
                                        params.traceLength);
-    if (!walk.valid || !tCache.isHot(walk.key))
+    if (!walk.valid)
         return directive;
 
     dstats.tracesConsidered++;

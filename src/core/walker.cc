@@ -11,6 +11,62 @@
 namespace dynaspam::core
 {
 
+TraceKeyProbe
+probeTraceKey(const isa::Program &program,
+              const ooo::BranchPredictor &bpred, InstAddr anchor_pc,
+              unsigned max_len)
+{
+    TraceKeyProbe probe;
+    if (anchor_pc >= program.size())
+        return probe;
+    if (!program.inst(anchor_pc).isCondBranch())
+        return probe;
+
+    std::uint64_t history = bpred.speculativeHistory();
+    bool outcomes[3] = {};
+    unsigned num_outcomes = 0;
+
+    InstAddr pc = anchor_pc;
+    unsigned steps = 0;
+    const unsigned step_cap = 4 * max_len;
+
+    // Mirror of walkPredictedPath's phase 1: only the conditions that can
+    // invalidate the walk or feed the key are evaluated; the extent
+    // bookkeeping is skipped. Keep the two loops in lockstep when editing.
+    while (steps < step_cap && num_outcomes < 3) {
+        if (pc >= program.size())
+            return probe;
+        const isa::StaticInst &inst = program.inst(pc);
+        if (inst.isHalt() || inst.op == isa::Opcode::RET)
+            return probe;
+
+        InstAddr next = pc + 1;
+        if (inst.isControl()) {
+            auto pred = bpred.peekWithHistory(pc, inst, history);
+            if (inst.isCondBranch()) {
+                outcomes[num_outcomes++] = pred.taken;
+                history = (history << 1) | (pred.taken ? 1 : 0);
+            }
+            if (pred.taken) {
+                if (!pred.targetKnown)
+                    return probe;
+                next = pred.target;
+            }
+        }
+
+        pc = next;
+        steps++;
+    }
+
+    if (num_outcomes < 3)
+        return probe;
+
+    probe.key = makeTraceKey(anchor_pc, outcomes[0], outcomes[1],
+                             outcomes[2]);
+    probe.valid = true;
+    return probe;
+}
+
 TraceWalk
 walkPredictedPath(const isa::Program &program,
                   const ooo::BranchPredictor &bpred, InstAddr anchor_pc,

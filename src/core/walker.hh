@@ -41,6 +41,29 @@ struct TraceWalk
     unsigned numCondBranches = 0;   ///< conditional branches in the extent
 };
 
+/** Result of the key-only prefix of a predicted-path walk. */
+struct TraceKeyProbe
+{
+    bool valid = false;
+    std::uint64_t key = 0;  ///< same key walkPredictedPath would produce
+};
+
+/**
+ * Compute just the T-Cache key for the trace anchored at @p anchor_pc,
+ * without materialising the extent vectors.
+ *
+ * This runs exactly the key-determining prefix of walkPredictedPath (the
+ * walk up to the third conditional branch, with identical failure
+ * conditions), so `probe.valid == walk.valid` and, when valid,
+ * `probe.key == walk.key`. The fetch fast path uses it to consult the
+ * T-Cache before paying for the full walk: walkPredictedPath always puts
+ * the anchor into pcs, so the full walk can never turn invalid after the
+ * key prefix succeeds.
+ */
+TraceKeyProbe probeTraceKey(const isa::Program &program,
+                            const ooo::BranchPredictor &bpred,
+                            InstAddr anchor_pc, unsigned max_len);
+
 /**
  * Walk the predicted path starting at the conditional branch @p anchor_pc.
  *

@@ -56,6 +56,40 @@ fuTypeOffset(const FuPoolParams &pool, isa::FuType type)
     return off;
 }
 
+/** Remove the oldest entry (@p seq) from its line bucket. */
+void
+lsqIndexEraseOldest(std::unordered_map<Addr, std::vector<SeqNum>> &index,
+                    Addr line, SeqNum seq)
+{
+    auto it = index.find(line);
+    if (it == index.end())
+        return;
+    auto &bucket = it->second;
+    if (!bucket.empty() && bucket.front() == seq)
+        bucket.erase(bucket.begin());
+    else
+        std::erase(bucket, seq);
+    if (bucket.empty())
+        index.erase(it);
+}
+
+/** Remove the youngest entry (@p seq) from its line bucket. */
+void
+lsqIndexEraseYoungest(std::unordered_map<Addr, std::vector<SeqNum>> &index,
+                      Addr line, SeqNum seq)
+{
+    auto it = index.find(line);
+    if (it == index.end())
+        return;
+    auto &bucket = it->second;
+    if (!bucket.empty() && bucket.back() == seq)
+        bucket.pop_back();
+    else
+        std::erase(bucket, seq);
+    if (bucket.empty())
+        index.erase(it);
+}
+
 } // namespace
 
 OooCpu::OooCpu(const OooParams &p, const isa::DynamicTrace &t,
@@ -78,6 +112,12 @@ OooCpu::OooCpu(const OooParams &p, const isa::DynamicTrace &t,
     fuBusyUntil.resize(unsigned(isa::FuType::NUM_FU_TYPES));
     for (unsigned fu = 0; fu < fuBusyUntil.size(); fu++)
         fuBusyUntil[fu].assign(params.fuPool.count(isa::FuType(fu)), 0);
+
+    readyByType.resize(unsigned(isa::FuType::NUM_FU_TYPES));
+    pendingByType.resize(unsigned(isa::FuType::NUM_FU_TYPES));
+    regConsumers.resize(p.numPhysRegs);
+    for (unsigned fu = 0; fu < unsigned(isa::FuType::NUM_FU_TYPES); fu++)
+        fuTypeOffsets[fu] = fuTypeOffset(params.fuPool, isa::FuType(fu));
 }
 
 OooCpu::~OooCpu() = default;
@@ -341,10 +381,12 @@ OooCpu::renameStage()
                 d.dependsOnStore = (dep & FABRIC_SEQ_FLAG) ? 0 : dep;
             }
             loadQueue.push_back(d.seq);
+            loadsByLine[lsqLine(rec.effAddr)].push_back(d.seq);
         } else if (inst.isStore()) {
             if (params.memorySpeculation)
                 storeSets.dispatchStore(rec.pc, d.seq);
             storeQueue.push_back(d.seq);
+            storesByLine[lsqLine(rec.effAddr)].push_back(d.seq);
         }
 
         if (fe.firstMappingInst && pendingMappingPolicy) {
@@ -365,6 +407,7 @@ OooCpu::renameStage()
         d.inIq = true;
         iq.push_back(d.seq);
         rob.push_back(d);
+        scheduleAtDispatch(rob.back());
         pstats.robWrites++;
         pstats.renamedInsts++;
         pstats.dispatchedInsts++;
@@ -392,6 +435,9 @@ OooCpu::olderStoresAllComplete(const DynInst &load) const
     return true;
 }
 
+/** Reference readiness rule: the wakeup scheduler must agree with this
+ *  full recomputation for every candidate it offers (cross-checked
+ *  under DYNASPAM_CHECKS in issueStage). */
 bool
 OooCpu::isInstReady(const DynInst &d) const
 {
@@ -425,21 +471,171 @@ OooCpu::isInstReady(const DynInst &d) const
 }
 
 void
+OooCpu::scheduleAtDispatch(DynInst &d)
+{
+    unsigned waits = 0;
+    Cycle ready_at = 0;
+    for (RegIndex src : {d.src1Phys, d.src2Phys}) {
+        if (src == REG_INVALID)
+            continue;
+        const Cycle r = physReadyCycle[src];
+        if (r == CYCLE_INVALID) {
+            regConsumers[src].push_back(d.seq);
+            waits++;
+        } else {
+            ready_at = std::max(ready_at, r);
+        }
+    }
+    d.waitCount = std::uint8_t(waits);
+    if (waits == 0) {
+        pendingByType[unsigned(d.inst->fuType())].push_back(
+            {ready_at, d.seq});
+        pendingCount++;
+    }
+}
+
+void
+OooCpu::wakeConsumers(RegIndex phys)
+{
+    auto &consumers = regConsumers[phys];
+    if (consumers.empty())
+        return;
+    for (SeqNum seq : consumers) {
+        DynInst &d = robAt(seq);
+        if (--d.waitCount != 0)
+            continue;
+        Cycle ready_at = 0;
+        for (RegIndex src : {d.src1Phys, d.src2Phys}) {
+            if (src != REG_INVALID)
+                ready_at = std::max(ready_at, physReadyCycle[src]);
+        }
+        pendingByType[unsigned(d.inst->fuType())].push_back(
+            {ready_at, seq});
+        pendingCount++;
+    }
+    consumers.clear();
+}
+
+void
+OooCpu::drainPendingWakeups()
+{
+    if (pendingCount == 0)
+        return;
+    for (unsigned t = 0; t < pendingByType.size(); t++) {
+        auto &pending = pendingByType[t];
+        for (std::size_t i = 0; i < pending.size();) {
+            if (pending[i].readyCycle <= curCycle) {
+                readyByType[t].push_back(pending[i].seq);
+                readyCount++;
+                pending[i] = pending.back();
+                pending.pop_back();
+                pendingCount--;
+            } else {
+                i++;
+            }
+        }
+    }
+}
+
+void
+OooCpu::scrubSchedulerForSquash(SeqNum bound)
+{
+    for (auto &ready : readyByType) {
+        for (std::size_t i = 0; i < ready.size();) {
+            if (ready[i] >= bound) {
+                ready[i] = ready.back();
+                ready.pop_back();
+                readyCount--;
+            } else {
+                i++;
+            }
+        }
+    }
+    for (auto &pending : pendingByType) {
+        for (std::size_t i = 0; i < pending.size();) {
+            if (pending[i].seq >= bound) {
+                pending[i] = pending.back();
+                pending.pop_back();
+                pendingCount--;
+            } else {
+                i++;
+            }
+        }
+    }
+    for (auto &consumers : regConsumers)
+        std::erase_if(consumers,
+                      [bound](SeqNum s) { return s >= bound; });
+    sqBoundCycle = CYCLE_INVALID;
+}
+
+SeqNum
+OooCpu::incompleteStoreBound()
+{
+    if (sqBoundCycle == curCycle)
+        return sqBound;
+    sqBoundCycle = curCycle;
+    sqBound = ~SeqNum(0);
+    for (SeqNum seq : storeQueue) {
+        const DynInst *store = robFind(seq);
+        if (store &&
+            (!store->issued || store->completeCycle > curCycle)) {
+            sqBound = seq;
+            break;
+        }
+    }
+    return sqBound;
+}
+
+/** Memory-side readiness of a register-ready load. Register readiness
+ *  is event-driven; this residual condition depends on store progress
+ *  and is polled at select time: O(1) per probe against the per-cycle
+ *  store-completion watermark or the predicted producer store. */
+bool
+OooCpu::loadMemoryReady(const DynInst &load)
+{
+    if (!params.memorySpeculation) {
+        const bool ok = incompleteStoreBound() >= load.seq;
+        DYNASPAM_CHECK(ok == olderStoresAllComplete(load),
+                       "store-completion watermark diverges from the "
+                       "store-queue walk for load seq ", load.seq);
+        return ok;
+    }
+    if (load.dependsOnStore != 0) {
+        // Store-set predicted dependence: wait for the store.
+        const DynInst *store = robFind(load.dependsOnStore);
+        if (store && store->seq < load.seq &&
+            (!store->issued || store->completeCycle > curCycle)) {
+            return false;
+        }
+    }
+    return true;
+}
+
+void
 OooCpu::issueLoad(DynInst &load)
 {
     const Addr addr = load.record->effAddr;
     load.addrReady = true;
 
     // Store-to-load forwarding: youngest older store with a matching
-    // address whose address is known.
+    // address whose address is known. Only stores on the same cache
+    // line are probed (age-ordered index bucket); entries elsewhere on
+    // the line — partial overlaps in line terms — neither forward nor
+    // end the search, and the walk bails out at the first full-width
+    // (exact-address) match even when such a partial overlap was seen
+    // first.
     const DynInst *src_store = nullptr;
-    for (auto it = storeQueue.rbegin(); it != storeQueue.rend(); ++it) {
-        if (*it >= load.seq)
-            continue;
-        const DynInst *store = robFind(*it);
-        if (store && store->issued && store->record->effAddr == addr) {
-            src_store = store;
-            break;
+    if (auto it = storesByLine.find(lsqLine(addr));
+        it != storesByLine.end()) {
+        const auto &bucket = it->second;
+        for (auto rit = bucket.rbegin(); rit != bucket.rend(); ++rit) {
+            if (*rit >= load.seq)
+                continue;
+            const DynInst *store = robFind(*rit);
+            if (store && store->issued && store->record->effAddr == addr) {
+                src_store = store;
+                break;
+            }
         }
     }
 
@@ -454,14 +650,20 @@ OooCpu::issueLoad(DynInst &load)
     }
 
     // No match in flight: try the post-commit store buffer (all entries
-    // are architecturally older than any in-flight load).
-    for (auto it = storeBuffer.rbegin(); it != storeBuffer.rend(); ++it) {
-        if (it->addr == addr) {
-            Cycle data_ready = std::max(agu_done, it->dataReady);
-            load.completeCycle = data_ready + params.forwardLatency;
-            load.forwardedFromSeq = it->seq;
-            pstats.loadForwards++;
-            return;
+    // are architecturally older than any in-flight load). Youngest
+    // same-line entry with the exact address wins, as in the in-flight
+    // case.
+    if (auto it = retiredByLine.find(lsqLine(addr));
+        it != retiredByLine.end()) {
+        const auto &bucket = it->second;
+        for (auto rit = bucket.rbegin(); rit != bucket.rend(); ++rit) {
+            if (rit->addr == addr) {
+                Cycle data_ready = std::max(agu_done, rit->dataReady);
+                load.completeCycle = data_ready + params.forwardLatency;
+                load.forwardedFromSeq = rit->seq;
+                pstats.loadForwards++;
+                return;
+            }
         }
     }
 
@@ -486,16 +688,21 @@ OooCpu::checkViolations(const DynInst &store)
 {
     // A younger load that already read a value not produced by this store
     // (from cache or from an older store) violated the memory order.
+    // Same-line loads are probed in age order, so the first qualifying
+    // entry is the oldest violator.
     const Addr addr = store.record->effAddr;
     SeqNum victim = 0;
-    for (SeqNum seq : loadQueue) {
-        if (seq <= store.seq)
-            continue;
-        const DynInst *load = robFind(seq);
-        if (load && load->issued && load->record->effAddr == addr &&
-            load->forwardedFromSeq < store.seq) {
-            if (!victim || seq < victim)
+    if (auto it = loadsByLine.find(lsqLine(addr));
+        it != loadsByLine.end()) {
+        for (SeqNum seq : it->second) {
+            if (seq <= store.seq)
+                continue;
+            const DynInst *load = robFind(seq);
+            if (load && load->issued && load->record->effAddr == addr &&
+                load->forwardedFromSeq < store.seq) {
                 victim = seq;
+                break;
+            }
         }
     }
     if (!victim)
@@ -519,6 +726,18 @@ OooCpu::issueStage()
     if (mappingActive && mappingDispatchRemaining > 0)
         return;
 
+    // Move instructions whose last source value arrived onto the ready
+    // lists. Producers complete no earlier than the cycle after they
+    // issue (opLatency >= 1) and invocations resolve before this stage
+    // runs, so draining once here sees every instruction the reference
+    // readiness rule would accept this cycle.
+    drainPendingWakeups();
+
+    // Nothing can issue and the policy has no per-cycle side effects:
+    // skip the stage entirely.
+    if (readyCount == 0 && activePolicy->passive())
+        return;
+
     if (!activePolicy->beginCycle(curCycle))
         return;
 
@@ -527,40 +746,58 @@ OooCpu::issueStage()
     for (unsigned t = 0; t < unsigned(isa::FuType::NUM_FU_TYPES) &&
                          issued_total < params.issueWidth;
          t++) {
-        auto fu_type = isa::FuType(t);
+        auto &ready = readyByType[t];
+        if (ready.empty())
+            continue;
         auto &units = fuBusyUntil[t];
-        const unsigned type_offset = fuTypeOffset(params.fuPool, fu_type);
+        const unsigned type_offset = fuTypeOffsets[t];
 
         for (unsigned u = 0;
              u < units.size() && issued_total < params.issueWidth; u++) {
             if (units[u] > curCycle)
                 continue;
+            if (ready.empty())
+                break;
 
             // Select: score every ready candidate of this FU type
-            // (Algorithm 1, lines 7-12). Ties break oldest-first.
-            DynInst *best = nullptr;
+            // (Algorithm 1, lines 7-12). Ties break oldest-first; the
+            // explicit seq comparison makes the ready-list order
+            // irrelevant, so selections match the former full-IQ scan
+            // exactly.
+            std::size_t best_slot = ready.size();
             int best_score = -1;
-            for (SeqNum seq : iq) {
-                DynInst &d = robAt(seq);
-                if (d.inst->fuType() != fu_type || !isInstReady(d))
+            SeqNum best_seq = 0;
+            for (std::size_t slot = 0; slot < ready.size(); slot++) {
+                DynInst &d = robAt(ready[slot]);
+                if (d.isLoad() && !loadMemoryReady(d))
                     continue;
+                DYNASPAM_CHECK(isInstReady(d),
+                               "ready list offers seq ", d.seq,
+                               " which the reference readiness rule "
+                               "rejects");
                 int score = activePolicy->score(type_offset + u, d);
                 if (score < 0)
                     continue;
-                if (!best || score > best_score ||
-                    (score == best_score && d.seq < best->seq)) {
-                    best = &d;
+                if (best_slot == ready.size() || score > best_score ||
+                    (score == best_score && d.seq < best_seq)) {
+                    best_slot = slot;
                     best_score = score;
+                    best_seq = d.seq;
                 }
             }
-            if (!best)
+            if (best_slot == ready.size())
                 continue;
 
-            DynInst &d = *best;
+            DynInst &d = robAt(ready[best_slot]);
             d.issued = true;
             d.inIq = false;
             d.issueCycle = curCycle;
-            iq.erase(std::find(iq.begin(), iq.end(), d.seq));
+            ready[best_slot] = ready.back();
+            ready.pop_back();
+            readyCount--;
+            auto iq_it = std::find(iq.begin(), iq.end(), d.seq);
+            *iq_it = iq.back();
+            iq.pop_back();
 
             const isa::OpClass cls = d.inst->opClass();
             const unsigned lat = isa::opLatency(cls);
@@ -587,8 +824,10 @@ OooCpu::issueStage()
             // the mapping generator records the placement.
             activePolicy->selected(type_offset + u, d);
 
-            if (d.inst->hasDest())
+            if (d.inst->hasDest()) {
                 physReadyCycle[d.destPhys] = d.completeCycle;
+                wakeConsumers(d.destPhys);
+            }
             d.completed = true;   // completion time is now determined
 
             // Statistics: register reads, bypass detection, wakeups.
@@ -642,7 +881,8 @@ OooCpu::startReadyInvocations()
         // All live-in arrival times must be known.
         bool ready = true;
         Cycle live_in_max = curCycle;
-        std::vector<Cycle> arrivals;
+        std::vector<Cycle> &arrivals = arrivalScratch;
+        arrivals.clear();
         arrivals.reserve(inv.liveInPhys.size());
         for (RegIndex phys : inv.liveInPhys) {
             Cycle r = physReadyCycle[phys];
@@ -704,31 +944,40 @@ OooCpu::startReadyInvocations()
         {
             if (inv.result.liveOutReady.size() != inv.liveOutPhys.size())
                 panic("offload engine live-out count mismatch");
-            for (std::size_t i = 0; i < inv.liveOutPhys.size(); i++)
+            for (std::size_t i = 0; i < inv.liveOutPhys.size(); i++) {
                 physReadyCycle[inv.liveOutPhys[i]] =
                     inv.result.liveOutReady[i];
+                wakeConsumers(inv.liveOutPhys[i]);
+            }
 
             // Younger host loads issued speculatively past this
             // invocation: any that read a location the invocation
             // stores to must replay (same discipline as store-set
-            // violation handling between host instructions).
+            // violation handling between host instructions). Probe
+            // only same-line loads per store event; buckets are
+            // age-ordered, so the first qualifying entry per event is
+            // that event's oldest victim, and the strict < keeps the
+            // earliest event's store PC when several events hit the
+            // same load.
             SeqNum victim = 0;
             InstAddr victim_store_pc = 0;
-            for (SeqNum lq_seq : loadQueue) {
-                if (lq_seq <= seq)
+            for (const auto &[addr, store_pc] : inv.result.storeEvents) {
+                auto it = loadsByLine.find(lsqLine(addr));
+                if (it == loadsByLine.end())
                     continue;
-                const DynInst *load = robFind(lq_seq);
-                if (!load || !load->issued ||
-                    load->forwardedFromSeq > seq) {
-                    continue;
-                }
-                for (const auto &[addr, store_pc] :
-                     inv.result.storeEvents) {
+                for (SeqNum lq_seq : it->second) {
+                    if (lq_seq <= seq)
+                        continue;
+                    if (victim && lq_seq >= victim)
+                        break;      // age order: no older hit follows
+                    const DynInst *load = robFind(lq_seq);
+                    if (!load || !load->issued ||
+                        load->forwardedFromSeq > seq) {
+                        continue;
+                    }
                     if (load->record->effAddr == addr) {
-                        if (!victim || lq_seq < victim) {
-                            victim = lq_seq;
-                            victim_store_pc = store_pc;
-                        }
+                        victim = lq_seq;
+                        victim_store_pc = store_pc;
                         break;
                     }
                 }
@@ -765,10 +1014,10 @@ OooCpu::commitStage()
         DynInst &head = rob.front();
 
         if (head.kind == RobKind::TraceInvoke) {
-            auto it = invocations.find(head.seq);
-            if (it == invocations.end())
+            InvocationState *found = invocations.find(head.seq);
+            if (!found)
                 panic("invocation state missing for seq ", head.seq);
-            InvocationState &inv = it->second;
+            InvocationState &inv = *found;
             if (!inv.resolved || inv.result.completeCycle > curCycle)
                 break;
 
@@ -799,7 +1048,7 @@ OooCpu::commitStage()
                 observer->onCommit(head.traceIdx, head.traceLen, true,
                                    curCycle);
             }
-            invocations.erase(it);
+            invocations.erase(head.seq);
             rob.pop_front();
             committed++;
             continue;
@@ -817,8 +1066,22 @@ OooCpu::commitStage()
                 storeSets.retireStore(head.pc, head.seq);
             storeBuffer.push_back(
                 {head.record->effAddr, head.completeCycle, head.seq});
-            if (storeBuffer.size() > storeBufferEntries)
+            retiredByLine[lsqLine(head.record->effAddr)].push_back(
+                storeBuffer.back());
+            if (storeBuffer.size() > storeBufferEntries) {
+                const RetiredStore &oldest = storeBuffer.front();
+                auto it = retiredByLine.find(lsqLine(oldest.addr));
+                if (it != retiredByLine.end()) {
+                    auto &bucket = it->second;
+                    if (!bucket.empty() &&
+                        bucket.front().seq == oldest.seq) {
+                        bucket.erase(bucket.begin());
+                    }
+                    if (bucket.empty())
+                        retiredByLine.erase(it);
+                }
                 storeBuffer.pop_front();
+            }
         }
 
         if (head.isControl()) {
@@ -846,11 +1109,19 @@ OooCpu::commitStage()
         }
 
         if (head.isLoad()) {
-            if (!loadQueue.empty() && loadQueue.front() == head.seq)
+            if (!loadQueue.empty() && loadQueue.front() == head.seq) {
                 loadQueue.pop_front();
+                lsqIndexEraseOldest(loadsByLine,
+                                    lsqLine(head.record->effAddr),
+                                    head.seq);
+            }
         } else if (head.isStore()) {
-            if (!storeQueue.empty() && storeQueue.front() == head.seq)
+            if (!storeQueue.empty() && storeQueue.front() == head.seq) {
                 storeQueue.pop_front();
+                lsqIndexEraseOldest(storesByLine,
+                                    lsqLine(head.record->effAddr),
+                                    head.seq);
+            }
         }
 
         DYNASPAM_CHECK(head.traceIdx == commitIdx, "host commit of record ",
@@ -896,18 +1167,17 @@ OooCpu::squashFrom(SeqNum seq, SeqNum resume_trace_idx, Cycle restart)
         pstats.squashedInsts++;
 
         if (d.kind == RobKind::TraceInvoke) {
-            auto it = invocations.find(d.seq);
-            if (it != invocations.end()) {
-                InvocationState &inv = it->second;
+            InvocationState *inv = invocations.find(d.seq);
+            if (inv) {
                 // Restore live-out mappings youngest-first.
-                for (std::size_t i = inv.liveOutPhys.size(); i-- > 0;) {
-                    rat[inv.liveOutArch[i]] = inv.liveOutPrevPhys[i];
-                    freeList.push_back(inv.liveOutPhys[i]);
+                for (std::size_t i = inv->liveOutPhys.size(); i-- > 0;) {
+                    rat[inv->liveOutArch[i]] = inv->liveOutPrevPhys[i];
+                    freeList.push_back(inv->liveOutPhys[i]);
                 }
-                if (traceHooks && !(inv.resolved && inv.result.squashed))
+                if (traceHooks && !(inv->resolved && inv->result.squashed))
                     traceHooks->invocationSquashed(d.traceIdx, curCycle,
                                                    false);
-                invocations.erase(it);
+                invocations.erase(d.seq);
             }
         } else {
             if (d.inst->hasDest()) {
@@ -916,6 +1186,15 @@ OooCpu::squashFrom(SeqNum seq, SeqNum resume_trace_idx, Cycle restart)
             }
             if (d.isStore() && params.memorySpeculation)
                 storeSets.retireStore(d.pc, d.seq);
+            // The popped instruction is the youngest in flight, so it
+            // sits at the young end of its line bucket.
+            if (d.isLoad()) {
+                lsqIndexEraseYoungest(loadsByLine,
+                                      lsqLine(d.record->effAddr), d.seq);
+            } else if (d.isStore()) {
+                lsqIndexEraseYoungest(storesByLine,
+                                      lsqLine(d.record->effAddr), d.seq);
+            }
             if (d.mappingInst)
                 mapping_killed = true;
         }
@@ -928,6 +1207,7 @@ OooCpu::squashFrom(SeqNum seq, SeqNum resume_trace_idx, Cycle restart)
         loadQueue.pop_back();
     while (!storeQueue.empty() && storeQueue.back() >= bound)
         storeQueue.pop_back();
+    scrubSchedulerForSquash(bound);
 
     frontEnd.clear();
     if (mappingFetchRemaining > 0)
@@ -960,7 +1240,8 @@ OooCpu::dumpState(std::ostream &os) const
        << " commitIdx=" << commitIdx << " rob=" << rob.size()
        << " iq=" << iq.size() << " lq=" << loadQueue.size()
        << " sq=" << storeQueue.size() << " frontEnd=" << frontEnd.size()
-       << " freeRegs=" << freeList.size() << "\n";
+       << " freeRegs=" << freeList.size() << " ready=" << readyCount
+       << " pending=" << pendingCount << "\n";
     os << "fetchResume=" << fetchResumeCycle << " blockedOnBranch="
        << fetchBlockedOnBranch << " mappingActive=" << mappingActive
        << " mapFetchRem=" << mappingFetchRemaining << " mapDispRem="

@@ -22,8 +22,9 @@
 
 #include <cstdint>
 #include <deque>
-#include <map>
 #include <memory>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/stats.hh"
@@ -187,6 +188,76 @@ class OooCpu
         InvocationResult result;
     };
 
+    /**
+     * Age-ordered slab of in-flight invocation states. Invocations
+     * allocate at dispatch (strictly increasing seq), retire from the
+     * front (in-order commit) and squash from the back, so a deque of
+     * (seq, state) pairs replaces the former std::map: O(1) at both
+     * ends, contiguous iteration, no per-node allocation.
+     */
+    class InvocationTable
+    {
+      public:
+        using Entry = std::pair<SeqNum, InvocationState>;
+
+        bool empty() const { return slots.empty(); }
+        std::size_t size() const { return slots.size(); }
+        auto begin() { return slots.begin(); }
+        auto end() { return slots.end(); }
+        auto begin() const { return slots.begin(); }
+        auto end() const { return slots.end(); }
+
+        InvocationState *
+        find(SeqNum seq)
+        {
+            for (Entry &e : slots) {
+                if (e.first == seq)
+                    return &e.second;
+                if (e.first > seq)
+                    break;
+            }
+            return nullptr;
+        }
+
+        std::size_t
+        count(SeqNum seq) const
+        {
+            for (const Entry &e : slots) {
+                if (e.first == seq)
+                    return 1;
+                if (e.first > seq)
+                    break;
+            }
+            return 0;
+        }
+
+        void
+        emplace(SeqNum seq, InvocationState inv)
+        {
+            slots.emplace_back(seq, std::move(inv));
+        }
+
+        void
+        erase(SeqNum seq)
+        {
+            if (!slots.empty() && slots.front().first == seq) {
+                slots.pop_front();
+            } else if (!slots.empty() && slots.back().first == seq) {
+                slots.pop_back();
+            } else {
+                for (auto it = slots.begin(); it != slots.end(); ++it) {
+                    if (it->first == seq) {
+                        slots.erase(it);
+                        return;
+                    }
+                }
+            }
+        }
+
+      private:
+        std::deque<Entry> slots;
+    };
+
     // Stage functions, called in reverse pipeline order each tick.
     void commitStage();
     void executeStage();
@@ -206,6 +277,21 @@ class OooCpu
     void abortActiveMapping();
     void startReadyInvocations();
     Cycle physReady(RegIndex phys) const;
+
+    // Wakeup-driven scheduler (see the comment at the member block).
+    void scheduleAtDispatch(DynInst &d);
+    void wakeConsumers(RegIndex phys);
+    void drainPendingWakeups();
+    void scrubSchedulerForSquash(SeqNum bound);
+    bool loadMemoryReady(const DynInst &load);
+    SeqNum incompleteStoreBound();
+
+    /** Cacheline granularity of the LSQ address index. */
+    static constexpr unsigned lsqLineShift = 6;
+    static Addr lsqLine(Addr addr) { return addr >> lsqLineShift; }
+
+    /** Address-keyed index over an LSQ queue: line -> age-ordered seqs. */
+    using LsqIndex = std::unordered_map<Addr, std::vector<SeqNum>>;
 
     OooParams params;
     const isa::DynamicTrace &trace;
@@ -236,10 +322,45 @@ class OooCpu
 
     // Back-end structures.
     std::deque<DynInst> rob;                ///< contiguous seq numbers
-    std::vector<SeqNum> iq;
+    std::vector<SeqNum> iq;                 ///< membership set, unordered
     std::deque<SeqNum> loadQueue;
     std::deque<SeqNum> storeQueue;
-    std::map<SeqNum, InvocationState> invocations;
+    InvocationTable invocations;
+
+    /**
+     * Wakeup-driven scheduler state. Dispatch either enqueues an
+     * instruction on pendingByType (all source values known) or parks
+     * it on its producers' consumer lists; the last producer to issue
+     * moves it to pending, and issueStage drains matured pending
+     * entries into readyByType before selecting. The select loop thus
+     * touches only ready instructions instead of rescanning the whole
+     * IQ once per FU slot — cost scales with activity, not capacity.
+     * Selection order is made irrelevant by the explicit
+     * (score, oldest-seq) tie-break, so reports stay byte-identical
+     * to the scan-based engine.
+     */
+    struct PendingWakeup
+    {
+        Cycle readyCycle = 0;   ///< max source-ready cycle, may be future
+        SeqNum seq = 0;
+    };
+    std::vector<std::vector<SeqNum>> readyByType;       ///< per FU type
+    std::vector<std::vector<PendingWakeup>> pendingByType;
+    std::vector<std::vector<SeqNum>> regConsumers;      ///< per phys reg
+    std::size_t readyCount = 0;
+    std::size_t pendingCount = 0;
+    unsigned fuTypeOffsets[unsigned(isa::FuType::NUM_FU_TYPES)] = {};
+
+    // Cacheline-granular LSQ address index: disambiguation and
+    // forwarding probe only same-line entries, in age order, instead of
+    // walking the full queues per memory op.
+    LsqIndex storesByLine;
+    LsqIndex loadsByLine;
+
+    /** Per-cycle cache of the oldest incomplete store's seq (used by
+     *  the no-speculation load-readiness rule). CYCLE_INVALID = stale. */
+    Cycle sqBoundCycle = CYCLE_INVALID;
+    SeqNum sqBound = 0;
 
     /** Post-commit store buffer: recently committed stores remain
      *  visible for store-to-load forwarding while they drain. */
@@ -250,7 +371,11 @@ class OooCpu
         SeqNum seq = 0;
     };
     std::deque<RetiredStore> storeBuffer;
+    std::unordered_map<Addr, std::vector<RetiredStore>> retiredByLine;
     static constexpr std::size_t storeBufferEntries = 16;
+
+    /** Reused live-in arrival scratch for startReadyInvocations(). */
+    std::vector<Cycle> arrivalScratch;
 
     // FU pool: busy-until cycle per unit, grouped by type.
     std::vector<std::vector<Cycle>> fuBusyUntil;

@@ -55,6 +55,10 @@ struct DynInst
 
     // Status flags.
     bool inIq = false;          ///< waiting in the issue queue
+    /** Source registers whose values are still unknown. While non-zero
+     *  the instruction sits on the producers' consumer lists; the last
+     *  producer to issue moves it onto the scheduler's pending queue. */
+    std::uint8_t waitCount = 0;
     bool issued = false;
     bool completed = false;
     bool mispredicted = false;  ///< branch direction/target mispredicted

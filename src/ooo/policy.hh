@@ -53,6 +53,14 @@ class SelectPolicy
      * long-latency units drain at a frontier boundary).
      */
     virtual bool beginCycle(Cycle now) { (void)now; return true; }
+
+    /**
+     * A passive policy has no per-cycle or per-candidate side effects:
+     * beginCycle always returns true and score() is pure. The issue
+     * unit may then skip scheduling cycles with no ready candidates
+     * entirely. Mapping policies are stateful and must return false.
+     */
+    virtual bool passive() const { return false; }
 };
 
 /** Oldest-first policy: the host's default HostPriorityRule. */
@@ -66,6 +74,8 @@ class OldestFirstPolicy : public SelectPolicy
         (void)inst;
         return 0;   // all feasible and equal; age tie-break decides
     }
+
+    bool passive() const override { return true; }
 
     void
     selected(unsigned fu_index, const DynInst &inst) override

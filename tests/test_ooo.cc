@@ -213,6 +213,43 @@ TEST(OooCpu, StoreToLoadForwardingIsFasterThanCache)
     EXPECT_GT(run.cpu->stats().loadForwards, 150u);
 }
 
+TEST(OooCpu, ForwardingIgnoresSameLineDifferentAddressStores)
+{
+    // A younger same-cacheline store at a different address must neither
+    // forward to the load nor end the reverse search before the older
+    // exact-address store is found. Pins the partial-overlap semantics of
+    // the line-indexed store scan.
+    ProgramBuilder b("overlap");
+    b.movi(intReg(1), 0x1000);
+    b.movi(intReg(2), 7);
+    b.movi(intReg(3), 9);
+    b.st(intReg(1), intReg(2), 0);   // exact-address producer
+    b.st(intReg(1), intReg(3), 8);   // same 64B line, different address
+    b.ld(intReg(4), intReg(1), 0);   // must forward the value of the first
+    b.halt();
+    Program p = b.build();
+
+    auto run = simulate(p);
+    EXPECT_EQ(run.cpu->stats().loadForwards, 1u);
+    EXPECT_EQ(run.cpu->stats().committedInsts, 7u);
+}
+
+TEST(OooCpu, NoForwardingFromSameLineDifferentAddress)
+{
+    // Only a same-line neighbour exists: the load must read the cache,
+    // not forward from the overlapping line.
+    ProgramBuilder b("noforward");
+    b.movi(intReg(1), 0x1000);
+    b.movi(intReg(3), 9);
+    b.st(intReg(1), intReg(3), 8);   // same line as the load, +8 bytes
+    b.ld(intReg(4), intReg(1), 0);
+    b.halt();
+    Program p = b.build();
+
+    auto run = simulate(p);
+    EXPECT_EQ(run.cpu->stats().loadForwards, 0u);
+}
+
 TEST(OooCpu, MemorySpeculationDetectsViolations)
 {
     // Pointer-chasing store followed by aliasing load: the store address
