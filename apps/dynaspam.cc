@@ -10,6 +10,7 @@
  *                [--fabrics 1] [--scale 1] [--out point.json]
  *   dynaspam sweep --figure 8 [--jobs N] [--out fig8.json] [--scale 1]
  *   dynaspam sweep --table 5 --jobs 4
+ *   dynaspam trace bfs --mode accel-spec --cycles 1000:5000 --out t.json
  *   dynaspam list
  *
  * Caching defaults to .dynaspam-cache/ in the working directory; a
@@ -18,6 +19,7 @@
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -26,8 +28,10 @@
 #include <vector>
 
 #include "check/fault_inject.hh"
+#include "common/json.hh"
 #include "common/logging.hh"
 #include "runner/runner.hh"
+#include "trace/trace.hh"
 #include "workloads/workload.hh"
 
 using namespace dynaspam;
@@ -57,6 +61,16 @@ usage(const char *argv0)
         "           --out FILE           (default <sweep>.json)\n"
         "           --scale N            (default 1)\n"
         "           --workloads a,b,c    subset of workloads\n"
+        "  trace  simulate one point with event tracing and write a\n"
+        "         Chrome trace-event JSON (Perfetto) plus a Konata\n"
+        "         pipeline log (<out>.kanata); always uncached\n"
+        "           <workload> | --workload NAME   (required)\n"
+        "           --mode MODE          (default accel-spec)\n"
+        "           --trace-length N     (default 32)\n"
+        "           --fabrics N          (default 1)\n"
+        "           --scale N            (default 1)\n"
+        "           --cycles A:B         only events in cycles [A, B]\n"
+        "           --out FILE           (default trace.json)\n"
         "  list   print workload tags and mode names\n"
         "  check-selftest\n"
         "         fault-inject every simulator invariant auditor and\n"
@@ -308,6 +322,84 @@ cmdSweep(Args &args)
 }
 
 int
+cmdTrace(Args &args)
+{
+    Job job;
+    job.mode = SystemMode::AccelSpec;
+    trace::TraceSink::Options sink_opts;
+    std::string out = "trace.json";
+
+    std::string flag;
+    while (args.next(flag)) {
+        if (flag == "--workload")
+            job.workload = args.value(flag);
+        else if (flag == "--mode")
+            job.mode = runner::parseMode(args.value(flag));
+        else if (flag == "--trace-length")
+            job.traceLength = args.uvalue(flag);
+        else if (flag == "--fabrics")
+            job.numFabrics = args.uvalue(flag);
+        else if (flag == "--scale")
+            job.scale = args.uvalue(flag);
+        else if (flag == "--cycles") {
+            const std::string range = args.value(flag);
+            const auto colon = range.find(':');
+            if (colon == std::string::npos)
+                fatal("--cycles expects A:B, got ", range);
+            char *end = nullptr;
+            sink_opts.beginCycle =
+                std::strtoull(range.c_str(), &end, 10);
+            if (!end || *end != ':')
+                fatal("bad --cycles begin in ", range);
+            sink_opts.endCycle =
+                std::strtoull(range.c_str() + colon + 1, &end, 10);
+            if (!end || *end)
+                fatal("bad --cycles end in ", range);
+            if (sink_opts.endCycle < sink_opts.beginCycle)
+                fatal("--cycles range is backwards: ", range);
+        } else if (flag == "--out") {
+            out = args.value(flag);
+        } else if (job.workload.empty() && !flag.empty() &&
+                   flag[0] != '-') {
+            job.workload = flag;    // positional workload
+        } else {
+            fatal("unknown option ", flag);
+        }
+    }
+    if (job.workload.empty())
+        fatal("trace: a workload is required (positional or --workload)");
+    if (!trace::compiledIn()) {
+        fatal("this build has tracing compiled out "
+              "(-DDYNASPAM_TRACE=OFF); rebuild with -DDYNASPAM_TRACE=ON");
+    }
+
+    // Trace runs are always uncached: a cache hit would skip the
+    // simulation and record nothing.
+    trace::TraceSink sink(sink_opts);
+    sim::RunResult res = runner::execute(job, &sink);
+    sink.writeFiles(out);
+
+    // Self-validate: the emitted Chrome JSON must round-trip through
+    // the project's own strict JSON parser.
+    {
+        std::ifstream is(out);
+        std::stringstream buf;
+        buf << is.rdbuf();
+        const json::Value parsed = json::Value::parse(buf.str());
+        const auto &events = parsed.at("traceEvents").asArray();
+        std::printf("%s @ %s: %llu cycles, %zu instruction events, "
+                    "%zu lifecycle marks (%zu JSON events)\n",
+                    job.workload.c_str(), sim::modeName(job.mode),
+                    static_cast<unsigned long long>(res.cycles),
+                    sink.instCount(), sink.markCount(), events.size());
+    }
+    std::printf("chrome trace written to %s (load in Perfetto or "
+                "chrome://tracing)\n", out.c_str());
+    std::printf("konata log written to %s.kanata\n", out.c_str());
+    return 0;
+}
+
+int
 cmdCheckSelftest()
 {
     return check::runSelfTest(std::cout) ? 0 : 1;
@@ -344,6 +436,8 @@ main(int argc, char **argv)
             return cmdRun(args);
         if (command == "sweep")
             return cmdSweep(args);
+        if (command == "trace")
+            return cmdTrace(args);
         if (command == "list")
             return cmdList();
         if (command == "check-selftest")

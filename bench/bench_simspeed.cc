@@ -222,6 +222,13 @@ main(int argc, char **argv)
     int failed = 0;
     for (const char *mode : {"host", "fabric"}) {
         const double base_geo = geomeanKips(base, mode);
+        // A non-positive baseline would make the floor 0 (or NaN) and
+        // wave every regression through; a baseline file like that is
+        // corrupt, so fail loudly instead of gating against nothing.
+        if (!(base_geo > 0.0)) {
+            fatal("baseline ", baseline, " has non-positive ", mode,
+                  " geomean ", base_geo, " — regenerate it");
+        }
         const double cur_geo = geomeanKips(report, mode);
         const double floor = base_geo * (1.0 - tolerance);
         const bool ok = cur_geo >= floor;

@@ -3,6 +3,7 @@
 #include <cctype>
 #include <charconv>
 #include <cmath>
+#include <limits>
 #include <sstream>
 
 #include "common/logging.hh"
@@ -63,6 +64,16 @@ Value::asDouble() const
         return double(*i);
     if (const auto *u = std::get_if<std::uint64_t>(&data))
         return double(*u);
+    // Non-finite doubles round-trip as the string literals the writer
+    // emits (JSON itself has no NaN/Infinity tokens).
+    if (const auto *s = std::get_if<std::string>(&data)) {
+        if (*s == "NaN")
+            return std::numeric_limits<double>::quiet_NaN();
+        if (*s == "Infinity")
+            return std::numeric_limits<double>::infinity();
+        if (*s == "-Infinity")
+            return -std::numeric_limits<double>::infinity();
+    }
     fatal("json: expected number");
 }
 
@@ -168,8 +179,14 @@ void
 writeDouble(std::ostream &os, double d)
 {
     if (!std::isfinite(d)) {
-        // JSON has no inf/nan; emit null like most tolerant writers.
-        os << "null";
+        // JSON has no inf/nan tokens. Emitting null here used to lose
+        // the value: numeric readers (asDouble) reject null, so a NaN
+        // stat poisoned its whole cache entry / baseline file. Encode
+        // as a string literal instead; asDouble maps it back.
+        if (std::isnan(d))
+            os << "\"NaN\"";
+        else
+            os << (d > 0 ? "\"Infinity\"" : "\"-Infinity\"");
         return;
     }
     char buf[32];

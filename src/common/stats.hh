@@ -298,16 +298,31 @@ class StatRegistry
     std::map<std::string, Histogram> histograms;
 };
 
-/** Geometric mean of a vector of positive values (0 on empty input). */
+/**
+ * Geometric mean of a vector of positive values (0 on empty input).
+ * Zero entries are skipped — they represent a degenerate measurement
+ * (e.g. a workload that committed nothing), and log(0) would otherwise
+ * silently turn the whole mean into 0-via--inf. Returns 0 when every
+ * entry was skipped. @throws FatalError on a negative entry, for which
+ * no geometric mean exists (std::log would return NaN and poison every
+ * downstream comparison instead of failing here).
+ */
 inline double
 geomean(const std::vector<double> &values)
 {
-    if (values.empty())
-        return 0.0;
     double log_sum = 0.0;
-    for (double v : values)
+    std::size_t counted = 0;
+    for (double v : values) {
+        if (v < 0.0 || std::isnan(v))
+            fatal("geomean: invalid value ", v);
+        if (v == 0.0)
+            continue;
         log_sum += std::log(v);
-    return std::exp(log_sum / double(values.size()));
+        counted++;
+    }
+    if (counted == 0)
+        return 0.0;
+    return std::exp(log_sum / double(counted));
 }
 
 } // namespace dynaspam

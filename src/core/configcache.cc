@@ -21,18 +21,23 @@ ConfigCache::ConfigCache(const ConfigCacheParams &p)
               " exceeds counter range ", max_counter);
 }
 
-void
+ConfigCache::InsertOutcome
 ConfigCache::insert(std::uint64_t key, fabric::FabricConfig config)
 {
+    InsertOutcome outcome;
     Entry &entry = entries[indexOf(key)];
-    if (entry.valid && entry.key != key)
+    if (entry.valid && entry.key != key) {
         statEvictions++;
+        outcome.evicted = true;
+        outcome.evictedKey = entry.key;
+    }
     entry.valid = true;
     entry.key = key;
     entry.counter = 0;
     entry.config =
         std::make_shared<const fabric::FabricConfig>(std::move(config));
     statInsertions++;
+    return outcome;
 }
 
 std::shared_ptr<const fabric::FabricConfig>

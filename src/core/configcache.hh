@@ -45,8 +45,16 @@ class ConfigCache
   public:
     explicit ConfigCache(const ConfigCacheParams &p = ConfigCacheParams{});
 
+    /** Outcome of an insert(): reports the colliding eviction, if any,
+     *  so the caller — which knows the current cycle — can trace it. */
+    struct InsertOutcome
+    {
+        bool evicted = false;
+        std::uint64_t evictedKey = 0;
+    };
+
     /** Store a completed mapping, evicting any colliding entry. */
-    void insert(std::uint64_t key, fabric::FabricConfig config);
+    InsertOutcome insert(std::uint64_t key, fabric::FabricConfig config);
 
     /**
      * @return the config for @p key, or nullptr. Shared ownership so an

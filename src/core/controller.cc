@@ -10,6 +10,7 @@
 #include <cstdlib>
 
 #include "common/logging.hh"
+#include "trace/trace.hh"
 
 namespace dynaspam::core
 {
@@ -84,8 +85,10 @@ DynaSpamController::selectFabric(
         dstats.lifetimeSum += victim->invocationsSinceConfigure();
         dstats.lifetimeCount++;
     }
-    victim->configure(config, now);
+    const Cycle ready = victim->configure(config, now);
     dstats.reconfigurations++;
+    if (trace::compiledIn() && tsink)
+        tsink->span(trace::Mark::Reconfigure, now, ready, config->key);
     return victim;
 }
 
@@ -127,6 +130,8 @@ DynaSpamController::beforeFetch(SeqNum trace_idx, Cycle now)
         return directive;
 
     dstats.tracesConsidered++;
+    if (trace::compiledIn() && tsink)
+        tsink->mark(trace::Mark::TCacheHit, now, walk.key, trace_idx);
 
     auto config = cfgCache.find(walk.key);
     if (config) {
@@ -193,13 +198,26 @@ DynaSpamController::mappingStarted(SeqNum, Cycle)
 }
 
 void
-DynaSpamController::mappingFinished(SeqNum, Cycle)
+DynaSpamController::mappingFinished(SeqNum trace_idx, Cycle now)
 {
     if (!session)
         return;
+    if (trace::compiledIn() && tsink) {
+        tsink->span(trace::Mark::Mapping, lastMappingStart, now,
+                    mappingKey, trace_idx);
+    }
     auto config = session->buildConfig(trace);
     if (config) {
-        cfgCache.insert(mappingKey, std::move(*config));
+        const auto outcome = cfgCache.insert(mappingKey,
+                                             std::move(*config));
+        if (trace::compiledIn() && tsink) {
+            if (outcome.evicted) {
+                tsink->mark(trace::Mark::ConfigEvict, now,
+                            outcome.evictedKey);
+            }
+            tsink->mark(trace::Mark::ConfigFill, now, mappingKey,
+                        trace_idx);
+        }
         if (mappedKeys.insert(mappingKey).second)
             dstats.distinctMappedTraces++;
         dstats.mappingsCompleted++;
@@ -213,10 +231,14 @@ DynaSpamController::mappingFinished(SeqNum, Cycle)
 }
 
 void
-DynaSpamController::mappingAborted(SeqNum, Cycle)
+DynaSpamController::mappingAborted(SeqNum trace_idx, Cycle now)
 {
     if (!session)
         return;
+    if (trace::compiledIn() && tsink) {
+        tsink->span(trace::Mark::MappingAbort, lastMappingStart, now,
+                    mappingKey, trace_idx);
+    }
     dstats.mappingsAborted++;
     policy->disarm();
     session.reset();
@@ -240,6 +262,10 @@ DynaSpamController::offloadStart(SeqNum trace_idx, std::uint32_t num_records,
     fabric::FabricExecResult fx =
         fab->execute(trace, trace_idx, live_in_ready, mem_safe, now);
     (void)num_records;
+    if (trace::compiledIn() && tsink) {
+        tsink->span(trace::Mark::Invocation, now, fx.completeCycle,
+                    inv.key, trace_idx);
+    }
 
     result.squashed = fx.squashed;
     result.completeCycle = fx.completeCycle;
@@ -251,9 +277,11 @@ DynaSpamController::offloadStart(SeqNum trace_idx, std::uint32_t num_records,
 }
 
 void
-DynaSpamController::invocationCommitted(SeqNum trace_idx, Cycle)
+DynaSpamController::invocationCommitted(SeqNum trace_idx, Cycle now)
 {
     dstats.invocationsCommitted++;
+    if (trace::compiledIn() && tsink)
+        tsink->mark(trace::Mark::InvokeCommit, now, 0, trace_idx);
     auto it = pending.find(trace_idx);
     if (it != pending.end()) {
         dstats.instsOffloaded += it->second.numRecords;
@@ -265,9 +293,13 @@ DynaSpamController::invocationCommitted(SeqNum trace_idx, Cycle)
 }
 
 void
-DynaSpamController::invocationSquashed(SeqNum trace_idx, Cycle,
+DynaSpamController::invocationSquashed(SeqNum trace_idx, Cycle now,
                                        bool at_fault)
 {
+    if (trace::compiledIn() && tsink) {
+        tsink->mark(trace::Mark::InvokeSquash, now, 0, trace_idx,
+                    at_fault ? 1 : 0);
+    }
     if (at_fault) {
         dstats.invocationsSquashed++;
         suppressed.insert(trace_idx);
@@ -297,6 +329,14 @@ DynaSpamController::onCommitControl(InstAddr pc, bool taken,
     // A suppressed record that has now committed on the host can be
     // offloaded again in the future.
     suppressed.erase(trace_idx);
+}
+
+void
+DynaSpamController::setTraceSink(trace::TraceSink *sink)
+{
+    tsink = sink;
+    for (auto &fab : fabricPool)
+        fab->setTraceSink(sink);
 }
 
 void

@@ -38,6 +38,11 @@
 #include "ooo/hooks.hh"
 #include "ooo/storesets.hh"
 
+namespace dynaspam::trace
+{
+class TraceSink;
+} // namespace dynaspam::trace
+
 namespace dynaspam::core
 {
 
@@ -158,6 +163,12 @@ class DynaSpamController : public ooo::TraceHooks
     }
 
     /**
+     * Attach an event-trace sink (nullptr detaches). Propagates to
+     * every fabric in the pool, which sample FIFO occupancy into it.
+     */
+    void setTraceSink(trace::TraceSink *sink);
+
+    /**
      * Close out lifetime statistics: counts the final configuration of
      * every fabric as one lifetime sample. Call once after the run.
      */
@@ -214,6 +225,8 @@ class DynaSpamController : public ooo::TraceHooks
     /** Traces whose mapping failed: don't retry them (an infeasible
      *  schedule stays infeasible while the trace shape is stable). */
     std::unordered_set<std::uint64_t> failedKeys;
+
+    trace::TraceSink *tsink = nullptr;
 
     DynaSpamStats dstats;
 };

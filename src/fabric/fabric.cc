@@ -13,6 +13,7 @@
 #include <sstream>
 
 #include "common/logging.hh"
+#include "trace/trace.hh"
 
 namespace dynaspam::fabric
 {
@@ -362,6 +363,10 @@ Fabric::execute(const isa::DynamicTrace &trace, SeqNum trace_idx,
         inflightWindow.push_back(result.completeCycle);
         if (inflightWindow.size() > 2 * params.fifoDepth)
             inflightWindow.pop_front();
+        if (trace::compiledIn() && tsink) {
+            tsink->counter(trace::Mark::FifoLevel, now,
+                           inflightWindow.size());
+        }
         // Squashed stores never drained; retire their LFST registrations.
         for (const PendingStore &ps : invStores)
             storeSets.retireStore(ps.pc, ps.seq);
@@ -401,6 +406,8 @@ Fabric::execute(const isa::DynamicTrace &trace, SeqNum trace_idx,
     inflightWindow.push_back(result.completeCycle);
     if (inflightWindow.size() > 2 * params.fifoDepth)
         inflightWindow.pop_front();
+    if (trace::compiledIn() && tsink)
+        tsink->counter(trace::Mark::FifoLevel, now, inflightWindow.size());
 
     return result;
 }

@@ -28,6 +28,11 @@
 #include "memory/cache.hh"
 #include "ooo/storesets.hh"
 
+namespace dynaspam::trace
+{
+class TraceSink;
+} // namespace dynaspam::trace
+
 namespace dynaspam::fabric
 {
 
@@ -155,6 +160,10 @@ class Fabric
     /** Last cycle this fabric was used (for LRU across fabrics). */
     Cycle lastUseCycle() const { return lastUse; }
 
+    /** Attach an event-trace sink (nullptr detaches): samples the
+     *  in-flight FIFO occupancy as a counter track. */
+    void setTraceSink(trace::TraceSink *sink) { tsink = sink; }
+
     /** Export statistics under "<prefix>." into @p registry. */
     void exportStats(StatRegistry &registry,
                      const std::string &prefix = "fabric") const;
@@ -217,6 +226,8 @@ class Fabric
 
     /** Keyed by the invocation's first trace record. */
     std::map<SeqNum, Snapshot> snapshots;
+
+    trace::TraceSink *tsink = nullptr;
 
     FabricStats fstats;
 };

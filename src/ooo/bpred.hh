@@ -32,6 +32,20 @@ struct BPredParams
     std::size_t rasEntries = 16;        ///< return address stack
 };
 
+/**
+ * Snapshot of the return-address stack taken before a prediction, so a
+ * squash can undo the speculative pushes/pops of the discarded path.
+ * Checkpointing only (depth, top value) matches real TOS-checkpoint
+ * hardware: a pop-then-repush sequence that rotated entries out through
+ * overflow is not fully reversible, which is the accepted approximation
+ * (the stack below the top is usually untouched).
+ */
+struct RasCheckpoint
+{
+    std::size_t top = 0;    ///< valid-entry count at checkpoint time
+    InstAddr tos = 0;       ///< value on top (0 when the stack was empty)
+};
+
 /** Outcome of a branch prediction. */
 struct BPrediction
 {
@@ -78,6 +92,25 @@ class BranchPredictor
 
     /** Current speculative global history (walker seed). */
     std::uint64_t speculativeHistory() const { return specHistory; }
+
+    /** Snapshot the RAS. The fetch stage captures one per instruction,
+     *  *before* predict() runs for it, so a squash at that instruction
+     *  can roll the stack back past its own push/pop. */
+    RasCheckpoint
+    rasCheckpoint() const
+    {
+        return {rasTop, rasTop ? ras[rasTop - 1] : 0};
+    }
+
+    /** Roll the RAS back to @p cp (squash recovery). Restores the depth
+     *  and the top entry; see RasCheckpoint for the overflow caveat. */
+    void
+    restoreRas(const RasCheckpoint &cp)
+    {
+        rasTop = cp.top;
+        if (rasTop)
+            ras[rasTop - 1] = cp.tos;
+    }
 
     /**
      * Train the predictor with the resolved outcome.

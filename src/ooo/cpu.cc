@@ -14,6 +14,7 @@
 #include "check/check.hh"
 #include "common/logging.hh"
 #include "isa/opcodes.hh"
+#include "trace/trace.hh"
 
 namespace dynaspam::ooo
 {
@@ -88,6 +89,30 @@ lsqIndexEraseYoungest(std::unordered_map<Addr, std::vector<SeqNum>> &index,
         std::erase(bucket, seq);
     if (bucket.empty())
         index.erase(it);
+}
+
+/** Trace-sink record for a ROB entry leaving the pipeline at @p now. */
+trace::InstEvent
+traceEventOf(const DynInst &d, Cycle now)
+{
+    trace::InstEvent ev;
+    ev.traceIdx = d.traceIdx;
+    ev.pc = d.pc;
+    ev.fetch = d.fetchCycle;
+    ev.dispatch = d.dispatchCycle;
+    ev.issue = d.issueCycle;
+    ev.complete = d.completeCycle;
+    ev.retire = now;
+    ev.mispredicted = d.mispredicted;
+    if (d.kind == RobKind::TraceInvoke) {
+        ev.op = "invoke";
+        ev.fabric = true;
+        ev.traceLen = d.traceLen;
+    } else {
+        ev.op = isa::opcodeName(d.inst->op).data();
+        ev.fu = std::uint8_t(d.inst->fuType());
+    }
+    return ev;
 }
 
 } // namespace
@@ -189,6 +214,7 @@ OooCpu::fetchStage()
                 FrontEndInst fe;
                 fe.traceIdx = fetchIdx;
                 fe.readyAtRename = curCycle + frontEndLatency;
+                fe.rasCp = bpred.rasCheckpoint();
                 fe.isInvocation = true;
                 fe.numRecords = dir.numRecords;
                 fe.liveIns = std::move(dir.liveIns);
@@ -227,6 +253,9 @@ OooCpu::fetchStage()
         FrontEndInst fe;
         fe.traceIdx = fetchIdx;
         fe.readyAtRename = curCycle + frontEndLatency;
+        // Snapshot the RAS before predict() can push/pop it, so a squash
+        // at this instruction rolls the stack back past its own update.
+        fe.rasCp = bpred.rasCheckpoint();
 
         if (mappingFetchRemaining > 0) {
             fe.mappingInst = true;
@@ -313,7 +342,9 @@ OooCpu::renameStage()
             d.traceLen = fe.numRecords;
             d.record = &trace[fe.traceIdx];
             d.pc = d.record->pc;
+            d.fetchCycle = fe.readyAtRename - frontEndLatency;
             d.dispatchCycle = curCycle;
+            d.rasCp = fe.rasCp;
 
             InvocationState inv;
             inv.hasStores = fe.hasStores;
@@ -356,9 +387,11 @@ OooCpu::renameStage()
         d.pc = rec.pc;
         d.inst = &inst;
         d.record = &rec;
+        d.fetchCycle = fe.readyAtRename - frontEndLatency;
         d.dispatchCycle = curCycle;
         d.mispredicted = fe.mispredicted;
         d.predictedTaken = fe.predictedTaken;
+        d.rasCp = fe.rasCp;
         d.mappingInst = fe.mappingInst;
         d.lastMappingInst = fe.lastMappingInst;
 
@@ -1048,6 +1081,8 @@ OooCpu::commitStage()
                 observer->onCommit(head.traceIdx, head.traceLen, true,
                                    curCycle);
             }
+            if (trace::compiledIn() && tsink)
+                tsink->instRetired(traceEventOf(head, curCycle));
             invocations.erase(head.seq);
             rob.pop_front();
             committed++;
@@ -1134,6 +1169,8 @@ OooCpu::commitStage()
         commitIdx = head.traceIdx + 1;
         if (observer)
             observer->onCommit(head.traceIdx, 1, false, curCycle);
+        if (trace::compiledIn() && tsink)
+            tsink->instRetired(traceEventOf(head, curCycle));
         rob.pop_front();
         committed++;
     }
@@ -1161,10 +1198,18 @@ void
 OooCpu::squashFrom(SeqNum seq, SeqNum resume_trace_idx, Cycle restart)
 {
     bool mapping_killed = false;
+    bool squashed_any = false;
+    RasCheckpoint ras_cp;
 
     while (!rob.empty() && rob.back().seq >= seq) {
         DynInst &d = rob.back();
         pstats.squashedInsts++;
+        // The loop pops youngest-first, so the last value left here is
+        // the oldest squashed entry's pre-fetch RAS snapshot.
+        ras_cp = d.rasCp;
+        squashed_any = true;
+        if (trace::compiledIn() && tsink)
+            tsink->instFlushed(traceEventOf(d, curCycle));
 
         if (d.kind == RobKind::TraceInvoke) {
             InvocationState *inv = invocations.find(d.seq);
@@ -1212,6 +1257,14 @@ OooCpu::squashFrom(SeqNum seq, SeqNum resume_trace_idx, Cycle restart)
     frontEnd.clear();
     if (mappingFetchRemaining > 0)
         mapping_killed = true;
+
+    // Undo the speculative RAS pushes/pops of the squashed path (both
+    // the popped ROB entries and anything still in the front end, which
+    // is younger). The refetched path re-executes its CALLs and RETs, so
+    // without this rollback every squash leaks phantom entries onto the
+    // stack and later RET predictions go wrong.
+    if (squashed_any)
+        bpred.restoreRas(ras_cp);
 
     if (mapping_killed || mappingActive)
         abortActiveMapping();

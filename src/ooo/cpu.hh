@@ -44,6 +44,11 @@ class OooAuditor;
 class FaultInjector;
 } // namespace dynaspam::check
 
+namespace dynaspam::trace
+{
+class TraceSink;
+} // namespace dynaspam::trace
+
 namespace dynaspam::ooo
 {
 
@@ -120,6 +125,11 @@ class OooCpu
      *  verification layer for golden-model lockstep and auditing. */
     void setCommitObserver(CommitObserver *obs) { observer = obs; }
 
+    /** Attach an event-trace sink (nullptr detaches). The sink records
+     *  one event per committed or squashed ROB entry, from timestamps
+     *  the pipeline tracks anyway — attaching it cannot perturb timing. */
+    void setTraceSink(trace::TraceSink *sink) { tsink = sink; }
+
     /**
      * Replace the issue-select policy for the whole run (ablation and
      * test use; DynaSpAM installs its policy per mapping phase through
@@ -165,6 +175,7 @@ class OooCpu
         Cycle readyAtRename = 0;    ///< models fetch/decode latency
         bool mispredicted = false;
         bool predictedTaken = false;
+        RasCheckpoint rasCp;        ///< RAS state before this fetch
         bool mappingInst = false;   ///< part of a trace being mapped
         bool firstMappingInst = false;
         bool lastMappingInst = false;
@@ -303,6 +314,7 @@ class OooCpu
     SelectPolicy *activePolicy;     ///< never null
     TraceHooks *traceHooks = nullptr;
     CommitObserver *observer = nullptr;
+    trace::TraceSink *tsink = nullptr;
 
     Cycle curCycle = 0;
     SeqNum nextSeq = 1;             ///< 0 reserved as "no instruction"

@@ -11,6 +11,7 @@
 #include "common/types.hh"
 #include "isa/inst.hh"
 #include "isa/trace.hh"
+#include "ooo/bpred.hh"
 
 namespace dynaspam::ooo
 {
@@ -63,6 +64,9 @@ struct DynInst
     bool completed = false;
     bool mispredicted = false;  ///< branch direction/target mispredicted
     bool predictedTaken = false;
+    /** RAS state before this instruction was fetched; a squash restores
+     *  the stack to the oldest squashed entry's checkpoint. */
+    RasCheckpoint rasCp;
 
     // Memory state.
     bool addrReady = false;     ///< effective address computed

@@ -56,14 +56,41 @@ parseMode(const std::string &token)
           "accel-spec or accel-naive)");
 }
 
+std::string
+traceFileStem(const Job &job)
+{
+    std::string stem = job.key();
+    for (char &c : stem) {
+        if (c == '|')
+            c = '_';
+    }
+    return stem;
+}
+
 sim::RunResult
-execute(const Job &job)
+execute(const Job &job, trace::TraceSink *sink)
 {
     workloads::Workload wl = workloads::makeWorkload(job.workload,
                                                      job.scale);
-    sim::System system(sim::SystemConfig::make(job.mode, job.traceLength,
-                                               job.numFabrics));
+    sim::SystemConfig cfg = sim::SystemConfig::make(job.mode,
+                                                    job.traceLength,
+                                                    job.numFabrics);
+    cfg.traceSink = sink;
+    sim::System system(cfg);
     return system.run(wl.program, wl.initialMemory);
+}
+
+sim::RunResult
+execute(const Job &job)
+{
+    if (trace::compiledIn() && trace::envRequested()) {
+        trace::TraceSink sink;
+        sim::RunResult result = execute(job, &sink);
+        sink.writeFiles(trace::envTraceDir() + "/" + traceFileStem(job) +
+                        ".trace.json");
+        return result;
+    }
+    return execute(job, nullptr);
 }
 
 } // namespace dynaspam::runner

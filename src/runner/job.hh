@@ -20,6 +20,7 @@
 #include <string>
 
 #include "sim/system.hh"
+#include "trace/trace.hh"
 
 namespace dynaspam::runner
 {
@@ -55,8 +56,24 @@ sim::SystemMode parseMode(const std::string &token);
 /**
  * Execute @p job: build the workload, construct a fresh System and run
  * it. Thread-safe — every call uses only job-local state.
+ *
+ * When the DYNASPAM_TRACE environment variable requests tracing, the
+ * run is traced into a per-job sink and the rendered trace files are
+ * written under trace::envTraceDir() as `<job key>.trace.json` (Chrome
+ * JSON) and `<job key>.trace.json.kanata` (Konata log), with '|' in the
+ * key replaced by '_' for filesystem friendliness.
  */
 sim::RunResult execute(const Job &job);
+
+/**
+ * Execute @p job with @p sink attached for the timing pass (nullptr =
+ * untraced). The caller owns the sink and renders it; nothing is
+ * written to disk and DYNASPAM_TRACE is not consulted.
+ */
+sim::RunResult execute(const Job &job, trace::TraceSink *sink);
+
+/** Trace file stem for @p job: its key with '|' replaced by '_'. */
+std::string traceFileStem(const Job &job);
 
 } // namespace dynaspam::runner
 

@@ -39,7 +39,7 @@ namespace dynaspam::runner
  * Simulator behaviour version for cache invalidation. Bump on any
  * change that alters simulation results.
  */
-inline constexpr const char *kResultCacheEpoch = "dynaspam-sim-3";
+inline constexpr const char *kResultCacheEpoch = "dynaspam-sim-4";
 
 /** File-per-job result store. */
 class ResultCache

@@ -2,6 +2,8 @@
 
 #include <atomic>
 
+#include "trace/trace.hh"
+
 namespace dynaspam::runner
 {
 
@@ -18,15 +20,23 @@ Runner::runAll(const std::vector<Job> &jobs)
     std::vector<JobOutcome> outcomes(jobs.size());
     std::atomic<std::uint64_t> hits{0}, misses{0};
 
+    // Env-requested tracing wants every job to actually simulate (a
+    // cache hit would record no events), and the traced runs must not
+    // poison the cache for future untraced sweeps, so bypass both ends.
+    const bool tracing = trace::compiledIn() && trace::envRequested();
+
     pool.parallelFor(jobs.size(), [&](std::size_t i) {
         const Job &job = jobs[i];
-        if (auto cached = resultCache.load(job)) {
-            outcomes[i] = JobOutcome{job, std::move(*cached), true};
-            hits++;
-            return;
+        if (!tracing) {
+            if (auto cached = resultCache.load(job)) {
+                outcomes[i] = JobOutcome{job, std::move(*cached), true};
+                hits++;
+                return;
+            }
         }
         sim::RunResult result = execute(job);
-        resultCache.store(job, result);
+        if (!tracing)
+            resultCache.store(job, result);
         outcomes[i] = JobOutcome{job, std::move(result), false};
         misses++;
     });

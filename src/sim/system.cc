@@ -9,6 +9,7 @@
 #include "check/verifier.hh"
 #include "common/logging.hh"
 #include "isa/trace.hh"
+#include "trace/trace.hh"
 
 namespace dynaspam::sim
 {
@@ -97,6 +98,12 @@ System::run(const isa::Program &program,
             cfg.dynaspam, trace, cpu.branchPredictor(),
             cpu.storeSetPredictor(), hierarchy);
         cpu.setHooks(controller.get());
+    }
+
+    if (trace::compiledIn() && cfg.traceSink) {
+        cpu.setTraceSink(cfg.traceSink);
+        if (controller)
+            controller->setTraceSink(cfg.traceSink);
     }
 
     // Verification layer: golden-model lockstep plus per-cycle

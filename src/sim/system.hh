@@ -33,6 +33,11 @@
 #include "memory/functional_mem.hh"
 #include "ooo/cpu.hh"
 
+namespace dynaspam::trace
+{
+class TraceSink;
+} // namespace dynaspam::trace
+
 namespace dynaspam::sim
 {
 
@@ -57,6 +62,10 @@ struct SystemConfig
     core::DynaSpamParams dynaspam;
     energy::EnergyParams energy;
     mem::MemoryHierarchy::Params memory;
+
+    /** Optional event-trace sink (not owned; may be nullptr). Attached
+     *  to the pipeline, controller and fabrics for the timing pass. */
+    trace::TraceSink *traceSink = nullptr;
 
     /** Build the canonical configuration for @p mode with the given
      *  trace length and fabric count. */

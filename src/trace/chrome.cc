@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Chrome trace-event JSON renderer (Perfetto / chrome://tracing).
+ *
+ * Layout: pid 0 is the host pipeline — each instruction is a complete
+ * ("X") span from fetch to retire, spread round-robin over a few tid
+ * lanes so overlapping lifetimes stay readable. pid 1 is the DynaSpAM
+ * control plane: mapping/reconfiguration/invocation spans, instant
+ * marks for T-Cache hits, config-cache fills/evicts and invocation
+ * commits/squashes, and a counter track for fabric FIFO occupancy.
+ *
+ * Timestamps are simulated cycles, written directly into ts/dur. The
+ * output is streamed (no json::Value tree — a long run buffers millions
+ * of instruction events) but remains strict JSON: the round-trip test
+ * parses it back through json::Value::parse.
+ */
+
+#include <ostream>
+
+#include "common/json.hh"
+#include "trace/trace.hh"
+
+namespace dynaspam::trace
+{
+
+namespace
+{
+
+/** Host-pipeline tid lanes (purely presentational). */
+constexpr std::uint64_t kHostLanes = 16;
+
+void
+writeMeta(std::ostream &os, unsigned pid, const char *name)
+{
+    os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid
+       << ",\"tid\":0,\"args\":{\"name\":";
+    json::writeEscaped(os, name);
+    os << "}}";
+}
+
+/** Span duration: Chrome renders dur 0 invisibly, so clamp to 1. */
+std::uint64_t
+durOf(Cycle begin, Cycle end)
+{
+    return end > begin ? std::uint64_t(end - begin) : 1;
+}
+
+void
+writeInst(std::ostream &os, const InstEvent &ev, std::size_t index)
+{
+    const Cycle begin = ev.fetch == CYCLE_INVALID ? ev.retire : ev.fetch;
+    os << "{\"name\":";
+    json::writeEscaped(os, ev.op);
+    os << ",\"ph\":\"X\",\"pid\":0,\"tid\":" << 1 + (index % kHostLanes)
+       << ",\"ts\":" << begin << ",\"dur\":" << durOf(begin, ev.retire)
+       << ",\"args\":{\"trace_idx\":" << ev.traceIdx << ",\"pc\":" << ev.pc;
+    if (ev.fetch != CYCLE_INVALID)
+        os << ",\"fetch\":" << ev.fetch;
+    if (ev.dispatch != CYCLE_INVALID)
+        os << ",\"dispatch\":" << ev.dispatch;
+    if (ev.issue != CYCLE_INVALID)
+        os << ",\"issue\":" << ev.issue;
+    if (ev.complete != CYCLE_INVALID)
+        os << ",\"complete\":" << ev.complete;
+    os << ",\"retire\":" << ev.retire;
+    if (ev.traceLen > 1)
+        os << ",\"trace_len\":" << ev.traceLen;
+    os << ",\"domain\":\"" << (ev.fabric ? "fabric" : "host") << "\""
+       << ",\"flushed\":" << (ev.flushed ? "true" : "false")
+       << ",\"mispredicted\":" << (ev.mispredicted ? "true" : "false")
+       << "}}";
+}
+
+/** Control-plane tid per mark kind (groups related spans on one row). */
+unsigned
+markLane(Mark kind)
+{
+    switch (kind) {
+      case Mark::TCacheHit:
+        return 1;
+      case Mark::Mapping:
+      case Mark::MappingAbort:
+        return 2;
+      case Mark::ConfigFill:
+      case Mark::ConfigEvict:
+        return 3;
+      case Mark::Reconfigure:
+        return 4;
+      case Mark::Invocation:
+      case Mark::InvokeCommit:
+      case Mark::InvokeSquash:
+        return 5;
+      case Mark::FifoLevel:
+        return 0;
+    }
+    return 0;
+}
+
+void
+writeMark(std::ostream &os, const MarkEvent &ev)
+{
+    if (ev.kind == Mark::FifoLevel) {
+        os << "{\"name\":\"" << markName(ev.kind)
+           << "\",\"ph\":\"C\",\"pid\":1,\"tid\":0,\"ts\":" << ev.begin
+           << ",\"args\":{\"occupancy\":" << ev.value << "}}";
+        return;
+    }
+
+    const bool instant = ev.end == ev.begin;
+    os << "{\"name\":\"" << markName(ev.kind) << "\",\"ph\":\""
+       << (instant ? "i" : "X") << "\",\"pid\":1,\"tid\":"
+       << markLane(ev.kind) << ",\"ts\":" << ev.begin;
+    if (instant)
+        os << ",\"s\":\"t\"";
+    else
+        os << ",\"dur\":" << durOf(ev.begin, ev.end);
+    os << ",\"args\":{";
+    bool first = true;
+    auto field = [&](const char *name, std::uint64_t value) {
+        if (!first)
+            os << ',';
+        first = false;
+        os << '"' << name << "\":" << value;
+    };
+    if (ev.key)
+        field("key", ev.key);
+    field("trace_idx", ev.traceIdx);
+    if (ev.kind == Mark::InvokeSquash)
+        field("at_fault", ev.value);
+    else if (ev.value)
+        field("value", ev.value);
+    os << "}}";
+}
+
+} // namespace
+
+void
+TraceSink::writeChromeJson(std::ostream &os) const
+{
+    os << "{\"traceEvents\":[";
+    writeMeta(os, 0, "host pipeline");
+    os << ',';
+    writeMeta(os, 1, "dynaspam control");
+
+    for (std::size_t i = 0; i < insts.size(); i++) {
+        os << ",\n";
+        writeInst(os, insts[i], i);
+    }
+    for (const MarkEvent &ev : marks) {
+        os << ",\n";
+        writeMark(os, ev);
+    }
+    os << "\n],\"displayTimeUnit\":\"ns\"}\n";
+}
+
+} // namespace dynaspam::trace

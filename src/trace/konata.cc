@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Konata pipeline-log renderer (Kanata format 0004, as consumed by
+ * https://github.com/shioyadan/Konata).
+ *
+ * Kanata is a cycle-ordered streaming format: every line belongs to the
+ * "current cycle", advanced by C directives. The sink buffers events in
+ * retirement order, so rendering first explodes each instruction into
+ * per-stage sub-events, sorts them by (cycle, instruction, stage), and
+ * then emits with running cycle deltas. Stage lanes used:
+ *
+ *   F  fetch .. dispatch        Ds dispatch .. issue
+ *   Is issue .. complete        Cm complete .. retire
+ *   Inv dispatch .. complete    (fabric invocations, which never issue
+ *                                through the host IQ)
+ *
+ * Squashed instructions retire with type 1 (flush) R lines, committed
+ * ones with type 0.
+ */
+
+#include <algorithm>
+#include <ostream>
+#include <vector>
+
+#include "trace/trace.hh"
+
+namespace dynaspam::trace
+{
+
+namespace
+{
+
+/** One Kanata line waiting for cycle-ordered emission. */
+struct SubEvent
+{
+    Cycle cycle = 0;
+    std::uint64_t id = 0;       ///< instruction id within the log
+    std::uint8_t ord = 0;       ///< intra-(cycle, id) emission order
+    enum class Kind : std::uint8_t
+    {
+        Begin,      ///< I + L lines
+        StageEnd,   ///< E line
+        StageStart, ///< S line
+        Retire,     ///< R line
+    } kind = Kind::Begin;
+    const char *stage = "";
+    const InstEvent *inst = nullptr;
+};
+
+/** Valid pipeline timestamps of @p ev as (stage name, cycle) pairs,
+ *  clamped monotonic so Kanata never sees a stage end before it began. */
+std::vector<std::pair<const char *, Cycle>>
+stagesOf(const InstEvent &ev)
+{
+    std::vector<std::pair<const char *, Cycle>> stages;
+    Cycle prev = 0;
+    auto add = [&](const char *name, Cycle c) {
+        if (c == CYCLE_INVALID)
+            return;
+        stages.emplace_back(name, std::max(c, prev));
+        prev = stages.back().second;
+    };
+    add("F", ev.fetch);
+    if (ev.fabric && ev.traceLen > 1) {
+        add("Inv", ev.dispatch);
+    } else {
+        add("Ds", ev.dispatch);
+        add("Is", ev.issue);
+        add("Cm", ev.complete);
+    }
+    if (stages.empty())
+        stages.emplace_back("F", ev.retire);
+    return stages;
+}
+
+} // namespace
+
+void
+TraceSink::writeKonata(std::ostream &os) const
+{
+    std::vector<SubEvent> events;
+    events.reserve(insts.size() * 6);
+
+    for (std::size_t i = 0; i < insts.size(); i++) {
+        const InstEvent &ev = insts[i];
+        const auto stages = stagesOf(ev);
+        const Cycle retire =
+            std::max(ev.retire, stages.back().second);
+
+        std::uint8_t ord = 0;
+        events.push_back({stages.front().second, i, ord++,
+                          SubEvent::Kind::Begin, "", &ev});
+        events.push_back({stages.front().second, i, ord++,
+                          SubEvent::Kind::StageStart, stages.front().first,
+                          &ev});
+        for (std::size_t s = 1; s < stages.size(); s++) {
+            events.push_back({stages[s].second, i, ord++,
+                              SubEvent::Kind::StageEnd,
+                              stages[s - 1].first, &ev});
+            events.push_back({stages[s].second, i, ord++,
+                              SubEvent::Kind::StageStart, stages[s].first,
+                              &ev});
+        }
+        events.push_back({retire, i, ord++, SubEvent::Kind::StageEnd,
+                          stages.back().first, &ev});
+        events.push_back({retire, i, ord++, SubEvent::Kind::Retire, "",
+                          &ev});
+    }
+
+    std::sort(events.begin(), events.end(),
+              [](const SubEvent &a, const SubEvent &b) {
+                  if (a.cycle != b.cycle)
+                      return a.cycle < b.cycle;
+                  if (a.id != b.id)
+                      return a.id < b.id;
+                  return a.ord < b.ord;
+              });
+
+    os << "Kanata\t0004\n";
+    if (events.empty())
+        return;
+
+    Cycle current = events.front().cycle;
+    os << "C=\t" << current << "\n";
+    std::uint64_t retired = 0;
+
+    for (const SubEvent &se : events) {
+        if (se.cycle > current) {
+            os << "C\t" << (se.cycle - current) << "\n";
+            current = se.cycle;
+        }
+        switch (se.kind) {
+          case SubEvent::Kind::Begin:
+            os << "I\t" << se.id << "\t" << se.inst->traceIdx << "\t0\n";
+            os << "L\t" << se.id << "\t0\t" << "pc=" << se.inst->pc
+               << " " << se.inst->op;
+            if (se.inst->traceLen > 1)
+                os << " x" << se.inst->traceLen;
+            if (se.inst->fabric)
+                os << " [fabric]";
+            if (se.inst->mispredicted)
+                os << " [mispred]";
+            os << "\n";
+            break;
+          case SubEvent::Kind::StageStart:
+            os << "S\t" << se.id << "\t0\t" << se.stage << "\n";
+            break;
+          case SubEvent::Kind::StageEnd:
+            os << "E\t" << se.id << "\t0\t" << se.stage << "\n";
+            break;
+          case SubEvent::Kind::Retire:
+            os << "R\t" << se.id << "\t" << retired++ << "\t"
+               << (se.inst->flushed ? 1 : 0) << "\n";
+            break;
+        }
+    }
+}
+
+} // namespace dynaspam::trace

@@ -215,3 +215,97 @@ TEST(StoreSets, PeriodicClearingForgetsStaleSets)
     EXPECT_EQ(ssp.lookupDependence(204), 21u);
     EXPECT_EQ(ssp.violations(), 6u);
 }
+
+// --- Return-address stack checkpointing ----------------------------------
+//
+// Regression tests for the squash-recovery bug: the RAS used to carry
+// wrong-path pushes/pops across a squash, so a refetched CALL pushed its
+// return address a second time (and a wrong-path RET silently consumed a
+// correct-path entry). The fetch stage now snapshots (depth, TOS) per
+// instruction and commitStage's squash path restores the oldest squashed
+// instruction's checkpoint.
+
+namespace
+{
+
+isa::StaticInst
+makeCall(InstAddr target)
+{
+    isa::StaticInst inst;
+    inst.op = isa::Opcode::CALL;
+    inst.imm = std::int64_t(target);
+    return inst;
+}
+
+isa::StaticInst
+makeRet()
+{
+    isa::StaticInst inst;
+    inst.op = isa::Opcode::RET;
+    return inst;
+}
+
+} // namespace
+
+TEST(ReturnAddressStack, RestoreUndoesWrongPathPopAndPush)
+{
+    BranchPredictor bp;
+
+    // Correct path: CALL at pc 5 pushes return address 6.
+    bp.predict(5, makeCall(100));
+    ASSERT_EQ(bp.peek(200, makeRet()).target, 6u);
+
+    // Fetch checkpoints before each speculative instruction.
+    const RasCheckpoint cp = bp.rasCheckpoint();
+
+    // Wrong path: a RET consumes the good entry, then a CALL at pc 50
+    // pushes a bogus return address 51.
+    bp.predict(7, makeRet());
+    bp.predict(50, makeCall(300));
+    ASSERT_EQ(bp.peek(200, makeRet()).target, 51u);  // corrupted view
+
+    // Squash recovery. Without restoreRas the next RET would predict 51
+    // (the pre-fix behaviour); with it, the original entry is back.
+    bp.restoreRas(cp);
+    const BPrediction pred = bp.peek(200, makeRet());
+    ASSERT_TRUE(pred.targetKnown);
+    EXPECT_EQ(pred.target, 6u);
+}
+
+TEST(ReturnAddressStack, RestoreToEmptyClearsPhantomEntries)
+{
+    BranchPredictor bp;
+    const RasCheckpoint cp = bp.rasCheckpoint();  // empty stack
+
+    // Wrong path pushes two phantom frames.
+    bp.predict(5, makeCall(100));
+    bp.predict(9, makeCall(200));
+    ASSERT_TRUE(bp.peek(300, makeRet()).targetKnown);
+
+    bp.restoreRas(cp);
+    // An empty RAS must predict no target (fall-through fetch stall),
+    // not a phantom wrong-path return address.
+    EXPECT_FALSE(bp.peek(300, makeRet()).targetKnown);
+}
+
+TEST(ReturnAddressStack, RestoreRecoversOneLevelUnwindAndRecall)
+{
+    BranchPredictor bp;
+    bp.predict(5, makeCall(100));   // outer frame: return to 6
+    bp.predict(9, makeCall(200));   // inner frame: return to 10
+    const RasCheckpoint cp = bp.rasCheckpoint();
+
+    // Wrong path pops the inner frame and overwrites its slot with a
+    // different call. This is the deepest corruption a (depth, TOS)
+    // checkpoint fully recovers from — unwinding *below* the
+    // checkpointed top is the documented accepted approximation.
+    bp.predict(12, makeRet());
+    bp.predict(30, makeCall(400));
+    ASSERT_EQ(bp.peek(300, makeRet()).target, 31u);  // corrupted view
+    bp.restoreRas(cp);
+
+    // Both frames predict correctly again, in LIFO order.
+    EXPECT_EQ(bp.peek(300, makeRet()).target, 10u);
+    bp.predict(300, makeRet());
+    EXPECT_EQ(bp.peek(301, makeRet()).target, 6u);
+}

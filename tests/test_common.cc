@@ -108,6 +108,24 @@ TEST(Geomean, MatchesHandComputedValue)
     EXPECT_NEAR(geomean({1.0, 1.0, 1.0}), 1.0, 1e-12);
 }
 
+TEST(Geomean, SkipsZeroEntries)
+{
+    // A zero measurement (e.g. a workload that committed nothing) used
+    // to drive log() to -inf and the whole mean to 0; it is now skipped.
+    EXPECT_NEAR(geomean({0.0, 2.0, 8.0}), 4.0, 1e-12);
+    EXPECT_DOUBLE_EQ(geomean({0.0}), 0.0);
+    EXPECT_DOUBLE_EQ(geomean({0.0, 0.0, 0.0}), 0.0);
+}
+
+TEST(Geomean, RejectsNegativeAndNaN)
+{
+    // log() of a negative used to return NaN and silently poison every
+    // downstream comparison; both now fail loudly at the source.
+    EXPECT_THROW(geomean({-1.0}), FatalError);
+    EXPECT_THROW(geomean({2.0, -8.0}), FatalError);
+    EXPECT_THROW(geomean({2.0, std::nan("")}), FatalError);
+}
+
 TEST(Rng, DeterministicForSameSeed)
 {
     Rng a(123), b(123);

@@ -10,9 +10,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 #include <unistd.h>
@@ -116,6 +118,26 @@ TEST(Json, LargeCountersSurviveExactly)
     const std::uint64_t big = (1ULL << 62) + 12345;
     json::Value v = json::Value::parse(json::Value(big).dump());
     EXPECT_EQ(v.asUint(), big);
+}
+
+TEST(Json, NonFiniteDoublesRoundTrip)
+{
+    // Non-finite doubles used to serialize as null, which every numeric
+    // reader rejected on the way back in; they now round-trip through
+    // the string literals "NaN" / "Infinity" / "-Infinity".
+    const double inf = std::numeric_limits<double>::infinity();
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+
+    EXPECT_EQ(json::Value(nan).dump(), "\"NaN\"");
+    EXPECT_EQ(json::Value(inf).dump(), "\"Infinity\"");
+    EXPECT_EQ(json::Value(-inf).dump(), "\"-Infinity\"");
+
+    EXPECT_TRUE(std::isnan(json::Value::parse("\"NaN\"").asDouble()));
+    EXPECT_EQ(json::Value::parse("\"Infinity\"").asDouble(), inf);
+    EXPECT_EQ(json::Value::parse("\"-Infinity\"").asDouble(), -inf);
+
+    // Ordinary strings still refuse to read as numbers.
+    EXPECT_THROW(json::Value("banana").asDouble(), FatalError);
 }
 
 TEST(Json, ParseErrorsThrow)
@@ -372,4 +394,28 @@ TEST(ResultCache, DisabledCacheNeverStores)
     const Job job{"BP", SystemMode::BaselineOoo, 32, 1, 1};
     cache.store(job, sim::RunResult{});
     EXPECT_FALSE(cache.load(job).has_value());
+}
+
+TEST(ResultCache, NonFiniteStatsSurviveTheRoundTrip)
+{
+    // Pre-fix behaviour: a NaN or infinite accumulator serialized as
+    // JSON null, the numeric reader rejected it on load, and the whole
+    // entry silently degenerated to a permanent cache miss.
+    TempDir dir("cache-nonfinite");
+    const Job job{"BP", SystemMode::BaselineOoo, 32, 1, 1};
+    sim::RunResult result = runner::execute(job);
+    result.stats.accum("test.poisoned")
+        .add(std::numeric_limits<double>::quiet_NaN());
+    result.stats.accum("test.hot")
+        .add(std::numeric_limits<double>::infinity());
+
+    runner::ResultCache cache(dir.path());
+    cache.store(job, result);
+
+    auto loaded = cache.load(job);
+    ASSERT_TRUE(loaded.has_value()) << "non-finite stat corrupted entry";
+    EXPECT_TRUE(std::isnan(loaded->stats.getAccum("test.poisoned")));
+    EXPECT_EQ(loaded->stats.getAccum("test.hot"),
+              std::numeric_limits<double>::infinity());
+    EXPECT_EQ(loaded->cycles, result.cycles);
 }
