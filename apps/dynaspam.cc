@@ -11,11 +11,15 @@
  *   dynaspam sweep --figure 8 [--jobs N] [--out fig8.json] [--scale 1]
  *   dynaspam sweep --table 5 --jobs 4
  *   dynaspam trace bfs --mode accel-spec --cycles 1000:5000 --out t.json
+ *   dynaspam serve --port 8080 --jobs 4 --cache-max-mb 256
  *   dynaspam list
  *
  * Caching defaults to .dynaspam-cache/ in the working directory; a
  * second run of the same sweep performs zero simulations. Disable with
- * --no-cache or redirect with --cache DIR.
+ * --no-cache, redirect with --cache DIR, and bound the directory's size
+ * with --cache-max-mb N (LRU eviction plus stale-epoch GC after the
+ * run). SIGINT/SIGTERM mid-run unlink any half-written cache entry and
+ * exit with the conventional 128+signal code.
  */
 
 #include <cstdio>
@@ -28,9 +32,11 @@
 #include <vector>
 
 #include "check/fault_inject.hh"
+#include "common/interrupt.hh"
 #include "common/json.hh"
 #include "common/logging.hh"
 #include "runner/runner.hh"
+#include "serve/server.hh"
 #include "trace/trace.hh"
 #include "workloads/workload.hh"
 
@@ -71,14 +77,27 @@ usage(const char *argv0)
         "           --scale N            (default 1)\n"
         "           --cycles A:B         only events in cycles [A, B]\n"
         "           --out FILE           (default trace.json)\n"
+        "  serve  run the HTTP/JSON simulation service (see\n"
+        "         EXPERIMENTS.md \"Serving\"); drains gracefully on\n"
+        "         SIGTERM/SIGINT\n"
+        "           --port N             TCP port (default 8080; 0 = any)\n"
+        "           --bind ADDR          bind address (default 127.0.0.1)\n"
+        "           --jobs N             worker threads (default: cores)\n"
+        "           --queue-capacity N   queued-job bound -> 429 "
+        "(default 64)\n"
+        "           --timeout-ms N       per-request deadline "
+        "(default 120000)\n"
         "  list   print workload tags and mode names\n"
         "  check-selftest\n"
         "         fault-inject every simulator invariant auditor and\n"
         "         verify each one catches its seeded violation\n"
         "\n"
         "common options:\n"
-        "  --cache DIR    result-cache directory (default .dynaspam-cache)\n"
-        "  --no-cache     disable the result cache\n",
+        "  --cache DIR       result-cache directory "
+        "(default .dynaspam-cache)\n"
+        "  --no-cache        disable the result cache\n"
+        "  --cache-max-mb N  LRU-evict the cache down to N MiB "
+        "(default: unbounded)\n",
         argv0);
     return 1;
 }
@@ -140,45 +159,30 @@ struct CommonOptions
     std::string cacheDir = ".dynaspam-cache";
     unsigned jobs = 0;          ///< 0 = ThreadPool::defaultWorkers()
     unsigned scale = 1;
+    unsigned cacheMaxMb = 0;    ///< 0 = no LRU size budget
     std::string out;
 };
 
-/** Build the job list for one named sweep. */
-std::vector<Job>
-sweepJobs(const std::string &sweep, const std::vector<std::string> &names,
-          unsigned scale, unsigned trace_length)
+/**
+ * Post-run cache maintenance for run/sweep: GC stale epochs and apply
+ * the --cache-max-mb LRU budget when one was given.
+ */
+void
+maintainCache(const std::string &cache_dir, unsigned cache_max_mb)
 {
-    std::vector<Job> jobs;
-    auto add = [&](const std::string &wl, SystemMode mode, unsigned len,
-                   unsigned fabrics) {
-        jobs.push_back(Job{wl, mode, len, fabrics, scale});
-    };
-
-    for (const std::string &wl : names) {
-        if (sweep == "fig7") {
-            for (unsigned len : {16u, 24u, 32u, 40u})
-                add(wl, SystemMode::AccelSpec, len, 1);
-        } else if (sweep == "fig8") {
-            for (SystemMode mode :
-                 {SystemMode::BaselineOoo, SystemMode::MappingOnly,
-                  SystemMode::AccelNoSpec, SystemMode::AccelSpec})
-                add(wl, mode, trace_length, 1);
-        } else if (sweep == "fig9") {
-            for (SystemMode mode :
-                 {SystemMode::BaselineOoo, SystemMode::AccelSpec})
-                add(wl, mode, trace_length, 1);
-        } else if (sweep == "table5") {
-            for (unsigned fabrics : {1u, 2u, 4u, 8u})
-                add(wl, SystemMode::AccelSpec, trace_length, fabrics);
-        } else if (sweep == "ablation-mapper") {
-            for (SystemMode mode :
-                 {SystemMode::AccelSpec, SystemMode::AccelNaive})
-                add(wl, mode, trace_length, 1);
-        } else {
-            fatal("unknown sweep \"", sweep, "\"");
-        }
-    }
-    return jobs;
+    if (cache_dir.empty() || !cache_max_mb)
+        return;
+    runner::ResultCache cache(cache_dir);
+    runner::CacheGcStats stats =
+        cache.gc(std::uint64_t(cache_max_mb) * 1024 * 1024);
+    if (stats.staleEvicted || stats.lruEvicted || stats.tmpRemoved)
+        std::printf("cache gc: %llu stale, %llu lru-evicted, %llu temp "
+                    "files removed (%llu -> %llu bytes)\n",
+                    static_cast<unsigned long long>(stats.staleEvicted),
+                    static_cast<unsigned long long>(stats.lruEvicted),
+                    static_cast<unsigned long long>(stats.tmpRemoved),
+                    static_cast<unsigned long long>(stats.bytesBefore),
+                    static_cast<unsigned long long>(stats.bytesAfter));
 }
 
 int
@@ -207,17 +211,24 @@ cmdRun(Args &args)
             common.cacheDir = args.value(flag);
         else if (flag == "--no-cache")
             use_cache = false;
+        else if (flag == "--cache-max-mb")
+            common.cacheMaxMb = args.uvalue(flag);
         else
             fatal("unknown option ", flag);
     }
     if (job.workload.empty())
         fatal("run: --workload is required");
 
+    // A SIGINT mid-simulation unlinks any half-written cache entry and
+    // exits 128+SIGINT instead of stranding a temp file.
+    interrupt::installCleanupSignalHandlers();
+
     runner::RunnerOptions opts;
     opts.jobs = 1;
     opts.cacheDir = use_cache ? common.cacheDir : "";
     runner::Runner r(opts);
     auto outcomes = r.runAll({job});
+    maintainCache(opts.cacheDir, common.cacheMaxMb);
     const runner::JobOutcome &outcome = outcomes.at(0);
     const sim::RunResult &res = outcome.result;
 
@@ -285,6 +296,8 @@ cmdSweep(Args &args)
             common.cacheDir = args.value(flag);
         else if (flag == "--no-cache")
             use_cache = false;
+        else if (flag == "--cache-max-mb")
+            common.cacheMaxMb = args.uvalue(flag);
         else
             fatal("unknown option ", flag);
     }
@@ -296,13 +309,16 @@ cmdSweep(Args &args)
         common.out = sweep + ".json";
 
     std::vector<Job> jobs =
-        sweepJobs(sweep, names, common.scale, trace_length);
+        runner::sweepJobs(sweep, names, common.scale, trace_length);
+
+    interrupt::installCleanupSignalHandlers();
 
     runner::RunnerOptions opts;
     opts.jobs = common.jobs;
     opts.cacheDir = use_cache ? common.cacheDir : "";
     runner::Runner r(opts);
     auto outcomes = r.runAll(jobs);
+    maintainCache(opts.cacheDir, common.cacheMaxMb);
 
     std::ofstream os(common.out);
     if (!os)
@@ -400,6 +416,45 @@ cmdTrace(Args &args)
 }
 
 int
+cmdServe(Args &args)
+{
+    serve::ServerOptions opts;
+    opts.cacheDir = ".dynaspam-cache";
+    bool use_cache = true;
+    unsigned cache_max_mb = 0;
+
+    std::string flag;
+    while (args.next(flag)) {
+        if (flag == "--port")
+            opts.port = args.uvalue(flag);
+        else if (flag == "--bind")
+            opts.bindAddress = args.value(flag);
+        else if (flag == "--jobs")
+            opts.jobs = args.uvalue(flag);
+        else if (flag == "--queue-capacity")
+            opts.queueCapacity = args.uvalue(flag);
+        else if (flag == "--timeout-ms")
+            opts.requestTimeoutMs = args.uvalue(flag);
+        else if (flag == "--cache")
+            opts.cacheDir = args.value(flag);
+        else if (flag == "--no-cache")
+            use_cache = false;
+        else if (flag == "--cache-max-mb")
+            cache_max_mb = args.uvalue(flag);
+        else
+            fatal("unknown option ", flag);
+    }
+    if (!use_cache)
+        opts.cacheDir.clear();
+    opts.cacheMaxBytes = std::uint64_t(cache_max_mb) * 1024 * 1024;
+    if (opts.port > 65535)
+        fatal("serve: --port must be <= 65535");
+
+    serve::Server server(std::move(opts));
+    return server.serveForever();
+}
+
+int
 cmdCheckSelftest()
 {
     return check::runSelfTest(std::cout) ? 0 : 1;
@@ -438,6 +493,8 @@ main(int argc, char **argv)
             return cmdSweep(args);
         if (command == "trace")
             return cmdTrace(args);
+        if (command == "serve")
+            return cmdServe(args);
         if (command == "list")
             return cmdList();
         if (command == "check-selftest")

@@ -1,0 +1,99 @@
+#include "common/interrupt.hh"
+
+#include <atomic>
+#include <csignal>
+#include <cstring>
+
+#include <unistd.h>
+
+namespace dynaspam::interrupt
+{
+
+namespace
+{
+
+/**
+ * One registry slot. `state` cycles Empty -> Claiming -> Active ->
+ * Empty. The path bytes are only written in the Claiming window, and
+ * the handler only reads them while the slot is Active, so the
+ * release/acquire pair on `state` orders the accesses. All storage is
+ * static: nothing here allocates, which is what makes the signal
+ * handler's walk safe.
+ */
+struct Slot
+{
+    enum State : int { Empty = 0, Claiming = 1, Active = 2 };
+    std::atomic<int> state{Empty};
+    char path[kMaxCleanupPath];
+};
+
+Slot slots[kMaxCleanupFiles];
+
+extern "C" void
+cleanupSignalHandler(int signo)
+{
+    cleanupRegisteredFiles();
+    _exit(exitCodeFor(signo));
+}
+
+} // namespace
+
+int
+registerCleanupFile(const char *path)
+{
+    const std::size_t len = std::strlen(path);
+    if (len + 1 > kMaxCleanupPath)
+        return -1;
+    for (std::size_t i = 0; i < kMaxCleanupFiles; i++) {
+        int expected = Slot::Empty;
+        if (!slots[i].state.compare_exchange_strong(
+                expected, Slot::Claiming, std::memory_order_acquire))
+            continue;
+        std::memcpy(slots[i].path, path, len + 1);
+        slots[i].state.store(Slot::Active, std::memory_order_release);
+        return int(i);
+    }
+    return -1;
+}
+
+void
+unregisterCleanupFile(int slot)
+{
+    if (slot < 0 || std::size_t(slot) >= kMaxCleanupFiles)
+        return;
+    slots[slot].state.store(Slot::Empty, std::memory_order_release);
+}
+
+std::size_t
+cleanupRegisteredFiles()
+{
+    std::size_t removed = 0;
+    for (std::size_t i = 0; i < kMaxCleanupFiles; i++) {
+        if (slots[i].state.load(std::memory_order_acquire) != Slot::Active)
+            continue;
+        // The owner may rename/unregister concurrently; unlinking a
+        // path that just disappeared fails with ENOENT, which is fine.
+        if (::unlink(slots[i].path) == 0)
+            removed++;
+    }
+    return removed;
+}
+
+void
+installCleanupSignalHandlers()
+{
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sa_handler = cleanupSignalHandler;
+    sigemptyset(&sa.sa_mask);
+    sigaction(SIGINT, &sa, nullptr);
+    sigaction(SIGTERM, &sa, nullptr);
+}
+
+int
+exitCodeFor(int signo)
+{
+    return 128 + signo;
+}
+
+} // namespace dynaspam::interrupt

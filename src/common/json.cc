@@ -309,7 +309,20 @@ class Parser
     [[noreturn]] void
     fail(const std::string &what)
     {
-        fatal("json: parse error at offset ", pos, ": ", what);
+        // Report line/column alongside the byte offset: request bodies
+        // arrive from humans and curl scripts, and "line 3, column 17"
+        // is actionable where a raw offset is not.
+        std::size_t line = 1, col = 1;
+        for (std::size_t i = 0; i < pos && i < text.size(); i++) {
+            if (text[i] == '\n') {
+                line++;
+                col = 1;
+            } else {
+                col++;
+            }
+        }
+        fatal("json: parse error at line ", line, ", column ", col,
+              " (offset ", pos, "): ", what);
     }
 
     void
@@ -354,9 +367,9 @@ class Parser
         skipSpace();
         switch (peek()) {
           case '{':
-            return parseObject();
+            return descend([this] { return parseObject(); });
           case '[':
-            return parseArray();
+            return descend([this] { return parseArray(); });
           case '"':
             return Value(parseString());
           case 't':
@@ -376,6 +389,20 @@ class Parser
         }
     }
 
+    /** Run @p parse one container level deeper, enforcing the cap. */
+    template <typename Fn>
+    Value
+    descend(Fn parse)
+    {
+        if (depth >= kMaxParseDepth)
+            fail("nesting deeper than " + std::to_string(kMaxParseDepth) +
+                 " levels");
+        depth++;
+        Value v = parse();
+        depth--;
+        return v;
+    }
+
     Value
     parseObject()
     {
@@ -391,7 +418,9 @@ class Parser
             std::string key = parseString();
             skipSpace();
             expect(':');
-            obj.emplace(std::move(key), parseValue());
+            Value element = parseValue();
+            if (!obj.emplace(key, std::move(element)).second)
+                fail("duplicate object key \"" + key + "\"");
             skipSpace();
             if (peek() == ',') {
                 pos++;
@@ -435,6 +464,10 @@ class Parser
             char c = text[pos++];
             if (c == '"')
                 return out;
+            if (static_cast<unsigned char>(c) < 0x20) {
+                pos--;
+                fail("unescaped control character in string");
+            }
             if (c != '\\') {
                 out += c;
                 continue;
@@ -553,6 +586,7 @@ class Parser
 
     const std::string &text;
     std::size_t pos = 0;
+    unsigned depth = 0;
 };
 
 } // namespace

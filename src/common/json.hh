@@ -15,8 +15,13 @@
  *  - Doubles are written with std::to_chars (shortest round-trip form),
  *    which is locale-independent and deterministic.
  *
- * Parsing errors throw FatalError; callers that read untrusted files
- * (e.g. a corrupted result cache) catch it and fall back.
+ * Parsing errors throw FatalError with the offending line/column and
+ * byte offset; callers that read untrusted files (e.g. a corrupted
+ * result cache) catch it and fall back. The parser sits on a network
+ * boundary (serve::Server request bodies), so it is strict about
+ * adversarial input: nesting depth is capped at kMaxParseDepth,
+ * duplicate object keys are rejected, and unescaped control characters
+ * inside strings are syntax errors.
  */
 
 #ifndef DYNASPAM_COMMON_JSON_HH
@@ -36,6 +41,13 @@ class Value;
 
 using Array = std::vector<Value>;
 using Object = std::map<std::string, Value>;
+
+/**
+ * Maximum container nesting depth parse() accepts. Documents emitted by
+ * this repository nest a handful of levels; the cap only exists so a
+ * hostile request body ("[[[[…") cannot blow the parser's stack.
+ */
+inline constexpr unsigned kMaxParseDepth = 96;
 
 /** A JSON document node. */
 class Value

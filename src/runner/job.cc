@@ -56,6 +56,44 @@ parseMode(const std::string &token)
           "accel-spec or accel-naive)");
 }
 
+std::vector<Job>
+sweepJobs(const std::string &sweep,
+          const std::vector<std::string> &workloads, unsigned scale,
+          unsigned trace_length)
+{
+    std::vector<Job> jobs;
+    auto add = [&](const std::string &wl, sim::SystemMode mode,
+                   unsigned len, unsigned fabrics) {
+        jobs.push_back(Job{wl, mode, len, fabrics, scale});
+    };
+
+    for (const std::string &wl : workloads) {
+        if (sweep == "fig7") {
+            for (unsigned len : {16u, 24u, 32u, 40u})
+                add(wl, sim::SystemMode::AccelSpec, len, 1);
+        } else if (sweep == "fig8") {
+            for (sim::SystemMode mode :
+                 {sim::SystemMode::BaselineOoo, sim::SystemMode::MappingOnly,
+                  sim::SystemMode::AccelNoSpec, sim::SystemMode::AccelSpec})
+                add(wl, mode, trace_length, 1);
+        } else if (sweep == "fig9") {
+            for (sim::SystemMode mode :
+                 {sim::SystemMode::BaselineOoo, sim::SystemMode::AccelSpec})
+                add(wl, mode, trace_length, 1);
+        } else if (sweep == "table5") {
+            for (unsigned fabrics : {1u, 2u, 4u, 8u})
+                add(wl, sim::SystemMode::AccelSpec, trace_length, fabrics);
+        } else if (sweep == "ablation-mapper") {
+            for (sim::SystemMode mode :
+                 {sim::SystemMode::AccelSpec, sim::SystemMode::AccelNaive})
+                add(wl, mode, trace_length, 1);
+        } else {
+            fatal("unknown sweep \"", sweep, "\"");
+        }
+    }
+    return jobs;
+}
+
 std::string
 traceFileStem(const Job &job)
 {

@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "sim/system.hh"
 #include "trace/trace.hh"
@@ -52,6 +53,17 @@ struct Job
  * @throws FatalError on an unknown token
  */
 sim::SystemMode parseMode(const std::string &token);
+
+/**
+ * Build the job list for one named sweep — "fig7", "fig8", "fig9",
+ * "table5" or "ablation-mapper" — over @p workloads. Shared by the CLI
+ * (`dynaspam sweep`) and the serve daemon (`POST /sweep`) so both
+ * expand a sweep name to the exact same points.
+ * @throws FatalError on an unknown sweep name
+ */
+std::vector<Job> sweepJobs(const std::string &sweep,
+                           const std::vector<std::string> &workloads,
+                           unsigned scale, unsigned trace_length);
 
 /**
  * Execute @p job: build the workload, construct a fresh System and run

@@ -20,14 +20,25 @@
  * file is treated as a miss — the job is simply re-simulated and the
  * entry rewritten. Writes go to a temp file first and are renamed into
  * place, so concurrent writers (pool workers, parallel processes)
- * never expose half-written entries.
+ * never expose half-written entries; the temp path is additionally
+ * registered with the interrupt cleanup registry so a SIGINT mid-write
+ * unlinks it instead of stranding it.
+ *
+ * Growth control: a long-lived process (the serve daemon, repeated
+ * sweeps) would otherwise grow the directory without bound as epochs
+ * roll and parameter spaces widen. gc() garbage-collects entries from
+ * stale epochs plus any orphaned temp files, then applies an LRU size
+ * budget: load() refreshes an entry's mtime on every hit, and gc()
+ * evicts least-recently-used entries until the directory fits.
  */
 
 #ifndef DYNASPAM_RUNNER_RESULT_CACHE_HH
 #define DYNASPAM_RUNNER_RESULT_CACHE_HH
 
+#include <cstdint>
 #include <optional>
 #include <string>
+#include <utility>
 
 #include "runner/job.hh"
 #include "sim/system.hh"
@@ -40,6 +51,17 @@ namespace dynaspam::runner
  * change that alters simulation results.
  */
 inline constexpr const char *kResultCacheEpoch = "dynaspam-sim-4";
+
+/** What one ResultCache::gc pass scanned and removed. */
+struct CacheGcStats
+{
+    std::uint64_t scanned = 0;      ///< entry files examined
+    std::uint64_t staleEvicted = 0; ///< wrong-epoch / unparsable entries
+    std::uint64_t lruEvicted = 0;   ///< evicted to meet the size budget
+    std::uint64_t tmpRemoved = 0;   ///< orphaned *.tmp.* writer litter
+    std::uint64_t bytesBefore = 0;  ///< directory size before the pass
+    std::uint64_t bytesAfter = 0;   ///< directory size after the pass
+};
 
 /** File-per-job result store. */
 class ResultCache
@@ -67,11 +89,31 @@ class ResultCache
     std::optional<sim::RunResult> load(const Job &job) const;
 
     /**
+     * Look up an entry by its hex hash (cache file stem) without
+     * knowing the job — what GET /results/<hash> needs. Validates the
+     * stored epoch and rebuilds the Job from the entry's "job" object.
+     * @return nullopt on any kind of miss, like load().
+     */
+    std::optional<std::pair<Job, sim::RunResult>>
+    loadByHash(const std::string &hash_hex) const;
+
+    /**
      * Store @p result for @p job (atomically: temp file + rename).
      * Failures are reported with warn() and otherwise ignored — the
      * cache is an optimization, not a correctness dependency.
      */
     void store(const Job &job, const sim::RunResult &result) const;
+
+    /**
+     * Garbage-collect the cache directory: remove orphaned temp files
+     * and entries whose epoch is not this cache's epoch (stale
+     * simulator versions), then — when @p max_bytes is nonzero — evict
+     * least-recently-used entries (by mtime; load() hits refresh it)
+     * until the remaining entries total at most @p max_bytes.
+     * Concurrent-writer safe: eviction losers are re-simulated misses,
+     * never corruption. No-op when the cache is disabled.
+     */
+    CacheGcStats gc(std::uint64_t max_bytes = 0) const;
 
   private:
     std::string dir;

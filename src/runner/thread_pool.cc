@@ -1,7 +1,6 @@
 #include "runner/thread_pool.hh"
 
 #include <cstdlib>
-#include <memory>
 
 #include "common/logging.hh"
 
@@ -23,7 +22,7 @@ ThreadPool::ThreadPool(unsigned workers)
 ThreadPool::~ThreadPool()
 {
     {
-        std::lock_guard<std::mutex> lock(batchMutex);
+        std::lock_guard<std::mutex> lock(poolMutex);
         shutdown = true;
     }
     workAvailable.notify_all();
@@ -48,58 +47,93 @@ ThreadPool::defaultWorkers(unsigned fallback)
 }
 
 void
+ThreadPool::submit(std::function<void()> task)
+{
+    std::size_t target;
+    {
+        std::lock_guard<std::mutex> lock(poolMutex);
+        // Count before pushing: a worker that wins the race to the
+        // deque can only ever see pending >= the true queue length,
+        // never less, so no wakeup is lost.
+        pending++;
+        target = nextDeque;
+        nextDeque = (nextDeque + 1) % deques.size();
+    }
+    {
+        WorkerDeque &dq = *deques[target];
+        std::lock_guard<std::mutex> dlock(dq.mutex);
+        dq.tasks.push_back(std::move(task));
+    }
+    workAvailable.notify_one();
+}
+
+void
 ThreadPool::parallelFor(std::size_t n,
                         const std::function<void(std::size_t)> &fn)
 {
     if (n == 0)
         return;
 
+    // Per-batch completion state; several batches (from different
+    // caller threads) can be in flight at once.
+    struct Batch
     {
-        std::lock_guard<std::mutex> lock(batchMutex);
-        if (batchFn)
-            panic("ThreadPool::parallelFor is not reentrant");
-        batchFn = &fn;
-        remaining = n;
-        firstError = nullptr;
-        // Deal indices round-robin; workers are idle so deque locks are
-        // uncontended here.
-        for (std::size_t i = 0; i < n; i++) {
-            WorkerDeque &dq = *deques[i % deques.size()];
-            std::lock_guard<std::mutex> dlock(dq.mutex);
-            dq.tasks.push_back(i);
-        }
-        generation++;
-    }
-    workAvailable.notify_all();
+        std::mutex mutex;
+        std::condition_variable done;
+        std::size_t remaining;
+        std::exception_ptr firstError;
+    };
+    auto batch = std::make_shared<Batch>();
+    batch->remaining = n;
 
-    std::unique_lock<std::mutex> lock(batchMutex);
-    batchDone.wait(lock, [this] { return remaining == 0; });
-    batchFn = nullptr;
-    if (firstError)
-        std::rethrow_exception(firstError);
+    for (std::size_t i = 0; i < n; i++) {
+        // `fn` is captured by reference: this call blocks until every
+        // task has finished, so the reference outlives all of them.
+        submit([batch, &fn, i] {
+            try {
+                fn(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(batch->mutex);
+                if (!batch->firstError)
+                    batch->firstError = std::current_exception();
+            }
+            bool last = false;
+            {
+                std::lock_guard<std::mutex> lock(batch->mutex);
+                last = --batch->remaining == 0;
+            }
+            if (last)
+                batch->done.notify_all();
+        });
+    }
+
+    std::unique_lock<std::mutex> lock(batch->mutex);
+    batch->done.wait(lock, [&] { return batch->remaining == 0; });
+    if (batch->firstError)
+        std::rethrow_exception(batch->firstError);
 }
 
 bool
-ThreadPool::popOwn(std::size_t self, std::size_t &index)
+ThreadPool::popOwn(std::size_t self, std::function<void()> &task)
 {
     WorkerDeque &dq = *deques[self];
     std::lock_guard<std::mutex> lock(dq.mutex);
     if (dq.tasks.empty())
         return false;
-    index = dq.tasks.front();
+    task = std::move(dq.tasks.front());
     dq.tasks.pop_front();
     return true;
 }
 
 bool
-ThreadPool::stealOther(std::size_t self, std::size_t &index)
+ThreadPool::stealOther(std::size_t self, std::function<void()> &task)
 {
     for (std::size_t k = 1; k < deques.size(); k++) {
         WorkerDeque &dq = *deques[(self + k) % deques.size()];
         std::lock_guard<std::mutex> lock(dq.mutex);
         if (dq.tasks.empty())
             continue;
-        index = dq.tasks.back();
+        task = std::move(dq.tasks.back());
         dq.tasks.pop_back();
         return true;
     }
@@ -107,41 +141,26 @@ ThreadPool::stealOther(std::size_t self, std::size_t &index)
 }
 
 void
-ThreadPool::runTask(std::size_t index)
-{
-    try {
-        (*batchFn)(index);
-    } catch (...) {
-        std::lock_guard<std::mutex> lock(batchMutex);
-        if (!firstError)
-            firstError = std::current_exception();
-    }
-    bool last = false;
-    {
-        std::lock_guard<std::mutex> lock(batchMutex);
-        last = --remaining == 0;
-    }
-    if (last)
-        batchDone.notify_all();
-}
-
-void
 ThreadPool::workerLoop(std::size_t self)
 {
-    std::uint64_t seen_generation = 0;
     while (true) {
-        {
-            std::unique_lock<std::mutex> lock(batchMutex);
-            workAvailable.wait(lock, [&] {
-                return shutdown || generation != seen_generation;
-            });
-            if (shutdown)
-                return;
-            seen_generation = generation;
+        std::function<void()> task;
+        if (popOwn(self, task) || stealOther(self, task)) {
+            {
+                std::lock_guard<std::mutex> lock(poolMutex);
+                pending--;
+            }
+            task();
+            continue;
         }
-        std::size_t index;
-        while (popOwn(self, index) || stealOther(self, index))
-            runTask(index);
+        std::unique_lock<std::mutex> lock(poolMutex);
+        workAvailable.wait(lock,
+                           [&] { return shutdown || pending > 0; });
+        if (shutdown && pending == 0)
+            return;
+        // pending > 0: a task is (about to be) queued somewhere; loop
+        // around and race the other workers for it. On shutdown this
+        // drains every queued task before the worker exits.
     }
 }
 

@@ -2,7 +2,7 @@
  * @file
  * Work-stealing thread pool for experiment execution.
  *
- * A fixed set of worker threads each owns a deque of task indices.
+ * A fixed set of worker threads each owns a deque of queued tasks.
  * Workers pop work from the front of their own deque and, when it runs
  * dry, steal from the back of a victim's deque — the classic split that
  * keeps owner and thieves on opposite ends. Simulation jobs are coarse
@@ -10,10 +10,25 @@
  * mutex rather than a lock-free Chase-Lev structure; contention is
  * negligible at this granularity.
  *
- * Determinism: the pool schedules *indices* and the caller stores each
- * task's result into a slot owned by that index, so the combined result
- * vector is identical no matter how many workers run or in what order
- * tasks finish. Tasks must not share mutable state for this to hold.
+ * Two front ends share the same workers:
+ *
+ *  - parallelFor(n, fn): batch mode. Blocks until fn(0)..fn(n-1) have
+ *    all run; the first task exception is rethrown after the batch
+ *    drains. This is what the Runner's sweep path uses.
+ *  - submit(task): persistent-queue mode. Enqueues one fire-and-forget
+ *    closure and returns immediately; completion and error tracking are
+ *    the caller's responsibility. This is what long-lived services
+ *    (serve::Server) use to feed admitted jobs to the same pool.
+ *
+ * Determinism: parallelFor schedules *index-carrying closures* and the
+ * caller stores each task's result into a slot owned by that index, so
+ * the combined result vector is identical no matter how many workers
+ * run or in what order tasks finish. Tasks must not share mutable state
+ * for this to hold.
+ *
+ * Shutdown drains: the destructor runs every already-queued task before
+ * joining, so a service can rely on "everything admitted eventually
+ * executes" simply by destroying the pool.
  */
 
 #ifndef DYNASPAM_RUNNER_THREAD_POOL_HH
@@ -22,8 +37,8 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
-#include <exception>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -31,17 +46,21 @@
 namespace dynaspam::runner
 {
 
-/** Fixed-size pool executing indexed task batches with work stealing. */
+/** Fixed-size pool executing queued tasks with work stealing. */
 class ThreadPool
 {
   public:
     /**
      * Spawn @p workers persistent worker threads (clamped to >= 1).
-     * Workers idle on a condition variable between batches.
+     * Workers idle on a condition variable while the queues are empty.
      */
     explicit ThreadPool(unsigned workers);
 
-    /** Join all workers. Must not be called while a batch is running. */
+    /**
+     * Drain every queued task, then join all workers. Tasks submitted
+     * concurrently with destruction may or may not run; callers that
+     * need a clean cut must stop submitting first.
+     */
     ~ThreadPool();
 
     ThreadPool(const ThreadPool &) = delete;
@@ -50,11 +69,23 @@ class ThreadPool
     unsigned workers() const { return unsigned(deques.size()); }
 
     /**
+     * Enqueue @p task (round-robin across the worker deques) and return
+     * immediately. The task runs exactly once, on some worker thread.
+     * Exceptions thrown by the task are a logic error: the worker has
+     * nowhere to report them, so they terminate the process — wrap
+     * fallible work in its own try/catch.
+     */
+    void submit(std::function<void()> task);
+
+    /**
      * Execute fn(0) ... fn(n-1) across the workers and block until all
      * complete. Task indices are dealt round-robin to the worker deques
      * up front; idle workers steal from the back of busy workers'
      * deques. If any task throws, the first exception is rethrown here
-     * after the batch drains (remaining tasks still run).
+     * after the batch drains (remaining tasks still run). Safe to call
+     * from several threads at once (batches interleave); must not be
+     * called from inside a pool task (the nested batch would wait for
+     * workers that are all busy).
      */
     void parallelFor(std::size_t n,
                      const std::function<void(std::size_t)> &fn);
@@ -67,26 +98,25 @@ class ThreadPool
     struct WorkerDeque
     {
         std::mutex mutex;
-        std::deque<std::size_t> tasks;
+        std::deque<std::function<void()>> tasks;
     };
 
     void workerLoop(std::size_t self);
-    bool popOwn(std::size_t self, std::size_t &index);
-    bool stealOther(std::size_t self, std::size_t &index);
-    void runTask(std::size_t index);
+    bool popOwn(std::size_t self, std::function<void()> &task);
+    bool stealOther(std::size_t self, std::function<void()> &task);
 
     std::vector<std::unique_ptr<WorkerDeque>> deques;
     std::vector<std::thread> threads;
 
-    // Batch state, guarded by batchMutex.
-    std::mutex batchMutex;
+    // Pool-wide state, guarded by poolMutex. `pending` counts enqueued
+    // but not-yet-claimed tasks; it is incremented before the push so it
+    // can never observably undercount, which makes it a safe sleep
+    // predicate for the workers.
+    std::mutex poolMutex;
     std::condition_variable workAvailable;
-    std::condition_variable batchDone;
-    const std::function<void(std::size_t)> *batchFn = nullptr;
-    std::size_t remaining = 0;      ///< tasks not yet finished
-    std::uint64_t generation = 0;   ///< bumped per batch to wake workers
+    std::size_t pending = 0;
+    std::size_t nextDeque = 0;
     bool shutdown = false;
-    std::exception_ptr firstError;
 };
 
 } // namespace dynaspam::runner

@@ -1,0 +1,196 @@
+#include "serve/http.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <sstream>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace dynaspam::serve
+{
+
+namespace
+{
+
+const std::string kEmpty;
+
+std::string
+toLower(std::string s)
+{
+    std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+        return char(std::tolower(c));
+    });
+    return s;
+}
+
+std::string
+trim(const std::string &s)
+{
+    std::size_t b = s.find_first_not_of(" \t\r");
+    if (b == std::string::npos)
+        return "";
+    std::size_t e = s.find_last_not_of(" \t\r");
+    return s.substr(b, e - b + 1);
+}
+
+/** recv() with EINTR retry. @return bytes, 0 on EOF, -1 error, -2 timeout */
+long
+recvSome(int fd, char *buf, std::size_t len)
+{
+    while (true) {
+        ssize_t n = ::recv(fd, buf, len, 0);
+        if (n >= 0)
+            return long(n);
+        if (errno == EINTR)
+            continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+            return -2;
+        return -1;
+    }
+}
+
+} // namespace
+
+const std::string &
+HttpRequest::header(const std::string &name) const
+{
+    auto it = headers.find(name);
+    return it == headers.end() ? kEmpty : it->second;
+}
+
+HttpReadOutcome
+readHttpRequest(int fd, std::size_t max_bytes, HttpRequest &out)
+{
+    std::string buf;
+    char chunk[4096];
+
+    // Accumulate until the blank line that ends the header block.
+    std::size_t header_end;
+    while (true) {
+        header_end = buf.find("\r\n\r\n");
+        if (header_end != std::string::npos)
+            break;
+        if (buf.size() > max_bytes)
+            return HttpReadOutcome::TooLarge;
+        long n = recvSome(fd, chunk, sizeof(chunk));
+        if (n == 0)
+            return buf.empty() ? HttpReadOutcome::Closed
+                               : HttpReadOutcome::Malformed;
+        if (n == -2)
+            return HttpReadOutcome::Timeout;
+        if (n < 0)
+            return HttpReadOutcome::Malformed;
+        buf.append(chunk, std::size_t(n));
+    }
+
+    // Request line: METHOD SP TARGET SP VERSION.
+    const std::string head = buf.substr(0, header_end);
+    std::istringstream lines(head);
+    std::string request_line;
+    if (!std::getline(lines, request_line))
+        return HttpReadOutcome::Malformed;
+    {
+        std::istringstream rl(trim(request_line));
+        if (!(rl >> out.method >> out.target >> out.version))
+            return HttpReadOutcome::Malformed;
+        if (out.version.rfind("HTTP/", 0) != 0)
+            return HttpReadOutcome::Malformed;
+    }
+
+    // Header lines: "Name: value". Later duplicates win; none of the
+    // headers the server consults are list-valued.
+    std::string line;
+    while (std::getline(lines, line)) {
+        line = trim(line);
+        if (line.empty())
+            continue;
+        std::size_t colon = line.find(':');
+        if (colon == std::string::npos || colon == 0)
+            return HttpReadOutcome::Malformed;
+        out.headers[toLower(trim(line.substr(0, colon)))] =
+            trim(line.substr(colon + 1));
+    }
+
+    // Body: exactly Content-Length bytes (0 when absent).
+    std::size_t body_len = 0;
+    const std::string &cl = out.header("content-length");
+    if (!cl.empty()) {
+        char *end = nullptr;
+        unsigned long long v = std::strtoull(cl.c_str(), &end, 10);
+        if (!end || *end)
+            return HttpReadOutcome::Malformed;
+        body_len = std::size_t(v);
+    }
+    const std::size_t body_start = header_end + 4;
+    if (body_start + body_len > max_bytes)
+        return HttpReadOutcome::TooLarge;
+
+    out.body = buf.substr(body_start);
+    while (out.body.size() < body_len) {
+        long n = recvSome(fd, chunk,
+                          std::min(sizeof(chunk),
+                                   body_len - out.body.size()));
+        if (n == 0)
+            return HttpReadOutcome::Malformed;    // truncated body
+        if (n == -2)
+            return HttpReadOutcome::Timeout;
+        if (n < 0)
+            return HttpReadOutcome::Malformed;
+        out.body.append(chunk, std::size_t(n));
+    }
+    if (out.body.size() > body_len)
+        out.body.resize(body_len);    // ignore pipelined trailing bytes
+    return HttpReadOutcome::Ok;
+}
+
+bool
+writeHttpResponse(int fd, const HttpResponse &resp)
+{
+    std::ostringstream os;
+    os << "HTTP/1.1 " << resp.status << ' '
+       << httpStatusReason(resp.status) << "\r\n"
+       << "Content-Type: " << resp.contentType << "\r\n"
+       << "Content-Length: " << resp.body.size() << "\r\n"
+       << "Connection: close\r\n";
+    for (const auto &kv : resp.extraHeaders)
+        os << kv.first << ": " << kv.second << "\r\n";
+    os << "\r\n" << resp.body;
+
+    const std::string wire = os.str();
+    std::size_t sent = 0;
+    while (sent < wire.size()) {
+        // MSG_NOSIGNAL: a vanished client must not SIGPIPE the daemon.
+        ssize_t n = ::send(fd, wire.data() + sent, wire.size() - sent,
+                           MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        sent += std::size_t(n);
+    }
+    return true;
+}
+
+const char *
+httpStatusReason(int status)
+{
+    switch (status) {
+      case 200: return "OK";
+      case 202: return "Accepted";
+      case 400: return "Bad Request";
+      case 404: return "Not Found";
+      case 405: return "Method Not Allowed";
+      case 408: return "Request Timeout";
+      case 413: return "Payload Too Large";
+      case 429: return "Too Many Requests";
+      case 500: return "Internal Server Error";
+      case 503: return "Service Unavailable";
+      default: return "Unknown";
+    }
+}
+
+} // namespace dynaspam::serve

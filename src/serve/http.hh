@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Minimal HTTP/1.1 message layer over POSIX sockets.
+ *
+ * Implements exactly the subset the simulation service needs: reading
+ * one request (request line, headers, Content-Length body) from a
+ * connected socket with a hard size cap, and writing one response with
+ * Content-Length and Connection: close. No keep-alive, no chunked
+ * transfer, no TLS — the daemon speaks one request per connection,
+ * which keeps graceful drain trivial (a connection is in-flight or it
+ * does not exist).
+ *
+ * Header names are lower-cased on parse so lookups are
+ * case-insensitive per RFC 9110. Bodies require an explicit
+ * Content-Length; requests exceeding the configured cap are rejected
+ * before the body is buffered, so a hostile client cannot balloon
+ * memory.
+ */
+
+#ifndef DYNASPAM_SERVE_HTTP_HH
+#define DYNASPAM_SERVE_HTTP_HH
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dynaspam::serve
+{
+
+/** One parsed HTTP request. */
+struct HttpRequest
+{
+    std::string method;   ///< "GET", "POST", ... (as sent)
+    std::string target;   ///< request target, e.g. "/run"
+    std::string version;  ///< "HTTP/1.1"
+    /** Headers with lower-cased names and trimmed values. */
+    std::map<std::string, std::string> headers;
+    std::string body;
+
+    /** @return header value or empty string when absent (name must be
+     *  given lower-case). */
+    const std::string &header(const std::string &name) const;
+};
+
+/** Why readHttpRequest stopped. */
+enum class HttpReadOutcome
+{
+    Ok,        ///< request fully parsed
+    Closed,    ///< peer closed before sending anything (not an error)
+    Malformed, ///< syntactically invalid request -> 400
+    TooLarge,  ///< exceeds the size cap -> 413
+    Timeout,   ///< socket read timed out mid-request -> 408
+};
+
+/**
+ * Read and parse one request from @p fd. Respects the socket's
+ * SO_RCVTIMEO (a slow or stalled client surfaces as Timeout).
+ * @param max_bytes hard cap on total request size (line+headers+body)
+ */
+HttpReadOutcome readHttpRequest(int fd, std::size_t max_bytes,
+                                HttpRequest &out);
+
+/** One response to serialize. */
+struct HttpResponse
+{
+    int status = 200;
+    std::string contentType = "application/json";
+    std::string body;
+    /** Extra headers, e.g. {"Retry-After", "2"}. */
+    std::vector<std::pair<std::string, std::string>> extraHeaders;
+};
+
+/**
+ * Serialize and send @p resp on @p fd (Content-Length + Connection:
+ * close are added automatically). @return false if the peer vanished
+ * mid-write; the caller just closes the socket either way.
+ */
+bool writeHttpResponse(int fd, const HttpResponse &resp);
+
+/** Canonical reason phrase for @p status ("OK", "Not Found", ...). */
+const char *httpStatusReason(int status);
+
+} // namespace dynaspam::serve
+
+#endif // DYNASPAM_SERVE_HTTP_HH

@@ -1,0 +1,164 @@
+#include "serve/metrics.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace dynaspam::serve
+{
+
+namespace
+{
+
+/** Prometheus sample values: integral values print without a fraction. */
+void
+writeValue(std::ostream &os, double v)
+{
+    if (v == static_cast<double>(static_cast<std::int64_t>(v)))
+        os << static_cast<std::int64_t>(v);
+    else
+        os << v;
+}
+
+} // namespace
+
+Metrics::Family &
+Metrics::family(const std::string &name, Kind kind)
+{
+    auto it = families.find(name);
+    if (it == families.end())
+        it = families.emplace(name, Family{kind, "", {}, {}}).first;
+    if (it->second.kind != kind)
+        panic("metric \"", name, "\" redeclared with a different kind");
+    return it->second;
+}
+
+void
+Metrics::declareCounter(const std::string &name, const std::string &help)
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    family(name, Kind::Counter).help = help;
+}
+
+void
+Metrics::declareGauge(const std::string &name, const std::string &help)
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    Family &f = family(name, Kind::Gauge);
+    f.help = help;
+    f.children.emplace("", 0.0);
+}
+
+void
+Metrics::declareHistogram(const std::string &name, const std::string &help,
+                          std::vector<double> bounds)
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    Family &f = family(name, Kind::Histogram);
+    f.help = help;
+    f.histogram.bounds = std::move(bounds);
+    f.histogram.counts.assign(f.histogram.bounds.size(), 0);
+}
+
+void
+Metrics::inc(const std::string &name, double delta)
+{
+    inc(name, "", delta);
+}
+
+void
+Metrics::inc(const std::string &name, const std::string &labels,
+             double delta)
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    family(name, Kind::Counter).children[labels] += delta;
+}
+
+void
+Metrics::set(const std::string &name, double value)
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    family(name, Kind::Gauge).children[""] = value;
+}
+
+void
+Metrics::observe(const std::string &name, double value)
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    HistogramData &h = family(name, Kind::Histogram).histogram;
+    bool bucketed = false;
+    for (std::size_t i = 0; i < h.bounds.size(); i++) {
+        if (value <= h.bounds[i]) {
+            h.counts[i]++;
+            bucketed = true;
+            break;
+        }
+    }
+    if (!bucketed)
+        h.infCount++;
+    h.total++;
+    h.sum += value;
+}
+
+double
+Metrics::value(const std::string &name, const std::string &labels) const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    auto it = families.find(name);
+    if (it == families.end())
+        return 0.0;
+    auto child = it->second.children.find(labels);
+    return child == it->second.children.end() ? 0.0 : child->second;
+}
+
+std::string
+Metrics::render() const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    std::ostringstream os;
+    for (const auto &kv : families) {
+        const std::string &name = kv.first;
+        const Family &f = kv.second;
+        if (!f.help.empty())
+            os << "# HELP " << name << ' ' << f.help << '\n';
+        os << "# TYPE " << name << ' '
+           << (f.kind == Kind::Counter
+                   ? "counter"
+                   : f.kind == Kind::Gauge ? "gauge" : "histogram")
+           << '\n';
+
+        if (f.kind == Kind::Histogram) {
+            const HistogramData &h = f.histogram;
+            std::uint64_t cumulative = 0;
+            for (std::size_t i = 0; i < h.bounds.size(); i++) {
+                cumulative += h.counts[i];
+                os << name << "_bucket{le=\"";
+                writeValue(os, h.bounds[i]);
+                os << "\"} " << cumulative << '\n';
+            }
+            os << name << "_bucket{le=\"+Inf\"} " << h.total << '\n';
+            os << name << "_sum ";
+            writeValue(os, h.sum);
+            os << '\n' << name << "_count " << h.total << '\n';
+            continue;
+        }
+
+        if (f.children.empty()) {
+            // A declared-but-never-incremented counter still scrapes as
+            // an explicit zero, so dashboards see the series exists.
+            os << name << " 0\n";
+            continue;
+        }
+        for (const auto &child : f.children) {
+            os << name;
+            if (!child.first.empty())
+                os << '{' << child.first << '}';
+            os << ' ';
+            writeValue(os, child.second);
+            os << '\n';
+        }
+    }
+    return os.str();
+}
+
+} // namespace dynaspam::serve

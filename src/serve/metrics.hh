@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Prometheus-text-format metrics registry for the serve daemon.
+ *
+ * Implements the three metric kinds `GET /metrics` exposes — counters
+ * (optionally labeled), gauges, and fixed-bucket histograms — and
+ * renders them in the Prometheus text exposition format (version
+ * 0.0.4): `# HELP` / `# TYPE` preambles, `name{labels} value` samples,
+ * and the `_bucket`/`_sum`/`_count` triple with cumulative `le` buckets
+ * for histograms.
+ *
+ * The registry is a single mutex-guarded map — scrape traffic and
+ * request accounting are orders of magnitude cheaper than a simulation
+ * job, so there is nothing to shard. Rendering is deterministic
+ * (families and label sets are emitted in sorted order), which lets
+ * tests string-match scrapes.
+ *
+ * Label strings are passed pre-formatted (`endpoint="/run",status="200"`)
+ * by trusted call sites; the registry does not escape them.
+ */
+
+#ifndef DYNASPAM_SERVE_METRICS_HH
+#define DYNASPAM_SERVE_METRICS_HH
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace dynaspam::serve
+{
+
+/** Mutex-guarded metric store with Prometheus text rendering. */
+class Metrics
+{
+  public:
+    /** Declare a counter family (emitted even while zero). */
+    void declareCounter(const std::string &name, const std::string &help);
+    /** Declare a gauge. */
+    void declareGauge(const std::string &name, const std::string &help);
+    /**
+     * Declare a histogram with the given upper bucket bounds
+     * (ascending; an implicit +Inf bucket is appended).
+     */
+    void declareHistogram(const std::string &name, const std::string &help,
+                          std::vector<double> bounds);
+
+    /** Add @p delta to the (unlabeled) counter @p name. */
+    void inc(const std::string &name, double delta = 1);
+    /** Add @p delta to the counter child with pre-formatted @p labels. */
+    void inc(const std::string &name, const std::string &labels,
+             double delta = 1);
+    /** Set gauge @p name to @p value. */
+    void set(const std::string &name, double value);
+    /** Record one observation in histogram @p name. */
+    void observe(const std::string &name, double value);
+
+    /** @return current value of a counter/gauge child (0 if absent);
+     *  for tests and derived-metric computation. */
+    double value(const std::string &name,
+                 const std::string &labels = "") const;
+
+    /** Render the full registry in Prometheus text format. */
+    std::string render() const;
+
+  private:
+    enum class Kind { Counter, Gauge, Histogram };
+
+    struct HistogramData
+    {
+        std::vector<double> bounds;          ///< ascending upper bounds
+        std::vector<std::uint64_t> counts;   ///< per-bound (non-cumulative)
+        std::uint64_t infCount = 0;
+        std::uint64_t total = 0;
+        double sum = 0.0;
+    };
+
+    struct Family
+    {
+        Kind kind = Kind::Counter;
+        std::string help;
+        /** label string -> value (counters/gauges; "" = unlabeled). */
+        std::map<std::string, double> children;
+        HistogramData histogram;             ///< used when kind==Histogram
+    };
+
+    Family &family(const std::string &name, Kind kind);
+
+    mutable std::mutex mutex;
+    std::map<std::string, Family> families;
+};
+
+} // namespace dynaspam::serve
+
+#endif // DYNASPAM_SERVE_METRICS_HH

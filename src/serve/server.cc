@@ -1,0 +1,825 @@
+#include "serve/server.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/logging.hh"
+#include "common/stats.hh"
+#include "workloads/workload.hh"
+
+namespace dynaspam::serve
+{
+
+namespace
+{
+
+/** Done entries retained in the job table for GET /results. */
+constexpr std::size_t kDoneRetain = 1024;
+
+/** SO_RCVTIMEO on accepted connections: a stalled client gets 408. */
+constexpr unsigned kSocketTimeoutSec = 5;
+
+/** Cache GC every this many stores when a size budget is configured. */
+constexpr std::uint64_t kGcStoreInterval = 32;
+
+/**
+ * Self-pipe write end for the SIGTERM/SIGINT drain handler. A plain
+ * write(2) is async-signal-safe; everything else happens on ordinary
+ * threads once the accept loop wakes.
+ */
+std::atomic<int> gDrainWakeFd{-1};
+
+extern "C" void
+drainSignalHandler(int)
+{
+    int fd = gDrainWakeFd.load(std::memory_order_relaxed);
+    if (fd >= 0) {
+        char byte = 1;
+        [[maybe_unused]] ssize_t n = ::write(fd, &byte, 1);
+    }
+}
+
+/** Map a request target to its metrics label ("/results/ab12" folds). */
+std::string
+endpointLabel(const std::string &target)
+{
+    if (target == "/run" || target == "/sweep" || target == "/healthz" ||
+        target == "/metrics")
+        return target;
+    if (target.rfind("/results/", 0) == 0 || target == "/results")
+        return "/results";
+    return "other";
+}
+
+/** Pre-formatted Prometheus label set for the request counter. */
+std::string
+requestLabels(const std::string &endpoint, int status)
+{
+    std::ostringstream os;
+    os << "endpoint=\"" << endpoint << "\",status=\"" << status << "\"";
+    return os.str();
+}
+
+bool
+isHexHash(const std::string &s)
+{
+    if (s.size() != 16)
+        return false;
+    return std::all_of(s.begin(), s.end(), [](char c) {
+        return (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f');
+    });
+}
+
+/** @return v.at(key).asUint(), range-checked into [1, max]. */
+unsigned
+specUint(const json::Value &v, const std::string &key, unsigned fallback,
+         unsigned max)
+{
+    const json::Value *field = v.find(key);
+    if (!field)
+        return fallback;
+    std::uint64_t raw = field->asUint();
+    if (raw < 1 || raw > max)
+        fatal("job spec field \"", key, "\" out of range [1, ", max,
+              "]: ", raw);
+    return unsigned(raw);
+}
+
+} // namespace
+
+Server::Server(ServerOptions options_)
+    : options(std::move(options_)),
+      cache(options.cacheDir),
+      pool(std::make_unique<runner::ThreadPool>(
+          options.jobs ? options.jobs
+                       : runner::ThreadPool::defaultWorkers()))
+{
+    if (!options.executeFn)
+        options.executeFn = [](const runner::Job &job) {
+            return runner::execute(job);
+        };
+
+    metrics_.declareCounter("dynaspam_http_requests_total",
+                            "HTTP requests by endpoint and status code.");
+    metrics_.declareCounter("dynaspam_http_connections_total",
+                            "Accepted TCP connections.");
+    metrics_.declareGauge("dynaspam_queue_depth",
+                          "Jobs admitted but not yet running.");
+    metrics_.declareGauge("dynaspam_jobs_inflight",
+                          "Jobs currently simulating.");
+    metrics_.declareCounter("dynaspam_jobs_executed_total",
+                            "Simulations completed by this process.");
+    metrics_.declareCounter("dynaspam_jobs_cancelled_total",
+                            "Queued jobs cancelled by request timeout.");
+    metrics_.declareCounter("dynaspam_cache_hits_total",
+                            "Result-cache hits.");
+    metrics_.declareCounter("dynaspam_cache_misses_total",
+                            "Result-cache misses.");
+    metrics_.declareGauge("dynaspam_cache_hit_ratio",
+                          "Lifetime cache hits / lookups (0 when none).");
+    metrics_.declareHistogram(
+        "dynaspam_sim_kips",
+        "Simulation speed per executed job, in kilo-instructions "
+        "committed per wall-clock second.",
+        {250, 500, 1000, 2000, 4000, 8000, 16000, 32000});
+}
+
+Server::~Server()
+{
+    if (started && !drained) {
+        beginDrain();
+        waitUntilDrained();
+    }
+    if (listenFd >= 0)
+        ::close(listenFd);
+    for (int fd : wakePipe)
+        if (fd >= 0)
+            ::close(fd);
+}
+
+void
+Server::start()
+{
+    if (started)
+        panic("Server::start called twice");
+
+    if (::pipe(wakePipe) != 0)
+        fatal("serve: pipe: ", std::strerror(errno));
+
+    listenFd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listenFd < 0)
+        fatal("serve: socket: ", std::strerror(errno));
+
+    int one = 1;
+    ::setsockopt(listenFd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(std::uint16_t(options.port));
+    if (::inet_pton(AF_INET, options.bindAddress.c_str(),
+                    &addr.sin_addr) != 1)
+        fatal("serve: bad bind address \"", options.bindAddress, "\"");
+
+    if (::bind(listenFd, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0)
+        fatal("serve: bind ", options.bindAddress, ":", options.port,
+              ": ", std::strerror(errno));
+    if (::listen(listenFd, 128) != 0)
+        fatal("serve: listen: ", std::strerror(errno));
+
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(listenFd, reinterpret_cast<sockaddr *>(&bound),
+                      &len) != 0)
+        fatal("serve: getsockname: ", std::strerror(errno));
+    boundPort = ntohs(bound.sin_port);
+
+    started = true;
+    acceptThread = std::thread([this] { acceptLoop(); });
+}
+
+void
+Server::beginDrain()
+{
+    if (wakePipe[1] >= 0) {
+        char byte = 1;
+        [[maybe_unused]] ssize_t n = ::write(wakePipe[1], &byte, 1);
+    }
+}
+
+void
+Server::waitUntilDrained()
+{
+    if (!started || drained)
+        return;
+
+    if (acceptThread.joinable())
+        acceptThread.join();
+
+    // Close the listen socket now (not in the destructor): with it open
+    // the kernel would keep completing handshakes into the backlog that
+    // no one will ever serve.
+    if (listenFd >= 0) {
+        ::close(listenFd);
+        listenFd = -1;
+    }
+
+    // Every connection thread either finishes its response or times out
+    // on its request deadline; either way the count reaches zero.
+    {
+        std::unique_lock<std::mutex> lock(connMutex);
+        connIdle.wait(lock, [this] { return activeConnections == 0; });
+    }
+
+    // Destroying the pool drains every still-queued job (results land
+    // in the cache for the next process), then joins the workers.
+    pool.reset();
+
+    if (cache.enabled()) {
+        runner::CacheGcStats gcStats = cache.gc(options.cacheMaxBytes);
+        if (options.verbose && (gcStats.staleEvicted || gcStats.lruEvicted))
+            inform("serve: final cache gc evicted ",
+                   gcStats.staleEvicted + gcStats.lruEvicted, " entries");
+    }
+    drained = true;
+}
+
+int
+Server::serveForever()
+{
+    start();
+
+    gDrainWakeFd.store(wakePipe[1], std::memory_order_relaxed);
+    struct sigaction sa{};
+    sa.sa_handler = drainSignalHandler;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = SA_RESTART;
+    ::sigaction(SIGTERM, &sa, nullptr);
+    ::sigaction(SIGINT, &sa, nullptr);
+
+    if (options.verbose)
+        inform("serve: listening on ", options.bindAddress, ":", port(),
+               " (", pool->workers(), " workers, queue capacity ",
+               options.queueCapacity, ")");
+
+    waitUntilDrained();
+    gDrainWakeFd.store(-1, std::memory_order_relaxed);
+
+    if (options.verbose)
+        inform("serve: drained, exiting");
+    return 0;
+}
+
+void
+Server::acceptLoop()
+{
+    while (true) {
+        pollfd fds[2] = {{listenFd, POLLIN, 0}, {wakePipe[0], POLLIN, 0}};
+        int ready = ::poll(fds, 2, -1);
+        if (ready < 0) {
+            if (errno == EINTR)
+                continue;
+            warn("serve: poll: ", std::strerror(errno));
+            return;
+        }
+        if (fds[1].revents)
+            return;    // drain requested
+        if (!(fds[0].revents & POLLIN))
+            continue;
+
+        int fd = ::accept(listenFd, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR || errno == ECONNABORTED)
+                continue;
+            warn("serve: accept: ", std::strerror(errno));
+            return;
+        }
+
+        timeval tv{};
+        tv.tv_sec = kSocketTimeoutSec;
+        ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+
+        metrics_.inc("dynaspam_http_connections_total");
+        {
+            std::lock_guard<std::mutex> lock(connMutex);
+            activeConnections++;
+        }
+        std::thread([this, fd] {
+            handleConnection(fd);
+            std::lock_guard<std::mutex> lock(connMutex);
+            if (--activeConnections == 0)
+                connIdle.notify_all();
+        }).detach();
+    }
+}
+
+void
+Server::handleConnection(int fd)
+{
+    HttpRequest req;
+    HttpReadOutcome outcome =
+        readHttpRequest(fd, options.maxRequestBytes, req);
+
+    HttpResponse resp;
+    std::string endpoint = "unparsed";
+    switch (outcome) {
+      case HttpReadOutcome::Closed:
+        ::close(fd);
+        return;
+      case HttpReadOutcome::Malformed:
+        resp = errorResponse(400, "malformed HTTP request");
+        break;
+      case HttpReadOutcome::TooLarge:
+        resp = errorResponse(413, "request exceeds size limit");
+        break;
+      case HttpReadOutcome::Timeout:
+        resp = errorResponse(408, "timed out reading request");
+        break;
+      case HttpReadOutcome::Ok:
+        resp = route(req, endpoint);
+        break;
+    }
+
+    metrics_.inc("dynaspam_http_requests_total",
+                 requestLabels(endpoint, resp.status));
+    writeHttpResponse(fd, resp);
+    ::close(fd);
+}
+
+HttpResponse
+Server::route(const HttpRequest &req, std::string &endpoint)
+{
+    endpoint = endpointLabel(req.target);
+
+    if (req.target == "/healthz")
+        return req.method == "GET" ? handleHealthz()
+                                   : errorResponse(405, "use GET");
+    if (req.target == "/metrics")
+        return req.method == "GET" ? handleMetrics()
+                                   : errorResponse(405, "use GET");
+    if (req.target == "/run")
+        return req.method == "POST" ? handleRun(req)
+                                    : errorResponse(405, "use POST");
+    if (req.target == "/sweep")
+        return req.method == "POST" ? handleSweep(req)
+                                    : errorResponse(405, "use POST");
+    if (req.target.rfind("/results/", 0) == 0)
+        return req.method == "GET" ? handleResults(req.target)
+                                   : errorResponse(405, "use GET");
+    return errorResponse(404, "unknown endpoint");
+}
+
+HttpResponse
+Server::handleHealthz()
+{
+    HttpResponse resp;
+    resp.body = json::Value(json::Object{{"status", "ok"}}).dump(2);
+    resp.body += '\n';
+    return resp;
+}
+
+HttpResponse
+Server::handleMetrics()
+{
+    // Derived gauge: refresh from the raw counters at scrape time. The
+    // scrape's own request is counted after routing, so a scrape never
+    // includes itself.
+    double hits = metrics_.value("dynaspam_cache_hits_total");
+    double misses = metrics_.value("dynaspam_cache_misses_total");
+    double lookups = hits + misses;
+    metrics_.set("dynaspam_cache_hit_ratio",
+                 lookups > 0 ? hits / lookups : 0.0);
+
+    HttpResponse resp;
+    resp.contentType = "text/plain; version=0.0.4; charset=utf-8";
+    resp.body = metrics_.render();
+    return resp;
+}
+
+runner::Job
+Server::jobFromRequestJson(const json::Value &value) const
+{
+    if (!value.isObject())
+        fatal("job spec must be a JSON object");
+    static const char *known[] = {"workload", "mode", "trace_length",
+                                  "num_fabrics", "scale"};
+    for (const auto &kv : value.asObject()) {
+        bool ok = std::any_of(std::begin(known), std::end(known),
+                              [&](const char *k) { return kv.first == k; });
+        if (!ok)
+            fatal("unknown job spec field \"", kv.first, "\"");
+    }
+
+    runner::Job job;
+    const json::Value *workload = value.find("workload");
+    if (!workload)
+        fatal("job spec is missing \"workload\"");
+    job.workload = workloads::canonicalWorkloadName(workload->asString());
+    const auto &names = workloads::allWorkloadNames();
+    if (std::find(names.begin(), names.end(), job.workload) == names.end())
+        fatal("unknown workload \"", workload->asString(), "\"");
+
+    if (const json::Value *mode = value.find("mode"))
+        job.mode = runner::parseMode(mode->asString());
+    else
+        job.mode = sim::SystemMode::AccelSpec;
+    job.traceLength = specUint(value, "trace_length", 32, 4096);
+    job.numFabrics = specUint(value, "num_fabrics", 1, 64);
+    job.scale = specUint(value, "scale", 1, 64);
+    return job;
+}
+
+HttpResponse
+Server::handleRun(const HttpRequest &req)
+{
+    runner::Job job;
+    try {
+        job = jobFromRequestJson(json::Value::parse(req.body));
+    } catch (const FatalError &err) {
+        return errorResponse(400, err.what());
+    }
+
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(options.requestTimeoutMs);
+    Acquired acq = acquireJobs({job}, deadline);
+    if (acq.status != 200)
+        return errorResponse(acq.status, acq.error);
+
+    HttpResponse resp;
+    resp.body = runReport(acq.outcomes.front());
+    return resp;
+}
+
+HttpResponse
+Server::handleSweep(const HttpRequest &req)
+{
+    std::vector<runner::Job> jobs;
+    std::string name;
+    try {
+        json::Value body = json::Value::parse(req.body);
+        if (!body.isObject())
+            fatal("sweep request must be a JSON object");
+
+        if (const json::Value *list = body.find("jobs")) {
+            for (const auto &kv : body.asObject())
+                if (kv.first != "jobs")
+                    fatal("unknown sweep request field \"", kv.first,
+                          "\" (explicit \"jobs\" lists take no other "
+                          "fields)");
+            name = "custom";
+            for (const json::Value &spec : list->asArray())
+                jobs.push_back(jobFromRequestJson(spec));
+            if (jobs.empty())
+                fatal("\"jobs\" list is empty");
+        } else {
+            static const char *known[] = {"sweep", "workloads", "scale",
+                                          "trace_length"};
+            for (const auto &kv : body.asObject()) {
+                bool ok = std::any_of(
+                    std::begin(known), std::end(known),
+                    [&](const char *k) { return kv.first == k; });
+                if (!ok)
+                    fatal("unknown sweep request field \"", kv.first, "\"");
+            }
+            const json::Value *sweep = body.find("sweep");
+            if (!sweep)
+                fatal("sweep request needs \"sweep\" or \"jobs\"");
+            name = sweep->asString();
+
+            std::vector<std::string> workloadNames;
+            if (const json::Value *wl = body.find("workloads")) {
+                for (const json::Value &w : wl->asArray()) {
+                    std::string canon =
+                        workloads::canonicalWorkloadName(w.asString());
+                    const auto &names = workloads::allWorkloadNames();
+                    if (std::find(names.begin(), names.end(), canon) ==
+                        names.end())
+                        fatal("unknown workload \"", w.asString(), "\"");
+                    workloadNames.push_back(canon);
+                }
+                if (workloadNames.empty())
+                    fatal("\"workloads\" list is empty");
+            } else {
+                workloadNames = workloads::allWorkloadNames();
+            }
+            unsigned scale = specUint(body, "scale", 1, 64);
+            unsigned traceLength = specUint(body, "trace_length", 32, 4096);
+            jobs = runner::sweepJobs(name, workloadNames, scale,
+                                     traceLength);
+        }
+    } catch (const FatalError &err) {
+        return errorResponse(400, err.what());
+    }
+
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(options.requestTimeoutMs);
+    Acquired acq = acquireJobs(jobs, deadline);
+    if (acq.status != 200)
+        return errorResponse(acq.status, acq.error);
+
+    HttpResponse resp;
+    resp.body = sweepReport(name, acq.outcomes);
+    return resp;
+}
+
+HttpResponse
+Server::handleResults(const std::string &target)
+{
+    const std::string hash = target.substr(std::strlen("/results/"));
+    if (!isHexHash(hash))
+        return errorResponse(404, "not a job hash (16 lowercase hex "
+                                  "characters)");
+
+    // The in-memory table first: it has results the disk cache may not
+    // (cache disabled, or the entry already LRU-evicted).
+    {
+        std::lock_guard<std::mutex> lock(tableMutex);
+        auto it = entries.find(hash);
+        if (it != entries.end()) {
+            const JobEntry &entry = *it->second;
+            if (entry.state == JobEntry::State::Done && !entry.failed) {
+                HttpResponse resp;
+                resp.body = runReport(
+                    runner::JobOutcome{entry.job, entry.result, false});
+                return resp;
+            }
+            if (entry.state == JobEntry::State::Queued ||
+                entry.state == JobEntry::State::Running) {
+                HttpResponse resp;
+                resp.status = 202;
+                resp.body =
+                    json::Value(json::Object{{"status", "pending"},
+                                             {"hash", hash}})
+                        .dump(2);
+                resp.body += '\n';
+                return resp;
+            }
+        }
+    }
+
+    if (auto cached = cache.loadByHash(hash)) {
+        HttpResponse resp;
+        resp.body = runReport(runner::JobOutcome{
+            cached->first, std::move(cached->second), true});
+        return resp;
+    }
+    return errorResponse(404, "no result for hash " + hash);
+}
+
+Server::Acquired
+Server::acquireJobs(const std::vector<runner::Job> &jobs,
+                    std::chrono::steady_clock::time_point deadline)
+{
+    Acquired acq;
+    acq.outcomes.resize(jobs.size());
+
+    // Phase 1: probe the disk cache outside the table lock. Probing
+    // before the in-memory table keeps the from_cache flag (and so the
+    // report bytes) identical to what the CLI would produce.
+    struct Pending
+    {
+        std::size_t index;
+        std::shared_ptr<JobEntry> entry;
+    };
+    std::vector<std::size_t> missing;
+    for (std::size_t i = 0; i < jobs.size(); i++) {
+        if (cache.enabled()) {
+            if (auto cached = cache.load(jobs[i])) {
+                acq.outcomes[i] =
+                    runner::JobOutcome{jobs[i], std::move(*cached), true};
+                metrics_.inc("dynaspam_cache_hits_total");
+                continue;
+            }
+            metrics_.inc("dynaspam_cache_misses_total");
+        }
+        missing.push_back(i);
+    }
+
+    // Phase 2: one pass under the table lock — attach to in-flight or
+    // retained entries, admission-check the rest as a batch, then
+    // create and submit them.
+    std::vector<Pending> waits;
+    {
+        std::lock_guard<std::mutex> lock(tableMutex);
+
+        std::vector<std::size_t> fresh;
+        std::size_t newDistinct = 0;
+        std::map<std::string, std::shared_ptr<JobEntry>> creating;
+        for (std::size_t i : missing) {
+            const std::string hash = jobs[i].hashHex();
+            auto it = entries.find(hash);
+            if (it != entries.end() &&
+                it->second->state != JobEntry::State::Cancelled) {
+                JobEntry &entry = *it->second;
+                if (entry.state == JobEntry::State::Done) {
+                    if (entry.failed) {
+                        acq.status = 500;
+                        acq.error = entry.error;
+                    } else {
+                        acq.outcomes[i] = runner::JobOutcome{
+                            entry.job, entry.result, false};
+                    }
+                    continue;
+                }
+                entry.waiters++;
+                waits.push_back(Pending{i, it->second});
+                continue;
+            }
+            if (!creating.count(hash))
+                newDistinct++;
+            fresh.push_back(i);
+            creating.emplace(hash, nullptr);
+        }
+        if (acq.status != 200) {
+            for (Pending &p : waits)
+                p.entry->waiters--;
+            return acq;
+        }
+
+        if (queuedCount + newDistinct > options.queueCapacity) {
+            for (Pending &p : waits)
+                p.entry->waiters--;
+            acq.status = 429;
+            std::ostringstream os;
+            os << "admission queue full (" << queuedCount << " queued, "
+               << newDistinct << " requested, capacity "
+               << options.queueCapacity << ")";
+            acq.error = os.str();
+            return acq;
+        }
+
+        for (std::size_t i : fresh) {
+            const std::string hash = jobs[i].hashHex();
+            std::shared_ptr<JobEntry> &slot = creating[hash];
+            if (!slot) {
+                slot = std::make_shared<JobEntry>();
+                slot->job = jobs[i];
+                entries[hash] = slot;    // replaces any Cancelled entry
+                queuedCount++;
+                submitEntry(slot);
+            }
+            slot->waiters++;
+            waits.push_back(Pending{i, slot});
+        }
+        updateQueueGauges();
+    }
+
+    // Phase 3: wait for every attached entry, sharing one deadline.
+    std::size_t waited = 0;
+    for (; waited < waits.size(); waited++) {
+        Pending &p = waits[waited];
+        std::unique_lock<std::mutex> lock(tableMutex);
+        JobEntry &entry = *p.entry;
+        bool done = entry.cv.wait_until(lock, deadline, [&entry] {
+            return entry.state == JobEntry::State::Done;
+        });
+        entry.waiters--;
+        if (done) {
+            if (entry.failed) {
+                acq.status = 500;
+                acq.error = entry.error;
+                break;
+            }
+            acq.outcomes[p.index] =
+                runner::JobOutcome{entry.job, entry.result, false};
+            continue;
+        }
+        // Deadline passed. A job nobody else is waiting for and that has
+        // not started yet is cancelled outright; a running (or shared)
+        // job keeps going — its result still lands in the table and
+        // cache, retrievable later via GET /results/<hash>.
+        if (entry.state == JobEntry::State::Queued && entry.waiters == 0) {
+            entry.state = JobEntry::State::Cancelled;
+            queuedCount--;
+            entries.erase(p.entry->job.hashHex());
+            metrics_.inc("dynaspam_jobs_cancelled_total");
+            updateQueueGauges();
+        }
+        acq.status = 503;
+        acq.error = "request deadline exceeded before the job finished";
+        break;
+    }
+    if (acq.status != 200 && waited < waits.size()) {
+        // Detach from the entries the aborted loop never waited on;
+        // their jobs still run to completion for future requests.
+        std::lock_guard<std::mutex> lock(tableMutex);
+        for (std::size_t k = waited + 1; k < waits.size(); k++)
+            waits[k].entry->waiters--;
+    }
+    return acq;
+}
+
+void
+Server::submitEntry(const std::shared_ptr<JobEntry> &entry)
+{
+    pool->submit([this, entry] {
+        {
+            std::lock_guard<std::mutex> lock(tableMutex);
+            if (entry->state != JobEntry::State::Queued)
+                return;    // cancelled while waiting in the pool queue
+            entry->state = JobEntry::State::Running;
+            queuedCount--;
+            runningCount++;
+            updateQueueGauges();
+        }
+
+        sim::RunResult result;
+        bool failed = false;
+        std::string error;
+        auto begin = std::chrono::steady_clock::now();
+        try {
+            result = options.executeFn(entry->job);
+        } catch (const std::exception &err) {
+            failed = true;
+            error = err.what();
+        }
+        double seconds = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - begin)
+                             .count();
+
+        if (!failed) {
+            if (cache.enabled()) {
+                cache.store(entry->job, result);
+                maybeGcCache();
+            }
+            if (seconds > 0)
+                metrics_.observe("dynaspam_sim_kips",
+                                 double(result.instsTotal) / 1000.0 /
+                                     seconds);
+        }
+
+        std::lock_guard<std::mutex> lock(tableMutex);
+        entry->result = std::move(result);
+        entry->failed = failed;
+        entry->error = std::move(error);
+        entry->state = JobEntry::State::Done;
+        runningCount--;
+        metrics_.inc("dynaspam_jobs_executed_total");
+        retainDone(entry->job.hashHex());
+        updateQueueGauges();
+        entry->cv.notify_all();
+    });
+}
+
+void
+Server::retainDone(const std::string &hash)
+{
+    doneOrder.push_back(hash);
+    while (doneOrder.size() > kDoneRetain) {
+        const std::string victim = doneOrder.front();
+        doneOrder.pop_front();
+        auto it = entries.find(victim);
+        if (it != entries.end() &&
+            it->second->state == JobEntry::State::Done &&
+            it->second->waiters == 0)
+            entries.erase(it);
+    }
+}
+
+void
+Server::updateQueueGauges()
+{
+    metrics_.set("dynaspam_queue_depth", double(queuedCount));
+    metrics_.set("dynaspam_jobs_inflight", double(runningCount));
+}
+
+void
+Server::maybeGcCache()
+{
+    if (!options.cacheMaxBytes)
+        return;
+    if (++storesSinceGc % kGcStoreInterval == 0)
+        cache.gc(options.cacheMaxBytes);
+}
+
+std::string
+Server::runReport(const runner::JobOutcome &outcome) const
+{
+    return sweepReport("run", {outcome});
+}
+
+std::string
+Server::sweepReport(const std::string &name,
+                    const std::vector<runner::JobOutcome> &outcomes) const
+{
+    // Rebuild the per-request registry the CLI's Runner would have
+    // produced for exactly this job list, so the report bytes match the
+    // CLI's for the same cache state.
+    StatRegistry registry;
+    std::uint64_t hits = 0;
+    for (const runner::JobOutcome &outcome : outcomes)
+        if (outcome.fromCache)
+            hits++;
+    registry.counter("runner.jobs_total").inc(outcomes.size());
+    registry.counter("runner.cache_hits").inc(hits);
+    registry.counter("runner.cache_misses").inc(outcomes.size() - hits);
+    registry.counter("runner.jobs_executed").inc(outcomes.size() - hits);
+
+    std::ostringstream os;
+    runner::writeSweepReport(os, name, outcomes, &registry);
+    return os.str();
+}
+
+HttpResponse
+Server::errorResponse(int status, const std::string &message)
+{
+    HttpResponse resp;
+    resp.status = status;
+    resp.body = json::Value(json::Object{{"error", message}}).dump(2);
+    resp.body += '\n';
+    if (status == 429)
+        resp.extraHeaders.emplace_back("Retry-After", "2");
+    return resp;
+}
+
+} // namespace dynaspam::serve

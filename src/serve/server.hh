@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Simulation-as-a-service: a long-lived HTTP/JSON daemon on top of the
+ * runner subsystem.
+ *
+ * The server turns the PR-1 runner/ResultCache into a multi-client
+ * service: clients POST job specs, the server deduplicates them through
+ * the same FNV-1a content hash the on-disk cache uses, simulates misses
+ * on the shared runner::ThreadPool, and answers every request with the
+ * exact JSON report the `dynaspam run`/`sweep` CLI would have written —
+ * byte for byte, because both sides serialize through the same
+ * deterministic report layer.
+ *
+ * Endpoints:
+ *   POST /run             one job spec -> single-job report
+ *   POST /sweep           {"sweep": "fig8", ...} or {"jobs": [...]}
+ *   GET  /results/<hash>  report for a previously computed job
+ *   GET  /healthz         liveness probe
+ *   GET  /metrics         Prometheus text format
+ *
+ * Production behaviors, by design rather than garnish:
+ *  - Bounded admission: at most ServerOptions::queueCapacity jobs may
+ *    be queued (not yet running). Requests that would exceed it get
+ *    429 + Retry-After instead of unbounded buffering.
+ *  - Single-flight: concurrent requests for the same job hash share
+ *    one simulation and all receive identical bytes.
+ *  - Per-request wall-clock timeouts: a request whose job is still
+ *    *queued* at its deadline cancels the job and gets 503; a job
+ *    already running completes detached (its result still lands in
+ *    the table and the cache, retrievable via GET /results/<hash>).
+ *  - Request-size limits and strict JSON validation (400 with the
+ *    parser's line/column on malformed bodies, 413 on oversize).
+ *  - Graceful drain on SIGTERM/SIGINT via a self-pipe: stop accepting,
+ *    finish in-flight requests and queued jobs, flush/GC the cache,
+ *    exit 0.
+ *
+ * Threading model: one accept thread; one detached thread per
+ * connection (HTTP parse + cache probe + wait), simulations on the
+ * ThreadPool (`--jobs`). Connections are counted so drain can wait for
+ * the active set to reach zero; one request per connection keeps
+ * "in-flight" well-defined.
+ */
+
+#ifndef DYNASPAM_SERVE_SERVER_HH
+#define DYNASPAM_SERVE_SERVER_HH
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runner/job.hh"
+#include "runner/report.hh"
+#include "runner/result_cache.hh"
+#include "runner/thread_pool.hh"
+#include "serve/http.hh"
+#include "serve/metrics.hh"
+
+namespace dynaspam::serve
+{
+
+/** Configuration for one Server instance. */
+struct ServerOptions
+{
+    std::string bindAddress = "127.0.0.1";
+    /** TCP port; 0 binds an ephemeral port (query with port()). */
+    unsigned port = 8080;
+    /** Simulation worker threads; 0 = ThreadPool::defaultWorkers(). */
+    unsigned jobs = 0;
+    /** Max jobs queued (admitted, not yet running) before 429. */
+    std::size_t queueCapacity = 64;
+    /** Per-request wall-clock budget before a 503. */
+    std::uint64_t requestTimeoutMs = 120000;
+    /** Hard cap on request size (line + headers + body). */
+    std::size_t maxRequestBytes = 1 << 20;
+    /** Result-cache directory; empty disables the disk cache. */
+    std::string cacheDir;
+    /** LRU size budget for the cache directory; 0 = unbounded. */
+    std::uint64_t cacheMaxBytes = 0;
+    /** Log a line per lifecycle event (suppressed in tests). */
+    bool verbose = true;
+    /**
+     * Simulation function; defaults to runner::execute. A test seam:
+     * injecting a gated fake makes queue-full and drain behavior
+     * deterministic without multi-second simulations.
+     */
+    std::function<sim::RunResult(const runner::Job &)> executeFn;
+};
+
+/** The HTTP simulation service. */
+class Server
+{
+  public:
+    explicit Server(ServerOptions options);
+
+    /** Drains (beginDrain + waitUntilDrained) if still running. */
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /**
+     * Bind, listen and spawn the accept thread.
+     * @throws FatalError when the socket cannot be bound
+     */
+    void start();
+
+    /** @return the actually bound port (resolves port 0). */
+    unsigned port() const { return boundPort; }
+
+    /**
+     * Stop accepting new connections. Idempotent, callable from any
+     * thread (it only writes the wake pipe, which is also what the
+     * SIGTERM/SIGINT handler does).
+     */
+    void beginDrain();
+
+    /**
+     * Block until drain completes: accept thread joined, every active
+     * connection finished, all admitted jobs executed, cache GC'd.
+     */
+    void waitUntilDrained();
+
+    /**
+     * start(), install SIGTERM/SIGINT drain handlers, and block until
+     * a signal (or beginDrain) completes the drain. @return 0 — the
+     * process exit code for a graceful shutdown.
+     */
+    int serveForever();
+
+    Metrics &metrics() { return metrics_; }
+
+    /** Handle one already-accepted connection; exposed for tests. */
+    void handleConnection(int fd);
+
+  private:
+    /**
+     * Tracking record for one admitted job. Guarded by tableMutex;
+     * waiters sleep on cv (also tied to tableMutex).
+     */
+    struct JobEntry
+    {
+        enum class State { Queued, Running, Done, Cancelled };
+        State state = State::Queued;
+        runner::Job job;
+        sim::RunResult result;      ///< valid when Done && !failed
+        bool failed = false;
+        std::string error;
+        std::size_t waiters = 0;
+        std::condition_variable cv;
+    };
+
+    /** Outcome of resolving a batch of jobs (cache/table/queue). */
+    struct Acquired
+    {
+        int status = 200;           ///< 200, 429, 500 or 503
+        std::string error;
+        std::vector<runner::JobOutcome> outcomes;
+    };
+
+    void acceptLoop();
+    HttpResponse route(const HttpRequest &req, std::string &endpoint);
+    HttpResponse handleRun(const HttpRequest &req);
+    HttpResponse handleSweep(const HttpRequest &req);
+    HttpResponse handleResults(const std::string &target);
+    HttpResponse handleHealthz();
+    HttpResponse handleMetrics();
+
+    /** Parse + strictly validate one job-spec JSON object.
+     *  @throws FatalError with a descriptive message -> 400 */
+    runner::Job jobFromRequestJson(const json::Value &value) const;
+
+    Acquired acquireJobs(const std::vector<runner::Job> &jobs,
+                         std::chrono::steady_clock::time_point deadline);
+    void submitEntry(const std::shared_ptr<JobEntry> &entry);
+    void retainDone(const std::string &hash);
+    void updateQueueGauges();
+    void maybeGcCache();
+
+    /** Single-job report bytes, byte-identical to the CLI's. */
+    std::string runReport(const runner::JobOutcome &outcome) const;
+    std::string sweepReport(const std::string &name,
+                            const std::vector<runner::JobOutcome> &out)
+        const;
+
+    static HttpResponse errorResponse(int status,
+                                      const std::string &message);
+
+    ServerOptions options;
+    runner::ResultCache cache;
+    std::unique_ptr<runner::ThreadPool> pool;
+    Metrics metrics_;
+
+    int listenFd = -1;
+    int wakePipe[2] = {-1, -1};
+    unsigned boundPort = 0;
+    std::thread acceptThread;
+    bool started = false;
+    bool drained = false;
+
+    // Connection accounting for drain.
+    std::mutex connMutex;
+    std::condition_variable connIdle;
+    std::size_t activeConnections = 0;
+
+    // Single-flight job table. Done entries are retained (bounded FIFO)
+    // as an in-memory result store for GET /results and dedup.
+    std::mutex tableMutex;
+    std::map<std::string, std::shared_ptr<JobEntry>> entries;
+    std::deque<std::string> doneOrder;
+    std::size_t queuedCount = 0;
+    std::size_t runningCount = 0;
+
+    std::atomic<std::uint64_t> storesSinceGc{0};
+};
+
+} // namespace dynaspam::serve
+
+#endif // DYNASPAM_SERVE_SERVER_HH

@@ -10,15 +10,20 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
+#include <csignal>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <limits>
 #include <sstream>
+#include <thread>
 
+#include <sys/wait.h>
 #include <unistd.h>
 
+#include "common/interrupt.hh"
 #include "common/json.hh"
 #include "common/logging.hh"
 #include "common/stats.hh"
@@ -418,4 +423,241 @@ TEST(ResultCache, NonFiniteStatsSurviveTheRoundTrip)
     EXPECT_EQ(loaded->stats.getAccum("test.hot"),
               std::numeric_limits<double>::infinity());
     EXPECT_EQ(loaded->cycles, result.cycles);
+}
+
+// --- JSON hardening (network-boundary strictness) -------------------------
+
+TEST(Json, RejectsMalformedInputTable)
+{
+    struct BadCase
+    {
+        const char *name;
+        std::string text;
+    };
+    const BadCase cases[] = {
+        {"duplicate object key", "{\"a\": 1, \"a\": 2}"},
+        {"nested duplicate key", "{\"o\": {\"x\": 1, \"x\": 1}}"},
+        {"truncated escape", "\"ab\\"},
+        {"bad escape letter", "\"\\q\""},
+        {"truncated unicode escape", "\"\\u12\""},
+        {"unescaped control char", std::string("\"a\tb\"")},
+        {"unterminated string", "\"never ends"},
+        {"bare minus", "[-]"},
+        {"leading plus", "+1"},
+        {"lonely surrogate text", "{\"k\": tru}"},
+        {"array depth bomb",
+         std::string(json::kMaxParseDepth + 1, '[') +
+             std::string(json::kMaxParseDepth + 1, ']')},
+        {"object depth bomb",
+         [] {
+             std::string s;
+             for (unsigned i = 0; i <= json::kMaxParseDepth; i++)
+                 s += "{\"k\":";
+             s += "1";
+             for (unsigned i = 0; i <= json::kMaxParseDepth; i++)
+                 s += "}";
+             return s;
+         }()},
+    };
+    for (const BadCase &c : cases)
+        EXPECT_THROW(json::Value::parse(c.text), FatalError) << c.name;
+}
+
+TEST(Json, AcceptsInputAtTheDepthLimit)
+{
+    const std::string ok = std::string(json::kMaxParseDepth, '[') +
+                           std::string(json::kMaxParseDepth, ']');
+    EXPECT_NO_THROW(json::Value::parse(ok));
+}
+
+TEST(Json, ParseErrorsReportLineAndColumn)
+{
+    try {
+        json::Value::parse("{\n  \"a\": 1,\n  \"a\": 2\n}");
+        FAIL() << "duplicate key accepted";
+    } catch (const FatalError &err) {
+        const std::string what = err.what();
+        EXPECT_NE(what.find("line 3"), std::string::npos) << what;
+        EXPECT_NE(what.find("duplicate"), std::string::npos) << what;
+    }
+}
+
+// --- Thread pool: persistent submit() front end ---------------------------
+
+TEST(ThreadPool, SubmitRunsEveryTaskExactlyOnce)
+{
+    std::atomic<int> ran{0};
+    {
+        runner::ThreadPool pool(4);
+        for (int i = 0; i < 200; i++)
+            pool.submit([&ran] { ran++; });
+        // Destructor drains: every submitted task runs before join.
+    }
+    EXPECT_EQ(ran.load(), 200);
+}
+
+TEST(ThreadPool, SubmitAndParallelForShareTheWorkers)
+{
+    runner::ThreadPool pool(4);
+    std::atomic<int> submitted{0}, batched{0};
+    for (int i = 0; i < 50; i++)
+        pool.submit([&submitted] { submitted++; });
+    pool.parallelFor(50, [&batched](std::size_t) { batched++; });
+    EXPECT_EQ(batched.load(), 50);
+    // parallelFor returning does not imply the submits finished; the
+    // destructor drain does.
+    while (submitted.load() < 50)
+        std::this_thread::yield();
+    EXPECT_EQ(submitted.load(), 50);
+}
+
+// --- Shared sweep expansion ----------------------------------------------
+
+TEST(SweepJobs, ExpandsNamedSweepsAndRejectsUnknown)
+{
+    const std::vector<std::string> wl = {"BFS", "PF"};
+    EXPECT_EQ(runner::sweepJobs("fig7", wl, 1, 32).size(), 8u);
+    EXPECT_EQ(runner::sweepJobs("fig8", wl, 1, 32).size(), 8u);
+    EXPECT_EQ(runner::sweepJobs("fig9", wl, 1, 32).size(), 4u);
+    EXPECT_EQ(runner::sweepJobs("table5", wl, 1, 32).size(), 8u);
+    EXPECT_EQ(runner::sweepJobs("ablation-mapper", wl, 1, 32).size(), 4u);
+    EXPECT_THROW(runner::sweepJobs("fig99", wl, 1, 32), FatalError);
+
+    // fig7 sweeps trace length, so the given length is not used there.
+    auto fig8 = runner::sweepJobs("fig8", {"BFS"}, 2, 24);
+    ASSERT_EQ(fig8.size(), 4u);
+    for (const Job &job : fig8) {
+        EXPECT_EQ(job.traceLength, 24u);
+        EXPECT_EQ(job.scale, 2u);
+    }
+}
+
+// --- Result cache: hash lookup and growth control ------------------------
+
+TEST(ResultCache, LoadByHashRoundTripsJobAndResult)
+{
+    TempDir dir("cache-byhash");
+    runner::ResultCache cache(dir.path());
+    const Job job{"BFS", SystemMode::AccelSpec, 16, 1, 1};
+    sim::RunResult result;
+    result.cycles = 4242;
+    result.instsTotal = 999;
+    cache.store(job, result);
+
+    auto hit = cache.loadByHash(job.hashHex());
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->first, job);
+    EXPECT_EQ(hit->second.cycles, 4242u);
+
+    EXPECT_FALSE(cache.loadByHash("0123456789abcdef").has_value());
+    EXPECT_FALSE(cache.loadByHash("not-a-hash").has_value());
+    EXPECT_FALSE(cache.loadByHash("../../etc/passwd").has_value());
+}
+
+TEST(ResultCache, GcRemovesStaleEpochsAndTempLitter)
+{
+    TempDir dir("cache-gc-stale");
+    const Job fresh{"BFS", SystemMode::AccelSpec, 16, 1, 1};
+    const Job stale{"PF", SystemMode::AccelSpec, 16, 1, 1};
+
+    runner::ResultCache current(dir.path());
+    current.store(fresh, sim::RunResult{});
+    runner::ResultCache old_epoch(dir.path(), "ancient-epoch");
+    old_epoch.store(stale, sim::RunResult{});
+    {
+        std::ofstream litter(dir.path() + "/deadbeef.json.tmp.1234");
+        litter << "half-written";
+    }
+
+    runner::CacheGcStats stats = current.gc();
+    EXPECT_EQ(stats.staleEvicted, 1u);
+    EXPECT_EQ(stats.tmpRemoved, 1u);
+    EXPECT_EQ(stats.lruEvicted, 0u);
+    EXPECT_TRUE(current.load(fresh).has_value());
+    EXPECT_FALSE(old_epoch.load(stale).has_value());
+}
+
+TEST(ResultCache, GcEnforcesLruSizeBudget)
+{
+    TempDir dir("cache-gc-lru");
+    runner::ResultCache cache(dir.path());
+
+    std::vector<Job> jobs;
+    for (unsigned len : {8u, 16u, 24u, 32u})
+        jobs.push_back(Job{"BFS", SystemMode::AccelSpec, len, 1, 1});
+    for (const Job &job : jobs)
+        cache.store(job, sim::RunResult{});
+
+    // Entries are near-identical in size; budget for roughly one.
+    const std::uint64_t one_entry =
+        fs::file_size(cache.pathFor(jobs[0]));
+
+    // Touch the first-stored entry so it is the most recently used.
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    ASSERT_TRUE(cache.load(jobs[0]).has_value());
+
+    runner::CacheGcStats stats = cache.gc(one_entry + one_entry / 2);
+    EXPECT_EQ(stats.lruEvicted, 3u);
+    EXPECT_LE(stats.bytesAfter, one_entry + one_entry / 2);
+    EXPECT_TRUE(cache.load(jobs[0]).has_value())
+        << "LRU evicted the most recently used entry";
+    EXPECT_FALSE(cache.load(jobs[1]).has_value());
+    EXPECT_FALSE(cache.load(jobs[2]).has_value());
+    EXPECT_FALSE(cache.load(jobs[3]).has_value());
+
+    // Unlimited budget (0) never LRU-evicts.
+    cache.store(jobs[1], sim::RunResult{});
+    EXPECT_EQ(cache.gc(0).lruEvicted, 0u);
+    EXPECT_TRUE(cache.load(jobs[1]).has_value());
+}
+
+// --- Interrupt cleanup registry ------------------------------------------
+
+TEST(Interrupt, RegistryUnlinksActiveSlotsOnly)
+{
+    TempDir dir("interrupt-reg");
+    const std::string keep = dir.path() + "/keep.tmp";
+    const std::string drop = dir.path() + "/drop.tmp";
+    std::ofstream(keep) << "keep";
+    std::ofstream(drop) << "drop";
+
+    int keep_slot = interrupt::registerCleanupFile(keep.c_str());
+    int drop_slot = interrupt::registerCleanupFile(drop.c_str());
+    ASSERT_GE(keep_slot, 0);
+    ASSERT_GE(drop_slot, 0);
+    interrupt::unregisterCleanupFile(keep_slot);
+
+    EXPECT_EQ(interrupt::cleanupRegisteredFiles(), 1u);
+    EXPECT_TRUE(fs::exists(keep));
+    EXPECT_FALSE(fs::exists(drop));
+    interrupt::unregisterCleanupFile(drop_slot);
+
+    // Oversized paths are rejected, not truncated.
+    const std::string huge(interrupt::kMaxCleanupPath + 10, 'x');
+    EXPECT_LT(interrupt::registerCleanupFile(huge.c_str()), 0);
+    EXPECT_EQ(interrupt::exitCodeFor(SIGINT), 130);
+    EXPECT_EQ(interrupt::exitCodeFor(SIGTERM), 143);
+}
+
+TEST(Interrupt, SignalHandlerUnlinksAndExitsWithSignalCode)
+{
+    TempDir dir("interrupt-sig");
+    const std::string victim = dir.path() + "/halfwritten.tmp";
+    std::ofstream(victim) << "partial cache entry";
+
+    pid_t pid = fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+        // Child: arm the handler exactly as cmdRun/cmdSweep do, then
+        // deliver the signal to ourselves.
+        interrupt::installCleanupSignalHandlers();
+        interrupt::registerCleanupFile(victim.c_str());
+        raise(SIGINT);
+        _exit(99);    // not reached: the handler _exits first
+    }
+    int status = 0;
+    ASSERT_EQ(waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFEXITED(status));
+    EXPECT_EQ(WEXITSTATUS(status), 128 + SIGINT);
+    EXPECT_FALSE(fs::exists(victim));
 }
