@@ -32,6 +32,8 @@
 #include <vector>
 
 #include "check/fault_inject.hh"
+#include "cluster/coordinator.hh"
+#include "cluster/worker.hh"
 #include "common/interrupt.hh"
 #include "common/json.hh"
 #include "common/logging.hh"
@@ -87,6 +89,24 @@ usage(const char *argv0)
         "(default 64)\n"
         "           --timeout-ms N       per-request deadline "
         "(default 120000)\n"
+        "           --cluster            delegate to `coordinator` "
+        "(below)\n"
+        "  coordinator\n"
+        "         run the cluster front end: epoll HTTP server that\n"
+        "         shards sweeps across connected workers (see\n"
+        "         EXPERIMENTS.md \"Cluster serving\")\n"
+        "           --port N             client HTTP port (default 8080)\n"
+        "           --worker-port N      worker wire port (default 9090)\n"
+        "           --bind ADDR          bind address (default 127.0.0.1)\n"
+        "           --workers N          shard slots (default 4)\n"
+        "           --queue-capacity N   outstanding-job bound -> 429 "
+        "(default 256)\n"
+        "           --timeout-ms N       per-request deadline "
+        "(default 120000)\n"
+        "  worker run one shard worker; dials the coordinator and\n"
+        "         executes the job batches routed to its hash slot\n"
+        "           --connect HOST:PORT  coordinator worker port\n"
+        "                                (default 127.0.0.1:9090)\n"
         "  list   print workload tags and mode names\n"
         "  check-selftest\n"
         "         fault-inject every simulator invariant auditor and\n"
@@ -416,11 +436,83 @@ cmdTrace(Args &args)
 }
 
 int
+cmdCoordinator(Args &args)
+{
+    cluster::CoordinatorOptions opts;
+
+    std::string flag;
+    while (args.next(flag)) {
+        if (flag == "--port")
+            opts.httpPort = args.uvalue(flag);
+        else if (flag == "--worker-port")
+            opts.workerPort = args.uvalue(flag);
+        else if (flag == "--bind")
+            opts.bindAddress = args.value(flag);
+        else if (flag == "--workers")
+            opts.workerSlots = args.uvalue(flag);
+        else if (flag == "--queue-capacity")
+            opts.queueCapacity = args.uvalue(flag);
+        else if (flag == "--timeout-ms")
+            opts.requestTimeoutMs = args.uvalue(flag);
+        else
+            fatal("unknown option ", flag);
+    }
+    if (opts.httpPort > 65535 || opts.workerPort > 65535)
+        fatal("coordinator: ports must be <= 65535");
+    if (opts.workerSlots == 0)
+        fatal("coordinator: --workers must be >= 1");
+
+    cluster::Coordinator coordinator(std::move(opts));
+    return coordinator.serveForever();
+}
+
+int
+cmdWorker(Args &args)
+{
+    cluster::WorkerOptions opts;
+    opts.cacheDir = ".dynaspam-cache";
+    bool use_cache = true;
+    unsigned cache_max_mb = 0;
+
+    std::string flag;
+    while (args.next(flag)) {
+        if (flag == "--connect") {
+            const std::string endpoint = args.value(flag);
+            const auto colon = endpoint.rfind(':');
+            if (colon == std::string::npos || colon == 0 ||
+                colon + 1 >= endpoint.size())
+                fatal("--connect expects HOST:PORT, got ", endpoint);
+            opts.connectHost = endpoint.substr(0, colon);
+            char *end = nullptr;
+            long port = std::strtol(endpoint.c_str() + colon + 1, &end, 10);
+            if (!end || *end || port <= 0 || port > 65535)
+                fatal("bad port in --connect ", endpoint);
+            opts.connectPort = unsigned(port);
+        } else if (flag == "--cache") {
+            opts.cacheDir = args.value(flag);
+        } else if (flag == "--no-cache") {
+            use_cache = false;
+        } else if (flag == "--cache-max-mb") {
+            cache_max_mb = args.uvalue(flag);
+        } else {
+            fatal("unknown option ", flag);
+        }
+    }
+    if (!use_cache)
+        opts.cacheDir.clear();
+    opts.cacheMaxBytes = std::uint64_t(cache_max_mb) * 1024 * 1024;
+
+    cluster::Worker worker(std::move(opts));
+    return worker.run();
+}
+
+int
 cmdServe(Args &args)
 {
     serve::ServerOptions opts;
     opts.cacheDir = ".dynaspam-cache";
     bool use_cache = true;
+    bool clusterMode = false;
     unsigned cache_max_mb = 0;
 
     std::string flag;
@@ -441,8 +533,20 @@ cmdServe(Args &args)
             use_cache = false;
         else if (flag == "--cache-max-mb")
             cache_max_mb = args.uvalue(flag);
+        else if (flag == "--cluster")
+            clusterMode = true;
         else
             fatal("unknown option ", flag);
+    }
+    if (clusterMode) {
+        // serve --cluster == the coordinator with serve's knobs.
+        cluster::CoordinatorOptions copts;
+        copts.httpPort = opts.port;
+        copts.bindAddress = opts.bindAddress;
+        copts.queueCapacity = opts.queueCapacity;
+        copts.requestTimeoutMs = opts.requestTimeoutMs;
+        cluster::Coordinator coordinator(std::move(copts));
+        return coordinator.serveForever();
     }
     if (!use_cache)
         opts.cacheDir.clear();
@@ -495,6 +599,10 @@ main(int argc, char **argv)
             return cmdTrace(args);
         if (command == "serve")
             return cmdServe(args);
+        if (command == "coordinator")
+            return cmdCoordinator(args);
+        if (command == "worker")
+            return cmdWorker(args);
         if (command == "list")
             return cmdList();
         if (command == "check-selftest")

@@ -1,0 +1,1156 @@
+#include "cluster/coordinator.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/logging.hh"
+#include "common/stats.hh"
+#include "runner/report.hh"
+#include "serve/server.hh"
+
+namespace dynaspam::cluster
+{
+
+namespace
+{
+
+/** epoll_wait tick: timers (pings, deadlines, backoffs) run per tick. */
+constexpr int kEpollTickMs = 100;
+
+/**
+ * A client that buffers more than this many bytes while a request is
+ * pending (so the parser is paused) is flooding us: drop it.
+ */
+constexpr std::size_t kBusyClientBufferFactor = 4;
+
+/** Self-pipe write end for the SIGTERM/SIGINT drain handler. */
+std::atomic<int> gCoordinatorWakeFd{-1};
+
+extern "C" void
+coordinatorSignalHandler(int)
+{
+    int fd = gCoordinatorWakeFd.load(std::memory_order_relaxed);
+    if (fd >= 0) {
+        char byte = 1;
+        [[maybe_unused]] ssize_t n = ::write(fd, &byte, 1);
+    }
+}
+
+void
+setNonBlocking(int fd)
+{
+    int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags >= 0)
+        ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+std::string
+requestLabels(const std::string &endpoint, int status)
+{
+    std::ostringstream os;
+    os << "endpoint=\"" << endpoint << "\",status=\"" << status << "\"";
+    return os.str();
+}
+
+std::string
+workerLabel(int slot)
+{
+    std::ostringstream os;
+    os << "worker=\"" << slot << "\"";
+    return os.str();
+}
+
+/**
+ * Drain a non-blocking fd into @p buf.
+ * @return 1 more may come, 0 peer closed, -1 error
+ */
+int
+drainFd(int fd, std::string &buf)
+{
+    char chunk[16384];
+    while (true) {
+        ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+        if (n > 0) {
+            buf.append(chunk, std::size_t(n));
+            continue;
+        }
+        if (n == 0)
+            return 0;
+        if (errno == EINTR)
+            continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+            return 1;
+        return -1;
+    }
+}
+
+/**
+ * Flush @p out to a non-blocking fd.
+ * @return false when the peer vanished
+ */
+bool
+flushBuffer(int fd, std::string &out)
+{
+    while (!out.empty()) {
+        ssize_t n = ::send(fd, out.data(), out.size(), MSG_NOSIGNAL);
+        if (n > 0) {
+            out.erase(0, std::size_t(n));
+            continue;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+            return true;    // caller arms EPOLLOUT
+        return false;
+    }
+    return true;
+}
+
+std::string
+toLower(std::string s)
+{
+    std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+        return char(std::tolower(c));
+    });
+    return s;
+}
+
+} // namespace
+
+Coordinator::Coordinator(CoordinatorOptions options_)
+    : options(std::move(options_))
+{
+    if (options.workerSlots == 0)
+        fatal("coordinator: --workers must be >= 1");
+    slotFd.assign(options.workerSlots, -1);
+
+    metrics_.declareCounter("dynaspam_http_requests_total",
+                            "HTTP requests by endpoint and status code.");
+    metrics_.declareCounter("dynaspam_http_connections_total",
+                            "Accepted client TCP connections.");
+    metrics_.declareCounter("dynaspam_cache_hits_total",
+                            "Jobs answered from a worker shard cache.");
+    metrics_.declareCounter("dynaspam_cache_misses_total",
+                            "Jobs executed by a worker shard.");
+    metrics_.declareGauge("dynaspam_cache_hit_ratio",
+                          "Lifetime cache hits / lookups (0 when none).");
+    metrics_.declareGauge("dynaspam_cluster_workers_connected",
+                          "Workers currently holding a shard slot.");
+    metrics_.declareGauge("dynaspam_cluster_worker_inflight",
+                          "Batches inflight per worker slot.");
+    metrics_.declareGauge("dynaspam_cluster_worker_queue_depth",
+                          "Batches queued worker-side, per slot (from the "
+                          "last Pong).");
+    metrics_.declareGauge("dynaspam_cluster_worker_evictions",
+                          "Cumulative memo + cache evictions per slot "
+                          "(from the last Pong).");
+    metrics_.declareCounter("dynaspam_cluster_batch_retries_total",
+                            "Batch reassignments after a worker died.");
+    metrics_.declareGauge("dynaspam_cluster_outstanding_jobs",
+                          "Jobs belonging to unfinished requests.");
+    metrics_.declareHistogram(
+        "dynaspam_request_latency_seconds",
+        "End-to-end /run and /sweep latency in seconds.",
+        {0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10, 30});
+}
+
+Coordinator::~Coordinator()
+{
+    if (started && !drained) {
+        beginDrain();
+        waitUntilDrained();
+    }
+    for (int fd : {epollFd, listenHttpFd, listenWorkerFd, wakePipe[0],
+                   wakePipe[1]})
+        if (fd >= 0)
+            ::close(fd);
+}
+
+void
+Coordinator::start()
+{
+    if (started)
+        panic("Coordinator::start called twice");
+
+    if (::pipe(wakePipe) != 0)
+        fatal("coordinator: pipe: ", std::strerror(errno));
+    // The event loop drains the wake pipe until EAGAIN; it must never
+    // block there.
+    setNonBlocking(wakePipe[0]);
+
+    listenHttpFd = serve::listenTcp(options.bindAddress, options.httpPort,
+                                    options.acceptBacklog, httpPort_);
+    listenWorkerFd =
+        serve::listenTcp(options.bindAddress, options.workerPort,
+                         options.acceptBacklog, workerPort_);
+    setNonBlocking(listenHttpFd);
+    setNonBlocking(listenWorkerFd);
+
+    epollFd = ::epoll_create1(0);
+    if (epollFd < 0)
+        fatal("coordinator: epoll_create1: ", std::strerror(errno));
+    for (int fd : {listenHttpFd, listenWorkerFd, wakePipe[0]}) {
+        epoll_event ev{};
+        ev.events = EPOLLIN;
+        ev.data.fd = fd;
+        if (::epoll_ctl(epollFd, EPOLL_CTL_ADD, fd, &ev) != 0)
+            fatal("coordinator: epoll_ctl: ", std::strerror(errno));
+    }
+
+    lastPingSweep = Clock::now();
+    started = true;
+    loopThread = std::thread([this] { eventLoop(); });
+}
+
+void
+Coordinator::beginDrain()
+{
+    if (wakePipe[1] >= 0) {
+        char byte = 1;
+        [[maybe_unused]] ssize_t n = ::write(wakePipe[1], &byte, 1);
+    }
+}
+
+void
+Coordinator::waitUntilDrained()
+{
+    if (!started || drained)
+        return;
+    if (loopThread.joinable())
+        loopThread.join();
+    drained = true;
+}
+
+int
+Coordinator::serveForever()
+{
+    start();
+
+    gCoordinatorWakeFd.store(wakePipe[1], std::memory_order_relaxed);
+    struct sigaction sa{};
+    sa.sa_handler = coordinatorSignalHandler;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = SA_RESTART;
+    ::sigaction(SIGTERM, &sa, nullptr);
+    ::sigaction(SIGINT, &sa, nullptr);
+
+    if (options.verbose)
+        inform("coordinator: serving HTTP on ", options.bindAddress, ":",
+               httpPort(), ", workers on :", workerPort(), " (",
+               options.workerSlots, " shard slots, queue capacity ",
+               options.queueCapacity, ")");
+
+    waitUntilDrained();
+    gCoordinatorWakeFd.store(-1, std::memory_order_relaxed);
+
+    if (options.verbose)
+        inform("coordinator: drained, exiting");
+    return 0;
+}
+
+void
+Coordinator::eventLoop()
+{
+    std::vector<epoll_event> events(64);
+    while (true) {
+        int ready = ::epoll_wait(epollFd, events.data(),
+                                 int(events.size()), kEpollTickMs);
+        if (ready < 0) {
+            if (errno == EINTR)
+                continue;
+            warn("coordinator: epoll_wait: ", std::strerror(errno));
+            break;
+        }
+
+        // Connection events first, accepts last: a close in this wave
+        // can then never collide with an fd number a fresh accept
+        // reuses.
+        for (int pass = 0; pass < 2; pass++) {
+            for (int i = 0; i < ready; i++) {
+                int fd = events[i].data.fd;
+                bool isListen =
+                    fd == listenHttpFd || fd == listenWorkerFd ||
+                    fd == wakePipe[0];
+                if ((pass == 0) == isListen)
+                    continue;
+
+                if (fd == wakePipe[0]) {
+                    char sink[64];
+                    while (::read(wakePipe[0], sink, sizeof(sink)) > 0) {
+                    }
+                    if (!draining) {
+                        draining = true;
+                        for (int *lfd : {&listenHttpFd, &listenWorkerFd}) {
+                            if (*lfd >= 0) {
+                                ::epoll_ctl(epollFd, EPOLL_CTL_DEL, *lfd,
+                                            nullptr);
+                                ::close(*lfd);
+                                *lfd = -1;
+                            }
+                        }
+                    }
+                } else if (fd == listenHttpFd) {
+                    acceptClients();
+                } else if (fd == listenWorkerFd) {
+                    acceptWorkers();
+                } else if (clients.count(fd)) {
+                    if (events[i].events & (EPOLLHUP | EPOLLERR))
+                        closeClient(fd);
+                    else {
+                        if (events[i].events & EPOLLIN)
+                            onClientReadable(fd);
+                        if (clients.count(fd) &&
+                            (events[i].events & EPOLLOUT))
+                            onClientWritable(fd);
+                    }
+                } else if (workers.count(fd)) {
+                    if (events[i].events & (EPOLLHUP | EPOLLERR))
+                        dropWorker(fd, "link error");
+                    else {
+                        if (events[i].events & EPOLLIN)
+                            onWorkerReadable(fd);
+                        if (workers.count(fd) &&
+                            (events[i].events & EPOLLOUT))
+                            onWorkerWritable(fd);
+                    }
+                }
+            }
+        }
+
+        checkTimers();
+
+        if (draining && requests.empty()) {
+            bool flushed = true;
+            for (const auto &kv : clients)
+                if (!kv.second.out.empty())
+                    flushed = false;
+            if (flushed)
+                break;
+        }
+    }
+
+    // Closing the worker links is the drain signal workers exit on.
+    for (auto &kv : clients)
+        ::close(kv.first);
+    clients.clear();
+    for (auto &kv : workers)
+        ::close(kv.first);
+    workers.clear();
+    std::fill(slotFd.begin(), slotFd.end(), -1);
+}
+
+void
+Coordinator::updateEvents(int fd, bool wantWrite)
+{
+    epoll_event ev{};
+    ev.events = wantWrite ? (EPOLLIN | EPOLLOUT) : EPOLLIN;
+    ev.data.fd = fd;
+    if (::epoll_ctl(epollFd, EPOLL_CTL_MOD, fd, &ev) != 0)
+        warn("coordinator: epoll_ctl mod: ", std::strerror(errno));
+}
+
+void
+Coordinator::acceptClients()
+{
+    while (true) {
+        int fd = ::accept4(listenHttpFd, nullptr, nullptr, SOCK_NONBLOCK);
+        if (fd < 0) {
+            if (errno == EAGAIN || errno == EWOULDBLOCK)
+                return;
+            if (errno == EINTR || errno == ECONNABORTED)
+                continue;
+            warn("coordinator: accept: ", std::strerror(errno));
+            return;
+        }
+        epoll_event ev{};
+        ev.events = EPOLLIN;
+        ev.data.fd = fd;
+        if (::epoll_ctl(epollFd, EPOLL_CTL_ADD, fd, &ev) != 0) {
+            ::close(fd);
+            continue;
+        }
+        ClientConn conn;
+        conn.fd = fd;
+        clients.emplace(fd, std::move(conn));
+        metrics_.inc("dynaspam_http_connections_total");
+    }
+}
+
+void
+Coordinator::acceptWorkers()
+{
+    while (true) {
+        int fd =
+            ::accept4(listenWorkerFd, nullptr, nullptr, SOCK_NONBLOCK);
+        if (fd < 0) {
+            if (errno == EAGAIN || errno == EWOULDBLOCK)
+                return;
+            if (errno == EINTR || errno == ECONNABORTED)
+                continue;
+            warn("coordinator: worker accept: ", std::strerror(errno));
+            return;
+        }
+        epoll_event ev{};
+        ev.events = EPOLLIN;
+        ev.data.fd = fd;
+        if (::epoll_ctl(epollFd, EPOLL_CTL_ADD, fd, &ev) != 0) {
+            ::close(fd);
+            continue;
+        }
+        WorkerConn conn;
+        conn.fd = fd;
+        conn.lastPong = Clock::now();
+        workers.emplace(fd, std::move(conn));
+    }
+}
+
+void
+Coordinator::onClientReadable(int fd)
+{
+    ClientConn &conn = clients.at(fd);
+    int state = drainFd(fd, conn.in);
+    if (state <= 0) {
+        closeClient(fd);
+        return;
+    }
+    if (conn.busy &&
+        conn.in.size() > options.maxRequestBytes * kBusyClientBufferFactor) {
+        closeClient(fd);
+        return;
+    }
+    parseClientRequests(fd);
+}
+
+void
+Coordinator::onClientWritable(int fd)
+{
+    ClientConn &conn = clients.at(fd);
+    if (!flushBuffer(fd, conn.out)) {
+        closeClient(fd);
+        return;
+    }
+    if (conn.out.empty()) {
+        if (conn.closeAfterFlush) {
+            closeClient(fd);
+            return;
+        }
+        updateEvents(fd, false);
+    }
+}
+
+void
+Coordinator::parseClientRequests(int fd)
+{
+    while (true) {
+        // Re-find each round: a handler can close this client.
+        auto it = clients.find(fd);
+        if (it == clients.end())
+            return;
+        ClientConn &conn = it->second;
+        if (conn.busy || conn.closeAfterFlush)
+            return;
+
+        serve::HttpRequest req;
+        std::size_t consumed = 0;
+        switch (serve::parseHttpRequest(conn.in, options.maxRequestBytes,
+                                        req, consumed)) {
+          case serve::HttpParseOutcome::NeedMore:
+            return;
+          case serve::HttpParseOutcome::Malformed:
+            queueResponse(conn,
+                          errorResponse(400, "malformed HTTP request"),
+                          false, "unparsed");
+            conn.closeAfterFlush = true;
+            return;
+          case serve::HttpParseOutcome::TooLarge:
+            queueResponse(
+                conn, errorResponse(413, "request exceeds size limit"),
+                false, "unparsed");
+            conn.closeAfterFlush = true;
+            return;
+          case serve::HttpParseOutcome::Ok:
+            conn.in.erase(0, consumed);
+            handleHttpRequest(conn, req);
+            break;
+        }
+    }
+}
+
+void
+Coordinator::handleHttpRequest(ClientConn &conn,
+                               const serve::HttpRequest &req)
+{
+    // HTTP/1.1 default persistence; `Connection: close` opts out, and a
+    // draining coordinator stops granting keep-alive.
+    bool keepAlive = toLower(req.header("connection")) != "close" &&
+                     !draining;
+
+    if (req.target == "/healthz") {
+        if (req.method != "GET") {
+            queueResponse(conn, errorResponse(405, "use GET"), keepAlive,
+                          "/healthz");
+            return;
+        }
+        serve::HttpResponse resp;
+        resp.body = json::Value(json::Object{{"status", "ok"}}).dump(2);
+        resp.body += '\n';
+        queueResponse(conn, resp, keepAlive, "/healthz");
+        return;
+    }
+    if (req.target == "/metrics") {
+        if (req.method != "GET") {
+            queueResponse(conn, errorResponse(405, "use GET"), keepAlive,
+                          "/metrics");
+            return;
+        }
+        queueResponse(conn, handleMetricsScrape(), keepAlive, "/metrics");
+        return;
+    }
+    if (req.target == "/run") {
+        if (req.method != "POST") {
+            queueResponse(conn, errorResponse(405, "use POST"), keepAlive,
+                          "/run");
+            return;
+        }
+        runner::Job job;
+        try {
+            job = serve::jobFromSpecJson(json::Value::parse(req.body));
+        } catch (const FatalError &err) {
+            queueResponse(conn, errorResponse(400, err.what()), keepAlive,
+                          "/run");
+            return;
+        }
+        admitRequest(conn, "/run", "run", {job}, keepAlive);
+        return;
+    }
+    if (req.target == "/sweep") {
+        if (req.method != "POST") {
+            queueResponse(conn, errorResponse(405, "use POST"), keepAlive,
+                          "/sweep");
+            return;
+        }
+        serve::SweepRequest sweep;
+        try {
+            sweep = serve::parseSweepBody(req.body);
+        } catch (const FatalError &err) {
+            queueResponse(conn, errorResponse(400, err.what()), keepAlive,
+                          "/sweep");
+            return;
+        }
+        admitRequest(conn, "/sweep", sweep.name, std::move(sweep.jobs),
+                     keepAlive);
+        return;
+    }
+    if (req.target.rfind("/results", 0) == 0) {
+        queueResponse(conn,
+                      errorResponse(404,
+                                    "results live in worker shard caches; "
+                                    "re-request via POST /sweep"),
+                      keepAlive, "/results");
+        return;
+    }
+    queueResponse(conn, errorResponse(404, "unknown endpoint"), keepAlive,
+                  "other");
+}
+
+void
+Coordinator::queueResponse(ClientConn &conn,
+                           const serve::HttpResponse &resp,
+                           bool keep_alive, const std::string &endpoint)
+{
+    metrics_.inc("dynaspam_http_requests_total",
+                 requestLabels(endpoint, resp.status));
+    conn.out += serve::serializeHttpResponse(resp, keep_alive);
+    if (!keep_alive)
+        conn.closeAfterFlush = true;
+    if (!flushBuffer(conn.fd, conn.out)) {
+        closeClient(conn.fd);
+        return;
+    }
+    if (!conn.out.empty())
+        updateEvents(conn.fd, true);
+    else if (conn.closeAfterFlush)
+        closeClient(conn.fd);
+}
+
+void
+Coordinator::closeClient(int fd)
+{
+    auto it = clients.find(fd);
+    if (it == clients.end())
+        return;
+    // A pending request keeps running; its result still warms the
+    // owning shard's caches. The response is dropped on completion.
+    ::close(fd);
+    clients.erase(it);
+}
+
+void
+Coordinator::onWorkerReadable(int fd)
+{
+    WorkerConn &conn = workers.at(fd);
+    int state = drainFd(fd, conn.in);
+    if (state < 0) {
+        dropWorker(fd, "read error");
+        return;
+    }
+
+    while (workers.count(fd)) {
+        Frame frame;
+        std::size_t consumed = 0;
+        switch (decodeFrame(workers.at(fd).in, frame, consumed)) {
+          case DecodeOutcome::Bad:
+            dropWorker(fd, "bad frame");
+            return;
+          case DecodeOutcome::NeedMore:
+            if (state == 0)
+                dropWorker(fd, "connection closed");
+            return;
+          case DecodeOutcome::Ok:
+            workers.at(fd).in.erase(0, consumed);
+            handleWorkerFrame(workers.at(fd), frame);
+            break;
+        }
+    }
+}
+
+void
+Coordinator::onWorkerWritable(int fd)
+{
+    WorkerConn &conn = workers.at(fd);
+    if (!flushBuffer(fd, conn.out)) {
+        dropWorker(fd, "write error");
+        return;
+    }
+    if (conn.out.empty()) {
+        if (conn.closeAfterFlush) {
+            dropWorker(fd, "handshake rejected");
+            return;
+        }
+        updateEvents(fd, false);
+    }
+}
+
+void
+Coordinator::handleWorkerFrame(WorkerConn &conn, const Frame &frame)
+{
+    if (conn.slot < 0) {
+        // Pre-handshake: only Hello is legal.
+        if (frame.type != FrameType::Hello) {
+            dropWorker(conn.fd, "frame before Hello");
+            return;
+        }
+        try {
+            json::Value hello = json::Value::parse(frame.payload);
+            if (hello.at("protocol").asUint() != kWireVersion) {
+                json::Object reject;
+                reject.emplace("error", "protocol version mismatch");
+                conn.closeAfterFlush = true;
+                queueFrame(conn, FrameType::Welcome,
+                           json::Value(std::move(reject)));
+                return;
+            }
+        } catch (const FatalError &) {
+            dropWorker(conn.fd, "malformed Hello");
+            return;
+        }
+
+        auto vacancy = std::find(slotFd.begin(), slotFd.end(), -1);
+        if (vacancy == slotFd.end()) {
+            json::Object reject;
+            reject.emplace("error", "cluster full");
+            conn.closeAfterFlush = true;
+            queueFrame(conn, FrameType::Welcome,
+                       json::Value(std::move(reject)));
+            return;
+        }
+        conn.slot = int(vacancy - slotFd.begin());
+        *vacancy = conn.fd;
+        conn.lastPong = Clock::now();
+
+        json::Object welcome;
+        welcome.emplace("slot", std::uint64_t(conn.slot));
+        welcome.emplace("slots", std::uint64_t(options.workerSlots));
+        queueFrame(conn, FrameType::Welcome,
+                   json::Value(std::move(welcome)));
+        updateWorkerGauge();
+        if (options.verbose)
+            inform("coordinator: worker joined slot ", conn.slot, "/",
+                   options.workerSlots);
+        assignPendingBatches();
+        return;
+    }
+
+    switch (frame.type) {
+      case FrameType::Pong: {
+        conn.lastPong = Clock::now();
+        try {
+            json::Value pong = json::Value::parse(frame.payload);
+            const std::string label = workerLabel(conn.slot);
+            metrics_.set("dynaspam_cluster_worker_queue_depth", label,
+                         double(pong.at("queued").asUint()));
+            metrics_.set("dynaspam_cluster_worker_evictions", label,
+                         double(pong.at("evictions").asUint()));
+        } catch (const FatalError &) {
+            dropWorker(conn.fd, "malformed Pong");
+        }
+        break;
+      }
+      case FrameType::Result:
+      case FrameType::ResultRaw:
+        handleResult(conn, frame);
+        break;
+      default:
+        dropWorker(conn.fd, "unexpected frame type");
+        break;
+    }
+}
+
+void
+Coordinator::handleResult(WorkerConn &conn, const Frame &frame)
+{
+    // Success results arrive as binary ResultRaw frames whose entries
+    // are pre-rendered report fragments — spliced below via json::Raw,
+    // never parsed. The JSON Result frame only carries errors.
+    std::uint64_t batchId = 0;
+    std::vector<RawEntry> rawEntries;
+    std::string error;
+    if (frame.type == FrameType::ResultRaw) {
+        if (!decodeResultRaw(frame.payload, batchId, rawEntries)) {
+            dropWorker(conn.fd, "malformed Result");
+            return;
+        }
+    } else {
+        try {
+            json::Value payload = json::Value::parse(frame.payload);
+            batchId = payload.at("id").asUint();
+            error = payload.at("error").asString();
+        } catch (const FatalError &) {
+            dropWorker(conn.fd, "malformed Result");
+            return;
+        }
+    }
+
+    conn.inflight.erase(batchId);
+    metrics_.set("dynaspam_cluster_worker_inflight",
+                 workerLabel(conn.slot), double(conn.inflight.size()));
+
+    auto batchIt = batches.find(batchId);
+    if (batchIt == batches.end())
+        return;    // request already failed; late result, ignore
+    Batch batch = std::move(batchIt->second);
+    batches.erase(batchIt);
+
+    auto reqIt = requests.find(batch.requestId);
+    if (reqIt == requests.end())
+        return;    // request died (deadline/client); drop the result
+    Request &request = reqIt->second;
+    request.batchIds.erase(batch.id);
+
+    if (!error.empty()) {
+        // Deterministic execution failure: retrying would reproduce it.
+        failRequest(request.id, 500, error);
+        return;
+    }
+
+    if (rawEntries.size() != batch.jobIndices.size()) {
+        failRequest(request.id, 500,
+                    "shard returned " +
+                        std::to_string(rawEntries.size()) +
+                        " entries for a " +
+                        std::to_string(batch.jobIndices.size()) +
+                        "-job batch");
+        return;
+    }
+    for (std::size_t i = 0; i < rawEntries.size(); i++) {
+        if (rawEntries[i].fromCache)
+            request.hits++;
+        request.entries[batch.jobIndices[i]] =
+            json::Value(json::Raw{std::move(rawEntries[i].fragment)});
+        request.remaining--;
+    }
+
+    if (request.remaining == 0)
+        finishRequest(request);
+}
+
+void
+Coordinator::queueFrame(WorkerConn &conn, FrameType type,
+                        const json::Value &payload)
+{
+    conn.out += encodeFrame(type, payload.dump());
+    if (!flushBuffer(conn.fd, conn.out)) {
+        dropWorker(conn.fd, "write error");
+        return;
+    }
+    if (!conn.out.empty())
+        updateEvents(conn.fd, true);
+    else if (conn.closeAfterFlush)
+        dropWorker(conn.fd, "handshake rejected");
+}
+
+void
+Coordinator::dropWorker(int fd, const char *why)
+{
+    auto it = workers.find(fd);
+    if (it == workers.end())
+        return;
+    WorkerConn &conn = it->second;
+    const int slot = conn.slot;
+    const std::set<std::uint64_t> inflight = std::move(conn.inflight);
+
+    if (slot >= 0) {
+        slotFd[std::size_t(slot)] = -1;
+        metrics_.set("dynaspam_cluster_worker_inflight", workerLabel(slot),
+                     0.0);
+        if (options.verbose)
+            warn("coordinator: worker slot ", slot, " dropped (", why,
+                 "), ", inflight.size(), " batches to reassign");
+    }
+    ::close(fd);
+    workers.erase(it);
+    updateWorkerGauge();
+
+    const Clock::time_point now = Clock::now();
+    for (std::uint64_t batchId : inflight) {
+        auto batchIt = batches.find(batchId);
+        if (batchIt == batches.end())
+            continue;
+        Batch &batch = batchIt->second;
+        batch.assignedFd = -1;
+        if (!requests.count(batch.requestId)) {
+            batches.erase(batchIt);
+            continue;
+        }
+        batch.attempts++;
+        metrics_.inc("dynaspam_cluster_batch_retries_total",
+                     workerLabel(slot));
+        if (batch.attempts > options.maxBatchRetries) {
+            std::ostringstream os;
+            os << "shard batch failed after " << options.maxBatchRetries
+               << " reassignments (workers keep dying)";
+            failRequest(batch.requestId, 503, os.str());
+            continue;
+        }
+        // Exponential backoff: 1x, 2x, 4x, ... the base.
+        batch.notBefore =
+            now + std::chrono::milliseconds(options.retryBackoffMs
+                                            << (batch.attempts - 1));
+    }
+    assignPendingBatches();
+}
+
+void
+Coordinator::admitRequest(ClientConn &conn, const std::string &endpoint,
+                          const std::string &name,
+                          std::vector<runner::Job> jobs, bool keep_alive)
+{
+    if (draining) {
+        queueResponse(conn, errorResponse(503, "coordinator is draining"),
+                      false, endpoint);
+        return;
+    }
+    if (outstandingJobs + jobs.size() > options.queueCapacity) {
+        std::ostringstream os;
+        os << "admission queue full (" << outstandingJobs
+           << " outstanding, " << jobs.size() << " requested, capacity "
+           << options.queueCapacity << ")";
+        queueResponse(conn, errorResponse(429, os.str()), keep_alive,
+                      endpoint);
+        return;
+    }
+    if (liveWorkerCount() == 0) {
+        queueResponse(conn, errorResponse(503, "no workers connected"),
+                      keep_alive, endpoint);
+        return;
+    }
+
+    const std::uint64_t id = nextRequestId++;
+    Request &request = requests[id];
+    request.id = id;
+    request.clientFd = conn.fd;
+    request.name = name;
+    request.keepAlive = keep_alive;
+    request.endpoint = endpoint;
+    request.jobs = std::move(jobs);
+    request.entries.resize(request.jobs.size());
+    request.remaining = request.jobs.size();
+    request.start = Clock::now();
+    request.deadline =
+        request.start +
+        std::chrono::milliseconds(options.requestTimeoutMs);
+
+    // Shard: group job indices by FNV-1a hash-space owner slot.
+    std::map<unsigned, std::vector<std::size_t>> shards;
+    for (std::size_t i = 0; i < request.jobs.size(); i++)
+        shards[ownerSlot(request.jobs[i].hash(), options.workerSlots)]
+            .push_back(i);
+
+    for (auto &shard : shards) {
+        const std::uint64_t batchId = nextBatchId++;
+        Batch &batch = batches[batchId];
+        batch.id = batchId;
+        batch.requestId = id;
+        batch.ownerSlot = shard.first;
+        batch.jobIndices = std::move(shard.second);
+        batch.notBefore = request.start;
+        request.batchIds.insert(batchId);
+        assignBatch(batch);
+    }
+
+    outstandingJobs += request.jobs.size();
+    metrics_.set("dynaspam_cluster_outstanding_jobs",
+                 double(outstandingJobs));
+    conn.busy = true;
+    conn.requestId = id;
+}
+
+void
+Coordinator::assignPendingBatches()
+{
+    const Clock::time_point now = Clock::now();
+    std::vector<std::uint64_t> orphaned;
+    for (auto &kv : batches) {
+        Batch &batch = kv.second;
+        if (batch.assignedFd >= 0 || batch.notBefore > now)
+            continue;
+        if (!requests.count(batch.requestId)) {
+            orphaned.push_back(kv.first);
+            continue;
+        }
+        assignBatch(batch);
+    }
+    for (std::uint64_t id : orphaned)
+        batches.erase(id);
+}
+
+bool
+Coordinator::assignBatch(Batch &batch)
+{
+    const int fd = liveWorkerForSlot(batch.ownerSlot);
+    if (fd < 0)
+        return false;    // stays pending until a worker joins
+    auto reqIt = requests.find(batch.requestId);
+    if (reqIt == requests.end())
+        return false;
+
+    json::Array jobSpecs;
+    for (std::size_t index : batch.jobIndices)
+        jobSpecs.push_back(runner::jobToJson(reqIt->second.jobs[index]));
+    json::Object payload;
+    payload.emplace("id", batch.id);
+    payload.emplace("jobs", std::move(jobSpecs));
+
+    WorkerConn &conn = workers.at(fd);
+    batch.assignedFd = fd;
+    conn.inflight.insert(batch.id);
+    metrics_.set("dynaspam_cluster_worker_inflight",
+                 workerLabel(conn.slot), double(conn.inflight.size()));
+    queueFrame(conn, FrameType::Batch, json::Value(std::move(payload)));
+    return true;
+}
+
+void
+Coordinator::failRequest(std::uint64_t requestId, int status,
+                         const std::string &message)
+{
+    auto it = requests.find(requestId);
+    if (it == requests.end())
+        return;
+    Request &request = it->second;
+    dropRequestBatches(request);
+    respond(request, errorResponse(status, message));
+    outstandingJobs -= request.jobs.size();
+    metrics_.set("dynaspam_cluster_outstanding_jobs",
+                 double(outstandingJobs));
+    requests.erase(it);
+}
+
+void
+Coordinator::finishRequest(Request &request)
+{
+    StatRegistry registry = runner::sweepRequestStats(
+        request.jobs.size(), request.hits);
+    std::ostringstream os;
+    runner::sweepReportJson(request.name, std::move(request.entries),
+                            &registry)
+        .write(os, 2);
+    os << "\n";
+
+    metrics_.inc("dynaspam_cache_hits_total", double(request.hits));
+    metrics_.inc("dynaspam_cache_misses_total",
+                 double(request.jobs.size() - request.hits));
+    metrics_.observe("dynaspam_request_latency_seconds",
+                     std::chrono::duration<double>(Clock::now() -
+                                                   request.start)
+                         .count());
+
+    serve::HttpResponse resp;
+    resp.body = os.str();
+    respond(request, resp);
+
+    outstandingJobs -= request.jobs.size();
+    metrics_.set("dynaspam_cluster_outstanding_jobs",
+                 double(outstandingJobs));
+    requests.erase(request.id);
+}
+
+void
+Coordinator::respond(const Request &request,
+                     const serve::HttpResponse &resp)
+{
+    auto it = clients.find(request.clientFd);
+    if (it == clients.end() || it->second.requestId != request.id ||
+        !it->second.busy) {
+        // Client vanished; still account the request.
+        metrics_.inc("dynaspam_http_requests_total",
+                     requestLabels(request.endpoint, resp.status));
+        return;
+    }
+    ClientConn &conn = it->second;
+    conn.busy = false;
+    conn.requestId = 0;
+    queueResponse(conn, resp, request.keepAlive, request.endpoint);
+    parseClientRequests(request.clientFd);
+}
+
+void
+Coordinator::dropRequestBatches(const Request &request)
+{
+    for (std::uint64_t batchId : request.batchIds) {
+        auto it = batches.find(batchId);
+        if (it == batches.end())
+            continue;
+        const int fd = it->second.assignedFd;
+        if (fd >= 0) {
+            auto workerIt = workers.find(fd);
+            if (workerIt != workers.end()) {
+                workerIt->second.inflight.erase(batchId);
+                metrics_.set("dynaspam_cluster_worker_inflight",
+                             workerLabel(workerIt->second.slot),
+                             double(workerIt->second.inflight.size()));
+            }
+        }
+        batches.erase(it);
+    }
+}
+
+void
+Coordinator::sendPings()
+{
+    // Collect first: queueFrame can drop a worker, mutating the map.
+    std::vector<int> fds;
+    for (const auto &kv : workers)
+        if (kv.second.slot >= 0)
+            fds.push_back(kv.first);
+    for (int fd : fds) {
+        auto it = workers.find(fd);
+        if (it == workers.end())
+            continue;
+        json::Object ping;
+        ping.emplace("tick", pingTick);
+        queueFrame(it->second, FrameType::Ping,
+                   json::Value(std::move(ping)));
+    }
+    pingTick++;
+}
+
+void
+Coordinator::checkTimers()
+{
+    const Clock::time_point now = Clock::now();
+
+    if (now - lastPingSweep >=
+        std::chrono::milliseconds(options.pingIntervalMs)) {
+        lastPingSweep = now;
+        sendPings();
+
+        std::vector<int> stale;
+        for (const auto &kv : workers)
+            if (kv.second.slot >= 0 &&
+                now - kv.second.lastPong >
+                    std::chrono::milliseconds(options.pingTimeoutMs))
+                stale.push_back(kv.first);
+        for (int fd : stale)
+            dropWorker(fd, "ping timeout");
+    }
+
+    std::vector<std::uint64_t> expired;
+    for (const auto &kv : requests)
+        if (kv.second.deadline <= now)
+            expired.push_back(kv.first);
+    for (std::uint64_t id : expired)
+        failRequest(id, 503,
+                    "request deadline exceeded before all shards "
+                    "reported");
+
+    assignPendingBatches();
+}
+
+std::size_t
+Coordinator::liveWorkerCount() const
+{
+    std::size_t n = 0;
+    for (int fd : slotFd)
+        if (fd >= 0)
+            n++;
+    return n;
+}
+
+int
+Coordinator::liveWorkerForSlot(unsigned slot) const
+{
+    // Owner first; on failure scan upward (mod slots) so reassignment
+    // is deterministic and spreads across the ring.
+    for (unsigned i = 0; i < options.workerSlots; i++) {
+        int fd = slotFd[(slot + i) % options.workerSlots];
+        if (fd >= 0)
+            return fd;
+    }
+    return -1;
+}
+
+void
+Coordinator::updateWorkerGauge()
+{
+    metrics_.set("dynaspam_cluster_workers_connected",
+                 double(liveWorkerCount()));
+}
+
+serve::HttpResponse
+Coordinator::handleMetricsScrape()
+{
+    double hits = metrics_.value("dynaspam_cache_hits_total");
+    double misses = metrics_.value("dynaspam_cache_misses_total");
+    double lookups = hits + misses;
+    metrics_.set("dynaspam_cache_hit_ratio",
+                 lookups > 0 ? hits / lookups : 0.0);
+
+    serve::HttpResponse resp;
+    resp.contentType = "text/plain; version=0.0.4; charset=utf-8";
+    resp.body = metrics_.render();
+    return resp;
+}
+
+serve::HttpResponse
+Coordinator::errorResponse(int status, const std::string &message)
+{
+    serve::HttpResponse resp;
+    resp.status = status;
+    resp.body = json::Value(json::Object{{"error", message}}).dump(2);
+    resp.body += '\n';
+    if (status == 429)
+        resp.extraHeaders.emplace_back("Retry-After", "2");
+    return resp;
+}
+
+} // namespace dynaspam::cluster

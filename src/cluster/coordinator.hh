@@ -1,0 +1,278 @@
+/**
+ * @file
+ * Cluster coordinator: epoll front end + shard fan-out for sweeps.
+ *
+ * The coordinator is the client-facing half of the distributed sweep
+ * fabric (`dynaspam coordinator`, or `dynaspam serve --cluster`). Where
+ * the single-process daemon spends a thread per connection, the
+ * coordinator runs ONE event-loop thread multiplexing every socket —
+ * the HTTP listener, the worker listener, every client and every worker
+ * link — through epoll with non-blocking fds and per-connection
+ * in/out buffers. HTTP/1.1 connections are persistent by default
+ * (close with `Connection: close`), so a load generator pays the TCP
+ * handshake once, not per request.
+ *
+ * Sharding: each job's FNV-1a content hash — the same hash that keys
+ * the on-disk ResultCache — is mapped to one of `--workers` hash-space
+ * partitions (cluster::ownerSlot). A sweep request is split into one
+ * Batch per owner slot and fanned out over the length-prefixed wire
+ * protocol (cluster/wire.hh). Because the partition depends only on the
+ * configured slot count, a given job always lands on the same slot, so
+ * repeat jobs hit that worker's local memo/disk cache.
+ *
+ * Merging: workers return fully serialized sweep-report entries; the
+ * coordinator splices them back into job order and wraps them with
+ * runner::sweepReportJson + sweepRequestStats, producing a combined
+ * report byte-identical to what a single process (CLI `dynaspam sweep`
+ * or the non-cluster daemon) would emit for the same cache state.
+ *
+ * Failure handling, so a worker crash never drops an accepted request:
+ *  - membership is health-checked (Ping/Pong every pingIntervalMs; a
+ *    worker silent past pingTimeoutMs is declared dead);
+ *  - a dead worker's inflight batches are reassigned to the next live
+ *    slot upward with bounded exponential backoff (retryBackoffMs <<
+ *    attempts), up to maxBatchRetries, then the request fails 503;
+ *  - deterministic job failures (worker Result carries "error") fail
+ *    the request with 500 and are NOT retried — a deterministic
+ *    simulator would only reproduce the error;
+ *  - requests carry a wall-clock deadline (requestTimeoutMs -> 503).
+ *
+ * Admission is bounded like the single-process daemon: when the jobs
+ * belonging to unfinished requests would exceed queueCapacity, new
+ * requests get 429 + Retry-After.
+ */
+
+#ifndef DYNASPAM_CLUSTER_COORDINATOR_HH
+#define DYNASPAM_CLUSTER_COORDINATOR_HH
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/wire.hh"
+#include "common/json.hh"
+#include "runner/job.hh"
+#include "serve/http.hh"
+#include "serve/metrics.hh"
+
+namespace dynaspam::cluster
+{
+
+/** Configuration for one Coordinator instance. */
+struct CoordinatorOptions
+{
+    std::string bindAddress = "127.0.0.1";
+    /** Client-facing HTTP port; 0 binds an ephemeral port. */
+    unsigned httpPort = 8080;
+    /** Worker-facing wire-protocol port; 0 binds an ephemeral port. */
+    unsigned workerPort = 9090;
+    /** Hash-space partitions == maximum cluster size. */
+    unsigned workerSlots = 4;
+    /** Max jobs belonging to unfinished requests before 429. */
+    std::size_t queueCapacity = 256;
+    /** Per-request wall-clock budget before a 503. */
+    std::uint64_t requestTimeoutMs = 120000;
+    /** Hard cap on HTTP request size (line + headers + body). */
+    std::size_t maxRequestBytes = 1 << 20;
+    /** listen(2) backlog for both listeners. */
+    int acceptBacklog = 128;
+    /** Batch reassignment attempts before the request fails 503. */
+    unsigned maxBatchRetries = 3;
+    /** Base reassignment backoff; doubles per attempt. */
+    std::uint64_t retryBackoffMs = 100;
+    /** Worker health-check period. */
+    std::uint64_t pingIntervalMs = 2000;
+    /** Silence past this declares a worker dead. */
+    std::uint64_t pingTimeoutMs = 10000;
+    /** Log a line per lifecycle event (suppressed in tests). */
+    bool verbose = true;
+};
+
+/** The cluster coordinator service. */
+class Coordinator
+{
+  public:
+    explicit Coordinator(CoordinatorOptions options);
+
+    /** Drains (beginDrain + waitUntilDrained) if still running. */
+    ~Coordinator();
+
+    Coordinator(const Coordinator &) = delete;
+    Coordinator &operator=(const Coordinator &) = delete;
+
+    /**
+     * Bind both listeners and spawn the event-loop thread.
+     * @throws FatalError when a socket cannot be bound
+     */
+    void start();
+
+    /** @return the actually bound client-facing HTTP port. */
+    unsigned httpPort() const { return httpPort_; }
+    /** @return the actually bound worker-facing port. */
+    unsigned workerPort() const { return workerPort_; }
+
+    /**
+     * Stop accepting new connections and finish pending requests.
+     * Idempotent, callable from any thread (writes the wake pipe).
+     */
+    void beginDrain();
+
+    /** Block until the event loop has exited and everything is closed. */
+    void waitUntilDrained();
+
+    /**
+     * start(), install SIGTERM/SIGINT drain handlers, and block until
+     * a signal (or beginDrain) completes the drain. @return 0.
+     */
+    int serveForever();
+
+    serve::Metrics &metrics() { return metrics_; }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+
+    /** One client (HTTP) connection's event-loop state. */
+    struct ClientConn
+    {
+        int fd = -1;
+        std::string in;
+        std::string out;
+        /** A /run or /sweep is pending; stop parsing further requests. */
+        bool busy = false;
+        /** Close once the out buffer drains. */
+        bool closeAfterFlush = false;
+        /** Request id the pending response belongs to. */
+        std::uint64_t requestId = 0;
+    };
+
+    /** One worker link's event-loop state. */
+    struct WorkerConn
+    {
+        int fd = -1;
+        std::string in;
+        std::string out;
+        /** Assigned shard slot; -1 until the Hello handshake. */
+        int slot = -1;
+        /** Close once the out buffer drains (rejected Hello). */
+        bool closeAfterFlush = false;
+        Clock::time_point lastPong;
+        /** Batch ids currently assigned to this worker. */
+        std::set<std::uint64_t> inflight;
+    };
+
+    /** One accepted /run or /sweep awaiting its shard results. */
+    struct Request
+    {
+        std::uint64_t id = 0;
+        int clientFd = -1;
+        std::string name;
+        bool keepAlive = true;
+        std::string endpoint;        ///< metrics label ("/run"/"/sweep")
+        std::vector<runner::Job> jobs;
+        /** results[] entries, filled in job order as shards report. */
+        std::vector<json::Value> entries;
+        std::size_t remaining = 0;   ///< entries still missing
+        std::size_t hits = 0;        ///< from_cache entries seen
+        std::set<std::uint64_t> batchIds;
+        Clock::time_point start;
+        Clock::time_point deadline;
+    };
+
+    /** One per-shard job batch (possibly awaiting reassignment). */
+    struct Batch
+    {
+        std::uint64_t id = 0;
+        std::uint64_t requestId = 0;
+        unsigned ownerSlot = 0;
+        std::vector<std::size_t> jobIndices;
+        unsigned attempts = 0;
+        /** Worker fd it is assigned to; -1 = awaiting assignment. */
+        int assignedFd = -1;
+        /** Earliest reassignment time (retry backoff). */
+        Clock::time_point notBefore;
+    };
+
+    void eventLoop();
+    void updateEvents(int fd, bool wantWrite);
+    void acceptClients();
+    void acceptWorkers();
+
+    void onClientReadable(int fd);
+    void onClientWritable(int fd);
+    /** Parse+dispatch buffered requests (by fd: handlers may close). */
+    void parseClientRequests(int fd);
+    void handleHttpRequest(ClientConn &conn, const serve::HttpRequest &req);
+    void queueResponse(ClientConn &conn, const serve::HttpResponse &resp,
+                       bool keep_alive, const std::string &endpoint);
+    void closeClient(int fd);
+
+    void onWorkerReadable(int fd);
+    void onWorkerWritable(int fd);
+    void handleWorkerFrame(WorkerConn &conn, const Frame &frame);
+    void handleResult(WorkerConn &conn, const Frame &frame);
+    void queueFrame(WorkerConn &conn, FrameType type,
+                    const json::Value &payload);
+    /** Declare a worker dead and reassign its inflight batches. */
+    void dropWorker(int fd, const char *why);
+
+    /** Admit a /run or /sweep: shard, batch, fan out. */
+    void admitRequest(ClientConn &conn, const std::string &endpoint,
+                      const std::string &name,
+                      std::vector<runner::Job> jobs, bool keep_alive);
+    /** Try to assign every unassigned batch whose backoff has expired. */
+    void assignPendingBatches();
+    bool assignBatch(Batch &batch);
+    /** Fail @p requestId with an error response; drops its batches. */
+    void failRequest(std::uint64_t requestId, int status,
+                     const std::string &message);
+    void finishRequest(Request &request);
+    /** Respond to the request's client (if still connected). */
+    void respond(const Request &request, const serve::HttpResponse &resp);
+    void dropRequestBatches(const Request &request);
+
+    void sendPings();
+    void checkTimers();
+    std::size_t liveWorkerCount() const;
+    int liveWorkerForSlot(unsigned slot) const;
+    void updateWorkerGauge();
+
+    serve::HttpResponse handleMetricsScrape();
+    static serve::HttpResponse errorResponse(int status,
+                                             const std::string &message);
+
+    CoordinatorOptions options;
+    serve::Metrics metrics_;
+
+    int epollFd = -1;
+    int listenHttpFd = -1;
+    int listenWorkerFd = -1;
+    int wakePipe[2] = {-1, -1};
+    unsigned httpPort_ = 0;
+    unsigned workerPort_ = 0;
+    std::thread loopThread;
+    bool started = false;
+    bool drained = false;
+    bool draining = false;
+
+    std::map<int, ClientConn> clients;
+    std::map<int, WorkerConn> workers;
+    /** slot -> worker fd (-1 = vacant). */
+    std::vector<int> slotFd;
+
+    std::map<std::uint64_t, Request> requests;
+    std::map<std::uint64_t, Batch> batches;
+    std::uint64_t nextRequestId = 1;
+    std::uint64_t nextBatchId = 1;
+    std::uint64_t pingTick = 0;
+    Clock::time_point lastPingSweep;
+    /** Jobs belonging to unfinished requests (admission gauge). */
+    std::size_t outstandingJobs = 0;
+};
+
+} // namespace dynaspam::cluster
+
+#endif // DYNASPAM_CLUSTER_COORDINATOR_HH

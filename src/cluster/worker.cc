@@ -1,0 +1,363 @@
+#include "cluster/worker.hh"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/logging.hh"
+#include "runner/report.hh"
+#include "serve/http.hh"
+
+namespace dynaspam::cluster
+{
+
+namespace
+{
+
+/** Cache GC every this many stores when a size budget is configured. */
+constexpr std::uint64_t kGcStoreInterval = 32;
+
+/**
+ * SO_RCVTIMEO on the coordinator link. The coordinator pings every few
+ * seconds, so this much silence means it is gone.
+ */
+constexpr unsigned kCoordinatorSilenceTimeoutSec = 30;
+
+/** @return bytes read, 0 on EOF, -1 error, -2 timeout/no-data */
+long
+recvSome(int fd, char *buf, std::size_t len, int flags)
+{
+    while (true) {
+        ssize_t n = ::recv(fd, buf, len, flags);
+        if (n >= 0)
+            return long(n);
+        if (errno == EINTR)
+            continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+            return -2;
+        return -1;
+    }
+}
+
+bool
+sendFrame(int fd, FrameType type, const json::Value &payload)
+{
+    const std::string wire = encodeFrame(type, payload.dump());
+    return serve::sendAll(fd, wire.data(), wire.size());
+}
+
+} // namespace
+
+Worker::Worker(WorkerOptions options_)
+    : options(std::move(options_)), cache(options.cacheDir)
+{
+    if (!options.executeFn)
+        options.executeFn = [](const runner::Job &job) {
+            return runner::execute(job);
+        };
+}
+
+int
+Worker::run()
+{
+    int fd = -1;
+    for (unsigned attempt = 0;; attempt++) {
+        fd = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (fd < 0) {
+            warn("worker: socket: ", std::strerror(errno));
+            return 1;
+        }
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_port = htons(std::uint16_t(options.connectPort));
+        if (::inet_pton(AF_INET, options.connectHost.c_str(),
+                        &addr.sin_addr) != 1) {
+            warn("worker: bad coordinator address \"", options.connectHost,
+                 "\" (IPv4 literal required)");
+            ::close(fd);
+            return 1;
+        }
+        if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                      sizeof(addr)) == 0)
+            break;
+        ::close(fd);
+        fd = -1;
+        if (attempt + 1 >= options.connectRetries) {
+            warn("worker: cannot reach coordinator at ",
+                 options.connectHost, ":", options.connectPort, " after ",
+                 options.connectRetries, " attempts");
+            return 1;
+        }
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(options.connectRetryMs));
+    }
+    return serveConnection(fd);
+}
+
+int
+Worker::serveConnection(int fd)
+{
+    fd_.store(fd, std::memory_order_relaxed);
+
+    timeval tv{};
+    tv.tv_sec = kCoordinatorSilenceTimeoutSec;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+
+    auto finish = [this, fd](int code) {
+        fd_.store(-1, std::memory_order_relaxed);
+        ::close(fd);
+        if (cache.enabled()) {
+            runner::CacheGcStats gc = cache.gc(options.cacheMaxBytes);
+            cacheEvictions += gc.staleEvicted + gc.lruEvicted;
+        }
+        return code;
+    };
+
+    json::Object hello;
+    hello.emplace("protocol", std::uint64_t(kWireVersion));
+    if (!sendFrame(fd, FrameType::Hello, json::Value(std::move(hello))))
+        return finish(1);
+
+    // Handshake: block until one Welcome frame arrives.
+    std::string inBuf;
+    Frame welcome;
+    while (true) {
+        std::size_t consumed = 0;
+        DecodeOutcome outcome = decodeFrame(inBuf, welcome, consumed);
+        if (outcome == DecodeOutcome::Bad) {
+            warn("worker: bad frame during handshake");
+            return finish(1);
+        }
+        if (outcome == DecodeOutcome::Ok) {
+            inBuf.erase(0, consumed);
+            break;
+        }
+        char chunk[4096];
+        long n = recvSome(fd, chunk, sizeof(chunk), 0);
+        if (n <= 0) {
+            warn("worker: coordinator closed during handshake");
+            return finish(1);
+        }
+        inBuf.append(chunk, std::size_t(n));
+    }
+    if (welcome.type != FrameType::Welcome) {
+        warn("worker: expected Welcome, got frame type ",
+             unsigned(welcome.type));
+        return finish(1);
+    }
+    try {
+        json::Value payload = json::Value::parse(welcome.payload);
+        if (const json::Value *error = payload.find("error")) {
+            warn("worker: coordinator rejected us: ", error->asString());
+            return finish(1);
+        }
+        slot_ = unsigned(payload.at("slot").asUint());
+        if (options.verbose)
+            inform("worker: joined as slot ", slot_, "/",
+                   payload.at("slots").asUint(), " (cache ",
+                   cache.enabled() ? options.cacheDir : "disabled", ")");
+    } catch (const FatalError &err) {
+        warn("worker: malformed Welcome: ", err.what());
+        return finish(1);
+    }
+
+    while (true) {
+        if (!drainFrames(inBuf, fd))
+            return finish(stopping.load() ? 1 : 0);
+        while (!pendingBatches.empty()) {
+            Frame batch = std::move(pendingBatches.front());
+            pendingBatches.pop_front();
+            if (!handleBatch(batch, fd, inBuf))
+                return finish(1);
+        }
+
+        char chunk[4096];
+        long n = recvSome(fd, chunk, sizeof(chunk), 0);
+        if (n == 0)
+            // Coordinator closed the link: a drain, not an error.
+            return finish(stopping.load() ? 1 : 0);
+        if (n == -2) {
+            warn("worker: coordinator silent for ",
+                 kCoordinatorSilenceTimeoutSec, "s, exiting");
+            return finish(1);
+        }
+        if (n < 0)
+            return finish(stopping.load() ? 1 : 0);
+        inBuf.append(chunk, std::size_t(n));
+    }
+}
+
+void
+Worker::shutdownNow()
+{
+    stopping.store(true, std::memory_order_relaxed);
+    int fd = fd_.load(std::memory_order_relaxed);
+    if (fd >= 0)
+        ::shutdown(fd, SHUT_RDWR);
+}
+
+bool
+Worker::drainFrames(std::string &inBuf, int fd)
+{
+    while (true) {
+        Frame frame;
+        std::size_t consumed = 0;
+        switch (decodeFrame(inBuf, frame, consumed)) {
+          case DecodeOutcome::Bad:
+            warn("worker: bad frame from coordinator, dropping link");
+            return false;
+          case DecodeOutcome::NeedMore:
+            return true;
+          case DecodeOutcome::Ok:
+            break;
+        }
+        inBuf.erase(0, consumed);
+
+        switch (frame.type) {
+          case FrameType::Ping: {
+            json::Object pong;
+            try {
+                json::Value ping = json::Value::parse(frame.payload);
+                pong.emplace("tick", ping.at("tick").asUint());
+            } catch (const FatalError &) {
+                warn("worker: malformed Ping payload");
+                return false;
+            }
+            pong.emplace("queued",
+                         std::uint64_t(pendingBatches.size()));
+            pong.emplace("evictions", memoEvictions + cacheEvictions);
+            if (!sendFrame(fd, FrameType::Pong,
+                           json::Value(std::move(pong))))
+                return false;
+            break;
+          }
+          case FrameType::Batch:
+            pendingBatches.push_back(std::move(frame));
+            break;
+          default:
+            warn("worker: unexpected frame type ", unsigned(frame.type),
+                 " from coordinator");
+            return false;
+        }
+    }
+}
+
+bool
+Worker::handleBatch(const Frame &frame, int fd, std::string &inBuf)
+{
+    std::uint64_t id = 0;
+    std::vector<RawEntry> entries;
+    std::string error;
+    try {
+        json::Value payload = json::Value::parse(frame.payload);
+        id = payload.at("id").asUint();
+        const json::Array &jobs = payload.at("jobs").asArray();
+        for (const json::Value &spec : jobs) {
+            runner::Job job = runner::jobFromJson(spec);
+            entries.push_back(entryForJob(job));
+
+            // Opportunistically answer pings that arrived while the
+            // job simulated, so a busy worker is not declared dead.
+            char chunk[4096];
+            long n;
+            while ((n = recvSome(fd, chunk, sizeof(chunk),
+                                 MSG_DONTWAIT)) > 0)
+                inBuf.append(chunk, std::size_t(n));
+            if (!drainFrames(inBuf, fd))
+                return false;
+            if (n == 0 || n == -1)
+                return false;    // link gone mid-batch
+        }
+    } catch (const std::exception &err) {
+        error = err.what();
+    }
+
+    if (!error.empty()) {
+        json::Object result;
+        result.emplace("id", id);
+        result.emplace("error", error);
+        return sendFrame(fd, FrameType::Result,
+                         json::Value(std::move(result)));
+    }
+    const std::string wire =
+        encodeFrame(FrameType::ResultRaw, encodeResultRaw(id, entries));
+    return serve::sendAll(fd, wire.data(), wire.size());
+}
+
+RawEntry
+Worker::entryForJob(const runner::Job &job)
+{
+    const std::string hash = job.hashHex();
+    auto render = [](const runner::JobOutcome &outcome) {
+        return runner::sweepEntryJson(outcome).dumpAt(
+            kReportIndent, kEntryFragmentDepth);
+    };
+
+    auto it = memoMap.find(hash);
+    if (it != memoMap.end()) {
+        // Touch: move to the front of the LRU order.
+        memoOrder.splice(memoOrder.begin(), memoOrder, it->second);
+        return RawEntry{true, it->second->second};
+    }
+
+    if (cache.enabled()) {
+        if (auto cached = cache.load(job)) {
+            std::string fragment = render(
+                runner::JobOutcome{job, std::move(*cached), true});
+            memoPut(hash, fragment);
+            return RawEntry{true, std::move(fragment)};
+        }
+    }
+
+    sim::RunResult result = options.executeFn(job);
+    if (cache.enabled()) {
+        cache.store(job, result);
+        maybeGcCache();
+    }
+    RawEntry entry{false,
+                   render(runner::JobOutcome{job, result, false})};
+    // Future requests for this hash are cache hits: memo the
+    // from_cache=true twin, matching what a disk-cache probe would
+    // render next time.
+    memoPut(hash, render(runner::JobOutcome{job, result, true}));
+    return entry;
+}
+
+void
+Worker::memoPut(const std::string &hash, std::string fragment)
+{
+    if (options.memoCapacity == 0)
+        return;
+    auto it = memoMap.find(hash);
+    if (it != memoMap.end()) {
+        it->second->second = std::move(fragment);
+        memoOrder.splice(memoOrder.begin(), memoOrder, it->second);
+        return;
+    }
+    memoOrder.emplace_front(hash, std::move(fragment));
+    memoMap[hash] = memoOrder.begin();
+    while (memoOrder.size() > options.memoCapacity) {
+        memoMap.erase(memoOrder.back().first);
+        memoOrder.pop_back();
+        memoEvictions++;
+    }
+}
+
+void
+Worker::maybeGcCache()
+{
+    if (!options.cacheMaxBytes)
+        return;
+    if (++storesSinceGc % kGcStoreInterval == 0) {
+        runner::CacheGcStats gc = cache.gc(options.cacheMaxBytes);
+        cacheEvictions += gc.staleEvicted + gc.lruEvicted;
+    }
+}
+
+} // namespace dynaspam::cluster

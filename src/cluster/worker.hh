@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Cluster worker: one shard of the distributed sweep fabric.
+ *
+ * A worker is a standalone process (`dynaspam worker --connect
+ * host:port`) that dials the coordinator's worker port, joins the
+ * cluster with a Hello/Welcome handshake, and then executes the job
+ * batches the coordinator assigns to its shard. It wraps the exact
+ * execution stack the single-process daemon uses — runner::execute
+ * behind a runner::ResultCache — so a job computed by a worker produces
+ * the same bytes it would have produced anywhere else.
+ *
+ * Shard-local caching, two tiers:
+ *  - the on-disk ResultCache (per-worker --cache-dir), same format and
+ *    epoch as the CLI's, surviving worker restarts;
+ *  - an in-memory LRU memo of *pre-rendered* sweep-report entry bytes
+ *    (from_cache=true form, serialized once at the report's splice
+ *    depth), so a repeat job is answered with a string copy — no cache
+ *    file read, no JSON parse, and no re-serialization, on the worker
+ *    or on the coordinator (which splices the fragment via json::Raw).
+ * Because the coordinator routes each job hash to a fixed owner slot,
+ * hits concentrate in the owning worker's memo and never require
+ * cross-worker traffic.
+ *
+ * Health and liveness: the worker answers coordinator Pings between job
+ * executions (never mid-job), reporting its queued-batch depth and
+ * cumulative cache evictions — the coordinator republishes both as
+ * per-worker Prometheus gauges.
+ *
+ * Failure semantics: a deterministic job failure (execute throws) is
+ * reported as a Result {"error": ...} — the coordinator fails that
+ * request without retry, because retrying a deterministic simulator
+ * reproduces the error. A vanished worker (socket EOF / ping timeout)
+ * is the retryable case, handled coordinator-side by reassignment.
+ */
+
+#ifndef DYNASPAM_CLUSTER_WORKER_HH
+#define DYNASPAM_CLUSTER_WORKER_HH
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <list>
+#include <map>
+#include <string>
+#include <utility>
+
+#include "cluster/wire.hh"
+#include "common/json.hh"
+#include "runner/job.hh"
+#include "runner/result_cache.hh"
+
+namespace dynaspam::cluster
+{
+
+/** Configuration for one Worker instance. */
+struct WorkerOptions
+{
+    /** Coordinator worker-port endpoint to dial. */
+    std::string connectHost = "127.0.0.1";
+    unsigned connectPort = 9090;
+    /** Bounded dial retries (coordinator may still be booting). */
+    unsigned connectRetries = 25;
+    std::uint64_t connectRetryMs = 200;
+
+    /** Shard-local result cache; empty disables the disk tier. */
+    std::string cacheDir;
+    /** LRU size budget for the cache directory; 0 = unbounded. */
+    std::uint64_t cacheMaxBytes = 0;
+    /** In-memory memo capacity, in entries. */
+    std::size_t memoCapacity = 4096;
+
+    /** Log a line per lifecycle event (suppressed in tests). */
+    bool verbose = true;
+
+    /** Simulation function; defaults to runner::execute (test seam). */
+    std::function<sim::RunResult(const runner::Job &)> executeFn;
+};
+
+/** One cluster worker process (or in-process instance, in tests). */
+class Worker
+{
+  public:
+    explicit Worker(WorkerOptions options);
+
+    /**
+     * Dial the coordinator, handshake, and serve batches until the
+     * coordinator closes the connection (drain) or the link fails.
+     * @return process exit code: 0 on clean close, 1 on error
+     */
+    int run();
+
+    /**
+     * Serve an already-connected coordinator link (handshake included).
+     * Exposed for tests driving a socketpair. @return same as run().
+     */
+    int serveConnection(int fd);
+
+    /**
+     * Async kill switch: shut the coordinator link down so the serve
+     * loop exits at the next socket operation. Callable from any
+     * thread; used by tests to simulate a worker crash mid-sweep.
+     */
+    void shutdownNow();
+
+    /** Slot assigned by the last Welcome (for logs/tests). */
+    unsigned slot() const { return slot_; }
+
+  private:
+    /**
+     * Drain every decodable frame out of @p inBuf: answer Pings
+     * immediately, queue Batches. @return false on protocol error.
+     */
+    bool drainFrames(std::string &inBuf, int fd);
+    /**
+     * Execute one batch and send its Result frame. Bytes arriving
+     * mid-batch (pings, more batches) are picked up into @p inBuf
+     * between job executions.
+     */
+    bool handleBatch(const Frame &frame, int fd, std::string &inBuf);
+    /** Serve one job through memo -> disk cache -> execute. */
+    RawEntry entryForJob(const runner::Job &job);
+    void memoPut(const std::string &hash, std::string fragment);
+    void maybeGcCache();
+
+    WorkerOptions options;
+    runner::ResultCache cache;
+
+    unsigned slot_ = 0;
+    std::atomic<int> fd_{-1};
+    std::atomic<bool> stopping{false};
+
+    std::deque<Frame> pendingBatches;
+
+    /** LRU memo: hash -> pre-rendered entry fragment (from_cache=true
+     *  form, serialized at the report's splice depth). */
+    std::list<std::pair<std::string, std::string>> memoOrder;
+    std::map<std::string,
+             std::list<std::pair<std::string, std::string>>::iterator>
+        memoMap;
+    std::uint64_t memoEvictions = 0;
+    std::uint64_t cacheEvictions = 0;
+    std::uint64_t storesSinceGc = 0;
+};
+
+} // namespace dynaspam::cluster
+
+#endif // DYNASPAM_CLUSTER_WORKER_HH

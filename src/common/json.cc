@@ -228,6 +228,10 @@ Value::writeIndented(std::ostream &os, unsigned indent, unsigned depth) const
                 writeDouble(os, v);
             } else if constexpr (std::is_same_v<T, std::string>) {
                 writeEscaped(os, v);
+            } else if constexpr (std::is_same_v<T, Raw>) {
+                // Verbatim: the producer serialized the fragment at
+                // this nesting depth already (Value::dumpAt).
+                os << v.text;
             } else if constexpr (std::is_same_v<T, Array>) {
                 if (v.empty()) {
                     os << "[]";
@@ -282,6 +286,14 @@ Value::dump(unsigned indent) const
 {
     std::ostringstream os;
     write(os, indent);
+    return os.str();
+}
+
+std::string
+Value::dumpAt(unsigned indent, unsigned depth) const
+{
+    std::ostringstream os;
+    writeIndented(os, indent, depth);
     return os.str();
 }
 

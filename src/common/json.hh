@@ -43,6 +43,20 @@ using Array = std::vector<Value>;
 using Object = std::map<std::string, Value>;
 
 /**
+ * A pre-serialized JSON fragment the writer emits verbatim in place of
+ * a value. The splice primitive behind zero-reserialization proxying:
+ * the cluster coordinator embeds worker-produced report entries into a
+ * merged document without parsing them. The producer is responsible for
+ * serializing the fragment at the nesting depth it will be spliced into
+ * (dumpAt with the same indent/depth), or output indentation will not
+ * match a natively serialized document. Never produced by parse().
+ */
+struct Raw
+{
+    std::string text;
+};
+
+/**
  * Maximum container nesting depth parse() accepts. Documents emitted by
  * this repository nest a handful of levels; the cap only exists so a
  * hostile request body ("[[[[…") cannot blow the parser's stack.
@@ -65,12 +79,14 @@ class Value
     Value(std::string s) : data(std::move(s)) {}
     Value(Array a) : data(std::move(a)) {}
     Value(Object o) : data(std::move(o)) {}
+    Value(Raw r) : data(std::move(r)) {}
 
     bool isNull() const { return std::holds_alternative<std::nullptr_t>(data); }
     bool isBool() const { return std::holds_alternative<bool>(data); }
     bool isString() const { return std::holds_alternative<std::string>(data); }
     bool isArray() const { return std::holds_alternative<Array>(data); }
     bool isObject() const { return std::holds_alternative<Object>(data); }
+    bool isRaw() const { return std::holds_alternative<Raw>(data); }
 
     /** @return true for any numeric alternative (int, uint or double). */
     bool
@@ -116,6 +132,16 @@ class Value
     std::string dump(unsigned indent = 0) const;
 
     /**
+     * Serialize as if this value sat @p depth container levels deep in
+     * an indent-formatted document: nested newlines are indented
+     * relative to that depth, with no leading or trailing indentation.
+     * dumpAt(indent, 0) == dump(indent). The output is exactly the
+     * bytes write(indent) would emit for this value inside an enclosing
+     * document, which is what makes Raw splicing byte-identical.
+     */
+    std::string dumpAt(unsigned indent, unsigned depth) const;
+
+    /**
      * Parse a complete JSON document (trailing garbage is an error).
      * @throws FatalError on any syntax error
      */
@@ -126,7 +152,7 @@ class Value
                        unsigned depth) const;
 
     std::variant<std::nullptr_t, bool, std::int64_t, std::uint64_t, double,
-                 std::string, Array, Object>
+                 std::string, Array, Object, Raw>
         data;
 };
 

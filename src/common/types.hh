@@ -95,6 +95,43 @@ fnv1a(const char *data, std::size_t size,
     return h;
 }
 
+/**
+ * Store @p value little-endian into @p out[0..3]. Explicit byte order
+ * makes on-wire and on-disk encodings identical on every platform.
+ */
+constexpr void
+storeLE32(std::uint32_t value, unsigned char *out)
+{
+    out[0] = (unsigned char)(value & 0xff);
+    out[1] = (unsigned char)((value >> 8) & 0xff);
+    out[2] = (unsigned char)((value >> 16) & 0xff);
+    out[3] = (unsigned char)((value >> 24) & 0xff);
+}
+
+/** Load a little-endian 32-bit value from @p in[0..3]. */
+constexpr std::uint32_t
+loadLE32(const unsigned char *in)
+{
+    return std::uint32_t(in[0]) | (std::uint32_t(in[1]) << 8) |
+           (std::uint32_t(in[2]) << 16) | (std::uint32_t(in[3]) << 24);
+}
+
+/** Store @p value little-endian into @p out[0..7]. */
+constexpr void
+storeLE64(std::uint64_t value, unsigned char *out)
+{
+    storeLE32(std::uint32_t(value & 0xffffffffu), out);
+    storeLE32(std::uint32_t(value >> 32), out + 4);
+}
+
+/** Load a little-endian 64-bit value from @p in[0..7]. */
+constexpr std::uint64_t
+loadLE64(const unsigned char *in)
+{
+    return std::uint64_t(loadLE32(in)) |
+           (std::uint64_t(loadLE32(in + 4)) << 32);
+}
+
 } // namespace bits
 
 } // namespace dynaspam

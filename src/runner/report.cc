@@ -241,29 +241,56 @@ jobFromJson(const json::Value &v)
     return job;
 }
 
-void
-writeSweepReport(std::ostream &os, const std::string &name,
-                 const std::vector<JobOutcome> &outcomes,
-                 const StatRegistry *runner_stats)
+json::Value
+sweepEntryJson(const JobOutcome &outcome)
+{
+    json::Object entry;
+    entry.emplace("job", jobToJson(outcome.job));
+    entry.emplace("from_cache", outcome.fromCache);
+    entry.emplace("result", resultToJson(outcome.result));
+    return json::Value(std::move(entry));
+}
+
+json::Value
+sweepReportJson(const std::string &name, std::vector<json::Value> entries,
+                const StatRegistry *runner_stats)
 {
     json::Array results;
-    for (const JobOutcome &outcome : outcomes) {
-        json::Object entry;
-        entry.emplace("job", jobToJson(outcome.job));
-        entry.emplace("from_cache", outcome.fromCache);
-        entry.emplace("result", resultToJson(outcome.result));
+    for (json::Value &entry : entries)
         results.emplace_back(std::move(entry));
-    }
 
     json::Object root;
     root.emplace("schema_version", kSweepSchemaVersion);
     root.emplace("tool", "dynaspam");
     root.emplace("sweep", name);
-    root.emplace("num_jobs", std::uint64_t(outcomes.size()));
+    root.emplace("num_jobs", std::uint64_t(results.size()));
     if (runner_stats)
         root.emplace("runner", runner_stats->toJson());
     root.emplace("results", std::move(results));
-    json::Value(std::move(root)).write(os, 2);
+    return json::Value(std::move(root));
+}
+
+StatRegistry
+sweepRequestStats(std::size_t total, std::size_t hits)
+{
+    StatRegistry registry;
+    registry.counter("runner.jobs_total").inc(total);
+    registry.counter("runner.cache_hits").inc(hits);
+    registry.counter("runner.cache_misses").inc(total - hits);
+    registry.counter("runner.jobs_executed").inc(total - hits);
+    return registry;
+}
+
+void
+writeSweepReport(std::ostream &os, const std::string &name,
+                 const std::vector<JobOutcome> &outcomes,
+                 const StatRegistry *runner_stats)
+{
+    std::vector<json::Value> entries;
+    entries.reserve(outcomes.size());
+    for (const JobOutcome &outcome : outcomes)
+        entries.push_back(sweepEntryJson(outcome));
+    sweepReportJson(name, std::move(entries), runner_stats).write(os, 2);
     os << "\n";
 }
 

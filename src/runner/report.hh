@@ -54,6 +54,33 @@ json::Value jobToJson(const Job &job);
 Job jobFromJson(const json::Value &value);
 
 /**
+ * One sweep-report results[] entry:
+ * {"job": ..., "from_cache": ..., "result": ...}. Exposed so a cluster
+ * worker can serialize its shard's entries and the coordinator can
+ * splice them into a combined report that is byte-identical to a
+ * single-process one.
+ */
+json::Value sweepEntryJson(const JobOutcome &outcome);
+
+/**
+ * Assemble the sweep-report root document from already-serialized
+ * results[] entries (in job order). Dumping this value with indent 2
+ * plus a trailing newline reproduces writeSweepReport's bytes exactly.
+ * @param runner_stats may be null (the "runner" key is then omitted)
+ */
+json::Value sweepReportJson(const std::string &name,
+                            std::vector<json::Value> entries,
+                            const StatRegistry *runner_stats = nullptr);
+
+/**
+ * The per-request stat registry a Runner would have produced for a
+ * batch of @p total jobs of which @p hits came from the cache — used by
+ * the serve daemon and the cluster coordinator so their report bytes
+ * match the CLI's for the same cache state.
+ */
+StatRegistry sweepRequestStats(std::size_t total, std::size_t hits);
+
+/**
  * Write a sweep report: one JSON document covering all @p outcomes.
  * @param name sweep name recorded in the report (e.g. "fig8")
  * @param runner_stats the runner's stat registry (cache hits etc.);

@@ -30,6 +30,13 @@ ThreadPool::~ThreadPool()
         t.join();
 }
 
+std::size_t
+ThreadPool::queuedTasks() const
+{
+    std::lock_guard<std::mutex> lock(poolMutex);
+    return pending;
+}
+
 unsigned
 ThreadPool::defaultWorkers(unsigned fallback)
 {

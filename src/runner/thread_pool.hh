@@ -90,6 +90,10 @@ class ThreadPool
     void parallelFor(std::size_t n,
                      const std::function<void(std::size_t)> &fn);
 
+    /** @return tasks enqueued but not yet claimed by a worker — a
+     *  queue-depth signal for services reporting backlog gauges. */
+    std::size_t queuedTasks() const;
+
     /** @return a worker count from the DYNASPAM_JOBS environment
      *  variable, or @p fallback (hardware concurrency when 0). */
     static unsigned defaultWorkers(unsigned fallback = 0);
@@ -112,7 +116,7 @@ class ThreadPool
     // but not-yet-claimed tasks; it is incremented before the push so it
     // can never observably undercount, which makes it a safe sleep
     // predicate for the workers.
-    std::mutex poolMutex;
+    mutable std::mutex poolMutex;
     std::condition_variable workAvailable;
     std::size_t pending = 0;
     std::size_t nextDeque = 0;

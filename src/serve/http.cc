@@ -4,10 +4,16 @@
 #include <cctype>
 #include <cerrno>
 #include <cstdlib>
+#include <cstring>
 #include <sstream>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
+
+#include "common/logging.hh"
 
 namespace dynaspam::serve
 {
@@ -16,6 +22,13 @@ namespace
 {
 
 const std::string kEmpty;
+
+/**
+ * How long one send may sit unwritable before sendAll gives up. A peer
+ * that stops reading for this long is treated as vanished; a merely
+ * slow peer (tiny SO_SNDBUF, bursty reader) drains well within it.
+ */
+constexpr int kSendStallTimeoutMs = 10000;
 
 std::string
 toLower(std::string s)
@@ -61,43 +74,36 @@ HttpRequest::header(const std::string &name) const
     return it == headers.end() ? kEmpty : it->second;
 }
 
-HttpReadOutcome
-readHttpRequest(int fd, std::size_t max_bytes, HttpRequest &out)
+bool
+HttpRequest::wantsKeepAlive() const
 {
-    std::string buf;
-    char chunk[4096];
+    return toLower(header("connection")) == "keep-alive";
+}
 
-    // Accumulate until the blank line that ends the header block.
-    std::size_t header_end;
-    while (true) {
-        header_end = buf.find("\r\n\r\n");
-        if (header_end != std::string::npos)
-            break;
-        if (buf.size() > max_bytes)
-            return HttpReadOutcome::TooLarge;
-        long n = recvSome(fd, chunk, sizeof(chunk));
-        if (n == 0)
-            return buf.empty() ? HttpReadOutcome::Closed
-                               : HttpReadOutcome::Malformed;
-        if (n == -2)
-            return HttpReadOutcome::Timeout;
-        if (n < 0)
-            return HttpReadOutcome::Malformed;
-        buf.append(chunk, std::size_t(n));
-    }
+HttpParseOutcome
+parseHttpRequest(const std::string &buf, std::size_t max_bytes,
+                 HttpRequest &out, std::size_t &consumed)
+{
+    out = HttpRequest{};
+    consumed = 0;
+
+    std::size_t header_end = buf.find("\r\n\r\n");
+    if (header_end == std::string::npos)
+        return buf.size() > max_bytes ? HttpParseOutcome::TooLarge
+                                      : HttpParseOutcome::NeedMore;
 
     // Request line: METHOD SP TARGET SP VERSION.
     const std::string head = buf.substr(0, header_end);
     std::istringstream lines(head);
     std::string request_line;
     if (!std::getline(lines, request_line))
-        return HttpReadOutcome::Malformed;
+        return HttpParseOutcome::Malformed;
     {
         std::istringstream rl(trim(request_line));
         if (!(rl >> out.method >> out.target >> out.version))
-            return HttpReadOutcome::Malformed;
+            return HttpParseOutcome::Malformed;
         if (out.version.rfind("HTTP/", 0) != 0)
-            return HttpReadOutcome::Malformed;
+            return HttpParseOutcome::Malformed;
     }
 
     // Header lines: "Name: value". Later duplicates win; none of the
@@ -109,7 +115,7 @@ readHttpRequest(int fd, std::size_t max_bytes, HttpRequest &out)
             continue;
         std::size_t colon = line.find(':');
         if (colon == std::string::npos || colon == 0)
-            return HttpReadOutcome::Malformed;
+            return HttpParseOutcome::Malformed;
         out.headers[toLower(trim(line.substr(0, colon)))] =
             trim(line.substr(colon + 1));
     }
@@ -121,58 +127,155 @@ readHttpRequest(int fd, std::size_t max_bytes, HttpRequest &out)
         char *end = nullptr;
         unsigned long long v = std::strtoull(cl.c_str(), &end, 10);
         if (!end || *end)
-            return HttpReadOutcome::Malformed;
+            return HttpParseOutcome::Malformed;
         body_len = std::size_t(v);
     }
     const std::size_t body_start = header_end + 4;
     if (body_start + body_len > max_bytes)
-        return HttpReadOutcome::TooLarge;
+        return HttpParseOutcome::TooLarge;
+    if (buf.size() < body_start + body_len)
+        return HttpParseOutcome::NeedMore;
 
-    out.body = buf.substr(body_start);
-    while (out.body.size() < body_len) {
-        long n = recvSome(fd, chunk,
-                          std::min(sizeof(chunk),
-                                   body_len - out.body.size()));
+    out.body = buf.substr(body_start, body_len);
+    consumed = body_start + body_len;
+    return HttpParseOutcome::Ok;
+}
+
+HttpReadOutcome
+readHttpRequestBuffered(int fd, std::size_t max_bytes, HttpRequest &out,
+                        std::string &carry)
+{
+    char chunk[4096];
+    bool had_bytes = !carry.empty();
+    while (true) {
+        std::size_t consumed = 0;
+        switch (parseHttpRequest(carry, max_bytes, out, consumed)) {
+          case HttpParseOutcome::Ok:
+            carry.erase(0, consumed);
+            return HttpReadOutcome::Ok;
+          case HttpParseOutcome::Malformed:
+            return HttpReadOutcome::Malformed;
+          case HttpParseOutcome::TooLarge:
+            return HttpReadOutcome::TooLarge;
+          case HttpParseOutcome::NeedMore:
+            break;
+        }
+        long n = recvSome(fd, chunk, sizeof(chunk));
         if (n == 0)
-            return HttpReadOutcome::Malformed;    // truncated body
+            return had_bytes ? HttpReadOutcome::Malformed
+                             : HttpReadOutcome::Closed;
         if (n == -2)
             return HttpReadOutcome::Timeout;
         if (n < 0)
             return HttpReadOutcome::Malformed;
-        out.body.append(chunk, std::size_t(n));
+        carry.append(chunk, std::size_t(n));
+        had_bytes = true;
     }
-    if (out.body.size() > body_len)
-        out.body.resize(body_len);    // ignore pipelined trailing bytes
-    return HttpReadOutcome::Ok;
+}
+
+HttpReadOutcome
+readHttpRequest(int fd, std::size_t max_bytes, HttpRequest &out)
+{
+    // One-shot form: pipelined trailing bytes are dropped, as a
+    // close-per-request server never reads a second request.
+    std::string carry;
+    return readHttpRequestBuffered(fd, max_bytes, out, carry);
 }
 
 bool
-writeHttpResponse(int fd, const HttpResponse &resp)
+sendAll(int fd, const char *data, std::size_t len)
+{
+    std::size_t sent = 0;
+    while (sent < len) {
+        // MSG_NOSIGNAL: a vanished client must not SIGPIPE the daemon.
+        ssize_t n = ::send(fd, data + sent, len - sent, MSG_NOSIGNAL);
+        if (n >= 0) {
+            sent += std::size_t(n);
+            continue;
+        }
+        if (errno == EINTR)
+            continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+            // Non-blocking socket (or SO_SNDTIMEO expired) with a full
+            // send buffer: wait for writability, bounded so a peer that
+            // stopped reading cannot pin this thread forever.
+            pollfd pfd{fd, POLLOUT, 0};
+            int ready = ::poll(&pfd, 1, kSendStallTimeoutMs);
+            if (ready < 0 && errno == EINTR)
+                continue;
+            if (ready <= 0)
+                return false;
+            continue;
+        }
+        return false;
+    }
+    return true;
+}
+
+std::string
+serializeHttpResponse(const HttpResponse &resp, bool keep_alive)
 {
     std::ostringstream os;
     os << "HTTP/1.1 " << resp.status << ' '
        << httpStatusReason(resp.status) << "\r\n"
        << "Content-Type: " << resp.contentType << "\r\n"
        << "Content-Length: " << resp.body.size() << "\r\n"
-       << "Connection: close\r\n";
+       << "Connection: " << (keep_alive ? "keep-alive" : "close")
+       << "\r\n";
     for (const auto &kv : resp.extraHeaders)
         os << kv.first << ": " << kv.second << "\r\n";
     os << "\r\n" << resp.body;
+    return os.str();
+}
 
-    const std::string wire = os.str();
-    std::size_t sent = 0;
-    while (sent < wire.size()) {
-        // MSG_NOSIGNAL: a vanished client must not SIGPIPE the daemon.
-        ssize_t n = ::send(fd, wire.data() + sent, wire.size() - sent,
-                           MSG_NOSIGNAL);
-        if (n < 0) {
-            if (errno == EINTR)
-                continue;
-            return false;
-        }
-        sent += std::size_t(n);
+bool
+writeHttpResponse(int fd, const HttpResponse &resp, bool keep_alive)
+{
+    const std::string wire = serializeHttpResponse(resp, keep_alive);
+    return sendAll(fd, wire.data(), wire.size());
+}
+
+int
+listenTcp(const std::string &bind_address, unsigned port, int backlog,
+          unsigned &bound_port)
+{
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        fatal("listen: socket: ", std::strerror(errno));
+
+    int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(std::uint16_t(port));
+    if (::inet_pton(AF_INET, bind_address.c_str(), &addr.sin_addr) != 1) {
+        ::close(fd);
+        fatal("listen: bad bind address \"", bind_address, "\"");
     }
-    return true;
+    if (::bind(fd, reinterpret_cast<sockaddr *>(&addr), sizeof(addr)) !=
+        0) {
+        int err = errno;
+        ::close(fd);
+        fatal("listen: bind ", bind_address, ":", port, ": ",
+              std::strerror(err));
+    }
+    if (::listen(fd, backlog) != 0) {
+        int err = errno;
+        ::close(fd);
+        fatal("listen: ", std::strerror(err));
+    }
+
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(fd, reinterpret_cast<sockaddr *>(&bound), &len) !=
+        0) {
+        int err = errno;
+        ::close(fd);
+        fatal("listen: getsockname: ", std::strerror(err));
+    }
+    bound_port = ntohs(bound.sin_port);
+    return fd;
 }
 
 const char *

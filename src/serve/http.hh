@@ -2,19 +2,37 @@
  * @file
  * Minimal HTTP/1.1 message layer over POSIX sockets.
  *
- * Implements exactly the subset the simulation service needs: reading
- * one request (request line, headers, Content-Length body) from a
- * connected socket with a hard size cap, and writing one response with
- * Content-Length and Connection: close. No keep-alive, no chunked
- * transfer, no TLS — the daemon speaks one request per connection,
- * which keeps graceful drain trivial (a connection is in-flight or it
- * does not exist).
+ * Implements exactly the subset the simulation service needs: parsing
+ * one request (request line, headers, Content-Length body) out of a
+ * byte buffer with a hard size cap, reading one from a connected
+ * socket, and writing one response with Content-Length. No chunked
+ * transfer, no TLS.
+ *
+ * Two front ends share the parser:
+ *  - the thread-per-connection daemon (serve::Server) reads blocking
+ *    sockets via readHttpRequest, optionally keeping the connection
+ *    alive across requests (readHttpRequestBuffered carries pipelined
+ *    leftover bytes between calls);
+ *  - the epoll coordinator (cluster::Coordinator) accumulates bytes
+ *    non-blockingly and calls parseHttpRequest on its own buffers.
+ *
+ * Keep-alive: a response advertises `Connection: keep-alive` or
+ * `Connection: close` depending on the flag the caller passes;
+ * serve::Server grants keep-alive only when the client asked for it
+ * explicitly, the epoll front end defaults to HTTP/1.1 persistent
+ * connections.
  *
  * Header names are lower-cased on parse so lookups are
  * case-insensitive per RFC 9110. Bodies require an explicit
  * Content-Length; requests exceeding the configured cap are rejected
  * before the body is buffered, so a hostile client cannot balloon
  * memory.
+ *
+ * All socket writes go through sendAll, which survives partial writes,
+ * EINTR, and EAGAIN/EWOULDBLOCK (non-blocking sockets or SO_SNDTIMEO
+ * expiry) by polling for writability — a large sweep report is either
+ * delivered completely or reported as a failure, never silently
+ * truncated.
  */
 
 #ifndef DYNASPAM_SERVE_HTTP_HH
@@ -42,7 +60,31 @@ struct HttpRequest
     /** @return header value or empty string when absent (name must be
      *  given lower-case). */
     const std::string &header(const std::string &name) const;
+
+    /** @return true when the client explicitly asked for keep-alive
+     *  (`Connection: keep-alive`, case-insensitive). */
+    bool wantsKeepAlive() const;
 };
+
+/** Outcome of one incremental parse attempt over a byte buffer. */
+enum class HttpParseOutcome
+{
+    NeedMore,  ///< no complete request in the buffer yet
+    Ok,        ///< one request parsed; @p consumed bytes were used
+    Malformed, ///< syntactically invalid request -> 400
+    TooLarge,  ///< exceeds the size cap -> 413
+};
+
+/**
+ * Try to parse one complete request from the front of @p buf.
+ * Does not modify @p buf; on Ok, @p consumed is the number of bytes the
+ * request occupied (the caller erases them, keeping any pipelined
+ * leftover for the next call).
+ * @param max_bytes hard cap on total request size (line+headers+body)
+ */
+HttpParseOutcome parseHttpRequest(const std::string &buf,
+                                  std::size_t max_bytes, HttpRequest &out,
+                                  std::size_t &consumed);
 
 /** Why readHttpRequest stopped. */
 enum class HttpReadOutcome
@@ -62,6 +104,17 @@ enum class HttpReadOutcome
 HttpReadOutcome readHttpRequest(int fd, std::size_t max_bytes,
                                 HttpRequest &out);
 
+/**
+ * Keep-alive variant: like readHttpRequest, but pipelined bytes after
+ * the parsed request stay in @p carry and seed the next call on the
+ * same connection. Timeout with an empty @p carry means the connection
+ * idled between requests (close silently); with buffered bytes it means
+ * a stalled mid-request client (408).
+ */
+HttpReadOutcome readHttpRequestBuffered(int fd, std::size_t max_bytes,
+                                        HttpRequest &out,
+                                        std::string &carry);
+
 /** One response to serialize. */
 struct HttpResponse
 {
@@ -73,11 +126,38 @@ struct HttpResponse
 };
 
 /**
- * Serialize and send @p resp on @p fd (Content-Length + Connection:
- * close are added automatically). @return false if the peer vanished
- * mid-write; the caller just closes the socket either way.
+ * Serialize @p resp into wire bytes (status line, Content-Length,
+ * `Connection: keep-alive` or `close` per @p keep_alive, headers,
+ * body).
  */
-bool writeHttpResponse(int fd, const HttpResponse &resp);
+std::string serializeHttpResponse(const HttpResponse &resp,
+                                  bool keep_alive = false);
+
+/**
+ * Serialize and send @p resp on @p fd. @return false if the peer
+ * vanished or stalled past the send-stall budget mid-write; the caller
+ * just closes the socket either way.
+ */
+bool writeHttpResponse(int fd, const HttpResponse &resp,
+                       bool keep_alive = false);
+
+/**
+ * Send exactly @p len bytes, surviving partial writes, EINTR and
+ * EAGAIN/EWOULDBLOCK (polls for writability with a bounded stall
+ * budget per attempt). Never raises SIGPIPE. @return false when the
+ * peer vanished or stayed unwritable for the whole stall budget.
+ */
+bool sendAll(int fd, const char *data, std::size_t len);
+
+/**
+ * Create a listening TCP socket: SO_REUSEADDR, bind to
+ * @p bind_address:@p port (port 0 picks an ephemeral port), listen with
+ * @p backlog. @p bound_port receives the actually bound port.
+ * @return the listening fd
+ * @throws FatalError when the socket cannot be bound
+ */
+int listenTcp(const std::string &bind_address, unsigned port, int backlog,
+              unsigned &bound_port);
 
 /** Canonical reason phrase for @p status ("OK", "Not Found", ...). */
 const char *httpStatusReason(int status);

@@ -82,6 +82,14 @@ Metrics::set(const std::string &name, double value)
 }
 
 void
+Metrics::set(const std::string &name, const std::string &labels,
+             double value)
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    family(name, Kind::Gauge).children[labels] = value;
+}
+
+void
 Metrics::observe(const std::string &name, double value)
 {
     std::lock_guard<std::mutex> lock(mutex);

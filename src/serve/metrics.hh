@@ -53,6 +53,9 @@ class Metrics
              double delta = 1);
     /** Set gauge @p name to @p value. */
     void set(const std::string &name, double value);
+    /** Set the gauge child with pre-formatted @p labels to @p value. */
+    void set(const std::string &name, const std::string &labels,
+             double value);
     /** Record one observation in histogram @p name. */
     void observe(const std::string &name, double value);
 

@@ -97,6 +97,96 @@ specUint(const json::Value &v, const std::string &key, unsigned fallback,
 
 } // namespace
 
+runner::Job
+jobFromSpecJson(const json::Value &value)
+{
+    if (!value.isObject())
+        fatal("job spec must be a JSON object");
+    static const char *known[] = {"workload", "mode", "trace_length",
+                                  "num_fabrics", "scale"};
+    for (const auto &kv : value.asObject()) {
+        bool ok = std::any_of(std::begin(known), std::end(known),
+                              [&](const char *k) { return kv.first == k; });
+        if (!ok)
+            fatal("unknown job spec field \"", kv.first, "\"");
+    }
+
+    runner::Job job;
+    const json::Value *workload = value.find("workload");
+    if (!workload)
+        fatal("job spec is missing \"workload\"");
+    job.workload = workloads::canonicalWorkloadName(workload->asString());
+    const auto &names = workloads::allWorkloadNames();
+    if (std::find(names.begin(), names.end(), job.workload) == names.end())
+        fatal("unknown workload \"", workload->asString(), "\"");
+
+    if (const json::Value *mode = value.find("mode"))
+        job.mode = runner::parseMode(mode->asString());
+    else
+        job.mode = sim::SystemMode::AccelSpec;
+    job.traceLength = specUint(value, "trace_length", 32, 4096);
+    job.numFabrics = specUint(value, "num_fabrics", 1, 64);
+    job.scale = specUint(value, "scale", 1, 64);
+    return job;
+}
+
+SweepRequest
+parseSweepBody(const std::string &body)
+{
+    SweepRequest req;
+    json::Value parsed = json::Value::parse(body);
+    if (!parsed.isObject())
+        fatal("sweep request must be a JSON object");
+
+    if (const json::Value *list = parsed.find("jobs")) {
+        for (const auto &kv : parsed.asObject())
+            if (kv.first != "jobs")
+                fatal("unknown sweep request field \"", kv.first,
+                      "\" (explicit \"jobs\" lists take no other fields)");
+        req.name = "custom";
+        for (const json::Value &spec : list->asArray())
+            req.jobs.push_back(jobFromSpecJson(spec));
+        if (req.jobs.empty())
+            fatal("\"jobs\" list is empty");
+        return req;
+    }
+
+    static const char *known[] = {"sweep", "workloads", "scale",
+                                  "trace_length"};
+    for (const auto &kv : parsed.asObject()) {
+        bool ok = std::any_of(std::begin(known), std::end(known),
+                              [&](const char *k) { return kv.first == k; });
+        if (!ok)
+            fatal("unknown sweep request field \"", kv.first, "\"");
+    }
+    const json::Value *sweep = parsed.find("sweep");
+    if (!sweep)
+        fatal("sweep request needs \"sweep\" or \"jobs\"");
+    req.name = sweep->asString();
+
+    std::vector<std::string> workloadNames;
+    if (const json::Value *wl = parsed.find("workloads")) {
+        for (const json::Value &w : wl->asArray()) {
+            std::string canon =
+                workloads::canonicalWorkloadName(w.asString());
+            const auto &names = workloads::allWorkloadNames();
+            if (std::find(names.begin(), names.end(), canon) ==
+                names.end())
+                fatal("unknown workload \"", w.asString(), "\"");
+            workloadNames.push_back(canon);
+        }
+        if (workloadNames.empty())
+            fatal("\"workloads\" list is empty");
+    } else {
+        workloadNames = workloads::allWorkloadNames();
+    }
+    unsigned scale = specUint(parsed, "scale", 1, 64);
+    unsigned traceLength = specUint(parsed, "trace_length", 32, 4096);
+    req.jobs = runner::sweepJobs(req.name, workloadNames, scale,
+                                 traceLength);
+    return req;
+}
+
 Server::Server(ServerOptions options_)
     : options(std::move(options_)),
       cache(options.cacheDir),
@@ -156,33 +246,8 @@ Server::start()
     if (::pipe(wakePipe) != 0)
         fatal("serve: pipe: ", std::strerror(errno));
 
-    listenFd = ::socket(AF_INET, SOCK_STREAM, 0);
-    if (listenFd < 0)
-        fatal("serve: socket: ", std::strerror(errno));
-
-    int one = 1;
-    ::setsockopt(listenFd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-
-    sockaddr_in addr{};
-    addr.sin_family = AF_INET;
-    addr.sin_port = htons(std::uint16_t(options.port));
-    if (::inet_pton(AF_INET, options.bindAddress.c_str(),
-                    &addr.sin_addr) != 1)
-        fatal("serve: bad bind address \"", options.bindAddress, "\"");
-
-    if (::bind(listenFd, reinterpret_cast<sockaddr *>(&addr),
-               sizeof(addr)) != 0)
-        fatal("serve: bind ", options.bindAddress, ":", options.port,
-              ": ", std::strerror(errno));
-    if (::listen(listenFd, 128) != 0)
-        fatal("serve: listen: ", std::strerror(errno));
-
-    sockaddr_in bound{};
-    socklen_t len = sizeof(bound);
-    if (::getsockname(listenFd, reinterpret_cast<sockaddr *>(&bound),
-                      &len) != 0)
-        fatal("serve: getsockname: ", std::strerror(errno));
-    boundPort = ntohs(bound.sin_port);
+    listenFd = listenTcp(options.bindAddress, options.port,
+                         options.acceptBacklog, boundPort);
 
     started = true;
     acceptThread = std::thread([this] { acceptLoop(); });
@@ -191,6 +256,7 @@ Server::start()
 void
 Server::beginDrain()
 {
+    draining.store(true, std::memory_order_relaxed);
     if (wakePipe[1] >= 0) {
         char byte = 1;
         [[maybe_unused]] ssize_t n = ::write(wakePipe[1], &byte, 1);
@@ -306,34 +372,53 @@ Server::acceptLoop()
 void
 Server::handleConnection(int fd)
 {
-    HttpRequest req;
-    HttpReadOutcome outcome =
-        readHttpRequest(fd, options.maxRequestBytes, req);
+    std::string carry;
+    bool first = true;
+    while (true) {
+        HttpRequest req;
+        HttpReadOutcome outcome =
+            readHttpRequestBuffered(fd, options.maxRequestBytes, req,
+                                    carry);
 
-    HttpResponse resp;
-    std::string endpoint = "unparsed";
-    switch (outcome) {
-      case HttpReadOutcome::Closed:
-        ::close(fd);
-        return;
-      case HttpReadOutcome::Malformed:
-        resp = errorResponse(400, "malformed HTTP request");
-        break;
-      case HttpReadOutcome::TooLarge:
-        resp = errorResponse(413, "request exceeds size limit");
-        break;
-      case HttpReadOutcome::Timeout:
-        resp = errorResponse(408, "timed out reading request");
-        break;
-      case HttpReadOutcome::Ok:
-        resp = route(req, endpoint);
-        break;
+        HttpResponse resp;
+        std::string endpoint = "unparsed";
+        bool keepAlive = false;
+        switch (outcome) {
+          case HttpReadOutcome::Closed:
+            ::close(fd);
+            return;
+          case HttpReadOutcome::Malformed:
+            resp = errorResponse(400, "malformed HTTP request");
+            break;
+          case HttpReadOutcome::TooLarge:
+            resp = errorResponse(413, "request exceeds size limit");
+            break;
+          case HttpReadOutcome::Timeout:
+            // Between requests on a kept-alive connection a read
+            // timeout just means the client went idle: close silently.
+            // Mid-request (bytes buffered, or the very first request)
+            // it is a stalled client: 408.
+            if (!first && carry.empty()) {
+                ::close(fd);
+                return;
+            }
+            resp = errorResponse(408, "timed out reading request");
+            break;
+          case HttpReadOutcome::Ok:
+            resp = route(req, endpoint);
+            keepAlive = req.wantsKeepAlive() &&
+                        !draining.load(std::memory_order_relaxed);
+            break;
+        }
+
+        metrics_.inc("dynaspam_http_requests_total",
+                     requestLabels(endpoint, resp.status));
+        if (!writeHttpResponse(fd, resp, keepAlive) || !keepAlive) {
+            ::close(fd);
+            return;
+        }
+        first = false;
     }
-
-    metrics_.inc("dynaspam_http_requests_total",
-                 requestLabels(endpoint, resp.status));
-    writeHttpResponse(fd, resp);
-    ::close(fd);
 }
 
 HttpResponse
@@ -386,45 +471,12 @@ Server::handleMetrics()
     return resp;
 }
 
-runner::Job
-Server::jobFromRequestJson(const json::Value &value) const
-{
-    if (!value.isObject())
-        fatal("job spec must be a JSON object");
-    static const char *known[] = {"workload", "mode", "trace_length",
-                                  "num_fabrics", "scale"};
-    for (const auto &kv : value.asObject()) {
-        bool ok = std::any_of(std::begin(known), std::end(known),
-                              [&](const char *k) { return kv.first == k; });
-        if (!ok)
-            fatal("unknown job spec field \"", kv.first, "\"");
-    }
-
-    runner::Job job;
-    const json::Value *workload = value.find("workload");
-    if (!workload)
-        fatal("job spec is missing \"workload\"");
-    job.workload = workloads::canonicalWorkloadName(workload->asString());
-    const auto &names = workloads::allWorkloadNames();
-    if (std::find(names.begin(), names.end(), job.workload) == names.end())
-        fatal("unknown workload \"", workload->asString(), "\"");
-
-    if (const json::Value *mode = value.find("mode"))
-        job.mode = runner::parseMode(mode->asString());
-    else
-        job.mode = sim::SystemMode::AccelSpec;
-    job.traceLength = specUint(value, "trace_length", 32, 4096);
-    job.numFabrics = specUint(value, "num_fabrics", 1, 64);
-    job.scale = specUint(value, "scale", 1, 64);
-    return job;
-}
-
 HttpResponse
 Server::handleRun(const HttpRequest &req)
 {
     runner::Job job;
     try {
-        job = jobFromRequestJson(json::Value::parse(req.body));
+        job = jobFromSpecJson(json::Value::parse(req.body));
     } catch (const FatalError &err) {
         return errorResponse(400, err.what());
     }
@@ -443,72 +495,21 @@ Server::handleRun(const HttpRequest &req)
 HttpResponse
 Server::handleSweep(const HttpRequest &req)
 {
-    std::vector<runner::Job> jobs;
-    std::string name;
+    SweepRequest sweep;
     try {
-        json::Value body = json::Value::parse(req.body);
-        if (!body.isObject())
-            fatal("sweep request must be a JSON object");
-
-        if (const json::Value *list = body.find("jobs")) {
-            for (const auto &kv : body.asObject())
-                if (kv.first != "jobs")
-                    fatal("unknown sweep request field \"", kv.first,
-                          "\" (explicit \"jobs\" lists take no other "
-                          "fields)");
-            name = "custom";
-            for (const json::Value &spec : list->asArray())
-                jobs.push_back(jobFromRequestJson(spec));
-            if (jobs.empty())
-                fatal("\"jobs\" list is empty");
-        } else {
-            static const char *known[] = {"sweep", "workloads", "scale",
-                                          "trace_length"};
-            for (const auto &kv : body.asObject()) {
-                bool ok = std::any_of(
-                    std::begin(known), std::end(known),
-                    [&](const char *k) { return kv.first == k; });
-                if (!ok)
-                    fatal("unknown sweep request field \"", kv.first, "\"");
-            }
-            const json::Value *sweep = body.find("sweep");
-            if (!sweep)
-                fatal("sweep request needs \"sweep\" or \"jobs\"");
-            name = sweep->asString();
-
-            std::vector<std::string> workloadNames;
-            if (const json::Value *wl = body.find("workloads")) {
-                for (const json::Value &w : wl->asArray()) {
-                    std::string canon =
-                        workloads::canonicalWorkloadName(w.asString());
-                    const auto &names = workloads::allWorkloadNames();
-                    if (std::find(names.begin(), names.end(), canon) ==
-                        names.end())
-                        fatal("unknown workload \"", w.asString(), "\"");
-                    workloadNames.push_back(canon);
-                }
-                if (workloadNames.empty())
-                    fatal("\"workloads\" list is empty");
-            } else {
-                workloadNames = workloads::allWorkloadNames();
-            }
-            unsigned scale = specUint(body, "scale", 1, 64);
-            unsigned traceLength = specUint(body, "trace_length", 32, 4096);
-            jobs = runner::sweepJobs(name, workloadNames, scale,
-                                     traceLength);
-        }
+        sweep = parseSweepBody(req.body);
     } catch (const FatalError &err) {
         return errorResponse(400, err.what());
     }
 
     auto deadline = std::chrono::steady_clock::now() +
                     std::chrono::milliseconds(options.requestTimeoutMs);
-    Acquired acq = acquireJobs(jobs, deadline);
+    Acquired acq = acquireJobs(sweep.jobs, deadline);
     if (acq.status != 200)
         return errorResponse(acq.status, acq.error);
 
     HttpResponse resp;
-    resp.body = sweepReport(name, acq.outcomes);
+    resp.body = sweepReport(sweep.name, acq.outcomes);
     return resp;
 }
 
@@ -795,15 +796,12 @@ Server::sweepReport(const std::string &name,
     // Rebuild the per-request registry the CLI's Runner would have
     // produced for exactly this job list, so the report bytes match the
     // CLI's for the same cache state.
-    StatRegistry registry;
-    std::uint64_t hits = 0;
+    std::size_t hits = 0;
     for (const runner::JobOutcome &outcome : outcomes)
         if (outcome.fromCache)
             hits++;
-    registry.counter("runner.jobs_total").inc(outcomes.size());
-    registry.counter("runner.cache_hits").inc(hits);
-    registry.counter("runner.cache_misses").inc(outcomes.size() - hits);
-    registry.counter("runner.jobs_executed").inc(outcomes.size() - hits);
+    StatRegistry registry = runner::sweepRequestStats(outcomes.size(),
+                                                      hits);
 
     std::ostringstream os;
     runner::writeSweepReport(os, name, outcomes, &registry);

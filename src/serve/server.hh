@@ -37,13 +37,17 @@
  * Threading model: one accept thread; one detached thread per
  * connection (HTTP parse + cache probe + wait), simulations on the
  * ThreadPool (`--jobs`). Connections are counted so drain can wait for
- * the active set to reach zero; one request per connection keeps
- * "in-flight" well-defined.
+ * the active set to reach zero. A connection serves one request and
+ * closes unless the client explicitly asks for `Connection:
+ * keep-alive`, in which case requests are served back to back on the
+ * same socket until the client closes, idles past the socket timeout,
+ * or the server begins draining (which stops granting keep-alive).
  */
 
 #ifndef DYNASPAM_SERVE_SERVER_HH
 #define DYNASPAM_SERVE_SERVER_HH
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -56,6 +60,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/json.hh"
+
 #include "runner/job.hh"
 #include "runner/report.hh"
 #include "runner/result_cache.hh"
@@ -65,6 +71,30 @@
 
 namespace dynaspam::serve
 {
+
+/**
+ * Parse + strictly validate one job-spec JSON object
+ * ({"workload": ..., "mode": ..., "trace_length": ..., ...}).
+ * Shared by the single-process daemon and the cluster coordinator so
+ * both reject exactly the same inputs.
+ * @throws FatalError with a descriptive message -> 400
+ */
+runner::Job jobFromSpecJson(const json::Value &value);
+
+/** Parsed form of a POST /sweep request body. */
+struct SweepRequest
+{
+    std::string name;               ///< sweep name ("custom" for jobs[])
+    std::vector<runner::Job> jobs;
+};
+
+/**
+ * Parse + validate a POST /sweep body: either a named sweep
+ * ({"sweep": "fig8", "workloads": [...], "scale": N, ...}) or an
+ * explicit {"jobs": [...]} list.
+ * @throws FatalError with a descriptive message -> 400
+ */
+SweepRequest parseSweepBody(const std::string &body);
 
 /** Configuration for one Server instance. */
 struct ServerOptions
@@ -80,6 +110,8 @@ struct ServerOptions
     std::uint64_t requestTimeoutMs = 120000;
     /** Hard cap on request size (line + headers + body). */
     std::size_t maxRequestBytes = 1 << 20;
+    /** listen(2) backlog for the accept socket. */
+    int acceptBacklog = 128;
     /** Result-cache directory; empty disables the disk cache. */
     std::string cacheDir;
     /** LRU size budget for the cache directory; 0 = unbounded. */
@@ -173,10 +205,6 @@ class Server
     HttpResponse handleHealthz();
     HttpResponse handleMetrics();
 
-    /** Parse + strictly validate one job-spec JSON object.
-     *  @throws FatalError with a descriptive message -> 400 */
-    runner::Job jobFromRequestJson(const json::Value &value) const;
-
     Acquired acquireJobs(const std::vector<runner::Job> &jobs,
                          std::chrono::steady_clock::time_point deadline);
     void submitEntry(const std::shared_ptr<JobEntry> &entry);
@@ -204,6 +232,8 @@ class Server
     std::thread acceptThread;
     bool started = false;
     bool drained = false;
+    /** Set at drain start: responses stop granting keep-alive. */
+    std::atomic<bool> draining{false};
 
     // Connection accounting for drain.
     std::mutex connMutex;

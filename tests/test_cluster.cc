@@ -1,0 +1,642 @@
+/**
+ * @file
+ * Tests for the distributed sweep fabric: the length-prefixed wire
+ * protocol (round-trip, garbage rejection, incremental decode), the
+ * FNV-1a hash-space shard mapping, and the coordinator/worker system
+ * end to end — report byte-identity with single-process sweeps, worker
+ * death mid-sweep with batch reassignment, protocol-garbage resilience,
+ * no-worker 503s, bounded admission, and HTTP keep-alive on the epoll
+ * front end.
+ *
+ * Cluster tests run the coordinator and workers in-process: the
+ * coordinator binds ephemeral ports and each worker runs Worker::run on
+ * its own thread, dialing the coordinator like the real
+ * `dynaspam worker` process would. A gated executeFn turns a worker
+ * into a deterministic crash victim.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "cluster/coordinator.hh"
+#include "cluster/wire.hh"
+#include "cluster/worker.hh"
+#include "common/logging.hh"
+#include "runner/runner.hh"
+
+using namespace dynaspam;
+using cluster::Coordinator;
+using cluster::CoordinatorOptions;
+using cluster::Worker;
+using cluster::WorkerOptions;
+using runner::Job;
+using sim::SystemMode;
+
+namespace fs = std::filesystem;
+
+namespace
+{
+
+/** Fresh unique directory under the system temp dir, removed on exit. */
+class TempDir
+{
+  public:
+    explicit TempDir(const std::string &tag)
+    {
+        static std::atomic<unsigned> next{0};
+        path_ = (fs::temp_directory_path() /
+                 ("dynaspam-cluster-" + tag + "-" +
+                  std::to_string(getpid()) + "-" + std::to_string(next++)))
+                    .string();
+        fs::create_directories(path_);
+    }
+    ~TempDir()
+    {
+        std::error_code ec;
+        fs::remove_all(path_, ec);
+    }
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+};
+
+/** One parsed response from the test HTTP client. */
+struct Reply
+{
+    int status = 0;
+    std::map<std::string, std::string> headers;
+    std::string body;
+};
+
+int
+connectTo(unsigned port)
+{
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return -1;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(std::uint16_t(port));
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+/**
+ * Read exactly one HTTP response from @p fd (headers + Content-Length
+ * body) WITHOUT waiting for EOF — usable on keep-alive connections.
+ */
+Reply
+readReply(int fd)
+{
+    Reply reply;
+    std::string raw;
+    char chunk[4096];
+    std::size_t head_end = std::string::npos;
+    while ((head_end = raw.find("\r\n\r\n")) == std::string::npos) {
+        ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+        if (n <= 0)
+            return reply;
+        raw.append(chunk, std::size_t(n));
+    }
+
+    std::istringstream head(raw.substr(0, head_end));
+    std::string version;
+    head >> version >> reply.status;
+    std::string line;
+    std::getline(head, line);
+    while (std::getline(head, line)) {
+        if (!line.empty() && line.back() == '\r')
+            line.pop_back();
+        std::size_t colon = line.find(':');
+        if (colon == std::string::npos)
+            continue;
+        std::string value = line.substr(colon + 1);
+        std::size_t b = value.find_first_not_of(' ');
+        reply.headers[line.substr(0, colon)] =
+            b == std::string::npos ? "" : value.substr(b);
+    }
+
+    std::size_t body_len = 0;
+    auto it = reply.headers.find("Content-Length");
+    if (it != reply.headers.end())
+        body_len = std::stoul(it->second);
+    reply.body = raw.substr(head_end + 4);
+    while (reply.body.size() < body_len) {
+        ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+        if (n <= 0)
+            break;
+        reply.body.append(chunk, std::size_t(n));
+    }
+    return reply;
+}
+
+bool
+sendRaw(int fd, const std::string &wire)
+{
+    std::size_t sent = 0;
+    while (sent < wire.size()) {
+        ssize_t n = ::send(fd, wire.data() + sent, wire.size() - sent,
+                           MSG_NOSIGNAL);
+        if (n <= 0)
+            return false;
+        sent += std::size_t(n);
+    }
+    return true;
+}
+
+std::string
+requestWire(const std::string &method, const std::string &target,
+            const std::string &body = "")
+{
+    std::ostringstream os;
+    os << method << ' ' << target << " HTTP/1.1\r\n"
+       << "Host: 127.0.0.1\r\n"
+       << "Content-Length: " << body.size() << "\r\n\r\n"
+       << body;
+    return os.str();
+}
+
+/** One-shot request on a fresh connection. */
+Reply
+request(unsigned port, const std::string &method,
+        const std::string &target, const std::string &body = "")
+{
+    int fd = connectTo(port);
+    if (fd < 0)
+        return Reply{};
+    Reply reply;
+    if (sendRaw(fd, requestWire(method, target, body)))
+        reply = readReply(fd);
+    ::close(fd);
+    return reply;
+}
+
+/** Spin until @p predicate holds (bounded; avoids sleep-based races). */
+template <typename Pred>
+bool
+eventually(Pred predicate, unsigned timeout_ms = 10000)
+{
+    for (unsigned waited = 0; waited < timeout_ms; waited++) {
+        if (predicate())
+            return true;
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return predicate();
+}
+
+CoordinatorOptions
+quietCoordinator(unsigned slots)
+{
+    CoordinatorOptions opts;
+    opts.httpPort = 0;
+    opts.workerPort = 0;
+    opts.workerSlots = slots;
+    opts.retryBackoffMs = 10;    // fast reassignment in tests
+    opts.verbose = getenv("DSPAM_TEST_VERBOSE") != nullptr;
+    return opts;
+}
+
+WorkerOptions
+quietWorker(const Coordinator &coordinator, const std::string &cache_dir)
+{
+    WorkerOptions opts;
+    opts.connectPort = coordinator.workerPort();
+    opts.cacheDir = cache_dir;
+    opts.verbose = getenv("DSPAM_TEST_VERBOSE") != nullptr;
+    return opts;
+}
+
+/** The fig8/bfs sweep used throughout: 4 cheap, real simulation jobs. */
+const char *kSweepBody =
+    "{\"sweep\": \"fig8\", \"workloads\": [\"bfs\"],"
+    " \"trace_length\": 16}";
+
+std::vector<Job>
+sweepJobsUnderTest()
+{
+    return runner::sweepJobs("fig8", {"bfs"}, 1, 16);
+}
+
+/** What `dynaspam sweep` writes for the same jobs and cache dir. */
+std::string
+cliReport(const std::string &cache_dir)
+{
+    runner::RunnerOptions opts;
+    opts.jobs = 1;
+    opts.cacheDir = cache_dir;
+    runner::Runner runner(opts);
+    auto outcomes = runner.runAll(sweepJobsUnderTest());
+    std::ostringstream os;
+    runner::writeSweepReport(os, "fig8", outcomes, &runner.stats());
+    return os.str();
+}
+
+} // namespace
+
+// --- Wire protocol --------------------------------------------------------
+
+TEST(ClusterWire, FrameRoundTrip)
+{
+    const std::string payload = "{\"id\": 7}";
+    std::string wire =
+        cluster::encodeFrame(cluster::FrameType::Batch, payload);
+
+    cluster::Frame frame;
+    std::size_t consumed = 0;
+    EXPECT_EQ(cluster::decodeFrame(wire, frame, consumed),
+              cluster::DecodeOutcome::Ok);
+    EXPECT_EQ(frame.type, cluster::FrameType::Batch);
+    EXPECT_EQ(frame.payload, payload);
+    EXPECT_EQ(consumed, wire.size());
+
+    // Two concatenated frames decode one at a time.
+    std::string two =
+        wire + cluster::encodeFrame(cluster::FrameType::Ping, "{}");
+    EXPECT_EQ(cluster::decodeFrame(two, frame, consumed),
+              cluster::DecodeOutcome::Ok);
+    EXPECT_EQ(frame.type, cluster::FrameType::Batch);
+    two.erase(0, consumed);
+    EXPECT_EQ(cluster::decodeFrame(two, frame, consumed),
+              cluster::DecodeOutcome::Ok);
+    EXPECT_EQ(frame.type, cluster::FrameType::Ping);
+    EXPECT_EQ(frame.payload, "{}");
+}
+
+TEST(ClusterWire, TruncatedFramesNeedMore)
+{
+    std::string wire =
+        cluster::encodeFrame(cluster::FrameType::Result, "{\"id\": 1}");
+    cluster::Frame frame;
+    std::size_t consumed = 0;
+    for (std::size_t len = 0; len < wire.size(); len++) {
+        EXPECT_EQ(cluster::decodeFrame(wire.substr(0, len), frame,
+                                       consumed),
+                  cluster::DecodeOutcome::NeedMore)
+            << "at prefix length " << len;
+    }
+}
+
+TEST(ClusterWire, GarbageFramesRejected)
+{
+    cluster::Frame frame;
+    std::size_t consumed = 0;
+
+    // Wrong magic (an HTTP request aimed at the worker port).
+    EXPECT_EQ(cluster::decodeFrame("GET / HTTP/1.1\r\n\r\n", frame,
+                                   consumed),
+              cluster::DecodeOutcome::Bad);
+
+    // Wrong version byte.
+    std::string wire =
+        cluster::encodeFrame(cluster::FrameType::Ping, "{}");
+    wire[2] = char(0x7f);
+    EXPECT_EQ(cluster::decodeFrame(wire, frame, consumed),
+              cluster::DecodeOutcome::Bad);
+
+    // Unknown frame type.
+    wire = cluster::encodeFrame(cluster::FrameType::Ping, "{}");
+    wire[3] = char(0x42);
+    EXPECT_EQ(cluster::decodeFrame(wire, frame, consumed),
+              cluster::DecodeOutcome::Bad);
+
+    // Length field past the payload cap: rejected before allocation.
+    wire = cluster::encodeFrame(cluster::FrameType::Ping, "{}");
+    wire[4] = char(0xff);
+    wire[5] = char(0xff);
+    wire[6] = char(0xff);
+    wire[7] = char(0xff);
+    EXPECT_EQ(cluster::decodeFrame(wire, frame, consumed),
+              cluster::DecodeOutcome::Bad);
+}
+
+// --- Shard mapping --------------------------------------------------------
+
+TEST(ClusterShard, OwnerSlotIsStableAndInRange)
+{
+    const std::vector<Job> jobs = sweepJobsUnderTest();
+    for (unsigned slots : {1u, 2u, 3u, 4u, 7u}) {
+        for (const Job &job : jobs) {
+            unsigned slot = cluster::ownerSlot(job.hash(), slots);
+            EXPECT_LT(slot, slots);
+            // Same hash, same slot count -> same owner, every time.
+            EXPECT_EQ(slot, cluster::ownerSlot(job.hash(), slots));
+        }
+    }
+    // With one slot everything maps to it.
+    EXPECT_EQ(cluster::ownerSlot(0, 1), 0u);
+    EXPECT_EQ(cluster::ownerSlot(~0ull, 1), 0u);
+}
+
+TEST(ClusterShard, HashSpacePartitionIsRoughlyBalanced)
+{
+    // 4096 synthetic hashes over 4 slots: each slot should own a
+    // non-trivial share (the multiply-shift map is uniform for uniform
+    // hashes; FNV-1a output is well spread).
+    constexpr unsigned kSlots = 4;
+    std::vector<unsigned> counts(kSlots, 0);
+    std::uint64_t hash = 0x9e3779b97f4a7c15ull;
+    for (unsigned i = 0; i < 4096; i++) {
+        hash ^= hash >> 33;
+        hash *= 0xff51afd7ed558ccdull;
+        hash ^= hash >> 33;
+        counts[cluster::ownerSlot(hash, kSlots)]++;
+    }
+    for (unsigned slot = 0; slot < kSlots; slot++)
+        EXPECT_GT(counts[slot], 4096u / kSlots / 2)
+            << "slot " << slot << " owns too little of the hash space";
+}
+
+// --- Cluster end to end ---------------------------------------------------
+
+TEST(Cluster, SweepReportByteIdenticalToSingleProcess)
+{
+    TempDir tmp("bytes");
+    Coordinator coordinator(quietCoordinator(3));
+    coordinator.start();
+
+    std::vector<std::unique_ptr<Worker>> workers;
+    std::vector<std::thread> threads;
+    for (unsigned i = 0; i < 3; i++) {
+        workers.push_back(std::make_unique<Worker>(quietWorker(
+            coordinator, tmp.path() + "/worker" + std::to_string(i))));
+        threads.emplace_back([&, i] { workers[i]->run(); });
+    }
+    ASSERT_TRUE(eventually([&] {
+        return coordinator.metrics().value(
+                   "dynaspam_cluster_workers_connected") == 3;
+    }));
+
+    // Cold: every job simulated on some shard; report must match a cold
+    // uncached single-process `dynaspam sweep`.
+    Reply cold = request(coordinator.httpPort(), "POST", "/sweep",
+                         kSweepBody);
+    ASSERT_EQ(cold.status, 200);
+    EXPECT_EQ(cold.body, cliReport(""));
+
+    // Warm: all four jobs answered from shard-local caches; report must
+    // match a warm single-process sweep (one runner warms, one reads).
+    Reply warm = request(coordinator.httpPort(), "POST", "/sweep",
+                         kSweepBody);
+    ASSERT_EQ(warm.status, 200);
+    std::string warm_cache = tmp.path() + "/cli";
+    (void)cliReport(warm_cache);
+    EXPECT_EQ(warm.body, cliReport(warm_cache));
+    EXPECT_EQ(coordinator.metrics().value("dynaspam_cache_hits_total"),
+              4);
+
+    // /run of one job behaves like a one-job sweep named "run".
+    Reply run = request(coordinator.httpPort(), "POST", "/run",
+                        "{\"workload\": \"bfs\", \"trace_length\": 16}");
+    EXPECT_EQ(run.status, 200);
+    EXPECT_NE(run.body.find("\"sweep\": \"run\""), std::string::npos);
+
+    coordinator.beginDrain();
+    coordinator.waitUntilDrained();
+    for (std::thread &t : threads)
+        t.join();
+}
+
+TEST(Cluster, WorkerKilledMidSweepStillYieldsIdenticalReport)
+{
+    TempDir tmp("kill");
+
+    // Decide the victim slot up front: the slot owning the first job's
+    // hash is guaranteed to receive a batch.
+    constexpr unsigned kSlots = 2;
+    const std::vector<Job> jobs = sweepJobsUnderTest();
+    const unsigned victimSlot =
+        cluster::ownerSlot(jobs[0].hash(), kSlots);
+
+    Coordinator coordinator(quietCoordinator(kSlots));
+    coordinator.start();
+
+    // The victim's executeFn blocks until released, so the kill happens
+    // deterministically mid-batch. Its (fake) results never escape: the
+    // link is already shut when the batch would report.
+    std::mutex gate_mutex;
+    std::condition_variable gate_cv;
+    bool gate_open = false;
+    std::atomic<unsigned> victim_calls{0};
+    WorkerOptions victim_opts = quietWorker(coordinator, "");
+    victim_opts.executeFn = [&](const Job &) {
+        victim_calls++;
+        std::unique_lock<std::mutex> lock(gate_mutex);
+        gate_cv.wait(lock, [&] { return gate_open; });
+        return sim::RunResult{};
+    };
+
+    WorkerOptions healthy_opts =
+        quietWorker(coordinator, tmp.path() + "/healthy");
+
+    // Slots are granted in connection order: dial the victim first when
+    // it must own slot 0.
+    std::unique_ptr<Worker> first = std::make_unique<Worker>(
+        victimSlot == 0 ? victim_opts : healthy_opts);
+    std::thread first_thread([&] { first->run(); });
+    ASSERT_TRUE(eventually([&] {
+        return coordinator.metrics().value(
+                   "dynaspam_cluster_workers_connected") == 1;
+    }));
+    std::unique_ptr<Worker> second = std::make_unique<Worker>(
+        victimSlot == 0 ? healthy_opts : victim_opts);
+    std::thread second_thread([&] { second->run(); });
+    ASSERT_TRUE(eventually([&] {
+        return coordinator.metrics().value(
+                   "dynaspam_cluster_workers_connected") == 2;
+    }));
+    Worker &victim_worker = victimSlot == 0 ? *first : *second;
+    std::thread &victim_thread = victimSlot == 0 ? first_thread : second_thread;
+    std::thread &healthy_thread = victimSlot == 0 ? second_thread : first_thread;
+
+    std::thread client([&] {
+        Reply reply = request(coordinator.httpPort(), "POST", "/sweep",
+                              kSweepBody);
+        EXPECT_EQ(reply.status, 200);
+        // Cold cluster, cold CLI: byte-identical despite the crash.
+        EXPECT_EQ(reply.body, cliReport(""));
+    });
+
+    // Wait until the victim is provably mid-batch, then kill it.
+    ASSERT_TRUE(eventually([&] { return victim_calls.load() >= 1; }));
+    victim_worker.shutdownNow();
+
+    client.join();
+
+    // The batch was reassigned (and accounted), not dropped.
+    std::ostringstream label;
+    label << "worker=\"" << victimSlot << "\"";
+    EXPECT_GE(coordinator.metrics().value(
+                  "dynaspam_cluster_batch_retries_total", label.str()),
+              1);
+    EXPECT_EQ(coordinator.metrics().value(
+                  "dynaspam_cluster_workers_connected"),
+              1);
+
+    // Release the gated executeFn so the victim thread can exit.
+    {
+        std::lock_guard<std::mutex> lock(gate_mutex);
+        gate_open = true;
+    }
+    gate_cv.notify_all();
+    victim_thread.join();
+
+    coordinator.beginDrain();
+    coordinator.waitUntilDrained();
+    healthy_thread.join();
+}
+
+TEST(Cluster, GarbageOnWorkerPortDoesNotDisturbService)
+{
+    TempDir tmp("garbage");
+    Coordinator coordinator(quietCoordinator(2));
+    coordinator.start();
+
+    // An HTTP request aimed at the worker port: bad magic, dropped.
+    int bad = connectTo(coordinator.workerPort());
+    ASSERT_GE(bad, 0);
+    sendRaw(bad, "GET / HTTP/1.1\r\nHost: x\r\n\r\n");
+
+    // A truncated-then-abandoned frame: valid header, missing payload.
+    int trunc = connectTo(coordinator.workerPort());
+    ASSERT_GE(trunc, 0);
+    std::string frame =
+        cluster::encodeFrame(cluster::FrameType::Hello, "{\"protocol\": 1}");
+    sendRaw(trunc, frame.substr(0, frame.size() - 4));
+
+    // The coordinator keeps serving and a real worker can still join.
+    EXPECT_EQ(request(coordinator.httpPort(), "GET", "/healthz").status,
+              200);
+    Worker worker(quietWorker(coordinator, tmp.path() + "/w"));
+    std::thread worker_thread([&] { worker.run(); });
+    ASSERT_TRUE(eventually([&] {
+        return coordinator.metrics().value(
+                   "dynaspam_cluster_workers_connected") == 1;
+    }));
+    ::close(bad);
+    ::close(trunc);
+
+    Reply sweep = request(coordinator.httpPort(), "POST", "/sweep",
+                          kSweepBody);
+    EXPECT_EQ(sweep.status, 200);
+    EXPECT_EQ(sweep.body, cliReport(""));
+
+    coordinator.beginDrain();
+    coordinator.waitUntilDrained();
+    worker_thread.join();
+}
+
+TEST(Cluster, NoWorkersMeans503AndBadBodiesMean400)
+{
+    Coordinator coordinator(quietCoordinator(2));
+    coordinator.start();
+
+    Reply no_workers = request(coordinator.httpPort(), "POST", "/sweep",
+                               kSweepBody);
+    EXPECT_EQ(no_workers.status, 503);
+    EXPECT_NE(no_workers.body.find("no workers connected"),
+              std::string::npos);
+
+    EXPECT_EQ(request(coordinator.httpPort(), "POST", "/sweep",
+                      "{not json").status, 400);
+    EXPECT_EQ(request(coordinator.httpPort(), "POST", "/run",
+                      "{\"workload\": \"nope\"}").status, 400);
+    EXPECT_EQ(request(coordinator.httpPort(), "GET", "/sweep").status,
+              405);
+    EXPECT_EQ(request(coordinator.httpPort(), "GET", "/nope").status,
+              404);
+    EXPECT_EQ(request(coordinator.httpPort(), "GET",
+                      "/results/0123").status, 404);
+
+    coordinator.beginDrain();
+    coordinator.waitUntilDrained();
+}
+
+TEST(Cluster, KeepAliveServesManyRequestsOnOneConnection)
+{
+    Coordinator coordinator(quietCoordinator(1));
+    coordinator.start();
+
+    // HTTP/1.1 persistence is the default on the epoll front end: many
+    // requests, one connection, one connection-count increment.
+    int fd = connectTo(coordinator.httpPort());
+    ASSERT_GE(fd, 0);
+    for (unsigned i = 0; i < 5; i++) {
+        ASSERT_TRUE(sendRaw(fd, requestWire("GET", "/healthz")));
+        Reply reply = readReply(fd);
+        EXPECT_EQ(reply.status, 200);
+        EXPECT_EQ(reply.headers.at("Connection"), "keep-alive");
+    }
+
+    // Pipelined back-to-back requests also all get answered.
+    ASSERT_TRUE(sendRaw(fd, requestWire("GET", "/healthz") +
+                                requestWire("GET", "/metrics")));
+    EXPECT_EQ(readReply(fd).status, 200);
+    Reply scrape = readReply(fd);
+    EXPECT_EQ(scrape.status, 200);
+    EXPECT_NE(scrape.body.find("dynaspam_http_connections_total 1\n"),
+              std::string::npos);
+
+    // `Connection: close` is honored: response says close, then EOF.
+    ASSERT_TRUE(sendRaw(fd, "GET /healthz HTTP/1.1\r\nHost: x\r\n"
+                            "Connection: close\r\n\r\n"));
+    Reply last = readReply(fd);
+    EXPECT_EQ(last.status, 200);
+    EXPECT_EQ(last.headers.at("Connection"), "close");
+    char byte;
+    EXPECT_EQ(::recv(fd, &byte, 1, 0), 0);
+    ::close(fd);
+
+    coordinator.beginDrain();
+    coordinator.waitUntilDrained();
+}
+
+TEST(Cluster, AdmissionBoundReturns429)
+{
+    CoordinatorOptions opts = quietCoordinator(1);
+    opts.queueCapacity = 2;    // fig8/bfs needs 4 job slots
+    Coordinator coordinator(opts);
+    coordinator.start();
+
+    // One worker so admission (not worker-absence) is the limiter; the
+    // sweep is larger than the queue, so it is refused outright.
+    TempDir tmp("admission");
+    Worker worker(quietWorker(coordinator, tmp.path() + "/w"));
+    std::thread worker_thread([&] { worker.run(); });
+    ASSERT_TRUE(eventually([&] {
+        return coordinator.metrics().value(
+                   "dynaspam_cluster_workers_connected") == 1;
+    }));
+
+    Reply reply = request(coordinator.httpPort(), "POST", "/sweep",
+                          kSweepBody);
+    EXPECT_EQ(reply.status, 429);
+    EXPECT_EQ(reply.headers.at("Retry-After"), "2");
+    EXPECT_NE(reply.body.find("admission queue full"), std::string::npos);
+
+    coordinator.beginDrain();
+    coordinator.waitUntilDrained();
+    worker_thread.join();
+}

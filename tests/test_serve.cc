@@ -28,6 +28,7 @@
 #include <vector>
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
 #include <unistd.h>
@@ -35,6 +36,7 @@
 #include "common/logging.hh"
 #include "common/stats.hh"
 #include "runner/runner.hh"
+#include "serve/http.hh"
 #include "serve/metrics.hh"
 #include "serve/server.hh"
 
@@ -267,6 +269,145 @@ TEST(ServeMetrics, RendersAllKindsDeterministically)
     EXPECT_NE(text.find("c_hist_count 3\n"), std::string::npos);
     EXPECT_EQ(metrics.value("b_counter", "k=\"v\""), 2);
     EXPECT_EQ(text, metrics.render());
+}
+
+TEST(ServeHttp, SendAllSurvivesPartialWritesAndEagain)
+{
+    // Regression: a response larger than the socket buffer used to be
+    // silently truncated when send() went short or returned EAGAIN.
+    // Force both: a tiny SO_SNDBUF, a non-blocking sender, and a reader
+    // that only drains after the writer has already filled the buffer.
+    int fds[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    const int sndbuf = 4096;
+    ::setsockopt(fds[0], SOL_SOCKET, SO_SNDBUF, &sndbuf, sizeof(sndbuf));
+    const int flags = ::fcntl(fds[0], F_GETFL, 0);
+    ASSERT_EQ(::fcntl(fds[0], F_SETFL, flags | O_NONBLOCK), 0);
+
+    std::string payload(1 << 20, 'x');
+    for (std::size_t i = 0; i < payload.size(); i += 977)
+        payload[i] = char('a' + (i % 26));
+
+    std::string received;
+    std::thread reader([&] {
+        // Give the writer time to hit a full buffer before draining.
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        char chunk[8192];
+        while (true) {
+            ssize_t n = ::recv(fds[1], chunk, sizeof(chunk), 0);
+            if (n <= 0)
+                break;
+            received.append(chunk, std::size_t(n));
+        }
+    });
+
+    EXPECT_TRUE(serve::sendAll(fds[0], payload.data(), payload.size()));
+    ::close(fds[0]);
+    reader.join();
+    ::close(fds[1]);
+
+    // Every byte arrived, in order — no silent truncation.
+    EXPECT_EQ(received.size(), payload.size());
+    EXPECT_EQ(received, payload);
+}
+
+TEST(ServeHttp, SendAllReportsVanishedPeer)
+{
+    int fds[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    ::close(fds[1]);
+    std::string payload(1 << 16, 'x');
+    EXPECT_FALSE(serve::sendAll(fds[0], payload.data(), payload.size()));
+    ::close(fds[0]);
+}
+
+// --- Keep-alive (opt-in on the blocking server) ---------------------------
+
+TEST(Serve, KeepAliveIsOptInAndServesSequentialRequests)
+{
+    GatedExecutor gate;
+    gate.release();
+    Server server(fakeOptions(gate));
+    server.start();
+
+    int fd = connectTo(server.port());
+    ASSERT_GE(fd, 0);
+
+    auto exchange = [&](const std::string &wire) {
+        std::size_t sent = 0;
+        while (sent < wire.size()) {
+            ssize_t n = ::send(fd, wire.data() + sent, wire.size() - sent,
+                               MSG_NOSIGNAL);
+            ASSERT_GT(n, 0);
+            sent += std::size_t(n);
+        }
+    };
+
+    // Read one response's headers+body without waiting for EOF.
+    auto read_reply = [&]() {
+        Reply reply;
+        std::string raw;
+        char chunk[4096];
+        std::size_t head_end;
+        while ((head_end = raw.find("\r\n\r\n")) == std::string::npos) {
+            ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+            if (n <= 0)
+                return reply;
+            raw.append(chunk, std::size_t(n));
+        }
+        std::istringstream head(raw.substr(0, head_end));
+        std::string version;
+        head >> version >> reply.status;
+        std::string line;
+        std::getline(head, line);
+        while (std::getline(head, line)) {
+            if (!line.empty() && line.back() == '\r')
+                line.pop_back();
+            std::size_t colon = line.find(':');
+            if (colon == std::string::npos)
+                continue;
+            std::string value = line.substr(colon + 1);
+            std::size_t b = value.find_first_not_of(' ');
+            reply.headers[line.substr(0, colon)] =
+                b == std::string::npos ? "" : value.substr(b);
+        }
+        reply.body = raw.substr(head_end + 4);
+        std::size_t body_len = 0;
+        auto it = reply.headers.find("Content-Length");
+        if (it != reply.headers.end())
+            body_len = std::stoul(it->second);
+        while (reply.body.size() < body_len) {
+            ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+            if (n <= 0)
+                break;
+            reply.body.append(chunk, std::size_t(n));
+        }
+        return reply;
+    };
+
+    // Three requests on one connection, each asking for keep-alive.
+    for (unsigned i = 0; i < 3; i++) {
+        std::ostringstream os;
+        os << "GET /healthz HTTP/1.1\r\nHost: x\r\n"
+           << "Connection: keep-alive\r\n\r\n";
+        exchange(os.str());
+        Reply reply = read_reply();
+        EXPECT_EQ(reply.status, 200);
+        EXPECT_EQ(reply.headers.at("Connection"), "keep-alive");
+    }
+
+    // Without the opt-in header the server closes after responding —
+    // the pre-keep-alive contract existing clients rely on.
+    exchange("GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n");
+    Reply final_reply = read_reply();
+    EXPECT_EQ(final_reply.status, 200);
+    EXPECT_EQ(final_reply.headers.at("Connection"), "close");
+    char byte;
+    EXPECT_EQ(::recv(fd, &byte, 1, 0), 0);
+    ::close(fd);
+
+    server.beginDrain();
+    server.waitUntilDrained();
 }
 
 // --- Routing and validation ----------------------------------------------
