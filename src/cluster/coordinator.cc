@@ -169,10 +169,6 @@ Coordinator::~Coordinator()
         beginDrain();
         waitUntilDrained();
     }
-    for (int fd : {epollFd, listenHttpFd, listenWorkerFd, wakePipe[0],
-                   wakePipe[1]})
-        if (fd >= 0)
-            ::close(fd);
 }
 
 void
@@ -181,32 +177,31 @@ Coordinator::start()
     if (started)
         panic("Coordinator::start called twice");
 
-    if (::pipe(wakePipe) != 0)
-        fatal("coordinator: pipe: ", std::strerror(errno));
+    wakePipe = common::Pipe::create();
     // The event loop drains the wake pipe until EAGAIN; it must never
     // block there.
-    setNonBlocking(wakePipe[0]);
+    setNonBlocking(wakePipe.readEnd.get());
 
     listenHttpFd = serve::listenTcp(options.bindAddress, options.httpPort,
                                     options.acceptBacklog, httpPort_);
     listenWorkerFd =
         serve::listenTcp(options.bindAddress, options.workerPort,
                          options.acceptBacklog, workerPort_);
-    setNonBlocking(listenHttpFd);
-    setNonBlocking(listenWorkerFd);
+    setNonBlocking(listenHttpFd.get());
+    setNonBlocking(listenWorkerFd.get());
 
-    epollFd = ::epoll_create1(0);
-    if (epollFd < 0)
+    epollFd.reset(::epoll_create1(0));
+    if (!epollFd)
         fatal("coordinator: epoll_create1: ", std::strerror(errno));
-    for (int fd : {listenHttpFd, listenWorkerFd, wakePipe[0]}) {
+    for (int fd : {listenHttpFd.get(), listenWorkerFd.get(),
+                   wakePipe.readEnd.get()}) {
         epoll_event ev{};
         ev.events = EPOLLIN;
         ev.data.fd = fd;
-        if (::epoll_ctl(epollFd, EPOLL_CTL_ADD, fd, &ev) != 0)
+        if (::epoll_ctl(epollFd.get(), EPOLL_CTL_ADD, fd, &ev) != 0)
             fatal("coordinator: epoll_ctl: ", std::strerror(errno));
     }
 
-    lastPingSweep = Clock::now();
     started = true;
     loopThread = std::thread([this] { eventLoop(); });
 }
@@ -214,9 +209,10 @@ Coordinator::start()
 void
 Coordinator::beginDrain()
 {
-    if (wakePipe[1] >= 0) {
+    if (wakePipe.writeEnd.valid()) {
         char byte = 1;
-        [[maybe_unused]] ssize_t n = ::write(wakePipe[1], &byte, 1);
+        [[maybe_unused]] ssize_t n =
+            ::write(wakePipe.writeEnd.get(), &byte, 1);
     }
 }
 
@@ -235,7 +231,8 @@ Coordinator::serveForever()
 {
     start();
 
-    gCoordinatorWakeFd.store(wakePipe[1], std::memory_order_relaxed);
+    gCoordinatorWakeFd.store(wakePipe.writeEnd.get(),
+                             std::memory_order_relaxed);
     struct sigaction sa{};
     sa.sa_handler = coordinatorSignalHandler;
     sigemptyset(&sa.sa_mask);
@@ -260,9 +257,16 @@ Coordinator::serveForever()
 void
 Coordinator::eventLoop()
 {
+    // The loop thread owns every piece of GUARDED_BY(loopRole) state for
+    // its entire lifetime; helpers REQUIRES(loopRole) and are therefore
+    // uncallable from any other thread.
+    common::ScopedRole role(loopRole);
+
+    lastPingSweep = Clock::now();
+
     std::vector<epoll_event> events(64);
     while (true) {
-        int ready = ::epoll_wait(epollFd, events.data(),
+        int ready = ::epoll_wait(epollFd.get(), events.data(),
                                  int(events.size()), kEpollTickMs);
         if (ready < 0) {
             if (errno == EINTR)
@@ -278,29 +282,31 @@ Coordinator::eventLoop()
             for (int i = 0; i < ready; i++) {
                 int fd = events[i].data.fd;
                 bool isListen =
-                    fd == listenHttpFd || fd == listenWorkerFd ||
-                    fd == wakePipe[0];
+                    fd == listenHttpFd.get() ||
+                    fd == listenWorkerFd.get() ||
+                    fd == wakePipe.readEnd.get();
                 if ((pass == 0) == isListen)
                     continue;
 
-                if (fd == wakePipe[0]) {
+                if (fd == wakePipe.readEnd.get()) {
                     char sink[64];
-                    while (::read(wakePipe[0], sink, sizeof(sink)) > 0) {
+                    while (::read(wakePipe.readEnd.get(), sink,
+                                  sizeof(sink)) > 0) {
                     }
                     if (!draining) {
                         draining = true;
-                        for (int *lfd : {&listenHttpFd, &listenWorkerFd}) {
-                            if (*lfd >= 0) {
-                                ::epoll_ctl(epollFd, EPOLL_CTL_DEL, *lfd,
-                                            nullptr);
-                                ::close(*lfd);
-                                *lfd = -1;
+                        for (common::Fd *lfd :
+                             {&listenHttpFd, &listenWorkerFd}) {
+                            if (lfd->valid()) {
+                                ::epoll_ctl(epollFd.get(), EPOLL_CTL_DEL,
+                                            lfd->get(), nullptr);
+                                lfd->reset();
                             }
                         }
                     }
-                } else if (fd == listenHttpFd) {
+                } else if (fd == listenHttpFd.get()) {
                     acceptClients();
-                } else if (fd == listenWorkerFd) {
+                } else if (fd == listenWorkerFd.get()) {
                     acceptWorkers();
                 } else if (clients.count(fd)) {
                     if (events[i].events & (EPOLLHUP | EPOLLERR))
@@ -354,7 +360,7 @@ Coordinator::updateEvents(int fd, bool wantWrite)
     epoll_event ev{};
     ev.events = wantWrite ? (EPOLLIN | EPOLLOUT) : EPOLLIN;
     ev.data.fd = fd;
-    if (::epoll_ctl(epollFd, EPOLL_CTL_MOD, fd, &ev) != 0)
+    if (::epoll_ctl(epollFd.get(), EPOLL_CTL_MOD, fd, &ev) != 0)
         warn("coordinator: epoll_ctl mod: ", std::strerror(errno));
 }
 
@@ -362,8 +368,9 @@ void
 Coordinator::acceptClients()
 {
     while (true) {
-        int fd = ::accept4(listenHttpFd, nullptr, nullptr, SOCK_NONBLOCK);
-        if (fd < 0) {
+        common::Fd accepted(::accept4(listenHttpFd.get(), nullptr,
+                                      nullptr, SOCK_NONBLOCK));
+        if (!accepted) {
             if (errno == EAGAIN || errno == EWOULDBLOCK)
                 return;
             if (errno == EINTR || errno == ECONNABORTED)
@@ -373,14 +380,15 @@ Coordinator::acceptClients()
         }
         epoll_event ev{};
         ev.events = EPOLLIN;
-        ev.data.fd = fd;
-        if (::epoll_ctl(epollFd, EPOLL_CTL_ADD, fd, &ev) != 0) {
-            ::close(fd);
-            continue;
-        }
+        ev.data.fd = accepted.get();
+        if (::epoll_ctl(epollFd.get(), EPOLL_CTL_ADD, accepted.get(),
+                        &ev) != 0)
+            continue;    // `accepted` closes the socket
         ClientConn conn;
-        conn.fd = fd;
-        clients.emplace(fd, std::move(conn));
+        // analyze-owns: the clients map owns the fd; closeClient() and
+        // the event-loop teardown close it.
+        conn.fd = accepted.release();
+        clients.emplace(conn.fd, std::move(conn));
         metrics_.inc("dynaspam_http_connections_total");
     }
 }
@@ -389,9 +397,9 @@ void
 Coordinator::acceptWorkers()
 {
     while (true) {
-        int fd =
-            ::accept4(listenWorkerFd, nullptr, nullptr, SOCK_NONBLOCK);
-        if (fd < 0) {
+        common::Fd accepted(::accept4(listenWorkerFd.get(), nullptr,
+                                      nullptr, SOCK_NONBLOCK));
+        if (!accepted) {
             if (errno == EAGAIN || errno == EWOULDBLOCK)
                 return;
             if (errno == EINTR || errno == ECONNABORTED)
@@ -401,15 +409,16 @@ Coordinator::acceptWorkers()
         }
         epoll_event ev{};
         ev.events = EPOLLIN;
-        ev.data.fd = fd;
-        if (::epoll_ctl(epollFd, EPOLL_CTL_ADD, fd, &ev) != 0) {
-            ::close(fd);
-            continue;
-        }
+        ev.data.fd = accepted.get();
+        if (::epoll_ctl(epollFd.get(), EPOLL_CTL_ADD, accepted.get(),
+                        &ev) != 0)
+            continue;    // `accepted` closes the socket
         WorkerConn conn;
-        conn.fd = fd;
+        // analyze-owns: the workers map owns the fd; dropWorker() and
+        // the event-loop teardown close it.
+        conn.fd = accepted.release();
         conn.lastPong = Clock::now();
-        workers.emplace(fd, std::move(conn));
+        workers.emplace(conn.fd, std::move(conn));
     }
 }
 

@@ -54,7 +54,10 @@
 #include <vector>
 
 #include "cluster/wire.hh"
+#include "common/annotations.hh"
+#include "common/fd.hh"
 #include "common/json.hh"
+#include "common/mutex.hh"
 #include "runner/job.hh"
 #include "serve/http.hh"
 #include "serve/metrics.hh"
@@ -197,80 +200,100 @@ class Coordinator
     };
 
     void eventLoop();
-    void updateEvents(int fd, bool wantWrite);
-    void acceptClients();
-    void acceptWorkers();
+    void updateEvents(int fd, bool wantWrite) REQUIRES(loopRole);
+    void acceptClients() REQUIRES(loopRole);
+    void acceptWorkers() REQUIRES(loopRole);
 
-    void onClientReadable(int fd);
-    void onClientWritable(int fd);
+    void onClientReadable(int fd) REQUIRES(loopRole);
+    void onClientWritable(int fd) REQUIRES(loopRole);
     /** Parse+dispatch buffered requests (by fd: handlers may close). */
-    void parseClientRequests(int fd);
-    void handleHttpRequest(ClientConn &conn, const serve::HttpRequest &req);
+    void parseClientRequests(int fd) REQUIRES(loopRole);
+    void handleHttpRequest(ClientConn &conn, const serve::HttpRequest &req)
+        REQUIRES(loopRole);
     void queueResponse(ClientConn &conn, const serve::HttpResponse &resp,
-                       bool keep_alive, const std::string &endpoint);
-    void closeClient(int fd);
+                       bool keep_alive, const std::string &endpoint)
+        REQUIRES(loopRole);
+    void closeClient(int fd) REQUIRES(loopRole);
 
-    void onWorkerReadable(int fd);
-    void onWorkerWritable(int fd);
-    void handleWorkerFrame(WorkerConn &conn, const Frame &frame);
-    void handleResult(WorkerConn &conn, const Frame &frame);
+    void onWorkerReadable(int fd) REQUIRES(loopRole);
+    void onWorkerWritable(int fd) REQUIRES(loopRole);
+    void handleWorkerFrame(WorkerConn &conn, const Frame &frame)
+        REQUIRES(loopRole);
+    void handleResult(WorkerConn &conn, const Frame &frame)
+        REQUIRES(loopRole);
     void queueFrame(WorkerConn &conn, FrameType type,
-                    const json::Value &payload);
+                    const json::Value &payload) REQUIRES(loopRole);
     /** Declare a worker dead and reassign its inflight batches. */
-    void dropWorker(int fd, const char *why);
+    void dropWorker(int fd, const char *why) REQUIRES(loopRole);
 
     /** Admit a /run or /sweep: shard, batch, fan out. */
     void admitRequest(ClientConn &conn, const std::string &endpoint,
                       const std::string &name,
-                      std::vector<runner::Job> jobs, bool keep_alive);
+                      std::vector<runner::Job> jobs, bool keep_alive)
+        REQUIRES(loopRole);
     /** Try to assign every unassigned batch whose backoff has expired. */
-    void assignPendingBatches();
-    bool assignBatch(Batch &batch);
+    void assignPendingBatches() REQUIRES(loopRole);
+    bool assignBatch(Batch &batch) REQUIRES(loopRole);
     /** Fail @p requestId with an error response; drops its batches. */
     void failRequest(std::uint64_t requestId, int status,
-                     const std::string &message);
-    void finishRequest(Request &request);
+                     const std::string &message) REQUIRES(loopRole);
+    void finishRequest(Request &request) REQUIRES(loopRole);
     /** Respond to the request's client (if still connected). */
-    void respond(const Request &request, const serve::HttpResponse &resp);
-    void dropRequestBatches(const Request &request);
+    void respond(const Request &request, const serve::HttpResponse &resp)
+        REQUIRES(loopRole);
+    void dropRequestBatches(const Request &request) REQUIRES(loopRole);
 
-    void sendPings();
-    void checkTimers();
-    std::size_t liveWorkerCount() const;
-    int liveWorkerForSlot(unsigned slot) const;
-    void updateWorkerGauge();
+    void sendPings() REQUIRES(loopRole);
+    void checkTimers() REQUIRES(loopRole);
+    std::size_t liveWorkerCount() const REQUIRES(loopRole);
+    int liveWorkerForSlot(unsigned slot) const REQUIRES(loopRole);
+    void updateWorkerGauge() REQUIRES(loopRole);
 
-    serve::HttpResponse handleMetricsScrape();
+    serve::HttpResponse handleMetricsScrape() REQUIRES(loopRole);
     static serve::HttpResponse errorResponse(int status,
                                              const std::string &message);
 
     CoordinatorOptions options;
     serve::Metrics metrics_;
 
-    int epollFd = -1;
-    int listenHttpFd = -1;
-    int listenWorkerFd = -1;
-    int wakePipe[2] = {-1, -1};
+    // Lifecycle plumbing. The listen sockets and the epoll instance are
+    // created by start() before the loop thread exists and closed by the
+    // loop thread (drain) or the destructor (after join) — never
+    // concurrently.
+    common::Fd epollFd;
+    common::Fd listenHttpFd;
+    common::Fd listenWorkerFd;
+    common::Pipe wakePipe;
     unsigned httpPort_ = 0;
     unsigned workerPort_ = 0;
     std::thread loopThread;
     bool started = false;
     bool drained = false;
-    bool draining = false;
 
-    std::map<int, ClientConn> clients;
-    std::map<int, WorkerConn> workers;
+    /**
+     * Everything below is thread-confined to the epoll loop: eventLoop()
+     * holds loopRole for its whole lifetime, and the analysis rejects
+     * any other path into the REQUIRES(loopRole) machinery above. The
+     * only cross-thread entry points are beginDrain() (writes the wake
+     * pipe) and metrics_ (internally locked).
+     */
+    common::ThreadRole loopRole;
+
+    bool draining GUARDED_BY(loopRole) = false;
+
+    std::map<int, ClientConn> clients GUARDED_BY(loopRole);
+    std::map<int, WorkerConn> workers GUARDED_BY(loopRole);
     /** slot -> worker fd (-1 = vacant). */
-    std::vector<int> slotFd;
+    std::vector<int> slotFd GUARDED_BY(loopRole);
 
-    std::map<std::uint64_t, Request> requests;
-    std::map<std::uint64_t, Batch> batches;
-    std::uint64_t nextRequestId = 1;
-    std::uint64_t nextBatchId = 1;
-    std::uint64_t pingTick = 0;
-    Clock::time_point lastPingSweep;
+    std::map<std::uint64_t, Request> requests GUARDED_BY(loopRole);
+    std::map<std::uint64_t, Batch> batches GUARDED_BY(loopRole);
+    std::uint64_t nextRequestId GUARDED_BY(loopRole) = 1;
+    std::uint64_t nextBatchId GUARDED_BY(loopRole) = 1;
+    std::uint64_t pingTick GUARDED_BY(loopRole) = 0;
+    Clock::time_point lastPingSweep GUARDED_BY(loopRole);
     /** Jobs belonging to unfinished requests (admission gauge). */
-    std::size_t outstandingJobs = 0;
+    std::size_t outstandingJobs GUARDED_BY(loopRole) = 0;
 };
 
 } // namespace dynaspam::cluster

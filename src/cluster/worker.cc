@@ -66,10 +66,9 @@ Worker::Worker(WorkerOptions options_)
 int
 Worker::run()
 {
-    int fd = -1;
     for (unsigned attempt = 0;; attempt++) {
-        fd = ::socket(AF_INET, SOCK_STREAM, 0);
-        if (fd < 0) {
+        common::Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+        if (!fd) {
             warn("worker: socket: ", std::strerror(errno));
             return 1;
         }
@@ -80,14 +79,12 @@ Worker::run()
                         &addr.sin_addr) != 1) {
             warn("worker: bad coordinator address \"", options.connectHost,
                  "\" (IPv4 literal required)");
-            ::close(fd);
             return 1;
         }
-        if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+        if (::connect(fd.get(), reinterpret_cast<sockaddr *>(&addr),
                       sizeof(addr)) == 0)
-            break;
-        ::close(fd);
-        fd = -1;
+            // serveConnection takes ownership and closes on all paths.
+            return serveConnection(fd.release());
         if (attempt + 1 >= options.connectRetries) {
             warn("worker: cannot reach coordinator at ",
                  options.connectHost, ":", options.connectPort, " after ",
@@ -97,21 +94,30 @@ Worker::run()
         std::this_thread::sleep_for(
             std::chrono::milliseconds(options.connectRetryMs));
     }
-    return serveConnection(fd);
 }
 
 int
 Worker::serveConnection(int fd)
 {
-    fd_.store(fd, std::memory_order_relaxed);
+    // Owns @p fd (int parameter so tests can hand it a socketpair end).
+    common::Fd link(fd);
+    {
+        common::MutexLock lock(fdMutex);
+        linkFd = fd;
+    }
 
     timeval tv{};
     tv.tv_sec = kCoordinatorSilenceTimeoutSec;
     ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
 
-    auto finish = [this, fd](int code) {
-        fd_.store(-1, std::memory_order_relaxed);
-        ::close(fd);
+    // Clearing linkFd under the lock strictly precedes `link` closing
+    // the socket (at return), so a concurrent shutdownNow() either sees
+    // the live fd and shuts it down before we close, or sees -1.
+    auto finish = [this](int code) {
+        {
+            common::MutexLock lock(fdMutex);
+            linkFd = -1;
+        }
         if (cache.enabled()) {
             runner::CacheGcStats gc = cache.gc(options.cacheMaxBytes);
             cacheEvictions += gc.staleEvicted + gc.lruEvicted;
@@ -197,9 +203,9 @@ void
 Worker::shutdownNow()
 {
     stopping.store(true, std::memory_order_relaxed);
-    int fd = fd_.load(std::memory_order_relaxed);
-    if (fd >= 0)
-        ::shutdown(fd, SHUT_RDWR);
+    common::MutexLock lock(fdMutex);
+    if (linkFd >= 0)
+        ::shutdown(linkFd, SHUT_RDWR);
 }
 
 bool

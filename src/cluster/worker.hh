@@ -47,7 +47,10 @@
 #include <utility>
 
 #include "cluster/wire.hh"
+#include "common/annotations.hh"
+#include "common/fd.hh"
 #include "common/json.hh"
+#include "common/mutex.hh"
 #include "runner/job.hh"
 #include "runner/result_cache.hh"
 
@@ -104,8 +107,9 @@ class Worker
      */
     void shutdownNow();
 
-    /** Slot assigned by the last Welcome (for logs/tests). */
-    unsigned slot() const { return slot_; }
+    /** Slot assigned by the last Welcome (for logs/tests). Readable
+     *  from any thread; the serve thread writes it at handshake. */
+    unsigned slot() const { return slot_.load(std::memory_order_relaxed); }
 
   private:
     /**
@@ -127,9 +131,17 @@ class Worker
     WorkerOptions options;
     runner::ResultCache cache;
 
-    unsigned slot_ = 0;
-    std::atomic<int> fd_{-1};
+    std::atomic<unsigned> slot_{0};
     std::atomic<bool> stopping{false};
+
+    /**
+     * The live coordinator link, guarded so shutdownNow() can never
+     * call ::shutdown on a descriptor the serve thread already closed
+     * (and the kernel possibly recycled): the serve thread clears
+     * linkFd under the lock before closing the socket.
+     */
+    common::Mutex fdMutex;
+    int linkFd GUARDED_BY(fdMutex) = -1;
 
     std::deque<Frame> pendingBatches;
 

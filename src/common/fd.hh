@@ -1,0 +1,111 @@
+/**
+ * @file
+ * RAII ownership for POSIX file descriptors.
+ *
+ * Every descriptor the serving stack creates — listen sockets, accepted
+ * connections, dialed coordinator links, wake pipes, epoll instances —
+ * is owned by a common::Fd from the moment the creating syscall
+ * returns, so an error path between creation and the old manual
+ * ::close() can no longer leak it. dynaspam-analyze's fd-raii check
+ * enforces this shape: a socket()/accept()/open()/epoll_create1()
+ * result must flow into an Fd (constructor, reset()) at the call site.
+ *
+ * Ownership transfers are explicit: release() for handing a descriptor
+ * to an owner the analysis can see (an event-loop connection table, a
+ * function documented to take ownership), get() for borrowing in
+ * syscalls. Fd is move-only; closing happens exactly once.
+ *
+ * close(2) is deliberately not retried on EINTR: on Linux the
+ * descriptor is freed even when close returns EINTR, so retrying could
+ * close an unrelated descriptor another thread just received.
+ */
+
+#ifndef DYNASPAM_COMMON_FD_HH
+#define DYNASPAM_COMMON_FD_HH
+
+#include <utility>
+
+#include <unistd.h>
+
+#include "common/logging.hh"
+
+namespace dynaspam::common
+{
+
+/** Move-only owner of one POSIX file descriptor. */
+class Fd
+{
+  public:
+    /** An empty (invalid) descriptor. */
+    Fd() = default;
+    /** Take ownership of @p fd (negative = empty, matching syscall
+     *  error returns: `Fd fd(::socket(...))` is always safe). */
+    explicit Fd(int fd) : fd_(fd) {}
+
+    ~Fd() { reset(); }
+
+    Fd(Fd &&other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+    Fd &
+    operator=(Fd &&other) noexcept
+    {
+        if (this != &other)
+            reset(other.release());
+        return *this;
+    }
+
+    Fd(const Fd &) = delete;
+    Fd &operator=(const Fd &) = delete;
+
+    /** @return the descriptor, still owned by this Fd (-1 if empty). */
+    int get() const { return fd_; }
+    bool valid() const { return fd_ >= 0; }
+    explicit operator bool() const { return valid(); }
+
+    /** Give up ownership without closing. @return the descriptor */
+    int
+    release()
+    {
+        return std::exchange(fd_, -1);
+    }
+
+    /** Close the current descriptor (if any) and own @p fd instead. */
+    void
+    reset(int fd = -1)
+    {
+        if (fd_ >= 0 && fd_ != fd)
+            ::close(fd_);
+        fd_ = fd;
+    }
+
+  private:
+    int fd_ = -1;
+};
+
+/** RAII pipe(2): two Fds created together (self-pipe wakeups). */
+struct Pipe
+{
+    Fd readEnd;
+    Fd writeEnd;
+
+    bool valid() const { return readEnd.valid() && writeEnd.valid(); }
+
+    /**
+     * pipe(2) with both ends owned.
+     * @throws FatalError when the pipe cannot be created
+     */
+    static Pipe
+    create()
+    {
+        int raw[2];
+        if (::pipe(raw) != 0)
+            fatal("pipe: cannot create self-pipe");
+        Pipe p;
+        p.readEnd.reset(raw[0]);
+        p.writeEnd.reset(raw[1]);
+        return p;
+    }
+};
+
+} // namespace dynaspam::common
+
+#endif // DYNASPAM_COMMON_FD_HH

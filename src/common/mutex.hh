@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Annotated locking primitives for the thread-safety analysis.
+ *
+ * `std::mutex` and `std::lock_guard` carry no Clang capability
+ * attributes, so code using them compiles clean under `-Wthread-safety`
+ * even when it reads guarded state without the lock. These wrappers are
+ * the annotated replacements every concurrent subsystem uses instead:
+ *
+ *  - Mutex        a CAPABILITY("mutex") over std::mutex;
+ *  - MutexLock    the SCOPED_CAPABILITY lock_guard replacement;
+ *  - CondVar      a condition variable that waits on a Mutex directly
+ *                 (REQUIRES(mu) on every wait; callers loop on their
+ *                 condition themselves, so every guarded read sits in
+ *                 a function the analysis checks);
+ *  - ThreadRole   a pseudo-capability for *thread-confined* state —
+ *                 members GUARDED_BY(role) and methods REQUIRES(role)
+ *                 can only be touched by code that statically proves it
+ *                 runs on the owning thread (the function that acquires
+ *                 the role at thread entry);
+ *  - ScopedRole   RAII acquire/release of a ThreadRole for a thread's
+ *                 top-level function.
+ *
+ * CondVar bridges to std::condition_variable with the adopt/release
+ * idiom: the caller already holds the Mutex (enforced by REQUIRES), so
+ * the wait adopts it into a std::unique_lock, sleeps, and releases the
+ * unique_lock's ownership back to the caller without unlocking. No
+ * extra state, no condition_variable_any, identical wakeup semantics.
+ *
+ * These wrappers are the only place NO_THREAD_SAFETY_ANALYSIS may
+ * appear in src/ (dynaspam-analyze enforces this): their bodies
+ * manipulate the raw std primitives that the analysis cannot see
+ * through, while their annotations state the contract the rest of the
+ * tree is checked against.
+ */
+
+#ifndef DYNASPAM_COMMON_MUTEX_HH
+#define DYNASPAM_COMMON_MUTEX_HH
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "common/annotations.hh"
+
+namespace dynaspam::common
+{
+
+/** Annotated exclusive mutex (see file comment). */
+class CAPABILITY("mutex") Mutex
+{
+  public:
+    Mutex() = default;
+    Mutex(const Mutex &) = delete;
+    Mutex &operator=(const Mutex &) = delete;
+
+    void lock() ACQUIRE() { mu.lock(); }
+    void unlock() RELEASE() { mu.unlock(); }
+    bool tryLock() TRY_ACQUIRE(true) { return mu.try_lock(); }
+
+  private:
+    friend class CondVar;
+    std::mutex mu;
+};
+
+/** Scoped lock over a Mutex; the std::lock_guard replacement. */
+class SCOPED_CAPABILITY MutexLock
+{
+  public:
+    explicit MutexLock(Mutex &mutex) ACQUIRE(mutex) : mu(mutex)
+    {
+        mu.lock();
+    }
+    ~MutexLock() RELEASE() { mu.unlock(); }
+
+    MutexLock(const MutexLock &) = delete;
+    MutexLock &operator=(const MutexLock &) = delete;
+
+  private:
+    Mutex &mu;
+};
+
+/**
+ * Condition variable waiting on a Mutex the caller already holds.
+ * Every wait is REQUIRES(mutex): the analysis checks both that the
+ * caller locked it and that the predicate's guarded reads are legal.
+ */
+class CondVar
+{
+  public:
+    CondVar() = default;
+    CondVar(const CondVar &) = delete;
+    CondVar &operator=(const CondVar &) = delete;
+
+    void notifyOne() noexcept { cv.notify_one(); }
+    void notifyAll() noexcept { cv.notify_all(); }
+
+    /**
+     * Atomically release @p mutex and sleep; reacquired on return.
+     *
+     * No predicate overloads on purpose: a predicate lambda is analyzed
+     * as its own function, where the lock is not visibly held, so
+     * guarded reads inside it would warn. Callers write the standard
+     * `while (!condition) cv.wait(mutex);` loop instead — the guarded
+     * reads stay in the enclosing function, where the analysis sees the
+     * MutexLock. Spurious wakeups are therefore the caller's loop to
+     * absorb, exactly as with std::condition_variable::wait(lock).
+     */
+    void
+    wait(Mutex &mutex) REQUIRES(mutex) NO_THREAD_SAFETY_ANALYSIS
+    {
+        std::unique_lock<std::mutex> lock(mutex.mu, std::adopt_lock);
+        cv.wait(lock);
+        lock.release();    // ownership stays with the caller
+    }
+
+    /** wait() with a deadline; same manual-loop contract as wait(). */
+    template <typename Clock, typename Duration>
+    std::cv_status
+    waitUntil(Mutex &mutex,
+              const std::chrono::time_point<Clock, Duration> &deadline)
+        REQUIRES(mutex) NO_THREAD_SAFETY_ANALYSIS
+    {
+        std::unique_lock<std::mutex> lock(mutex.mu, std::adopt_lock);
+        std::cv_status status = cv.wait_until(lock, deadline);
+        lock.release();
+        return status;
+    }
+
+  private:
+    std::condition_variable cv;
+};
+
+/**
+ * Pseudo-capability naming a thread, not a lock. State owned by one
+ * thread (the coordinator's epoll loop, a worker's serve loop) is
+ * GUARDED_BY(role) and its helpers REQUIRES(role); only the thread's
+ * top-level function acquires the role (via ScopedRole), so a public
+ * entry point called from another thread cannot reach thread-confined
+ * state without a compile-time diagnostic. Acquire/release compile to
+ * nothing — the capability exists purely in the analysis.
+ */
+class CAPABILITY("role") ThreadRole
+{
+  public:
+    ThreadRole() = default;
+    ThreadRole(const ThreadRole &) = delete;
+    ThreadRole &operator=(const ThreadRole &) = delete;
+
+    void acquire() ACQUIRE() NO_THREAD_SAFETY_ANALYSIS {}
+    void release() RELEASE() NO_THREAD_SAFETY_ANALYSIS {}
+};
+
+/** RAII role acquisition for a thread's top-level function. */
+class SCOPED_CAPABILITY ScopedRole
+{
+  public:
+    explicit ScopedRole(ThreadRole &role_) ACQUIRE(role_) : role(role_)
+    {
+        role.acquire();
+    }
+    ~ScopedRole() RELEASE() { role.release(); }
+
+    ScopedRole(const ScopedRole &) = delete;
+    ScopedRole &operator=(const ScopedRole &) = delete;
+
+  private:
+    ThreadRole &role;
+};
+
+} // namespace dynaspam::common
+
+#endif // DYNASPAM_COMMON_MUTEX_HH

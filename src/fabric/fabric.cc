@@ -6,9 +6,6 @@
 #include "fabric/fabric.hh"
 
 #include <algorithm>
-#include <atomic>
-#include <cstdio>
-#include <cstdlib>
 #include <deque>
 #include <sstream>
 
@@ -304,17 +301,6 @@ Fabric::execute(const isa::DynamicTrace &trace, SeqNum trace_idx,
             done = ready + lat;
         }
 
-        if (getenv("DBG_FAB")) {
-            // Atomic: fabrics on different runner threads share this.
-            static std::atomic<int> dbg_counter{0};
-            int dbg_n = ++dbg_counter;
-            if (dbg_n >= 20000 && dbg_n < 20040)
-                std::fprintf(stderr,
-                    "DBG fab idx=%llu i=%zu op=%d ready=%llu done=%llu b2b=%d\n",
-                    (unsigned long long)trace_idx, i, int(mi.op),
-                    (unsigned long long)ready, (unsigned long long)done,
-                    int(back_to_back));
-        }
         complete[i] = done;
         // Functional units are pipelined (one new operation per cycle)
         // except the iterative dividers; loads hand off to the

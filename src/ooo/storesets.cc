@@ -6,8 +6,6 @@
 #include "ooo/storesets.hh"
 
 #include <algorithm>
-#include <cstdio>
-#include <cstdlib>
 
 #include "common/logging.hh"
 
@@ -36,9 +34,6 @@ StoreSetPredictor::maybeClear()
 void
 StoreSetPredictor::recordViolation(InstAddr load_pc, InstAddr store_pc)
 {
-    if (getenv("DBG_SS"))
-        std::fprintf(stderr, "DBG violation load_pc=%u store_pc=%u\n",
-                     load_pc, store_pc);
     statViolations++;
     maybeClear();
     allocations++;

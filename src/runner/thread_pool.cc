@@ -22,10 +22,10 @@ ThreadPool::ThreadPool(unsigned workers)
 ThreadPool::~ThreadPool()
 {
     {
-        std::lock_guard<std::mutex> lock(poolMutex);
+        common::MutexLock lock(poolMutex);
         shutdown = true;
     }
-    workAvailable.notify_all();
+    workAvailable.notifyAll();
     for (std::thread &t : threads)
         t.join();
 }
@@ -33,7 +33,7 @@ ThreadPool::~ThreadPool()
 std::size_t
 ThreadPool::queuedTasks() const
 {
-    std::lock_guard<std::mutex> lock(poolMutex);
+    common::MutexLock lock(poolMutex);
     return pending;
 }
 
@@ -58,7 +58,7 @@ ThreadPool::submit(std::function<void()> task)
 {
     std::size_t target;
     {
-        std::lock_guard<std::mutex> lock(poolMutex);
+        common::MutexLock lock(poolMutex);
         // Count before pushing: a worker that wins the race to the
         // deque can only ever see pending >= the true queue length,
         // never less, so no wakeup is lost.
@@ -68,10 +68,10 @@ ThreadPool::submit(std::function<void()> task)
     }
     {
         WorkerDeque &dq = *deques[target];
-        std::lock_guard<std::mutex> dlock(dq.mutex);
+        common::MutexLock dlock(dq.mutex);
         dq.tasks.push_back(std::move(task));
     }
-    workAvailable.notify_one();
+    workAvailable.notifyOne();
 }
 
 void
@@ -85,13 +85,16 @@ ThreadPool::parallelFor(std::size_t n,
     // caller threads) can be in flight at once.
     struct Batch
     {
-        std::mutex mutex;
-        std::condition_variable done;
-        std::size_t remaining;
-        std::exception_ptr firstError;
+        common::Mutex mutex;
+        common::CondVar done;
+        std::size_t remaining GUARDED_BY(mutex);
+        std::exception_ptr firstError GUARDED_BY(mutex);
     };
     auto batch = std::make_shared<Batch>();
-    batch->remaining = n;
+    {
+        common::MutexLock lock(batch->mutex);
+        batch->remaining = n;
+    }
 
     for (std::size_t i = 0; i < n; i++) {
         // `fn` is captured by reference: this call blocks until every
@@ -100,22 +103,23 @@ ThreadPool::parallelFor(std::size_t n,
             try {
                 fn(i);
             } catch (...) {
-                std::lock_guard<std::mutex> lock(batch->mutex);
+                common::MutexLock lock(batch->mutex);
                 if (!batch->firstError)
                     batch->firstError = std::current_exception();
             }
             bool last = false;
             {
-                std::lock_guard<std::mutex> lock(batch->mutex);
+                common::MutexLock lock(batch->mutex);
                 last = --batch->remaining == 0;
             }
             if (last)
-                batch->done.notify_all();
+                batch->done.notifyAll();
         });
     }
 
-    std::unique_lock<std::mutex> lock(batch->mutex);
-    batch->done.wait(lock, [&] { return batch->remaining == 0; });
+    common::MutexLock lock(batch->mutex);
+    while (batch->remaining != 0)
+        batch->done.wait(batch->mutex);
     if (batch->firstError)
         std::rethrow_exception(batch->firstError);
 }
@@ -124,7 +128,7 @@ bool
 ThreadPool::popOwn(std::size_t self, std::function<void()> &task)
 {
     WorkerDeque &dq = *deques[self];
-    std::lock_guard<std::mutex> lock(dq.mutex);
+    common::MutexLock lock(dq.mutex);
     if (dq.tasks.empty())
         return false;
     task = std::move(dq.tasks.front());
@@ -137,7 +141,7 @@ ThreadPool::stealOther(std::size_t self, std::function<void()> &task)
 {
     for (std::size_t k = 1; k < deques.size(); k++) {
         WorkerDeque &dq = *deques[(self + k) % deques.size()];
-        std::lock_guard<std::mutex> lock(dq.mutex);
+        common::MutexLock lock(dq.mutex);
         if (dq.tasks.empty())
             continue;
         task = std::move(dq.tasks.back());
@@ -154,15 +158,15 @@ ThreadPool::workerLoop(std::size_t self)
         std::function<void()> task;
         if (popOwn(self, task) || stealOther(self, task)) {
             {
-                std::lock_guard<std::mutex> lock(poolMutex);
+                common::MutexLock lock(poolMutex);
                 pending--;
             }
             task();
             continue;
         }
-        std::unique_lock<std::mutex> lock(poolMutex);
-        workAvailable.wait(lock,
-                           [&] { return shutdown || pending > 0; });
+        common::MutexLock lock(poolMutex);
+        while (!shutdown && pending == 0)
+            workAvailable.wait(poolMutex);
         if (shutdown && pending == 0)
             return;
         // pending > 0: a task is (about to be) queued somewhere; loop

@@ -34,14 +34,15 @@
 #ifndef DYNASPAM_RUNNER_THREAD_POOL_HH
 #define DYNASPAM_RUNNER_THREAD_POOL_HH
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/annotations.hh"
+#include "common/mutex.hh"
 
 namespace dynaspam::runner
 {
@@ -101,8 +102,8 @@ class ThreadPool
   private:
     struct WorkerDeque
     {
-        std::mutex mutex;
-        std::deque<std::function<void()>> tasks;
+        common::Mutex mutex;
+        std::deque<std::function<void()>> tasks GUARDED_BY(mutex);
     };
 
     void workerLoop(std::size_t self);
@@ -116,11 +117,11 @@ class ThreadPool
     // but not-yet-claimed tasks; it is incremented before the push so it
     // can never observably undercount, which makes it a safe sleep
     // predicate for the workers.
-    mutable std::mutex poolMutex;
-    std::condition_variable workAvailable;
-    std::size_t pending = 0;
-    std::size_t nextDeque = 0;
-    bool shutdown = false;
+    mutable common::Mutex poolMutex;
+    common::CondVar workAvailable;
+    std::size_t pending GUARDED_BY(poolMutex) = 0;
+    std::size_t nextDeque GUARDED_BY(poolMutex) = 0;
+    bool shutdown GUARDED_BY(poolMutex) = false;
 };
 
 } // namespace dynaspam::runner

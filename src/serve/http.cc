@@ -235,45 +235,36 @@ writeHttpResponse(int fd, const HttpResponse &resp, bool keep_alive)
     return sendAll(fd, wire.data(), wire.size());
 }
 
-int
+common::Fd
 listenTcp(const std::string &bind_address, unsigned port, int backlog,
           unsigned &bound_port)
 {
-    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-    if (fd < 0)
+    // The Fd owns the socket from creation on, so every fatal() below
+    // (which throws) closes it on the way out — no per-path ::close.
+    common::Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+    if (!fd)
         fatal("listen: socket: ", std::strerror(errno));
 
     int one = 1;
-    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
 
     sockaddr_in addr{};
     addr.sin_family = AF_INET;
     addr.sin_port = htons(std::uint16_t(port));
-    if (::inet_pton(AF_INET, bind_address.c_str(), &addr.sin_addr) != 1) {
-        ::close(fd);
+    if (::inet_pton(AF_INET, bind_address.c_str(), &addr.sin_addr) != 1)
         fatal("listen: bad bind address \"", bind_address, "\"");
-    }
-    if (::bind(fd, reinterpret_cast<sockaddr *>(&addr), sizeof(addr)) !=
-        0) {
-        int err = errno;
-        ::close(fd);
+    if (::bind(fd.get(), reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0)
         fatal("listen: bind ", bind_address, ":", port, ": ",
-              std::strerror(err));
-    }
-    if (::listen(fd, backlog) != 0) {
-        int err = errno;
-        ::close(fd);
-        fatal("listen: ", std::strerror(err));
-    }
+              std::strerror(errno));
+    if (::listen(fd.get(), backlog) != 0)
+        fatal("listen: ", std::strerror(errno));
 
     sockaddr_in bound{};
     socklen_t len = sizeof(bound);
-    if (::getsockname(fd, reinterpret_cast<sockaddr *>(&bound), &len) !=
-        0) {
-        int err = errno;
-        ::close(fd);
-        fatal("listen: getsockname: ", std::strerror(err));
-    }
+    if (::getsockname(fd.get(), reinterpret_cast<sockaddr *>(&bound),
+                      &len) != 0)
+        fatal("listen: getsockname: ", std::strerror(errno));
     bound_port = ntohs(bound.sin_port);
     return fd;
 }

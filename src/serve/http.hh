@@ -44,6 +44,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/fd.hh"
+
 namespace dynaspam::serve
 {
 
@@ -153,11 +155,11 @@ bool sendAll(int fd, const char *data, std::size_t len);
  * Create a listening TCP socket: SO_REUSEADDR, bind to
  * @p bind_address:@p port (port 0 picks an ephemeral port), listen with
  * @p backlog. @p bound_port receives the actually bound port.
- * @return the listening fd
+ * @return the owned listening socket
  * @throws FatalError when the socket cannot be bound
  */
-int listenTcp(const std::string &bind_address, unsigned port, int backlog,
-              unsigned &bound_port);
+common::Fd listenTcp(const std::string &bind_address, unsigned port,
+                     int backlog, unsigned &bound_port);
 
 /** Canonical reason phrase for @p status ("OK", "Not Found", ...). */
 const char *httpStatusReason(int status);

@@ -36,14 +36,14 @@ Metrics::family(const std::string &name, Kind kind)
 void
 Metrics::declareCounter(const std::string &name, const std::string &help)
 {
-    std::lock_guard<std::mutex> lock(mutex);
+    common::MutexLock lock(mutex);
     family(name, Kind::Counter).help = help;
 }
 
 void
 Metrics::declareGauge(const std::string &name, const std::string &help)
 {
-    std::lock_guard<std::mutex> lock(mutex);
+    common::MutexLock lock(mutex);
     Family &f = family(name, Kind::Gauge);
     f.help = help;
     f.children.emplace("", 0.0);
@@ -53,7 +53,7 @@ void
 Metrics::declareHistogram(const std::string &name, const std::string &help,
                           std::vector<double> bounds)
 {
-    std::lock_guard<std::mutex> lock(mutex);
+    common::MutexLock lock(mutex);
     Family &f = family(name, Kind::Histogram);
     f.help = help;
     f.histogram.bounds = std::move(bounds);
@@ -70,14 +70,14 @@ void
 Metrics::inc(const std::string &name, const std::string &labels,
              double delta)
 {
-    std::lock_guard<std::mutex> lock(mutex);
+    common::MutexLock lock(mutex);
     family(name, Kind::Counter).children[labels] += delta;
 }
 
 void
 Metrics::set(const std::string &name, double value)
 {
-    std::lock_guard<std::mutex> lock(mutex);
+    common::MutexLock lock(mutex);
     family(name, Kind::Gauge).children[""] = value;
 }
 
@@ -85,14 +85,14 @@ void
 Metrics::set(const std::string &name, const std::string &labels,
              double value)
 {
-    std::lock_guard<std::mutex> lock(mutex);
+    common::MutexLock lock(mutex);
     family(name, Kind::Gauge).children[labels] = value;
 }
 
 void
 Metrics::observe(const std::string &name, double value)
 {
-    std::lock_guard<std::mutex> lock(mutex);
+    common::MutexLock lock(mutex);
     HistogramData &h = family(name, Kind::Histogram).histogram;
     bool bucketed = false;
     for (std::size_t i = 0; i < h.bounds.size(); i++) {
@@ -111,7 +111,7 @@ Metrics::observe(const std::string &name, double value)
 double
 Metrics::value(const std::string &name, const std::string &labels) const
 {
-    std::lock_guard<std::mutex> lock(mutex);
+    common::MutexLock lock(mutex);
     auto it = families.find(name);
     if (it == families.end())
         return 0.0;
@@ -122,7 +122,7 @@ Metrics::value(const std::string &name, const std::string &labels) const
 std::string
 Metrics::render() const
 {
-    std::lock_guard<std::mutex> lock(mutex);
+    common::MutexLock lock(mutex);
     std::ostringstream os;
     for (const auto &kv : families) {
         const std::string &name = kv.first;

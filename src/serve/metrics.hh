@@ -24,9 +24,11 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/annotations.hh"
+#include "common/mutex.hh"
 
 namespace dynaspam::serve
 {
@@ -88,10 +90,10 @@ class Metrics
         HistogramData histogram;             ///< used when kind==Histogram
     };
 
-    Family &family(const std::string &name, Kind kind);
+    Family &family(const std::string &name, Kind kind) REQUIRES(mutex);
 
-    mutable std::mutex mutex;
-    std::map<std::string, Family> families;
+    mutable common::Mutex mutex;
+    std::map<std::string, Family> families GUARDED_BY(mutex);
 };
 
 } // namespace dynaspam::serve

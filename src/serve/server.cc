@@ -230,11 +230,6 @@ Server::~Server()
         beginDrain();
         waitUntilDrained();
     }
-    if (listenFd >= 0)
-        ::close(listenFd);
-    for (int fd : wakePipe)
-        if (fd >= 0)
-            ::close(fd);
 }
 
 void
@@ -243,8 +238,7 @@ Server::start()
     if (started)
         panic("Server::start called twice");
 
-    if (::pipe(wakePipe) != 0)
-        fatal("serve: pipe: ", std::strerror(errno));
+    wakePipe = common::Pipe::create();
 
     listenFd = listenTcp(options.bindAddress, options.port,
                          options.acceptBacklog, boundPort);
@@ -257,9 +251,10 @@ void
 Server::beginDrain()
 {
     draining.store(true, std::memory_order_relaxed);
-    if (wakePipe[1] >= 0) {
+    if (wakePipe.writeEnd.valid()) {
         char byte = 1;
-        [[maybe_unused]] ssize_t n = ::write(wakePipe[1], &byte, 1);
+        [[maybe_unused]] ssize_t n =
+            ::write(wakePipe.writeEnd.get(), &byte, 1);
     }
 }
 
@@ -275,16 +270,14 @@ Server::waitUntilDrained()
     // Close the listen socket now (not in the destructor): with it open
     // the kernel would keep completing handshakes into the backlog that
     // no one will ever serve.
-    if (listenFd >= 0) {
-        ::close(listenFd);
-        listenFd = -1;
-    }
+    listenFd.reset();
 
     // Every connection thread either finishes its response or times out
     // on its request deadline; either way the count reaches zero.
     {
-        std::unique_lock<std::mutex> lock(connMutex);
-        connIdle.wait(lock, [this] { return activeConnections == 0; });
+        common::MutexLock lock(connMutex);
+        while (activeConnections != 0)
+            connIdle.wait(connMutex);
     }
 
     // Destroying the pool drains every still-queued job (results land
@@ -305,7 +298,7 @@ Server::serveForever()
 {
     start();
 
-    gDrainWakeFd.store(wakePipe[1], std::memory_order_relaxed);
+    gDrainWakeFd.store(wakePipe.writeEnd.get(), std::memory_order_relaxed);
     struct sigaction sa{};
     sa.sa_handler = drainSignalHandler;
     sigemptyset(&sa.sa_mask);
@@ -330,7 +323,8 @@ void
 Server::acceptLoop()
 {
     while (true) {
-        pollfd fds[2] = {{listenFd, POLLIN, 0}, {wakePipe[0], POLLIN, 0}};
+        pollfd fds[2] = {{listenFd.get(), POLLIN, 0},
+                         {wakePipe.readEnd.get(), POLLIN, 0}};
         int ready = ::poll(fds, 2, -1);
         if (ready < 0) {
             if (errno == EINTR)
@@ -343,8 +337,8 @@ Server::acceptLoop()
         if (!(fds[0].revents & POLLIN))
             continue;
 
-        int fd = ::accept(listenFd, nullptr, nullptr);
-        if (fd < 0) {
+        common::Fd conn(::accept(listenFd.get(), nullptr, nullptr));
+        if (!conn) {
             if (errno == EINTR || errno == ECONNABORTED)
                 continue;
             warn("serve: accept: ", std::strerror(errno));
@@ -353,39 +347,57 @@ Server::acceptLoop()
 
         timeval tv{};
         tv.tv_sec = kSocketTimeoutSec;
-        ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+        ::setsockopt(conn.get(), SOL_SOCKET, SO_RCVTIMEO, &tv,
+                     sizeof(tv));
 
         metrics_.inc("dynaspam_http_connections_total");
         {
-            std::lock_guard<std::mutex> lock(connMutex);
+            common::MutexLock lock(connMutex);
             activeConnections++;
         }
-        std::thread([this, fd] {
-            handleConnection(fd);
-            std::lock_guard<std::mutex> lock(connMutex);
+        try {
+            // The thread owns the descriptor from here; handleConnection
+            // closes it on every exit path.
+            int fd = conn.get();
+            std::thread([this, fd] {
+                handleConnection(fd);
+                common::MutexLock lock(connMutex);
+                if (--activeConnections == 0)
+                    connIdle.notifyAll();
+            }).detach();
+            conn.release();
+        } catch (const std::system_error &err) {
+            // Thread creation failed (EAGAIN under thread exhaustion).
+            // Undo the count we took above — leaving it incremented
+            // would wedge waitUntilDrained forever — and let `conn`
+            // close the socket.
+            warn("serve: cannot spawn connection thread: ", err.what());
+            common::MutexLock lock(connMutex);
             if (--activeConnections == 0)
-                connIdle.notify_all();
-        }).detach();
+                connIdle.notifyAll();
+        }
     }
 }
 
 void
 Server::handleConnection(int fd)
 {
+    // Takes ownership of @p fd (int parameter so tests can hand it a
+    // socketpair end): closed on every return path from here on.
+    common::Fd conn(fd);
     std::string carry;
     bool first = true;
     while (true) {
         HttpRequest req;
         HttpReadOutcome outcome =
-            readHttpRequestBuffered(fd, options.maxRequestBytes, req,
-                                    carry);
+            readHttpRequestBuffered(conn.get(), options.maxRequestBytes,
+                                    req, carry);
 
         HttpResponse resp;
         std::string endpoint = "unparsed";
         bool keepAlive = false;
         switch (outcome) {
           case HttpReadOutcome::Closed:
-            ::close(fd);
             return;
           case HttpReadOutcome::Malformed:
             resp = errorResponse(400, "malformed HTTP request");
@@ -398,10 +410,8 @@ Server::handleConnection(int fd)
             // timeout just means the client went idle: close silently.
             // Mid-request (bytes buffered, or the very first request)
             // it is a stalled client: 408.
-            if (!first && carry.empty()) {
-                ::close(fd);
+            if (!first && carry.empty())
                 return;
-            }
             resp = errorResponse(408, "timed out reading request");
             break;
           case HttpReadOutcome::Ok:
@@ -413,10 +423,8 @@ Server::handleConnection(int fd)
 
         metrics_.inc("dynaspam_http_requests_total",
                      requestLabels(endpoint, resp.status));
-        if (!writeHttpResponse(fd, resp, keepAlive) || !keepAlive) {
-            ::close(fd);
+        if (!writeHttpResponse(conn.get(), resp, keepAlive) || !keepAlive)
             return;
-        }
         first = false;
     }
 }
@@ -524,7 +532,7 @@ Server::handleResults(const std::string &target)
     // The in-memory table first: it has results the disk cache may not
     // (cache disabled, or the entry already LRU-evicted).
     {
-        std::lock_guard<std::mutex> lock(tableMutex);
+        common::MutexLock lock(tableMutex);
         auto it = entries.find(hash);
         if (it != entries.end()) {
             const JobEntry &entry = *it->second;
@@ -591,7 +599,7 @@ Server::acquireJobs(const std::vector<runner::Job> &jobs,
     // create and submit them.
     std::vector<Pending> waits;
     {
-        std::lock_guard<std::mutex> lock(tableMutex);
+        common::MutexLock lock(tableMutex);
 
         std::vector<std::size_t> fresh;
         std::size_t newDistinct = 0;
@@ -659,11 +667,19 @@ Server::acquireJobs(const std::vector<runner::Job> &jobs,
     std::size_t waited = 0;
     for (; waited < waits.size(); waited++) {
         Pending &p = waits[waited];
-        std::unique_lock<std::mutex> lock(tableMutex);
+        common::MutexLock lock(tableMutex);
         JobEntry &entry = *p.entry;
-        bool done = entry.cv.wait_until(lock, deadline, [&entry] {
-            return entry.state == JobEntry::State::Done;
-        });
+        bool done;
+        while (true) {
+            done = entry.state == JobEntry::State::Done;
+            if (done)
+                break;
+            if (entry.cv.waitUntil(tableMutex, deadline) ==
+                    std::cv_status::timeout) {
+                done = entry.state == JobEntry::State::Done;
+                break;
+            }
+        }
         entry.waiters--;
         if (done) {
             if (entry.failed) {
@@ -693,7 +709,7 @@ Server::acquireJobs(const std::vector<runner::Job> &jobs,
     if (acq.status != 200 && waited < waits.size()) {
         // Detach from the entries the aborted loop never waited on;
         // their jobs still run to completion for future requests.
-        std::lock_guard<std::mutex> lock(tableMutex);
+        common::MutexLock lock(tableMutex);
         for (std::size_t k = waited + 1; k < waits.size(); k++)
             waits[k].entry->waiters--;
     }
@@ -705,7 +721,7 @@ Server::submitEntry(const std::shared_ptr<JobEntry> &entry)
 {
     pool->submit([this, entry] {
         {
-            std::lock_guard<std::mutex> lock(tableMutex);
+            common::MutexLock lock(tableMutex);
             if (entry->state != JobEntry::State::Queued)
                 return;    // cancelled while waiting in the pool queue
             entry->state = JobEntry::State::Running;
@@ -739,7 +755,7 @@ Server::submitEntry(const std::shared_ptr<JobEntry> &entry)
                                      seconds);
         }
 
-        std::lock_guard<std::mutex> lock(tableMutex);
+        common::MutexLock lock(tableMutex);
         entry->result = std::move(result);
         entry->failed = failed;
         entry->error = std::move(error);
@@ -748,7 +764,7 @@ Server::submitEntry(const std::shared_ptr<JobEntry> &entry)
         metrics_.inc("dynaspam_jobs_executed_total");
         retainDone(entry->job.hashHex());
         updateQueueGauges();
-        entry->cv.notify_all();
+        entry->cv.notifyAll();
     });
 }
 

@@ -49,18 +49,19 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/annotations.hh"
+#include "common/fd.hh"
 #include "common/json.hh"
+#include "common/mutex.hh"
 
 #include "runner/job.hh"
 #include "runner/report.hh"
@@ -174,8 +175,13 @@ class Server
 
   private:
     /**
-     * Tracking record for one admitted job. Guarded by tableMutex;
-     * waiters sleep on cv (also tied to tableMutex).
+     * Tracking record for one admitted job. Every member is guarded by
+     * tableMutex; waiters sleep on cv (also tied to tableMutex). The
+     * members cannot carry GUARDED_BY(tableMutex) themselves — a nested
+     * struct's attribute cannot name the enclosing Server's member —
+     * so the guard is enforced by convention: JobEntry is only ever
+     * touched from Server methods that hold (and are annotated as
+     * holding) tableMutex.
      */
     struct JobEntry
     {
@@ -186,7 +192,7 @@ class Server
         bool failed = false;
         std::string error;
         std::size_t waiters = 0;
-        std::condition_variable cv;
+        common::CondVar cv;
     };
 
     /** Outcome of resolving a batch of jobs (cache/table/queue). */
@@ -206,10 +212,12 @@ class Server
     HttpResponse handleMetrics();
 
     Acquired acquireJobs(const std::vector<runner::Job> &jobs,
-                         std::chrono::steady_clock::time_point deadline);
-    void submitEntry(const std::shared_ptr<JobEntry> &entry);
-    void retainDone(const std::string &hash);
-    void updateQueueGauges();
+                         std::chrono::steady_clock::time_point deadline)
+        EXCLUDES(tableMutex);
+    void submitEntry(const std::shared_ptr<JobEntry> &entry)
+        REQUIRES(tableMutex);
+    void retainDone(const std::string &hash) REQUIRES(tableMutex);
+    void updateQueueGauges() REQUIRES(tableMutex);
     void maybeGcCache();
 
     /** Single-job report bytes, byte-identical to the CLI's. */
@@ -226,8 +234,11 @@ class Server
     std::unique_ptr<runner::ThreadPool> pool;
     Metrics metrics_;
 
-    int listenFd = -1;
-    int wakePipe[2] = {-1, -1};
+    // Lifecycle state, written only by the controlling thread (the one
+    // calling start()/waitUntilDrained()); beginDrain is callable from
+    // anywhere because it touches only `draining` and the wake pipe.
+    common::Fd listenFd;
+    common::Pipe wakePipe;
     unsigned boundPort = 0;
     std::thread acceptThread;
     bool started = false;
@@ -236,17 +247,18 @@ class Server
     std::atomic<bool> draining{false};
 
     // Connection accounting for drain.
-    std::mutex connMutex;
-    std::condition_variable connIdle;
-    std::size_t activeConnections = 0;
+    common::Mutex connMutex;
+    common::CondVar connIdle;
+    std::size_t activeConnections GUARDED_BY(connMutex) = 0;
 
     // Single-flight job table. Done entries are retained (bounded FIFO)
     // as an in-memory result store for GET /results and dedup.
-    std::mutex tableMutex;
-    std::map<std::string, std::shared_ptr<JobEntry>> entries;
-    std::deque<std::string> doneOrder;
-    std::size_t queuedCount = 0;
-    std::size_t runningCount = 0;
+    common::Mutex tableMutex;
+    std::map<std::string, std::shared_ptr<JobEntry>> entries
+        GUARDED_BY(tableMutex);
+    std::deque<std::string> doneOrder GUARDED_BY(tableMutex);
+    std::size_t queuedCount GUARDED_BY(tableMutex) = 0;
+    std::size_t runningCount GUARDED_BY(tableMutex) = 0;
 
     std::atomic<std::uint64_t> storesSinceGc{0};
 };

@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Tests for the static-safety layer's runtime primitives: common::Fd
+ * / common::Pipe ownership semantics and the annotated common::Mutex
+ * / MutexLock / CondVar wrappers.
+ *
+ * The annotations themselves are compile-time (proved by the CI
+ * `analyze` job building with -Werror=thread-safety); what is tested
+ * here is that the wrappers behave exactly like the raw primitives
+ * they replaced — locking excludes, condition waits wake, descriptors
+ * close once and only once — so the tree-wide conversion cannot have
+ * changed runtime behavior.
+ */
+
+#include <thread>
+#include <vector>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "common/fd.hh"
+#include "common/mutex.hh"
+
+namespace common = dynaspam::common;
+
+namespace
+{
+
+/** @return true while the kernel still considers @p fd open. */
+bool
+fdIsOpen(int fd)
+{
+    return ::fcntl(fd, F_GETFD) != -1;
+}
+
+/** A raw descriptor to experiment on (one end of a pipe). */
+int
+rawFd(int &other)
+{
+    int ends[2] = {-1, -1};
+    EXPECT_EQ(::pipe(ends), 0);
+    other = ends[1];
+    return ends[0];
+}
+
+TEST(Fd, DefaultIsInvalid)
+{
+    common::Fd fd;
+    EXPECT_FALSE(fd.valid());
+    EXPECT_FALSE(static_cast<bool>(fd));
+    EXPECT_EQ(fd.get(), -1);
+}
+
+TEST(Fd, ClosesOnDestruction)
+{
+    int other = -1;
+    const int raw = rawFd(other);
+    {
+        common::Fd fd(raw);
+        EXPECT_TRUE(fd.valid());
+        EXPECT_EQ(fd.get(), raw);
+        EXPECT_TRUE(fdIsOpen(raw));
+    }
+    EXPECT_FALSE(fdIsOpen(raw));
+    ::close(other);
+}
+
+TEST(Fd, ReleaseDisownsWithoutClosing)
+{
+    int other = -1;
+    const int raw = rawFd(other);
+    {
+        common::Fd fd(raw);
+        EXPECT_EQ(fd.release(), raw);
+        EXPECT_FALSE(fd.valid());
+    }
+    EXPECT_TRUE(fdIsOpen(raw));
+    ::close(raw);
+    ::close(other);
+}
+
+TEST(Fd, ResetClosesPrevious)
+{
+    int otherA = -1, otherB = -1;
+    const int a = rawFd(otherA);
+    const int b = rawFd(otherB);
+    common::Fd fd(a);
+    fd.reset(b);
+    EXPECT_FALSE(fdIsOpen(a));
+    EXPECT_TRUE(fdIsOpen(b));
+    // Self-reset must not close the held descriptor.
+    fd.reset(fd.get());
+    EXPECT_TRUE(fdIsOpen(b));
+    fd.reset();
+    EXPECT_FALSE(fdIsOpen(b));
+    EXPECT_FALSE(fd.valid());
+    ::close(otherA);
+    ::close(otherB);
+}
+
+TEST(Fd, MoveTransfersOwnership)
+{
+    int other = -1;
+    const int raw = rawFd(other);
+    common::Fd a(raw);
+    common::Fd b(std::move(a));
+    EXPECT_FALSE(a.valid());    // NOLINT(bugprone-use-after-move)
+    EXPECT_EQ(b.get(), raw);
+
+    common::Fd c;
+    c = std::move(b);
+    EXPECT_FALSE(b.valid());    // NOLINT(bugprone-use-after-move)
+    EXPECT_EQ(c.get(), raw);
+    EXPECT_TRUE(fdIsOpen(raw));
+
+    // Self-move must not close (via a pointer so -Wself-move stays
+    // quiet; the aliasing is the point of the test).
+    common::Fd *self = &c;
+    c = std::move(*self);
+    EXPECT_TRUE(fdIsOpen(raw));
+    EXPECT_EQ(c.get(), raw);
+    c.reset();
+    EXPECT_FALSE(fdIsOpen(raw));
+    ::close(other);
+}
+
+TEST(Pipe, CreateRoundTrip)
+{
+    common::Pipe p = common::Pipe::create();
+    ASSERT_TRUE(p.valid());
+    const char msg[] = "wake";
+    ASSERT_EQ(::write(p.writeEnd.get(), msg, sizeof(msg)),
+              ssize_t(sizeof(msg)));
+    char buf[sizeof(msg)] = {};
+    ASSERT_EQ(::read(p.readEnd.get(), buf, sizeof(buf)),
+              ssize_t(sizeof(msg)));
+    EXPECT_STREQ(buf, msg);
+
+    const int r = p.readEnd.get(), w = p.writeEnd.get();
+    { common::Pipe dead = std::move(p); }
+    EXPECT_FALSE(fdIsOpen(r));
+    EXPECT_FALSE(fdIsOpen(w));
+}
+
+TEST(Mutex, MutexLockExcludes)
+{
+    // GUARDED_BY applies to members/globals only, so the local is
+    // annotated by convention: counter is guarded by mutex.
+    common::Mutex mutex;
+    int counter = 0;
+
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; t++)
+        threads.emplace_back([&] {
+            for (int i = 0; i < 10000; i++) {
+                common::MutexLock lock(mutex);
+                counter++;
+            }
+        });
+    for (std::thread &th : threads)
+        th.join();
+    common::MutexLock lock(mutex);
+    EXPECT_EQ(counter, 40000);
+}
+
+TEST(Mutex, TryLock)
+{
+    common::Mutex mutex;
+    ASSERT_TRUE(mutex.tryLock());
+    // A second holder must be refused (from another thread: trying
+    // to re-acquire on the same thread is UB for std::mutex).
+    bool second = true;
+    std::thread probe([&] { second = mutex.tryLock(); });
+    probe.join();
+    EXPECT_FALSE(second);
+    mutex.unlock();
+}
+
+TEST(CondVar, WaitWakesOnNotify)
+{
+    common::Mutex mutex;
+    common::CondVar cv;
+    bool ready = false;    // guarded by mutex (local: by convention)
+
+    std::thread producer([&] {
+        common::MutexLock lock(mutex);
+        ready = true;
+        cv.notifyOne();
+    });
+
+    {
+        common::MutexLock lock(mutex);
+        while (!ready)
+            cv.wait(mutex);
+        EXPECT_TRUE(ready);
+    }
+    producer.join();
+}
+
+TEST(CondVar, WaitUntilTimesOut)
+{
+    common::Mutex mutex;
+    common::CondVar cv;
+    common::MutexLock lock(mutex);
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(20);
+    // Nobody notifies: the wait must come back with a timeout (and
+    // the lock re-held, which the scoped release below exercises).
+    std::cv_status status = std::cv_status::no_timeout;
+    while (std::chrono::steady_clock::now() < deadline &&
+           status != std::cv_status::timeout)
+        status = cv.waitUntil(mutex, deadline);
+    EXPECT_EQ(status, std::cv_status::timeout);
+}
+
+TEST(ThreadRole, ScopedRoleCompilesAndNests)
+{
+    // ThreadRole is a pure compile-time capability; at runtime the
+    // acquire/release are no-ops. This pins that shape: constructing
+    // the scope twice in sequence (loop restart) must be fine.
+    common::ThreadRole role;
+    for (int i = 0; i < 2; i++) {
+        common::ScopedRole scope(role);
+    }
+    SUCCEED();
+}
+
+} // namespace

@@ -1,0 +1,25 @@
+// Selftest fixture: DYNASPAM_CHECK uses the side-effect check must
+// accept — comparisons (== lexes as one token, not an assignment),
+// const calls, and compound conditions without mutation.
+
+namespace fixture
+{
+
+// analyze-allow(check-side-effects): stub definition, not a call site
+#define DYNASPAM_CHECK(cond, ...) ((void)(cond))
+
+int
+queueDepth(int head, int tail)
+{
+    return tail - head;
+}
+
+void
+goodChecks(int head, int tail)
+{
+    DYNASPAM_CHECK(head == tail, "drained queue expected");
+    DYNASPAM_CHECK(head <= tail && queueDepth(head, tail) >= 0,
+                   "queue invariant: head ", head, " tail ", tail);
+}
+
+} // namespace fixture

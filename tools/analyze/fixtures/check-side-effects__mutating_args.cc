@@ -1,0 +1,22 @@
+// Selftest fixture: side effects inside DYNASPAM_CHECK arguments.
+// The macro compiles to dead code in normal builds, so each of these
+// mutations silently disappears there. Pretends to live in src/ooo/.
+//
+// The macro is stubbed locally so the fixture is self-contained; the
+// check keys on the invocation spelling, not the definition.
+
+namespace fixture
+{
+
+// analyze-allow(check-side-effects): stub definition, not a call site
+#define DYNASPAM_CHECK(cond, ...) ((void)(cond))
+
+void
+badChecks(int head, int tail, int *retired)
+{
+    DYNASPAM_CHECK(++head <= tail, "head ran past tail");
+    DYNASPAM_CHECK((*retired = head) >= 0, "retired count");
+    DYNASPAM_CHECK(head == tail && (tail += 1), "tail bump");
+}
+
+} // namespace fixture

@@ -1,0 +1,39 @@
+// Selftest fixture: code the determinism check must accept — a
+// seeded <random> engine, `rand`-like substrings in identifiers and
+// strings, member functions named like banned calls, and an explicit
+// analyze-allow escape.
+
+#include <cstdint>
+#include <random>
+#include <string>
+
+namespace fixture
+{
+
+struct Trace
+{
+    // A member named time() is not ::time().
+    std::uint64_t time() const { return cycles; }
+    std::uint64_t cycles = 0;
+};
+
+std::uint32_t
+goodShuffle(std::uint32_t seed)
+{
+    // Seeded engine: deterministic per job spec. The identifiers
+    // contain "rand" but never call it.
+    std::mt19937 operandScrambler(seed);
+    const std::string brand = "rand() in a string literal";
+    Trace t;
+    return operandScrambler() ^ std::uint32_t(t.time()) ^
+           std::uint32_t(brand.size());
+}
+
+std::uint64_t
+allowedClockRead()
+{
+    // analyze-allow(determinism): fixture pins the escape convention
+    return std::uint64_t(clock());
+}
+
+} // namespace fixture

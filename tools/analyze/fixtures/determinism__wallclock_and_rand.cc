@@ -1,0 +1,32 @@
+// Selftest fixture: seeded determinism violations. Pretends to live
+// in src/sim/. Every construct below must be reported.
+
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+
+namespace fixture
+{
+
+unsigned long
+badSeed()
+{
+    // rand() and time() in the simulation core: irreproducible.
+    return static_cast<unsigned long>(std::rand()) ^
+           static_cast<unsigned long>(time(nullptr));
+}
+
+long long
+badTimestamp()
+{
+    // Wall clock read inside the model.
+    auto now = std::chrono::system_clock::now();
+    return now.time_since_epoch().count();
+}
+
+// Word-boundary control: `rand` inside identifiers and comments (the
+// operand strides, a brand-new stripe) must NOT match; lexing real
+// tokens is what buys this precision.
+int operandStride = 4;
+
+} // namespace fixture

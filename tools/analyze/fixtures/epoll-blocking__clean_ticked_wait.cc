@@ -1,0 +1,19 @@
+// Selftest fixture: the dispatch loop the epoll-blocking check must
+// accept — a bounded tick timeout, and poll through a named constant.
+
+#include <sys/epoll.h>
+
+namespace fixture
+{
+
+constexpr int kTickMs = 100;
+
+int
+goodDispatch(int epollFd)
+{
+    epoll_event events[16];
+    // Bounded wait: timers run at worst one tick late.
+    return ::epoll_wait(epollFd, events, 16, kTickMs);
+}
+
+} // namespace fixture

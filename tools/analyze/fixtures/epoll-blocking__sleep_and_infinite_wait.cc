@@ -1,0 +1,35 @@
+// Selftest fixture: seeded blocking calls on the coordinator's
+// event-loop thread. Pretends to be src/cluster/coordinator.cc.
+
+#include <chrono>
+#include <thread>
+
+#include <poll.h>
+#include <sys/epoll.h>
+
+namespace fixture
+{
+
+void
+badBackoff()
+{
+    // Sleeping stalls every client and worker behind this thread.
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+}
+
+int
+badDispatch(int epollFd)
+{
+    epoll_event events[16];
+    // -1: blocks forever, so the timer sweep (pings, deadlines,
+    // retry backoffs) never runs.
+    return ::epoll_wait(epollFd, events, 16, -1);
+}
+
+int
+badPoll(pollfd *fds, int n)
+{
+    return ::poll(fds, n, -1);
+}
+
+} // namespace fixture

@@ -1,0 +1,44 @@
+// Selftest fixture: descriptor creations the fd-raii check must
+// accept — immediate common::Fd ownership, reset() adoption, an
+// analyze-owns escape, and member functions that merely share a
+// syscall's name.
+
+#include <string>
+
+#include <sys/socket.h>
+
+#include "common/fd.hh"
+
+namespace fixture
+{
+
+struct FileLike
+{
+    void open(const std::string &) {}
+};
+
+dynaspam::common::Fd
+goodSocket()
+{
+    // Owned from birth: all later error paths close it.
+    dynaspam::common::Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+    return fd;
+}
+
+void
+goodAdopt(dynaspam::common::Fd &slot, int listenFd)
+{
+    slot.reset(::accept(listenFd, nullptr, nullptr));
+}
+
+int
+goodHandoff(int listenFd)
+{
+    // analyze-owns: the caller's connection map closes this fd.
+    int fd = ::accept4(listenFd, nullptr, nullptr, 0);
+    FileLike stream;
+    stream.open("not-a-syscall");
+    return fd;
+}
+
+} // namespace fixture

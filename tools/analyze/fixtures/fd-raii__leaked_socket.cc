@@ -1,0 +1,33 @@
+// Selftest fixture: descriptors created without entering common::Fd
+// ownership. Pretends to live in src/serve/.
+
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace fixture
+{
+
+int
+badListen()
+{
+    // Raw int: every early return between here and ::close leaks it.
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return -1;
+    return fd;
+}
+
+int
+badAccept(int listenFd)
+{
+    return ::accept(listenFd, nullptr, nullptr);
+}
+
+int
+badOpen(const char *path)
+{
+    return ::open(path, O_RDONLY);
+}
+
+} // namespace fixture

@@ -1,0 +1,16 @@
+// Selftest fixture: NO_THREAD_SAFETY_ANALYSIS outside
+// common/mutex.hh — the opt-out hammer must stay confined to the
+// CondVar bridge, not spread through the tree.
+
+#define NO_THREAD_SAFETY_ANALYSIS __attribute__((no_thread_safety_analysis))
+
+namespace fixture
+{
+
+struct Racy
+{
+    int counter = 0;
+    void bump() NO_THREAD_SAFETY_ANALYSIS { counter++; }
+};
+
+} // namespace fixture

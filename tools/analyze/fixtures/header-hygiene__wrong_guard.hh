@@ -1,0 +1,20 @@
+// Selftest fixture: include guard that does not match the
+// DYNASPAM_<PATH>_HH convention, plus a using-namespace leak.
+
+#ifndef SOME_OTHER_GUARD_HH
+#define SOME_OTHER_GUARD_HH
+
+#include <string>
+
+using namespace std;
+
+namespace fixture
+{
+inline string
+label()
+{
+    return "leaky";
+}
+} // namespace fixture
+
+#endif // SOME_OTHER_GUARD_HH

@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Minimal C++ lexer for dynaspam-analyze's token engine.
+ *
+ * Produces identifiers, numbers, string/char literals and punctuation
+ * with 1-based line numbers; comments are collected separately (for
+ * the escape-comment conventions) and never appear in the token
+ * stream. Handles line continuations, raw strings, and the multi-
+ * character operators the checks care about (so `==` never looks like
+ * two `=`). It does not run the preprocessor: `#` and directive names
+ * lex as ordinary punctuation/identifiers, and the header-hygiene
+ * check works off raw lines instead.
+ */
+
+#include "analysis.hh"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+namespace dynaspam::analyze
+{
+
+namespace
+{
+
+bool
+isIdentStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/**
+ * Multi-character operators, longest first so greedy matching is
+ * correct. Only operators some check distinguishes need to be here;
+ * anything else harmlessly lexes as single characters.
+ */
+const char *const kOperators[] = {
+    "<<=", ">>=", "...", "->*", "==", "!=", "<=", ">=", "+=", "-=",
+    "*=", "/=", "%=", "&=", "|=", "^=", "<<", ">>", "++", "--", "->",
+    "::", "&&", "||",
+};
+
+} // namespace
+
+bool
+SourceFile::hasEscape(int line, const std::string &tag) const
+{
+    for (const Comment &c : comments)
+        if ((c.line == line || c.line == line - 1) &&
+            c.text.find(tag) != std::string::npos)
+            return true;
+    return false;
+}
+
+bool
+loadSource(const std::string &path, const std::string &relPath,
+           SourceFile &out)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    out = SourceFile{};
+    out.path = path;
+    out.relPath = relPath;
+    out.text = buf.str();
+
+    std::string line;
+    std::istringstream lines(out.text);
+    while (std::getline(lines, line)) {
+        if (!line.empty() && line.back() == '\r')
+            line.pop_back();
+        out.lines.push_back(line);
+    }
+
+    lex(out);
+    return true;
+}
+
+void
+lex(SourceFile &file)
+{
+    const std::string &s = file.text;
+    const std::size_t n = s.size();
+    std::size_t i = 0;
+    int line = 1;
+
+    auto peek = [&](std::size_t off) {
+        return i + off < n ? s[i + off] : '\0';
+    };
+
+    while (i < n) {
+        const char c = s[i];
+
+        if (c == '\n') {
+            line++;
+            i++;
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            i++;
+            continue;
+        }
+        // Line continuation inside macro definitions.
+        if (c == '\\' && (peek(1) == '\n' ||
+                          (peek(1) == '\r' && peek(2) == '\n'))) {
+            i += peek(1) == '\r' ? 3 : 2;
+            line++;
+            continue;
+        }
+
+        // Comments -> the side channel.
+        if (c == '/' && peek(1) == '/') {
+            std::size_t start = i;
+            while (i < n && s[i] != '\n')
+                i++;
+            file.comments.push_back({line, s.substr(start, i - start)});
+            continue;
+        }
+        if (c == '/' && peek(1) == '*') {
+            const int startLine = line;
+            std::size_t start = i;
+            i += 2;
+            while (i < n && !(s[i] == '*' && peek(1) == '/')) {
+                if (s[i] == '\n')
+                    line++;
+                i++;
+            }
+            i = i < n ? i + 2 : n;
+            file.comments.push_back(
+                {startLine, s.substr(start, i - start)});
+            continue;
+        }
+
+        // Raw strings: R"delim( ... )delim".
+        if (c == 'R' && peek(1) == '"') {
+            std::size_t d = i + 2;
+            while (d < n && s[d] != '(' && s[d] != '"' && s[d] != '\n')
+                d++;
+            if (d < n && s[d] == '(') {
+                const std::string closer =
+                    ")" + s.substr(i + 2, d - (i + 2)) + "\"";
+                std::size_t end = s.find(closer, d + 1);
+                end = end == std::string::npos ? n
+                                               : end + closer.size();
+                const int startLine = line;
+                for (std::size_t k = i; k < end; k++)
+                    if (s[k] == '\n')
+                        line++;
+                file.tokens.push_back({Token::Kind::String,
+                                       s.substr(i, end - i), startLine});
+                i = end;
+                continue;
+            }
+            // `R"` not followed by a raw string: fall through.
+        }
+
+        // String / char literals with escapes.
+        if (c == '"' || c == '\'') {
+            const char quote = c;
+            std::size_t start = i;
+            const int startLine = line;
+            i++;
+            while (i < n && s[i] != quote) {
+                if (s[i] == '\\' && i + 1 < n)
+                    i++;
+                if (s[i] == '\n')
+                    line++;
+                i++;
+            }
+            i = i < n ? i + 1 : n;
+            file.tokens.push_back({quote == '"' ? Token::Kind::String
+                                                : Token::Kind::CharLit,
+                                   s.substr(start, i - start),
+                                   startLine});
+            continue;
+        }
+
+        if (isIdentStart(c)) {
+            std::size_t start = i;
+            while (i < n && isIdentChar(s[i]))
+                i++;
+            file.tokens.push_back({Token::Kind::Identifier,
+                                   s.substr(start, i - start), line});
+            continue;
+        }
+
+        if (std::isdigit(static_cast<unsigned char>(c)) ||
+            (c == '.' && std::isdigit(
+                             static_cast<unsigned char>(peek(1))))) {
+            // Good enough for pp-numbers: digits, letters (suffixes,
+            // hex), dots, quotes (digit separators), exponent signs.
+            std::size_t start = i;
+            while (i < n &&
+                   (isIdentChar(s[i]) || s[i] == '.' || s[i] == '\'' ||
+                    ((s[i] == '+' || s[i] == '-') &&
+                     (s[i - 1] == 'e' || s[i - 1] == 'E' ||
+                      s[i - 1] == 'p' || s[i - 1] == 'P'))))
+                i++;
+            file.tokens.push_back({Token::Kind::Number,
+                                   s.substr(start, i - start), line});
+            continue;
+        }
+
+        // Punctuation: longest multi-char operator first.
+        bool matched = false;
+        for (const char *op : kOperators) {
+            const std::size_t len = std::char_traits<char>::length(op);
+            if (s.compare(i, len, op) == 0) {
+                file.tokens.push_back({Token::Kind::Punct, op, line});
+                i += len;
+                matched = true;
+                break;
+            }
+        }
+        if (matched)
+            continue;
+        file.tokens.push_back({Token::Kind::Punct, std::string(1, c),
+                               line});
+        i++;
+    }
+}
+
+} // namespace dynaspam::analyze

@@ -96,6 +96,27 @@ for hh in $(find src apps tests bench -name '*.hh' | sort); do
     fi
 done
 
+# --- dynaspam-analyze (when built) ----------------------------------------
+# The project's own checker subsumes checks 2-4 above with real token-
+# level precision (and adds fd-raii, check-side-effects, and the
+# coordinator blocking rules); the grep forms stay as a zero-setup
+# fallback for trees with no build directory.
+analyze_bin=""
+for d in build build-analyze build-checked; do
+    if [ -x "$d/tools/analyze/dynaspam-analyze" ]; then
+        analyze_bin="$d/tools/analyze/dynaspam-analyze"
+        break
+    fi
+done
+if [ -n "$analyze_bin" ]; then
+    say "lint: running dynaspam-analyze..."
+    if ! "$analyze_bin" --root .; then
+        fail=1
+    fi
+else
+    say "lint: dynaspam-analyze not built; skipping (cmake --build build)"
+fi
+
 # --- clang-tidy (optional) -------------------------------------------------
 if command -v clang-tidy >/dev/null 2>&1 \
    && [ -f build/compile_commands.json ]; then
