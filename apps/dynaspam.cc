@@ -62,6 +62,9 @@ usage(const char *argv0)
         "           --trace-length N     (default 32)\n"
         "           --fabrics N          (default 1)\n"
         "           --scale N            (default 1)\n"
+        "           --warmup-insts N     detailed warmup prefix "
+        "(default 0)\n"
+        "           --fidelity F         full | sampled (default full)\n"
         "           --out FILE           write a JSON report\n"
         "  sweep  run a whole figure/table sweep in parallel\n"
         "           --figure {7,8,9} | --table 5 | --ablation mapper\n"
@@ -69,6 +72,11 @@ usage(const char *argv0)
         "           --out FILE           (default <sweep>.json)\n"
         "           --scale N            (default 1)\n"
         "           --workloads a,b,c    subset of workloads\n"
+        "           --warmup-insts N     shared warmup prefix; jobs that\n"
+        "                                agree on it fork from one warmed\n"
+        "                                snapshot (default 0 = off)\n"
+        "           --fidelity F         full | sampled (default full)\n"
+        "           --no-fork            force straight-through runs\n"
         "  trace  simulate one point with event tracing and write a\n"
         "         Chrome trace-event JSON (Perfetto) plus a Konata\n"
         "         pipeline log (<out>.kanata); always uncached\n"
@@ -89,6 +97,8 @@ usage(const char *argv0)
         "(default 64)\n"
         "           --timeout-ms N       per-request deadline "
         "(default 120000)\n"
+        "           --warmup-insts N     default warmup for job specs\n"
+        "                                that set none (default 0)\n"
         "           --cluster            delegate to `coordinator` "
         "(below)\n"
         "  coordinator\n"
@@ -225,6 +235,10 @@ cmdRun(Args &args)
             job.numFabrics = args.uvalue(flag);
         else if (flag == "--scale")
             job.scale = args.uvalue(flag);
+        else if (flag == "--warmup-insts")
+            job.warmupInsts = args.uvalue(flag);
+        else if (flag == "--fidelity")
+            job.fidelity = runner::parseFidelity(args.value(flag));
         else if (flag == "--out")
             common.out = args.value(flag);
         else if (flag == "--cache")
@@ -272,6 +286,11 @@ cmdRun(Args &args)
                     res.dynaspam.distinctMappedTraces),
                 static_cast<unsigned long long>(
                     res.dynaspam.distinctOffloadedTraces));
+    if (res.sampled)
+        std::printf("  fidelity            sampled (%llu insts / %llu "
+                    "cycles detailed, total extrapolated)\n",
+                    static_cast<unsigned long long>(res.sampledInsts),
+                    static_cast<unsigned long long>(res.sampledCycles));
     std::printf("  functionally correct %s\n",
                 res.functionallyCorrect ? "yes" : "NO");
 
@@ -290,8 +309,11 @@ cmdSweep(Args &args)
 {
     CommonOptions common;
     bool use_cache = true;
+    bool fork_sweeps = true;
     std::string sweep;
     unsigned trace_length = 32;
+    unsigned warmup_insts = 0;
+    runner::Fidelity fidelity = runner::Fidelity::Full;
     std::vector<std::string> names = workloads::allWorkloadNames();
 
     std::string flag;
@@ -310,6 +332,12 @@ cmdSweep(Args &args)
             common.scale = args.uvalue(flag);
         else if (flag == "--trace-length")
             trace_length = args.uvalue(flag);
+        else if (flag == "--warmup-insts")
+            warmup_insts = args.uvalue(flag);
+        else if (flag == "--fidelity")
+            fidelity = runner::parseFidelity(args.value(flag));
+        else if (flag == "--no-fork")
+            fork_sweeps = false;
         else if (flag == "--workloads")
             names = splitCommas(args.value(flag));
         else if (flag == "--cache")
@@ -330,12 +358,17 @@ cmdSweep(Args &args)
 
     std::vector<Job> jobs =
         runner::sweepJobs(sweep, names, common.scale, trace_length);
+    for (Job &job : jobs) {
+        job.warmupInsts = warmup_insts;
+        job.fidelity = fidelity;
+    }
 
     interrupt::installCleanupSignalHandlers();
 
     runner::RunnerOptions opts;
     opts.jobs = common.jobs;
     opts.cacheDir = use_cache ? common.cacheDir : "";
+    opts.forkSweeps = fork_sweeps;
     runner::Runner r(opts);
     auto outcomes = r.runAll(jobs);
     maintainCache(opts.cacheDir, common.cacheMaxMb);
@@ -533,6 +566,8 @@ cmdServe(Args &args)
             use_cache = false;
         else if (flag == "--cache-max-mb")
             cache_max_mb = args.uvalue(flag);
+        else if (flag == "--warmup-insts")
+            opts.defaultWarmupInsts = args.uvalue(flag);
         else if (flag == "--cluster")
             clusterMode = true;
         else

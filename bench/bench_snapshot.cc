@@ -1,0 +1,245 @@
+/**
+ * @file
+ * Snapshot/fork sweep benchmark: wall-clock speedup of the forked
+ * runner path (warm the shared prefix once, fork every configuration
+ * from the warmed snapshot) over straight-through execution, on a
+ * fig8-style group of points that share a warmup prefix.
+ *
+ *   bench_snapshot [--workload W] [--scale N] [--points N] [--repeat N]
+ *                  [--warmup-frac F] [--min-speedup X] [--out FILE]
+ *                  [--baseline FILE] [--tolerance FRAC]
+ *
+ * The group is accel-spec x fabric pools {1..points} on one workload
+ * (default pf, whose single hot trace keeps the fork-group WarmupGuard
+ * quiet for the whole prefix). The warmup length is --warmup-frac
+ * (default 0.75) of the workload's committed instruction count, probed
+ * with one untimed run. Both paths execute on a single worker thread
+ * with the result cache disabled, so the comparison is pure serial
+ * wall time; each path is timed --repeat times (default 5) and the
+ * fastest run is kept.
+ *
+ * The bench hard-fails (exit 1) if any merged report entry differs
+ * between the two paths — the forked sweep must be byte-identical at
+ * full fidelity, not just faster.
+ *
+ * Gates: the measured speedup must reach --min-speedup (default 2.0),
+ * and with --baseline it must additionally stay within --tolerance
+ * (default 0.25) of the checked-in baseline's speedup.
+ *
+ * Report schema: see EXPERIMENTS.md ("Forked sweeps & sampled
+ * fidelity").
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hh"
+#include "common/json.hh"
+#include "common/logging.hh"
+#include "runner/job.hh"
+#include "runner/report.hh"
+#include "runner/runner.hh"
+
+using namespace dynaspam;
+using runner::Job;
+using sim::SystemMode;
+
+namespace
+{
+
+/** Serial wall time of one sweep execution plus its report bytes. */
+struct Timed
+{
+    double seconds = 0.0;
+    std::vector<std::string> entries;
+};
+
+Timed
+timeSweep(const std::vector<Job> &jobs, bool fork, unsigned repeat)
+{
+    Timed best;
+    for (unsigned i = 0; i < repeat; i++) {
+        runner::RunnerOptions opts;
+        opts.jobs = 1;          // serial: compare work, not parallelism
+        opts.forkSweeps = fork; // cache stays disabled (no cacheDir)
+        runner::Runner r(opts);
+        const auto t0 = std::chrono::steady_clock::now();
+        std::vector<runner::JobOutcome> outcomes = r.runAll(jobs);
+        const auto t1 = std::chrono::steady_clock::now();
+        const double secs = std::chrono::duration<double>(t1 - t0).count();
+        std::vector<std::string> entries;
+        entries.reserve(outcomes.size());
+        for (const runner::JobOutcome &outcome : outcomes)
+            entries.push_back(runner::sweepEntryJson(outcome).dump());
+        if (i == 0 || secs < best.seconds)
+            best.seconds = secs;
+        if (i == 0)
+            best.entries = std::move(entries);
+        else if (entries != best.entries)
+            fatal("sweep reports differ between repeats (fork=", fork,
+                  ") — the simulator is nondeterministic");
+    }
+    return best;
+}
+
+int
+usage()
+{
+    std::fprintf(stderr,
+        "usage: bench_snapshot [--workload W] [--scale N] [--points N]\n"
+        "                      [--repeat N] [--warmup-frac F]\n"
+        "                      [--min-speedup X] [--out FILE]\n"
+        "                      [--baseline FILE] [--tolerance FRAC]\n");
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string workload = "pf";
+    unsigned scale = 1;
+    unsigned points = 8;
+    unsigned repeat = 5;
+    double warmup_frac = 0.75;
+    double min_speedup = 2.0;
+    double tolerance = 0.25;
+    std::string out = "BENCH_snapshot.json";
+    std::string baseline;
+
+    for (int i = 1; i < argc; i++) {
+        const std::string flag = argv[i];
+        auto value = [&]() -> std::string {
+            if (++i >= argc)
+                fatal("missing value for ", flag);
+            return argv[i];
+        };
+        if (flag == "--workload")
+            workload = workloads::canonicalWorkloadName(value());
+        else if (flag == "--scale")
+            scale = unsigned(std::stoul(value()));
+        else if (flag == "--points")
+            points = unsigned(std::stoul(value()));
+        else if (flag == "--repeat")
+            repeat = unsigned(std::stoul(value()));
+        else if (flag == "--warmup-frac")
+            warmup_frac = std::stod(value());
+        else if (flag == "--min-speedup")
+            min_speedup = std::stod(value());
+        else if (flag == "--out")
+            out = value();
+        else if (flag == "--baseline")
+            baseline = value();
+        else if (flag == "--tolerance")
+            tolerance = std::stod(value());
+        else
+            return usage();
+    }
+    if (repeat == 0 || points < 2 || warmup_frac <= 0.0 ||
+        warmup_frac >= 1.0)
+        return usage();
+
+    // Probe the workload's length (untimed) to size the shared prefix.
+    const sim::RunResult probe = runner::execute(
+        Job{workload, SystemMode::AccelSpec, 32, 1, scale});
+    const std::uint64_t warmup =
+        std::uint64_t(double(probe.instsTotal) * warmup_frac);
+
+    std::vector<Job> jobs;
+    for (unsigned f = 1; f <= points; f++) {
+        Job job{workload, SystemMode::AccelSpec, 32, f, scale};
+        job.warmupInsts = warmup;
+        jobs.push_back(job);
+    }
+
+    std::printf("snapshot: %s scale %u, %u points (accel-spec x fabrics "
+                "1..%u),\n          warmup %llu/%llu insts, best of %u "
+                "run%s per path\n",
+                workload.c_str(), scale, points, points,
+                static_cast<unsigned long long>(warmup),
+                static_cast<unsigned long long>(probe.instsTotal), repeat,
+                repeat == 1 ? "" : "s");
+
+    const Timed straight = timeSweep(jobs, false, repeat);
+    const Timed forked = timeSweep(jobs, true, repeat);
+
+    // Byte-identity is the contract, not a statistic: any drift between
+    // the two execution strategies invalidates every forked figure.
+    for (std::size_t i = 0; i < jobs.size(); i++) {
+        if (forked.entries[i] != straight.entries[i])
+            fatal("forked report diverges from straight-through for ",
+                  jobs[i].key());
+    }
+
+    const double speedup =
+        forked.seconds > 0.0 ? straight.seconds / forked.seconds : 0.0;
+    std::printf("%-10s %10.4f s\n", "straight", straight.seconds);
+    std::printf("%-10s %10.4f s\n", "forked", forked.seconds);
+    std::printf("%-10s %10.2fx   (reports byte-identical)\n", "speedup",
+                speedup);
+
+    json::Object report_obj;
+    report_obj["schema_version"] = 1u;
+    report_obj["name"] = "snapshot";
+    report_obj["workload"] = workload;
+    report_obj["scale"] = scale;
+    report_obj["points"] = points;
+    report_obj["repeat"] = repeat;
+    report_obj["warmup_insts"] = warmup;
+    report_obj["insts_total"] = probe.instsTotal;
+    report_obj["straight_seconds"] = straight.seconds;
+    report_obj["forked_seconds"] = forked.seconds;
+    report_obj["speedup"] = speedup;
+    const json::Value report{std::move(report_obj)};
+
+    {
+        std::ofstream os(out);
+        if (!os)
+            fatal("cannot write ", out);
+        report.write(os, 2);
+        os << "\n";
+    }
+    std::printf("report written to %s\n", out.c_str());
+
+    int failed = 0;
+    {
+        const bool ok = speedup >= min_speedup;
+        std::printf("gate: speedup %6.2fx vs required %6.2fx            "
+                    "%s\n",
+                    speedup, min_speedup, ok ? "ok" : "TOO SLOW");
+        if (!ok)
+            failed = 1;
+    }
+
+    if (baseline.empty())
+        return failed;
+
+    // --- Regression gate against the checked-in baseline ---
+    std::ifstream is(baseline);
+    if (!is)
+        fatal("cannot read baseline ", baseline);
+    std::stringstream buf;
+    buf << is.rdbuf();
+    const json::Value base = json::Value::parse(buf.str());
+    const double base_speedup = base.at("speedup").asDouble();
+    // A non-positive baseline would make the floor 0 and wave every
+    // regression through; fail loudly instead of gating against nothing.
+    if (!(base_speedup > 0.0)) {
+        fatal("baseline ", baseline, " has non-positive speedup ",
+              base_speedup, " — regenerate it");
+    }
+    const double floor = base_speedup * (1.0 - tolerance);
+    const bool ok = speedup >= floor;
+    std::printf("gate: speedup %6.2fx vs baseline %6.2fx (floor %6.2fx, "
+                "tol %.0f%%)  %s\n",
+                speedup, base_speedup, floor, tolerance * 100.0,
+                ok ? "ok" : "REGRESSION");
+    if (!ok)
+        failed = 1;
+    return failed;
+}

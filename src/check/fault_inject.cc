@@ -10,6 +10,7 @@
 
 #include "check/auditors.hh"
 #include "check/golden.hh"
+#include "check/snapshot_audit.hh"
 #include "core/configcache.hh"
 #include "core/tcache.hh"
 #include "fabric/config.hh"
@@ -18,6 +19,8 @@
 #include "memory/cache.hh"
 #include "memory/functional_mem.hh"
 #include "ooo/cpu.hh"
+#include "sim/simulation.hh"
+#include "sim/snapshot.hh"
 
 namespace dynaspam::check
 {
@@ -328,6 +331,59 @@ FaultInjector::injectGoldenFault()
 }
 
 bool
+FaultInjector::injectSnapshotFault()
+{
+    // A short loop so the snapshot catches in-flight pipeline state.
+    isa::ProgramBuilder b("snaploop");
+    b.movi(1, 0);
+    b.movi(2, 8);
+    b.label("head");
+    b.addi(1, 1, 1);
+    b.blt(1, 2, "head");
+    b.halt();
+    const isa::Program program = b.build();
+
+    mem::FunctionalMemory memory;
+    auto input = sim::SimInput::make(program, memory);
+    const sim::SystemConfig cfg =
+        sim::SystemConfig::make(sim::SystemMode::AccelSpec);
+
+    sim::Simulation source(cfg, input);
+    for (int i = 0; i < 20 && !source.done(); i++)
+        source.tick();
+    sim::Snapshot snap;
+    source.snapshot(snap);
+
+    sim::Simulation restored(cfg, input);
+    restored.restore(snap);
+    sim::Snapshot echo;
+    restored.snapshot(echo);
+
+    // Clean: a faithful restore round-trips exactly.
+    ViolationSink sink(ViolationSink::Mode::Collect);
+    if (!auditSnapshotRoundTrip(snap, echo, sink, source.now()) ||
+        !sink.empty())
+        return false;
+
+    // Fault 1: a restore that silently lost a pipeline field.
+    echo.cpu.curCycle += 1;
+    if (auditSnapshotRoundTrip(snap, echo, sink, source.now()))
+        return false;
+    if (!sink.firedFrom("snapshot"))
+        return false;
+
+    // Fault 2: a controller-side divergence (stat drift).
+    sink.clear();
+    restored.snapshot(echo);
+    if (!echo.controller)
+        return false;
+    echo.controller->dstats.tracesConsidered += 1;
+    if (auditSnapshotRoundTrip(snap, echo, sink, source.now()))
+        return false;
+    return sink.firedFrom("snapshot");
+}
+
+bool
 runSelfTest(std::ostream &os)
 {
     struct Scenario
@@ -345,6 +401,7 @@ runSelfTest(std::ostream &os)
         {"config-cache validity", FaultInjector::injectConfigCacheFault},
         {"frontier scheduling legality", FaultInjector::injectFrontierFault},
         {"golden-model lockstep", FaultInjector::injectGoldenFault},
+        {"snapshot restore round-trip", FaultInjector::injectSnapshotFault},
     };
 
     bool all_ok = true;

@@ -39,6 +39,7 @@ class FaultInjector
     static bool injectConfigCacheFault();///< valid entry, null config
     static bool injectFrontierFault();   ///< backwards dataflow route
     static bool injectGoldenFault();     ///< out-of-order + wrong trace
+    static bool injectSnapshotFault();   ///< corrupt a restored snapshot
 };
 
 /**

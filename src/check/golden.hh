@@ -71,6 +71,35 @@ class GoldenModel
     std::uint64_t reg(RegIndex index) const { return regs.at(index); }
     const mem::FunctionalMemory &memory() const { return mem; }
 
+    /** Complete interpreter state (the memory copy is a deep copy). */
+    struct SavedState
+    {
+        mem::FunctionalMemory mem;
+        std::array<std::uint64_t, isa::NUM_ARCH_REGS> regs{};
+        InstAddr curPc = 0;
+        bool isHalted = false;
+
+        bool operator==(const SavedState &) const = default;
+    };
+
+    void
+    save(SavedState &out) const
+    {
+        out.mem = mem;
+        out.regs = regs;
+        out.curPc = curPc;
+        out.isHalted = isHalted;
+    }
+
+    void
+    restore(const SavedState &in)
+    {
+        mem = in.mem;
+        regs = in.regs;
+        curPc = in.curPc;
+        isHalted = in.isHalted;
+    }
+
   private:
     const isa::Program &prog;
     mem::FunctionalMemory mem;
@@ -119,7 +148,45 @@ class LockstepChecker
         InstAddr pc = 0;
         bool viaFabric = false;
         Cycle cycle = 0;
+
+        bool operator==(const CommitEvent &) const = default;
     };
+
+  public:
+    /** Complete checker state: the golden model plus the commit cursor
+     *  and the divergence-dump window. */
+    struct SavedState
+    {
+        GoldenModel::SavedState golden;
+        SeqNum nextIdx = 0;
+        std::uint64_t checked = 0;
+        bool dead = false;
+        std::deque<CommitEvent> window;
+
+        bool operator==(const SavedState &) const = default;
+    };
+
+    void
+    save(SavedState &out) const
+    {
+        golden.save(out.golden);
+        out.nextIdx = nextIdx;
+        out.checked = checked;
+        out.dead = dead;
+        out.window = window;
+    }
+
+    void
+    restore(const SavedState &in)
+    {
+        golden.restore(in.golden);
+        nextIdx = in.nextIdx;
+        checked = in.checked;
+        dead = in.dead;
+        window = in.window;
+    }
+
+  private:
 
     void checkRecord(SeqNum idx, bool via_fabric, Cycle now);
     void diverged(SeqNum idx, Cycle now, const std::string &what);

@@ -1,0 +1,163 @@
+#include "check/snapshot_audit.hh"
+
+#include <sstream>
+#include <string>
+
+#include "sim/snapshot.hh"
+
+namespace dynaspam::check
+{
+
+namespace
+{
+
+/**
+ * Diff one component by probing a list of named member comparisons and
+ * reporting the first mismatch. The component-level operator== is the
+ * source of truth; the member list only localizes the difference.
+ */
+template <typename State, typename... Probe>
+bool
+diffComponent(const char *component, const State &expect, const State &got,
+              ViolationSink &sink, Cycle now, const Probe &...probes)
+{
+    if (expect == got)
+        return true;
+
+    std::string field = "<unlisted member>";
+    bool found = false;
+    auto check = [&](const auto &probe) {
+        if (found)
+            return;
+        if (!(expect.*(probe.member) == got.*(probe.member))) {
+            field = probe.name;
+            found = true;
+        }
+    };
+    (check(probes), ...);
+
+    std::ostringstream os;
+    os << "restored state diverges from its source snapshot in "
+       << component << "." << field;
+    sink.report("snapshot", now, os.str());
+    return false;
+}
+
+/** A named pointer-to-member probe for diffComponent. */
+template <typename State, typename Member>
+struct Probe
+{
+    const char *name;
+    Member State::*member;
+};
+
+template <typename State, typename Member>
+Probe<State, Member>
+probe(const char *name, Member State::*member)
+{
+    return {name, member};
+}
+
+} // namespace
+
+bool
+auditSnapshotRoundTrip(const sim::Snapshot &expect, const sim::Snapshot &got,
+                       ViolationSink &sink, Cycle now)
+{
+    bool ok = true;
+
+    if (expect.input.get() != got.input.get()) {
+        sink.report("snapshot", now,
+                    "snapshots were taken over different SimInputs");
+        ok = false;
+    }
+
+    using Cpu = ooo::OooCpu::SavedState;
+    ok &= diffComponent(
+        "cpu", expect.cpu, got.cpu, sink, now,
+        probe("bpred", &Cpu::bpred),
+        probe("storeSets", &Cpu::storeSets),
+        probe("activeIsDefault", &Cpu::activeIsDefault),
+        probe("pendingIsNull", &Cpu::pendingIsNull),
+        probe("curCycle", &Cpu::curCycle),
+        probe("nextSeq", &Cpu::nextSeq),
+        probe("fetchIdx", &Cpu::fetchIdx),
+        probe("commitIdx", &Cpu::commitIdx),
+        probe("fetchResumeCycle", &Cpu::fetchResumeCycle),
+        probe("fetchBlockedOnBranch", &Cpu::fetchBlockedOnBranch),
+        probe("lastFetchBlock", &Cpu::lastFetchBlock),
+        probe("frontEnd", &Cpu::frontEnd),
+        probe("rat", &Cpu::rat),
+        probe("freeList", &Cpu::freeList),
+        probe("physReadyCycle", &Cpu::physReadyCycle),
+        probe("rob", &Cpu::rob),
+        probe("iq", &Cpu::iq),
+        probe("loadQueue", &Cpu::loadQueue),
+        probe("storeQueue", &Cpu::storeQueue),
+        probe("invocations", &Cpu::invocations),
+        probe("readyByType", &Cpu::readyByType),
+        probe("pendingByType", &Cpu::pendingByType),
+        probe("regConsumers", &Cpu::regConsumers),
+        probe("readyCount", &Cpu::readyCount),
+        probe("pendingCount", &Cpu::pendingCount),
+        probe("storesByLine", &Cpu::storesByLine),
+        probe("loadsByLine", &Cpu::loadsByLine),
+        probe("sqBoundCycle", &Cpu::sqBoundCycle),
+        probe("sqBound", &Cpu::sqBound),
+        probe("storeBuffer", &Cpu::storeBuffer),
+        probe("retiredByLine", &Cpu::retiredByLine),
+        probe("fuBusyUntil", &Cpu::fuBusyUntil),
+        probe("mappingActive", &Cpu::mappingActive),
+        probe("mappingTraceIdx", &Cpu::mappingTraceIdx),
+        probe("mappingFetchRemaining", &Cpu::mappingFetchRemaining),
+        probe("mappingDispatchRemaining", &Cpu::mappingDispatchRemaining),
+        probe("mappingIssueRemaining", &Cpu::mappingIssueRemaining),
+        probe("mappingCommitRemaining", &Cpu::mappingCommitRemaining),
+        probe("pstats", &Cpu::pstats));
+
+    using Mem = mem::MemoryHierarchy::SavedState;
+    ok &= diffComponent("memory", expect.memory, got.memory, sink, now,
+                        probe("l2", &Mem::l2), probe("l1i", &Mem::l1i),
+                        probe("l1d", &Mem::l1d));
+
+    if (expect.controller.has_value() != got.controller.has_value()) {
+        sink.report("snapshot", now,
+                    "controller state present in only one snapshot");
+        ok = false;
+    } else if (expect.controller) {
+        using Ctl = core::DynaSpamController::SavedState;
+        ok &= diffComponent(
+            "controller", *expect.controller, *got.controller, sink, now,
+            probe("tcache", &Ctl::tcache),
+            probe("configCache", &Ctl::configCache),
+            probe("fabrics", &Ctl::fabrics),
+            probe("session", &Ctl::session),
+            probe("policy", &Ctl::policy),
+            probe("mappingInProgress", &Ctl::mappingInProgress),
+            probe("mappingKey", &Ctl::mappingKey),
+            probe("lastMappingStart", &Ctl::lastMappingStart),
+            probe("pending", &Ctl::pending),
+            probe("suppressed", &Ctl::suppressed),
+            probe("mappedKeys", &Ctl::mappedKeys),
+            probe("offloadedKeys", &Ctl::offloadedKeys),
+            probe("failedKeys", &Ctl::failedKeys),
+            probe("dstats", &Ctl::dstats));
+    }
+
+    if (expect.verifier.has_value() != got.verifier.has_value()) {
+        sink.report("snapshot", now,
+                    "verifier state present in only one snapshot");
+        ok = false;
+    } else if (expect.verifier) {
+        using Ver = Verifier::SavedState;
+        ok &= diffComponent(
+            "verifier", *expect.verifier, *got.verifier, sink, now,
+            probe("lockstep", &Ver::lockstep),
+            probe("auditPasses", &Ver::auditPasses),
+            probe("structurePasses", &Ver::structurePasses));
+    }
+
+    return ok;
+}
+
+} // namespace dynaspam::check

@@ -64,6 +64,33 @@ class Verifier : public ooo::CommitObserver
     std::uint64_t auditPasses() const { return statAuditPasses; }
     std::uint64_t structurePasses() const { return statStructurePasses; }
 
+    /** Complete verifier state (the auditors are read-only walkers with
+     *  no state of their own). */
+    struct SavedState
+    {
+        LockstepChecker::SavedState lockstep;
+        std::uint64_t auditPasses = 0;
+        std::uint64_t structurePasses = 0;
+
+        bool operator==(const SavedState &) const = default;
+    };
+
+    void
+    save(SavedState &out) const
+    {
+        lockstep.save(out.lockstep);
+        out.auditPasses = statAuditPasses;
+        out.structurePasses = statStructurePasses;
+    }
+
+    void
+    restore(const SavedState &in)
+    {
+        lockstep.restore(in.lockstep);
+        statAuditPasses = in.auditPasses;
+        statStructurePasses = in.structurePasses;
+    }
+
   private:
     void auditStructures(Cycle now);
 

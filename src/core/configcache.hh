@@ -86,19 +86,56 @@ class ConfigCache
     std::uint64_t insertions() const { return statInsertions; }
     std::uint64_t evictions() const { return statEvictions; }
 
-  private:
-    /** The structure auditor inspects entries directly. */
-    friend class dynaspam::check::StructureAuditor;
-    /** The fault-injection self-test seeds violations directly. */
-    friend class dynaspam::check::FaultInjector;
-
     struct Entry
     {
         bool valid = false;
         std::uint64_t key = 0;
         unsigned counter = 0;
         std::shared_ptr<const fabric::FabricConfig> config;
+
+        /** Configs are immutable once inserted, so sharing the pointer
+         *  is value equality for snapshot purposes. */
+        bool operator==(const Entry &) const = default;
     };
+
+    /**
+     * Complete mutable cache state. FabricConfig objects are immutable
+     * after insertion, so entries share ownership with the live cache
+     * rather than deep-copying the configs.
+     */
+    struct SavedState
+    {
+        std::vector<Entry> entries;
+        std::uint64_t lookups = 0;
+        std::uint64_t insertions = 0;
+        std::uint64_t evictions = 0;
+
+        bool operator==(const SavedState &) const = default;
+    };
+
+    void
+    save(SavedState &out) const
+    {
+        out.entries = entries;
+        out.lookups = lookups;
+        out.insertions = statInsertions;
+        out.evictions = statEvictions;
+    }
+
+    void
+    restore(const SavedState &in)
+    {
+        entries = in.entries;
+        lookups = in.lookups;
+        statInsertions = in.insertions;
+        statEvictions = in.evictions;
+    }
+
+  private:
+    /** The structure auditor inspects entries directly. */
+    friend class dynaspam::check::StructureAuditor;
+    /** The fault-injection self-test seeds violations directly. */
+    friend class dynaspam::check::FaultInjector;
 
     std::size_t indexOf(std::uint64_t key) const
     {

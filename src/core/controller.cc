@@ -63,6 +63,19 @@ DynaSpamController::selectFabric(
             return fab.get();
     }
 
+    // Configuration miss: from here on, which fabric is picked (a free
+    // one vs. the LRU victim) depends on the pool size once any fabric
+    // holds a configuration. The very first configure lands on pool[0]
+    // for every pool size, so it is still prefix-invariant.
+    if (guard && guard->numFabricsDiverges && !guard->fired) {
+        for (auto &fab : fabricPool) {
+            if (fab->configured()) {
+                guard->fired = true;
+                break;
+            }
+        }
+    }
+
     // Otherwise an unconfigured fabric, else the LRU one.
     fabric::Fabric *victim = nullptr;
     for (auto &fab : fabricPool) {
@@ -136,6 +149,14 @@ DynaSpamController::beforeFetch(SeqNum trace_idx, Cycle now)
     auto config = cfgCache.find(walk.key);
     if (config) {
         const bool ready = cfgCache.recordPrediction(walk.key);
+        // Offload decision point: with the counter saturated, the
+        // outcome consults enableOffload, and an issued offload's fabric
+        // timing consults memorySpeculation.
+        if (guard && ready &&
+            (guard->offloadDiverges ||
+             (params.enableOffload && guard->memSpecDiverges))) {
+            guard->fired = true;
+        }
         if (!ready || !params.enableOffload) {
             dstats.offloadBelowThreshold++;
             return directive;
@@ -174,6 +195,11 @@ DynaSpamController::beforeFetch(SeqNum trace_idx, Cycle now)
         return directive;
     if (walk.pcs.size() < 4)
         return directive;   // too short to be worth a configuration
+
+    // Mapping begins: the session's schedule is driven by the installed
+    // policy, so the mapper kind is consulted from here on.
+    if (guard && guard->mapperDiverges)
+        guard->fired = true;
 
     session = std::make_unique<MappingSession>(
         params.fabricParams, trace_idx,
@@ -349,6 +375,82 @@ DynaSpamController::finalizeStats()
         }
     }
     dstats.distinctOffloadedTraces = offloadedKeys.size();
+}
+
+void
+DynaSpamController::save(SavedState &out) const
+{
+    tCache.save(out.tcache);
+    cfgCache.save(out.configCache);
+    out.fabrics.resize(fabricPool.size());
+    for (std::size_t i = 0; i < fabricPool.size(); i++)
+        fabricPool[i]->save(out.fabrics[i]);
+
+    if (session)
+        out.session = *session;
+    else
+        out.session.reset();
+    policy->save(out.policy);
+    out.mappingInProgress = mappingInProgress;
+    out.mappingKey = mappingKey;
+    out.lastMappingStart = lastMappingStart;
+
+    out.pending.clear();
+    for (const auto &[seq, inv] : pending) {
+        int idx = -1;
+        for (std::size_t i = 0; i < fabricPool.size(); i++) {
+            if (fabricPool[i].get() == inv.startedOn) {
+                idx = int(i);
+                break;
+            }
+        }
+        out.pending.emplace(seq, SavedState::SavedPending{
+            inv.config, inv.key, inv.numRecords, idx});
+    }
+
+    out.suppressed = suppressed;
+    out.mappedKeys = mappedKeys;
+    out.offloadedKeys = offloadedKeys;
+    out.failedKeys = failedKeys;
+    out.dstats = dstats;
+}
+
+void
+DynaSpamController::restore(const SavedState &in)
+{
+    tCache.restore(in.tcache);
+    cfgCache.restore(in.configCache);
+    // Pool sizes may differ across a fork group (see SavedState docs);
+    // fabrics beyond the common prefix are untouched on either side.
+    const std::size_t n = std::min(in.fabrics.size(), fabricPool.size());
+    for (std::size_t i = 0; i < n; i++)
+        fabricPool[i]->restore(in.fabrics[i]);
+
+    if (in.session)
+        session = std::make_unique<MappingSession>(*in.session);
+    else
+        session.reset();
+    policy->restore(in.policy, session.get());
+    mappingInProgress = in.mappingInProgress;
+    mappingKey = in.mappingKey;
+    lastMappingStart = in.lastMappingStart;
+
+    pending.clear();
+    for (const auto &[seq, sp] : in.pending) {
+        if (sp.startedOnIdx >= int(fabricPool.size()))
+            panic("restore: pending invocation on out-of-range fabric");
+        pending.emplace(seq, PendingInvocation{
+            sp.config, sp.key, sp.numRecords,
+            sp.startedOnIdx >= 0
+                ? fabricPool[std::size_t(sp.startedOnIdx)].get()
+                : nullptr});
+    }
+
+    suppressed = in.suppressed;
+    mappedKeys = in.mappedKeys;
+    offloadedKeys = in.offloadedKeys;
+    failedKeys = in.failedKeys;
+    dstats = in.dstats;
 }
 
 void

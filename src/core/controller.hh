@@ -20,6 +20,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -112,6 +113,30 @@ struct DynaSpamStats
         return lifetimeCount ? double(lifetimeSum) / double(lifetimeCount)
                              : 0.0;
     }
+
+    bool operator==(const DynaSpamStats &) const = default;
+};
+
+/**
+ * Divergence detector for forked-sweep warmup (the shared-prefix phase
+ * of runner fork groups). The warmup simulation runs under one
+ * representative configuration of a group of jobs that differ only in
+ * knobs the prefix never consults; the controller raises `fired` at the
+ * FIRST decision point whose outcome depends on a knob that differs
+ * within the group. Everything simulated from the preceding safe
+ * snapshot onwards is then discarded, so the guard only detects — it
+ * never alters behaviour.
+ */
+struct WarmupGuard
+{
+    /** Which knobs differ among the group's jobs. */
+    bool offloadDiverges = false;       ///< DynaSpamParams::enableOffload
+    bool memSpecDiverges = false;       ///< FabricParams::memorySpeculation
+    bool mapperDiverges = false;        ///< DynaSpamParams::mapper
+    bool numFabricsDiverges = false;    ///< DynaSpamParams::numFabrics
+
+    /** Set at the first consult of a divergent knob. */
+    bool fired = false;
 };
 
 /**
@@ -162,6 +187,11 @@ class DynaSpamController : public ooo::TraceHooks
         return fabricPool;
     }
 
+    /** The policy installed into the pipeline during mapping phases.
+     *  Stable for the controller's lifetime; pipeline snapshot restore
+     *  rebinds its saved policy pointers to this object. */
+    ooo::SelectPolicy *mappingPolicy() { return policy.get(); }
+
     /**
      * Attach an event-trace sink (nullptr detaches). Propagates to
      * every fabric in the pool, which sample FIFO occupancy into it.
@@ -176,6 +206,61 @@ class DynaSpamController : public ooo::TraceHooks
 
     /** Export statistics under "dynaspam." into @p registry. */
     void exportStats(StatRegistry &registry) const;
+
+    /** Attach a forked-sweep warmup divergence guard (nullptr detaches).
+     *  Pure detection: the attached guard never changes behaviour. */
+    void setWarmupGuard(WarmupGuard *g) { guard = g; }
+
+    /**
+     * Complete mutable controller state for simulator snapshots.
+     * Restore requires a controller built over the same trace with the
+     * same T-Cache/ConfigCache/fabric parameters; numFabrics may differ
+     * between saver and restorer ONLY while every fabric beyond the
+     * smaller pool is still in its freshly-constructed state (the
+     * forked-sweep warmup guard fires before a second fabric is ever
+     * selected, which guarantees exactly that).
+     */
+    struct SavedState
+    {
+        TCache::SavedState tcache;
+        ConfigCache::SavedState configCache;
+        std::vector<fabric::Fabric::SavedState> fabrics;
+
+        /** In-flight mapping session, if one was open. */
+        std::optional<MappingSession> session;
+        MappingPolicyBase::SavedState policy;
+        bool mappingInProgress = false;
+        std::uint64_t mappingKey = 0;
+        Cycle lastMappingStart = 0;
+
+        /** PendingInvocation with the fabric pointer as a pool index. */
+        struct SavedPending
+        {
+            std::shared_ptr<const fabric::FabricConfig> config;
+            std::uint64_t key = 0;
+            std::uint32_t numRecords = 0;
+            int startedOnIdx = -1;      ///< -1 = not started yet
+
+            bool operator==(const SavedPending &) const = default;
+        };
+        std::unordered_map<SeqNum, SavedPending> pending;
+
+        std::unordered_set<SeqNum> suppressed;
+        std::unordered_set<std::uint64_t> mappedKeys;
+        std::unordered_set<std::uint64_t> offloadedKeys;
+        std::unordered_set<std::uint64_t> failedKeys;
+
+        DynaSpamStats dstats;
+
+        bool operator==(const SavedState &) const = default;
+    };
+
+    /** Capture the full controller state into @p out. */
+    void save(SavedState &out) const;
+
+    /** Restore a previously saved state (see SavedState for the
+     *  geometry requirements). */
+    void restore(const SavedState &in);
 
   private:
     /** Check the predicted-path walk against the oracle records. */
@@ -227,6 +312,7 @@ class DynaSpamController : public ooo::TraceHooks
     std::unordered_set<std::uint64_t> failedKeys;
 
     trace::TraceSink *tsink = nullptr;
+    WarmupGuard *guard = nullptr;
 
     DynaSpamStats dstats;
 };

@@ -49,6 +49,48 @@ class MappingPolicyBase : public ooo::SelectPolicy
     void disarm() { sess = nullptr; }
     MappingSession *session() { return sess; }
 
+    /**
+     * Armed-state capture for simulator snapshots. The session pointer
+     * is encoded as a flag; restore() rebinds it to the controller's
+     * (separately restored) session object.
+     */
+    struct SavedState
+    {
+        bool armed = false;
+        SeqNum baseIdx = 0;
+        Cycle drainUntil = 0;
+        Cycle lastNow = 0;
+        bool advancePending = false;
+        bool selectedThisCycle = false;
+        bool vetoedReadyInst = false;
+
+        bool operator==(const SavedState &) const = default;
+    };
+
+    void
+    save(SavedState &out) const
+    {
+        out.armed = sess != nullptr;
+        out.baseIdx = baseIdx;
+        out.drainUntil = drainUntil;
+        out.lastNow = lastNow;
+        out.advancePending = advancePending;
+        out.selectedThisCycle = selectedThisCycle;
+        out.vetoedReadyInst = vetoedReadyInst;
+    }
+
+    void
+    restore(const SavedState &in, MappingSession *session)
+    {
+        sess = in.armed ? session : nullptr;
+        baseIdx = in.baseIdx;
+        drainUntil = in.drainUntil;
+        lastNow = in.lastNow;
+        advancePending = in.advancePending;
+        selectedThisCycle = in.selectedThisCycle;
+        vetoedReadyInst = in.vetoedReadyInst;
+    }
+
     bool
     beginCycle(Cycle now) override
     {

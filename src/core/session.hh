@@ -37,6 +37,8 @@ struct Placement
     fabric::PeId pe;
     fabric::OperandRoute src1;
     fabric::OperandRoute src2;
+
+    bool operator==(const Placement &) const = default;
 };
 
 /**
@@ -112,6 +114,10 @@ class MappingSession
     std::uint64_t totalHops() const { return statHops; }
     std::uint64_t reuseHits() const { return statReuse; }
 
+    /** Sessions are value-semantic: a plain copy is a deep snapshot, and
+     *  member-wise equality is the snapshot-diff criterion. */
+    bool operator==(const MappingSession &) const = default;
+
   private:
     /** Number of live-in ports a PE at @p stripe offers. */
     unsigned inputPorts(unsigned stripe) const { return stripe == 0 ? 2 : 1; }
@@ -120,6 +126,8 @@ class MappingSession
     {
         std::uint16_t instIdx = 0xffff;     ///< index into `order`
         std::uint8_t stripe = 0;
+
+        bool operator==(const ProdEntry &) const = default;
     };
 
     /** Classify one operand for scoring/routing. */

@@ -34,15 +34,19 @@ TCache::commitBranch(InstAddr pc, bool taken)
         statClears++;
     }
 
-    history.emplace_back(pc, taken);
-    if (history.size() < 3)
-        return;
-    if (history.size() > 3)
-        history.pop_front();
+    if (historyCount < 3) {
+        history[historyCount++] = {pc, taken};
+        if (historyCount < 3)
+            return;
+    } else {
+        history[0] = history[1];
+        history[1] = history[2];
+        history[2] = {pc, taken};
+    }
 
     const std::uint64_t key = makeTraceKey(
-        history[0].first, history[0].second, history[1].second,
-        history[2].second);
+        history[0].pc, history[0].taken, history[1].taken,
+        history[2].taken);
 
     Entry &entry = entries[indexOf(key)];
     if (!entry.valid || entry.key != key) {

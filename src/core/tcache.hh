@@ -13,8 +13,8 @@
 #ifndef DYNASPAM_CORE_TCACHE_HH
 #define DYNASPAM_CORE_TCACHE_HH
 
+#include <array>
 #include <cstdint>
-#include <deque>
 #include <vector>
 
 #include "common/types.hh"
@@ -63,19 +63,65 @@ class TCache
     std::uint64_t trainings() const { return statTrainings; }
     std::uint64_t clears() const { return statClears; }
 
-  private:
-    /** The structure auditor inspects entries directly. */
-    friend class dynaspam::check::StructureAuditor;
-    /** The fault-injection self-test seeds violations directly. */
-    friend class dynaspam::check::FaultInjector;
-
     struct Entry
     {
         std::uint64_t key = 0;
         unsigned counter = 0;
         bool hot = false;
         bool valid = false;
+
+        bool operator==(const Entry &) const = default;
     };
+
+    /** One slot of the committed-branch history window. */
+    struct BranchRec
+    {
+        InstAddr pc = 0;
+        bool taken = false;
+
+        bool operator==(const BranchRec &) const = default;
+    };
+
+    /** Complete mutable T-Cache state (geometry is a parameter). */
+    struct SavedState
+    {
+        std::vector<Entry> entries;
+        std::array<BranchRec, 3> history{};
+        unsigned historyCount = 0;
+        std::uint64_t commitCount = 0;
+        std::uint64_t trainings = 0;
+        std::uint64_t clears = 0;
+
+        bool operator==(const SavedState &) const = default;
+    };
+
+    void
+    save(SavedState &out) const
+    {
+        out.entries = entries;
+        out.history = history;
+        out.historyCount = historyCount;
+        out.commitCount = commitCount;
+        out.trainings = statTrainings;
+        out.clears = statClears;
+    }
+
+    void
+    restore(const SavedState &in)
+    {
+        entries = in.entries;
+        history = in.history;
+        historyCount = in.historyCount;
+        commitCount = in.commitCount;
+        statTrainings = in.trainings;
+        statClears = in.clears;
+    }
+
+  private:
+    /** The structure auditor inspects entries directly. */
+    friend class dynaspam::check::StructureAuditor;
+    /** The fault-injection self-test seeds violations directly. */
+    friend class dynaspam::check::FaultInjector;
 
     std::size_t indexOf(std::uint64_t key) const
     {
@@ -85,8 +131,11 @@ class TCache
     TCacheParams params;
     std::vector<Entry> entries;
 
-    /** Last three committed conditional branches: (pc, outcome). */
-    std::deque<std::pair<InstAddr, bool>> history;
+    /** Last three committed conditional branches, oldest first. A fixed
+     *  array instead of a deque: this is touched on every committed
+     *  conditional branch, and two 16-byte moves beat deque node math. */
+    std::array<BranchRec, 3> history{};
+    unsigned historyCount = 0;  ///< valid slots, saturates at 3
 
     std::uint64_t commitCount = 0;
     std::uint64_t statTrainings = 0;

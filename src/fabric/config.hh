@@ -42,6 +42,8 @@ struct OperandRoute
     std::uint16_t liveInIdx = 0;
     /** Extra stripe boundaries the value crosses beyond one. */
     std::uint16_t hops = 0;
+
+    bool operator==(const OperandRoute &) const = default;
 };
 
 /** One instruction placed on the fabric. */

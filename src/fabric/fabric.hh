@@ -83,6 +83,8 @@ struct FabricStats
     std::uint64_t memViolations = 0;
     /** Sum over invocations of stripesUsed (for gated leakage). */
     std::uint64_t activeStripeInvocations = 0;
+
+    bool operator==(const FabricStats &) const = default;
 };
 
 /**
@@ -168,6 +170,67 @@ class Fabric
     void exportStats(StatRegistry &registry,
                      const std::string &prefix = "fabric") const;
 
+    /** Recently completed stores, for cross-invocation memory-order
+     *  violation detection. */
+    struct RecentStore
+    {
+        Addr addr = 0;
+        Cycle completeCycle = 0;
+        InstAddr pc = 0;
+        SeqNum seq = 0;
+
+        bool operator==(const RecentStore &) const = default;
+    };
+
+    /** Pre-execution state capture for ROB-squash rollback; also the
+     *  per-fabric payload of a full simulator snapshot. FabricConfig
+     *  objects are immutable, so the pointer is shared, not copied. */
+    struct Snapshot
+    {
+        std::shared_ptr<const FabricConfig> config;
+        Cycle configReadyCycle = 0;
+        Cycle lastUse = 0;
+        std::vector<Cycle> prevInstComplete;
+        std::vector<Cycle> prevLiveOutInternal;
+        SeqNum prevTraceEndIdx = 0;
+        std::deque<Cycle> inflightWindow;
+        std::deque<RecentStore> recentStores;
+        Cycle lastMemCompletePersist = 0;
+        std::uint64_t invocationsOnConfig = 0;
+
+        bool operator==(const Snapshot &) const = default;
+    };
+
+    /**
+     * Complete mutable fabric state: the live pipelining state (as one
+     * rollback Snapshot), the outstanding per-invocation rollback
+     * snapshots, and the statistics.
+     */
+    struct SavedState
+    {
+        Snapshot live;
+        std::map<SeqNum, Snapshot> snapshots;
+        FabricStats stats;
+
+        bool operator==(const SavedState &) const = default;
+    };
+
+    void
+    save(SavedState &out) const
+    {
+        out.live = takeSnapshot();
+        out.snapshots = snapshots;
+        out.stats = fstats;
+    }
+
+    void
+    restore(const SavedState &in)
+    {
+        restoreSnapshot(in.live);
+        snapshots = in.snapshots;
+        fstats = in.stats;
+    }
+
   private:
     FabricParams params;
     mem::MemoryHierarchy &hierarchy;
@@ -190,15 +253,6 @@ class Fabric
      *  FIFO depth back-pressure on pipelined execution. */
     std::deque<Cycle> inflightWindow;
 
-    /** Recently completed stores, for cross-invocation memory-order
-     *  violation detection. */
-    struct RecentStore
-    {
-        Addr addr = 0;
-        Cycle completeCycle = 0;
-        InstAddr pc = 0;
-        SeqNum seq = 0;
-    };
     std::deque<RecentStore> recentStores;
 
     /** Completion of the newest memory op, persisted across invocations
@@ -207,20 +261,6 @@ class Fabric
 
     std::uint64_t invocationsOnConfig = 0;
 
-    /** Pre-execution state capture for ROB-squash rollback. */
-    struct Snapshot
-    {
-        std::shared_ptr<const FabricConfig> config;
-        Cycle configReadyCycle = 0;
-        Cycle lastUse = 0;
-        std::vector<Cycle> prevInstComplete;
-        std::vector<Cycle> prevLiveOutInternal;
-        SeqNum prevTraceEndIdx = 0;
-        std::deque<Cycle> inflightWindow;
-        std::deque<RecentStore> recentStores;
-        Cycle lastMemCompletePersist = 0;
-        std::uint64_t invocationsOnConfig = 0;
-    };
     Snapshot takeSnapshot() const;
     void restoreSnapshot(const Snapshot &snap);
 

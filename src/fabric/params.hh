@@ -71,6 +71,8 @@ struct FabricParams
     {
         return passRegsPerFu * pesPerStripe();
     }
+
+    bool operator==(const FabricParams &) const = default;
 };
 
 } // namespace dynaspam::fabric

@@ -84,14 +84,59 @@ class Cache
     /** Export statistics into @p registry under this cache's name. */
     void exportStats(StatRegistry &registry) const;
 
-  private:
     struct Line
     {
         Addr tag = 0;
         bool valid = false;
         bool dirty = false;
         std::uint64_t lastUse = 0;  ///< LRU timestamp
+
+        bool operator==(const Line &) const = default;
     };
+
+    /**
+     * Complete mutable state of one cache level: the line array plus the
+     * LRU clock and the statistic counters. Geometry (params, level
+     * chaining) is construction-time configuration and is not captured;
+     * restore() requires a Cache built with the same geometry.
+     */
+    struct SavedState
+    {
+        std::vector<Line> lines;
+        std::uint64_t useClock = 0;
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t writebacks = 0;
+        std::uint64_t prefetchFills = 0;
+
+        bool operator==(const SavedState &) const = default;
+    };
+
+    /** Copy the mutable state into @p out (reuses its capacity). */
+    void
+    save(SavedState &out) const
+    {
+        out.lines = lines;
+        out.useClock = useClock;
+        out.hits = statHits;
+        out.misses = statMisses;
+        out.writebacks = statWritebacks;
+        out.prefetchFills = statPrefetchFills;
+    }
+
+    /** Restore state captured by save(). The geometry must match. */
+    void
+    restore(const SavedState &in)
+    {
+        lines = in.lines;
+        useClock = in.useClock;
+        statHits = in.hits;
+        statMisses = in.misses;
+        statWritebacks = in.writebacks;
+        statPrefetchFills = in.prefetchFills;
+    }
+
+  private:
 
     std::size_t setIndex(Addr addr) const;
     Addr tagOf(Addr addr) const;
@@ -162,6 +207,32 @@ class MemoryHierarchy
     const Cache &l2() const { return l2Cache; }
 
     void exportStats(StatRegistry &registry) const;
+
+    /** Mutable state of all three levels. */
+    struct SavedState
+    {
+        Cache::SavedState l2;
+        Cache::SavedState l1i;
+        Cache::SavedState l1d;
+
+        bool operator==(const SavedState &) const = default;
+    };
+
+    void
+    save(SavedState &out) const
+    {
+        l2Cache.save(out.l2);
+        l1iCache.save(out.l1i);
+        l1dCache.save(out.l1d);
+    }
+
+    void
+    restore(const SavedState &in)
+    {
+        l2Cache.restore(in.l2);
+        l1iCache.restore(in.l1i);
+        l1dCache.restore(in.l1d);
+    }
 
   private:
     Cache l2Cache;

@@ -70,6 +70,12 @@ class FunctionalMemory
     /** Drop all contents. */
     void clear() { pages.clear(); }
 
+    /** Page-map equality (order-insensitive). Note an absent page and
+     *  an all-zero page compare unequal even though reads agree; for
+     *  snapshot diffs both sides share a copy lineage, so this never
+     *  produces a false mismatch there. */
+    bool operator==(const FunctionalMemory &) const = default;
+
   private:
     using Page = std::vector<std::uint8_t>;
 

@@ -44,6 +44,8 @@ struct RasCheckpoint
 {
     std::size_t top = 0;    ///< valid-entry count at checkpoint time
     InstAddr tos = 0;       ///< value on top (0 when the stack was empty)
+
+    bool operator==(const RasCheckpoint &) const = default;
 };
 
 /** Outcome of a branch prediction. */
@@ -139,6 +141,66 @@ class BranchPredictor
     std::uint64_t lookups() const { return statLookups; }
     std::uint64_t mispredicts() const { return statMispredicts; }
 
+    struct BtbEntry
+    {
+        InstAddr pc = INST_ADDR_INVALID;
+        InstAddr target = 0;
+
+        bool operator==(const BtbEntry &) const = default;
+    };
+
+    /**
+     * Complete mutable predictor state: every counter table, the BTB,
+     * the RAS, both history registers and the statistics. Table sizes
+     * are construction-time parameters; restore() requires a predictor
+     * built with the same BPredParams.
+     */
+    struct SavedState
+    {
+        std::vector<std::uint8_t> localTable;
+        std::vector<std::uint8_t> globalTable;
+        std::vector<std::uint8_t> chooserTable;
+        std::vector<BtbEntry> btb;
+        std::vector<InstAddr> ras;
+        std::size_t rasTop = 0;
+        std::uint64_t specHistory = 0;
+        std::uint64_t archHistory = 0;
+        std::uint64_t lookups = 0;
+        std::uint64_t mispredicts = 0;
+
+        bool operator==(const SavedState &) const = default;
+    };
+
+    void
+    save(SavedState &out) const
+    {
+        out.localTable = localTable;
+        out.globalTable = globalTable;
+        out.chooserTable = chooserTable;
+        out.btb = btb;
+        out.ras = ras;
+        out.rasTop = rasTop;
+        out.specHistory = specHistory;
+        out.archHistory = archHistory;
+        out.lookups = statLookups;
+        out.mispredicts = statMispredicts;
+    }
+
+    void
+    restore(const SavedState &in)
+    {
+        localTable = in.localTable;
+        globalTable = in.globalTable;
+        chooserTable = in.chooserTable;
+        btb = in.btb;
+        ras = in.ras;
+        rasTop = in.rasTop;
+        specHistory = in.specHistory;
+        archHistory = in.archHistory;
+        statLookups = in.lookups;
+        statMispredicts = in.mispredicts;
+    }
+
   private:
     static bool counterTaken(std::uint8_t c) { return c >= 2; }
     static std::uint8_t bump(std::uint8_t c, bool up);
@@ -156,11 +218,6 @@ class BranchPredictor
     std::vector<std::uint8_t> globalTable;   ///< 2-bit counters
     std::vector<std::uint8_t> chooserTable;  ///< 2-bit: >=2 prefers global
 
-    struct BtbEntry
-    {
-        InstAddr pc = INST_ADDR_INVALID;
-        InstAddr target = 0;
-    };
     std::vector<BtbEntry> btb;
 
     std::vector<InstAddr> ras;

@@ -1341,4 +1341,118 @@ OooCpu::exportStats(StatRegistry &reg) const
     reg.counter("ooo.storeSetViolations").inc(storeSets.violations());
 }
 
+// ---------------------------------------------------------------------
+// Snapshot
+// ---------------------------------------------------------------------
+
+void
+OooCpu::save(SavedState &out) const
+{
+    bpred.save(out.bpred);
+    storeSets.save(out.storeSets);
+    out.activeIsDefault = activePolicy == &defaultPolicy;
+    out.pendingIsNull = pendingMappingPolicy == nullptr;
+
+    out.curCycle = curCycle;
+    out.nextSeq = nextSeq;
+    out.fetchIdx = fetchIdx;
+    out.commitIdx = commitIdx;
+    out.fetchResumeCycle = fetchResumeCycle;
+    out.fetchBlockedOnBranch = fetchBlockedOnBranch;
+    out.lastFetchBlock = lastFetchBlock;
+    out.frontEnd = frontEnd;
+
+    out.rat = rat;
+    out.freeList = freeList;
+    out.physReadyCycle = physReadyCycle;
+
+    out.rob = rob;
+    out.iq = iq;
+    out.loadQueue = loadQueue;
+    out.storeQueue = storeQueue;
+    out.invocations = invocations;
+
+    out.readyByType = readyByType;
+    out.pendingByType = pendingByType;
+    out.regConsumers = regConsumers;
+    out.readyCount = readyCount;
+    out.pendingCount = pendingCount;
+
+    out.storesByLine = storesByLine;
+    out.loadsByLine = loadsByLine;
+    out.sqBoundCycle = sqBoundCycle;
+    out.sqBound = sqBound;
+    out.storeBuffer = storeBuffer;
+    out.retiredByLine = retiredByLine;
+
+    out.fuBusyUntil = fuBusyUntil;
+
+    out.mappingActive = mappingActive;
+    out.mappingTraceIdx = mappingTraceIdx;
+    out.mappingFetchRemaining = mappingFetchRemaining;
+    out.mappingDispatchRemaining = mappingDispatchRemaining;
+    out.mappingIssueRemaining = mappingIssueRemaining;
+    out.mappingCommitRemaining = mappingCommitRemaining;
+
+    out.pstats = pstats;
+}
+
+void
+OooCpu::restore(const SavedState &in, SelectPolicy *mapping_policy)
+{
+    if ((!in.activeIsDefault || !in.pendingIsNull) && !mapping_policy)
+        panic("restore: saved state has an armed policy but none given");
+
+    bpred.restore(in.bpred);
+    storeSets.restore(in.storeSets);
+    activePolicy = in.activeIsDefault ? &defaultPolicy : mapping_policy;
+    pendingMappingPolicy = in.pendingIsNull ? nullptr : mapping_policy;
+
+    curCycle = in.curCycle;
+    nextSeq = in.nextSeq;
+    fetchIdx = in.fetchIdx;
+    commitIdx = in.commitIdx;
+    fetchResumeCycle = in.fetchResumeCycle;
+    fetchBlockedOnBranch = in.fetchBlockedOnBranch;
+    lastFetchBlock = in.lastFetchBlock;
+    frontEnd = in.frontEnd;
+
+    rat = in.rat;
+    freeList = in.freeList;
+    physReadyCycle = in.physReadyCycle;
+
+    rob = in.rob;
+    iq = in.iq;
+    loadQueue = in.loadQueue;
+    storeQueue = in.storeQueue;
+    invocations = in.invocations;
+
+    readyByType = in.readyByType;
+    pendingByType = in.pendingByType;
+    regConsumers = in.regConsumers;
+    readyCount = in.readyCount;
+    pendingCount = in.pendingCount;
+
+    storesByLine = in.storesByLine;
+    loadsByLine = in.loadsByLine;
+    sqBoundCycle = in.sqBoundCycle;
+    sqBound = in.sqBound;
+    storeBuffer = in.storeBuffer;
+    retiredByLine = in.retiredByLine;
+
+    fuBusyUntil = in.fuBusyUntil;
+
+    mappingActive = in.mappingActive;
+    mappingTraceIdx = in.mappingTraceIdx;
+    mappingFetchRemaining = in.mappingFetchRemaining;
+    mappingDispatchRemaining = in.mappingDispatchRemaining;
+    mappingIssueRemaining = in.mappingIssueRemaining;
+    mappingCommitRemaining = in.mappingCommitRemaining;
+
+    pstats = in.pstats;
+
+    // Scratch is rebuilt from scratch by its user; leave no stale state.
+    arrivalScratch.clear();
+}
+
 } // namespace dynaspam::ooo

@@ -97,6 +97,8 @@ struct PipelineStats
     std::uint64_t invocationsCommitted = 0;
     std::uint64_t invocationsSquashed = 0;
     std::uint64_t mappingInstsExecuted = 0;
+
+    bool operator==(const PipelineStats &) const = default;
 };
 
 /**
@@ -185,6 +187,8 @@ class OooCpu
         std::vector<RegIndex> liveIns;
         std::vector<RegIndex> liveOuts;
         bool hasStores = false;
+
+        bool operator==(const FrontEndInst &) const = default;
     };
 
     /** Per-invocation rename/issue bookkeeping. */
@@ -197,6 +201,8 @@ class OooCpu
         bool hasStores = false;
         bool resolved = false;
         InvocationResult result;
+
+        bool operator==(const InvocationState &) const = default;
     };
 
     /**
@@ -264,6 +270,8 @@ class OooCpu
                 }
             }
         }
+
+        bool operator==(const InvocationTable &) const = default;
 
       private:
         std::deque<Entry> slots;
@@ -355,6 +363,8 @@ class OooCpu
     {
         Cycle readyCycle = 0;   ///< max source-ready cycle, may be future
         SeqNum seq = 0;
+
+        bool operator==(const PendingWakeup &) const = default;
     };
     std::vector<std::vector<SeqNum>> readyByType;       ///< per FU type
     std::vector<std::vector<PendingWakeup>> pendingByType;
@@ -381,6 +391,8 @@ class OooCpu
         Addr addr = 0;
         Cycle dataReady = 0;
         SeqNum seq = 0;
+
+        bool operator==(const RetiredStore &) const = default;
     };
     std::deque<RetiredStore> storeBuffer;
     std::unordered_map<Addr, std::vector<RetiredStore>> retiredByLine;
@@ -404,6 +416,83 @@ class OooCpu
     std::uint32_t mappingCommitRemaining = 0; ///< dispatched, not committed
 
     PipelineStats pstats;
+
+  public:
+    /**
+     * Complete mutable pipeline state for simulator snapshots. Excludes
+     * construction-time configuration (params, table geometries, FU
+     * offsets) and the attached hooks/observer/sink, which the restore
+     * target must already share; restore() requires a CPU built over the
+     * same trace with the same OooParams. DynInst pointer members stay
+     * valid because both sides reference the same immutable
+     * Program/DynamicTrace. The two policy pointers are encoded as
+     * "default or the (single) externally-owned mapping policy" and
+     * rebound by restore().
+     */
+    struct SavedState
+    {
+        BranchPredictor::SavedState bpred;
+        StoreSetPredictor::SavedState storeSets;
+        bool activeIsDefault = true;    ///< activePolicy == &defaultPolicy
+        bool pendingIsNull = true;      ///< pendingMappingPolicy == nullptr
+
+        Cycle curCycle = 0;
+        SeqNum nextSeq = 1;
+        SeqNum fetchIdx = 0;
+        SeqNum commitIdx = 0;
+        Cycle fetchResumeCycle = 0;
+        bool fetchBlockedOnBranch = false;
+        Addr lastFetchBlock = ~Addr(0);
+        std::deque<FrontEndInst> frontEnd;
+
+        std::vector<RegIndex> rat;
+        std::vector<RegIndex> freeList;
+        std::vector<Cycle> physReadyCycle;
+
+        std::deque<DynInst> rob;
+        std::vector<SeqNum> iq;
+        std::deque<SeqNum> loadQueue;
+        std::deque<SeqNum> storeQueue;
+        InvocationTable invocations;
+
+        std::vector<std::vector<SeqNum>> readyByType;
+        std::vector<std::vector<PendingWakeup>> pendingByType;
+        std::vector<std::vector<SeqNum>> regConsumers;
+        std::size_t readyCount = 0;
+        std::size_t pendingCount = 0;
+
+        LsqIndex storesByLine;
+        LsqIndex loadsByLine;
+        Cycle sqBoundCycle = CYCLE_INVALID;
+        SeqNum sqBound = 0;
+        std::deque<RetiredStore> storeBuffer;
+        std::unordered_map<Addr, std::vector<RetiredStore>> retiredByLine;
+
+        std::vector<std::vector<Cycle>> fuBusyUntil;
+
+        bool mappingActive = false;
+        SeqNum mappingTraceIdx = 0;
+        std::uint32_t mappingFetchRemaining = 0;
+        std::uint32_t mappingDispatchRemaining = 0;
+        std::uint32_t mappingIssueRemaining = 0;
+        std::uint32_t mappingCommitRemaining = 0;
+
+        PipelineStats pstats;
+
+        bool operator==(const SavedState &) const = default;
+    };
+
+    /** Capture the full pipeline state into @p out (reuses capacity). */
+    void save(SavedState &out) const;
+
+    /**
+     * Restore a previously saved state. @p mapping_policy is the
+     * externally-owned policy both policy pointers rebind to when the
+     * saved state had one armed (the DynaSpAM controller's resource-aware
+     * policy); may be null when the state has activeIsDefault and
+     * pendingIsNull.
+     */
+    void restore(const SavedState &in, SelectPolicy *mapping_policy);
 };
 
 } // namespace dynaspam::ooo

@@ -81,6 +81,11 @@ struct DynInst
     bool isLoad() const { return inst && inst->isLoad(); }
     bool isStore() const { return inst && inst->isStore(); }
     bool isControl() const { return inst && inst->isControl(); }
+
+    /** Pointer members compare by identity, which is value equality for
+     *  snapshot purposes: both sides of a snapshot diff reference the
+     *  same immutable Program/DynamicTrace instance. */
+    bool operator==(const DynInst &) const = default;
 };
 
 } // namespace dynaspam::ooo

@@ -73,6 +73,8 @@ struct InvocationResult
      *  these to catch younger host loads that speculatively read the
      *  locations before the invocation wrote them. */
     std::vector<std::pair<Addr, InstAddr>> storeEvents;
+
+    bool operator==(const InvocationResult &) const = default;
 };
 
 /**

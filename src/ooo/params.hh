@@ -30,6 +30,8 @@ struct FuPoolParams
     {
         return intAlu + intMulDiv + fpAlu + fpMulDiv + ldst;
     }
+
+    bool operator==(const FuPoolParams &) const = default;
 };
 
 /** Full pipeline configuration. */

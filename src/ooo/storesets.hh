@@ -83,6 +83,46 @@ class StoreSetPredictor
 
     std::uint64_t violations() const { return statViolations; }
 
+    struct LfstEntry
+    {
+        SeqNum storeSeq = 0;    ///< 0 means "no in-flight store"
+        InstAddr storePc = INST_ADDR_INVALID;
+
+        bool operator==(const LfstEntry &) const = default;
+    };
+
+    /** Complete mutable predictor state (table sizes are parameters). */
+    struct SavedState
+    {
+        std::vector<StoreSetId> ssit;
+        std::vector<LfstEntry> lfst;
+        StoreSetId nextId = 0;
+        std::uint64_t allocations = 0;
+        std::uint64_t violations = 0;
+
+        bool operator==(const SavedState &) const = default;
+    };
+
+    void
+    save(SavedState &out) const
+    {
+        out.ssit = ssit;
+        out.lfst = lfst;
+        out.nextId = nextId;
+        out.allocations = allocations;
+        out.violations = statViolations;
+    }
+
+    void
+    restore(const SavedState &in)
+    {
+        ssit = in.ssit;
+        lfst = in.lfst;
+        nextId = in.nextId;
+        allocations = in.allocations;
+        statViolations = in.violations;
+    }
+
   private:
     std::size_t ssitIndex(InstAddr pc) const { return pc % ssit.size(); }
 
@@ -90,12 +130,6 @@ class StoreSetPredictor
 
     StoreSetParams params;
     std::vector<StoreSetId> ssit;
-
-    struct LfstEntry
-    {
-        SeqNum storeSeq = 0;    ///< 0 means "no in-flight store"
-        InstAddr storePc = INST_ADDR_INVALID;
-    };
     std::vector<LfstEntry> lfst;
 
     StoreSetId nextId = 0;

@@ -5,10 +5,28 @@
 
 #include "common/logging.hh"
 #include "common/types.hh"
+#include "sim/simulation.hh"
+#include "sim/snapshot.hh"
 #include "workloads/workload.hh"
 
 namespace dynaspam::runner
 {
+
+const char *
+fidelityName(Fidelity fidelity)
+{
+    return fidelity == Fidelity::Sampled ? "sampled" : "full";
+}
+
+Fidelity
+parseFidelity(const std::string &token)
+{
+    if (token == "full")
+        return Fidelity::Full;
+    if (token == "sampled")
+        return Fidelity::Sampled;
+    fatal("unknown fidelity \"", token, "\" (expected full or sampled)");
+}
 
 std::string
 Job::key() const
@@ -18,7 +36,8 @@ Job::key() const
     std::ostringstream os;
     os << workloads::canonicalWorkloadName(workload) << "|"
        << sim::modeName(mode) << "|" << traceLength << "|" << numFabrics
-       << "|" << scale;
+       << "|" << scale << "|" << warmupInsts << "|"
+       << fidelityName(fidelity);
     return os.str();
 }
 
@@ -106,6 +125,45 @@ traceFileStem(const Job &job)
 }
 
 sim::RunResult
+finishSimulation(const Job &job, sim::Simulation &simu)
+{
+    if (job.fidelity == Fidelity::Full) {
+        simu.runToCompletion();
+        return simu.collectResult();
+    }
+
+    // Sampled: detailed warmup prefix (a restored fork may already be
+    // past it), then one detailed measurement window.
+    while (!simu.done() && simu.committedInsts() < job.warmupInsts)
+        simu.tick();
+    const std::uint64_t warmInsts = simu.committedInsts();
+    const Cycle warmCycles = simu.now();
+
+    const std::uint64_t target = warmInsts + kSampledWindowInsts;
+    while (!simu.done() && simu.committedInsts() < target)
+        simu.tick();
+
+    sim::RunResult result = simu.collectResult();
+    result.sampled = true;
+    result.sampledInsts = simu.committedInsts();
+    result.sampledCycles = simu.now();
+    if (!simu.done()) {
+        // Extrapolate the rest of the trace at the window CPI. Pure
+        // integer arithmetic (round-to-nearest) keeps the result
+        // deterministic across platforms.
+        const std::uint64_t winInsts = simu.committedInsts() - warmInsts;
+        const std::uint64_t winCycles = simu.now() - warmCycles;
+        const std::uint64_t total = simu.simInput().trace().size();
+        const std::uint64_t rest = total - simu.committedInsts();
+        const std::uint64_t div = winInsts ? winInsts : 1;
+        result.cycles =
+            simu.now() + (rest * winCycles + div / 2) / div;
+        result.instsTotal = total;
+    }
+    return result;
+}
+
+sim::RunResult
 execute(const Job &job, trace::TraceSink *sink)
 {
     workloads::Workload wl = workloads::makeWorkload(job.workload,
@@ -114,8 +172,12 @@ execute(const Job &job, trace::TraceSink *sink)
                                                     job.traceLength,
                                                     job.numFabrics);
     cfg.traceSink = sink;
-    sim::System system(cfg);
-    return system.run(wl.program, wl.initialMemory);
+    // Construct-and-drive is exactly System::run for full fidelity;
+    // routing through Simulation lets finishSimulation own the sampled
+    // stop rule for straight and forked execution alike.
+    sim::Simulation simu(cfg,
+                         sim::SimInput::make(wl.program, wl.initialMemory));
+    return finishSimulation(job, simu);
 }
 
 sim::RunResult

@@ -23,8 +23,39 @@
 #include "sim/system.hh"
 #include "trace/trace.hh"
 
+namespace dynaspam::sim
+{
+class Simulation;
+} // namespace dynaspam::sim
+
 namespace dynaspam::runner
 {
+
+/**
+ * Result fidelity tier. Full simulates every oracle record in detail;
+ * Sampled simulates a detailed warmup prefix plus one measurement
+ * window and extrapolates total cycles from the window CPI
+ * (SimPoint-style single-interval sampling). Sampled results carry the
+ * RunResult::sampled marker; full-fidelity results are byte-identical
+ * to what the simulator always produced.
+ */
+enum class Fidelity : std::uint8_t
+{
+    Full,
+    Sampled,
+};
+
+/** @return "full" or "sampled". */
+const char *fidelityName(Fidelity fidelity);
+
+/**
+ * Parse a fidelity token as printed by fidelityName.
+ * @throws FatalError on an unknown token
+ */
+Fidelity parseFidelity(const std::string &token);
+
+/** Detailed commits in the sampled-fidelity measurement window. */
+inline constexpr std::uint64_t kSampledWindowInsts = 50000;
 
 /** One schedulable simulation point. */
 struct Job
@@ -35,7 +66,19 @@ struct Job
     unsigned numFabrics = 1;
     unsigned scale = 1;
 
-    /** Canonical key: `workload|mode|trace|fabrics|scale`. */
+    /**
+     * Detailed warmup prefix in committed instructions. 0 means no
+     * warmup phase: full-fidelity jobs run straight through and
+     * sampled jobs start their window at cycle 0. A non-zero warmup
+     * also makes the job eligible for forked-sweep execution (the
+     * runner simulates the shared prefix once per group and forks each
+     * configuration from the warmed snapshot).
+     */
+    std::uint64_t warmupInsts = 0;
+
+    Fidelity fidelity = Fidelity::Full;
+
+    /** Canonical key: `workload|mode|trace|fabrics|scale|warmup|fidelity`. */
     std::string key() const;
 
     /** Stable 64-bit FNV-1a content hash of key(). */
@@ -83,6 +126,16 @@ sim::RunResult execute(const Job &job);
  * written to disk and DYNASPAM_TRACE is not consulted.
  */
 sim::RunResult execute(const Job &job, trace::TraceSink *sink);
+
+/**
+ * Drive an already-constructed (possibly snapshot-restored) simulation
+ * to @p job's stop point and assemble its result. Full fidelity runs
+ * to completion; sampled fidelity runs the detailed warmup + window
+ * prefix and extrapolates total cycles from the window CPI. The forked
+ * sweep path in Runner calls this on restored forks so both paths
+ * share one stop/collect rule.
+ */
+sim::RunResult finishSimulation(const Job &job, sim::Simulation &simu);
 
 /** Trace file stem for @p job: its key with '|' replaced by '_'. */
 std::string traceFileStem(const Job &job);

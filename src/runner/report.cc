@@ -195,6 +195,14 @@ resultToJson(const sim::RunResult &result)
     o.emplace("dynaspam", dynaspamToJson(result.dynaspam));
     o.emplace("energy", energyToJson(result.energy));
     o.emplace("stats", result.stats.toJson());
+    // Emitted only for sampled-fidelity results, so the serialized form
+    // of every full-fidelity result is unchanged.
+    if (result.sampled) {
+        json::Object s;
+        s.emplace("insts", result.sampledInsts);
+        s.emplace("cycles", result.sampledCycles);
+        o.emplace("sampled", std::move(s));
+    }
     return json::Value(std::move(o));
 }
 
@@ -213,6 +221,11 @@ resultFromJson(const json::Value &v)
     r.dynaspam = dynaspamFromJson(v.at("dynaspam"));
     r.energy = energyFromJson(v.at("energy"));
     r.stats = registryFromJson(v.at("stats"));
+    if (const json::Value *sampled = v.find("sampled")) {
+        r.sampled = true;
+        r.sampledInsts = sampled->at("insts").asUint();
+        r.sampledCycles = sampled->at("cycles").asUint();
+    }
     return r;
 }
 
@@ -225,6 +238,8 @@ jobToJson(const Job &job)
     o.emplace("trace_length", job.traceLength);
     o.emplace("num_fabrics", job.numFabrics);
     o.emplace("scale", job.scale);
+    o.emplace("warmup_insts", job.warmupInsts);
+    o.emplace("fidelity", std::string(fidelityName(job.fidelity)));
     o.emplace("hash", job.hashHex());
     return json::Value(std::move(o));
 }
@@ -238,6 +253,8 @@ jobFromJson(const json::Value &v)
     job.traceLength = unsigned(v.at("trace_length").asUint());
     job.numFabrics = unsigned(v.at("num_fabrics").asUint());
     job.scale = unsigned(v.at("scale").asUint());
+    job.warmupInsts = v.at("warmup_insts").asUint();
+    job.fidelity = parseFidelity(v.at("fidelity").asString());
     return job;
 }
 

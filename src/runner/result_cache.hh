@@ -8,7 +8,7 @@
  * stores one JSON file per job under a cache directory:
  *
  *     <dir>/<job-hash-hex>.json
- *     { "epoch": "...", "key": "bfs|accel-spec|32|1|1", "result": {...} }
+ *     { "epoch": "...", "key": "bfs|accel-spec|32|1|1|0|full", "result": {...} }
  *
  * The *epoch* string names the simulator behaviour version
  * (kResultCacheEpoch); bump it whenever a change to src/ alters
@@ -50,7 +50,7 @@ namespace dynaspam::runner
  * Simulator behaviour version for cache invalidation. Bump on any
  * change that alters simulation results.
  */
-inline constexpr const char *kResultCacheEpoch = "dynaspam-sim-4";
+inline constexpr const char *kResultCacheEpoch = "dynaspam-sim-5";
 
 /** What one ResultCache::gc pass scanned and removed. */
 struct CacheGcStats

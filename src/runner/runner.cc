@@ -1,11 +1,139 @@
 #include "runner/runner.hh"
 
 #include <atomic>
+#include <cstddef>
+#include <map>
+#include <sstream>
 
+#include "check/check.hh"
+#include "check/snapshot_audit.hh"
+#include "sim/simulation.hh"
+#include "sim/snapshot.hh"
 #include "trace/trace.hh"
+#include "workloads/workload.hh"
 
 namespace dynaspam::runner
 {
+namespace
+{
+
+/** Commit interval between safe snapshots during a group warmup. */
+constexpr std::uint64_t kSafeSnapshotInterval = 8192;
+
+/**
+ * Jobs fork together when they agree on everything the warmup prefix
+ * can observe: the input (workload, scale), the trace-detection
+ * geometry (traceLength), controller presence, and the stop rule
+ * (warmupInsts, fidelity). Mode and numFabrics may differ within a
+ * group; the WarmupGuard catches the first prefix decision that would
+ * notice the difference.
+ */
+std::string
+forkGroupKey(const Job &job)
+{
+    std::ostringstream os;
+    os << workloads::canonicalWorkloadName(job.workload) << "|"
+       << job.scale << "|" << job.traceLength << "|"
+       << (job.mode != sim::SystemMode::BaselineOoo) << "|"
+       << job.warmupInsts << "|" << fidelityName(job.fidelity);
+    return os.str();
+}
+
+/** Which warmup-relevant knobs actually differ across @p group. */
+core::WarmupGuard
+groupGuard(const std::vector<Job> &jobs,
+           const std::vector<std::size_t> &group)
+{
+    core::WarmupGuard guard;
+    const Job &rep = jobs[group.front()];
+    const sim::SystemConfig repCfg = sim::SystemConfig::make(
+        rep.mode, rep.traceLength, rep.numFabrics);
+    for (std::size_t idx : group) {
+        const Job &job = jobs[idx];
+        const sim::SystemConfig cfg = sim::SystemConfig::make(
+            job.mode, job.traceLength, job.numFabrics);
+        if (cfg.dynaspam.enableOffload != repCfg.dynaspam.enableOffload)
+            guard.offloadDiverges = true;
+        if (cfg.dynaspam.fabricParams.memorySpeculation !=
+            repCfg.dynaspam.fabricParams.memorySpeculation)
+            guard.memSpecDiverges = true;
+        if (cfg.dynaspam.mapper != repCfg.dynaspam.mapper)
+            guard.mapperDiverges = true;
+        if (cfg.dynaspam.numFabrics != repCfg.dynaspam.numFabrics)
+            guard.numFabricsDiverges = true;
+    }
+    return guard;
+}
+
+/**
+ * Execute one fork group: warm the shared prefix once under the
+ * representative (front) configuration, then fork every member from
+ * the warmed snapshot. Byte-identical to running each job straight
+ * through: the warmup only advances past decisions that are invariant
+ * across the group (the guard aborts it to the last safe snapshot the
+ * moment a divergent knob would be consulted), and each fork finishes
+ * under its own configuration via the same finishSimulation stop rule
+ * the straight path uses.
+ */
+void
+runGroup(const std::vector<Job> &jobs,
+         const std::vector<std::size_t> &group,
+         std::vector<JobOutcome> &outcomes, ResultCache &cache)
+{
+    const Job &rep = jobs[group.front()];
+    workloads::Workload wl =
+        workloads::makeWorkload(rep.workload, rep.scale);
+    auto input = sim::SimInput::make(wl.program, wl.initialMemory);
+
+    // Phase A: shared warmup, snapshotting at commit boundaries so a
+    // guard fire only discards the tail since the last safe point.
+    const sim::SystemConfig repCfg = sim::SystemConfig::make(
+        rep.mode, rep.traceLength, rep.numFabrics);
+    core::WarmupGuard guard = groupGuard(jobs, group);
+    sim::Simulation warm(repCfg, input);
+    warm.setWarmupGuard(&guard);
+
+    sim::Snapshot safe;
+    warm.snapshot(safe);
+    std::uint64_t nextSafe = kSafeSnapshotInterval;
+    while (!warm.done() && !guard.fired &&
+           warm.committedInsts() < rep.warmupInsts) {
+        warm.tick();
+        if (guard.fired)
+            break;
+        if (warm.committedInsts() >= nextSafe) {
+            warm.snapshot(safe);
+            nextSafe = warm.committedInsts() + kSafeSnapshotInterval;
+        }
+    }
+    if (!guard.fired)
+        warm.snapshot(safe);
+
+    // Phase B: fork each member from the warmed snapshot.
+    for (std::size_t idx : group) {
+        const Job &job = jobs[idx];
+        const sim::SystemConfig cfg = sim::SystemConfig::make(
+            job.mode, job.traceLength, job.numFabrics);
+        sim::Simulation fork(cfg, input);
+        fork.restore(safe);
+        // Checked builds prove the restore round-trips exactly. Only
+        // meaningful when the fork's fabric-pool geometry matches the
+        // warmup's — a smaller/larger pool legitimately re-saves with a
+        // different fabrics vector.
+        if (check::enabled() &&
+            cfg.dynaspam.numFabrics == repCfg.dynaspam.numFabrics) {
+            sim::Snapshot echo;
+            fork.snapshot(echo);
+            check::ViolationSink vsink;     // aborts on mismatch
+            check::auditSnapshotRoundTrip(safe, echo, vsink, fork.now());
+        }
+        sim::RunResult result = finishSimulation(job, fork);
+        cache.store(job, result);
+        outcomes[idx] = JobOutcome{job, std::move(result), false};
+    }
+}
+
+} // namespace
 
 Runner::Runner(RunnerOptions options_)
     : options(std::move(options_)),
@@ -23,22 +151,59 @@ Runner::runAll(const std::vector<Job> &jobs)
     // Env-requested tracing wants every job to actually simulate (a
     // cache hit would record no events), and the traced runs must not
     // poison the cache for future untraced sweeps, so bypass both ends.
+    // Tracing also forces straight-through execution: a forked run
+    // would record no warmup events.
     const bool tracing = trace::compiledIn() && trace::envRequested();
 
+    // Probe the cache for every job first so fork groups are built from
+    // actual misses only.
+    std::vector<char> isMiss(jobs.size(), 1);
     pool.parallelFor(jobs.size(), [&](std::size_t i) {
-        const Job &job = jobs[i];
-        if (!tracing) {
-            if (auto cached = resultCache.load(job)) {
-                outcomes[i] = JobOutcome{job, std::move(*cached), true};
-                hits++;
-                return;
-            }
+        if (tracing)
+            return;
+        if (auto cached = resultCache.load(jobs[i])) {
+            outcomes[i] = JobOutcome{jobs[i], std::move(*cached), true};
+            isMiss[i] = 0;
+            hits++;
         }
-        sim::RunResult result = execute(job);
-        if (!tracing)
-            resultCache.store(job, result);
-        outcomes[i] = JobOutcome{job, std::move(result), false};
-        misses++;
+    });
+
+    // Partition the misses into work units — fork groups plus
+    // straight-through singles — in job-list order, so the outcome
+    // vector (and the cache bookkeeping) is identical for any worker
+    // count and for fork vs no-fork execution.
+    std::vector<std::vector<std::size_t>> units;
+    {
+        std::map<std::string, std::size_t> groupOf;
+        for (std::size_t i = 0; i < jobs.size(); i++) {
+            if (!isMiss[i])
+                continue;
+            if (!options.forkSweeps || tracing ||
+                jobs[i].warmupInsts == 0) {
+                units.push_back({i});
+                continue;
+            }
+            auto [it, fresh] =
+                groupOf.try_emplace(forkGroupKey(jobs[i]), units.size());
+            if (fresh)
+                units.emplace_back();
+            units[it->second].push_back(i);
+        }
+    }
+
+    pool.parallelFor(units.size(), [&](std::size_t u) {
+        const std::vector<std::size_t> &unit = units[u];
+        if (unit.size() == 1) {
+            const Job &job = jobs[unit.front()];
+            sim::RunResult result = execute(job);
+            if (!tracing)
+                resultCache.store(job, result);
+            outcomes[unit.front()] =
+                JobOutcome{job, std::move(result), false};
+        } else {
+            runGroup(jobs, unit, outcomes, resultCache);
+        }
+        misses += unit.size();
     });
 
     registry.counter("runner.jobs_total").inc(jobs.size());

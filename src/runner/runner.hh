@@ -34,6 +34,13 @@ struct RunnerOptions
     unsigned jobs = 0;
     /** Result-cache directory; empty disables caching. */
     std::string cacheDir;
+    /**
+     * Fork warmed snapshots across jobs that share a warmup-invariant
+     * prefix (only jobs with warmupInsts > 0 are eligible). Results are
+     * byte-identical either way; disabling is a debugging aid
+     * (`--no-fork`).
+     */
+    bool forkSweeps = true;
 };
 
 /** Executes batches of jobs with caching and parallelism. */

@@ -40,6 +40,9 @@ ThreadPool::queuedTasks() const
 unsigned
 ThreadPool::defaultWorkers(unsigned fallback)
 {
+    // Worker-count plumbing: the thread count never reaches simulated
+    // state (results are worker-invariant).
+    // analyze-allow(determinism): host knob, not model state
     if (const char *env = std::getenv("DYNASPAM_JOBS")) {
         long n = std::strtol(env, nullptr, 10);
         if (n >= 1)

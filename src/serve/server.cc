@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cerrno>
+#include <cstdlib>
 #include <cstring>
 #include <sstream>
 
@@ -95,6 +96,52 @@ specUint(const json::Value &v, const std::string &key, unsigned fallback,
     return unsigned(raw);
 }
 
+/** Upper bound for warmup_insts in specs and query strings. */
+constexpr std::uint64_t kMaxWarmupInsts = 1000000000;
+
+/** Parse a decimal warmup_insts token (0 = no warmup is allowed). */
+std::uint64_t
+parseWarmupToken(const std::string &token)
+{
+    if (token.empty() ||
+        token.find_first_not_of("0123456789") != std::string::npos)
+        fatal("warmup_insts is not a decimal number: \"", token, "\"");
+    std::uint64_t raw = std::strtoull(token.c_str(), nullptr, 10);
+    if (raw > kMaxWarmupInsts)
+        fatal("warmup_insts out of range [0, ", kMaxWarmupInsts,
+              "]: ", raw);
+    return raw;
+}
+
+/**
+ * Apply /run query parameters ("?fidelity=sampled&warmup_insts=N") on
+ * top of the body spec. The query wins over the body so a client can
+ * select the fidelity tier per request without rewriting its specs.
+ */
+void
+applyRunQuery(runner::Job &job, const std::string &target)
+{
+    const std::size_t qpos = target.find('?');
+    if (qpos == std::string::npos)
+        return;
+    std::istringstream is(target.substr(qpos + 1));
+    std::string part;
+    while (std::getline(is, part, '&')) {
+        if (part.empty())
+            continue;
+        const std::size_t eq = part.find('=');
+        const std::string key = part.substr(0, eq);
+        const std::string val =
+            eq == std::string::npos ? "" : part.substr(eq + 1);
+        if (key == "fidelity")
+            job.fidelity = runner::parseFidelity(val);
+        else if (key == "warmup_insts")
+            job.warmupInsts = parseWarmupToken(val);
+        else
+            fatal("unknown /run query parameter \"", key, "\"");
+    }
+}
+
 } // namespace
 
 runner::Job
@@ -103,7 +150,8 @@ jobFromSpecJson(const json::Value &value)
     if (!value.isObject())
         fatal("job spec must be a JSON object");
     static const char *known[] = {"workload", "mode", "trace_length",
-                                  "num_fabrics", "scale"};
+                                  "num_fabrics", "scale", "warmup_insts",
+                                  "fidelity"};
     for (const auto &kv : value.asObject()) {
         bool ok = std::any_of(std::begin(known), std::end(known),
                               [&](const char *k) { return kv.first == k; });
@@ -127,6 +175,17 @@ jobFromSpecJson(const json::Value &value)
     job.traceLength = specUint(value, "trace_length", 32, 4096);
     job.numFabrics = specUint(value, "num_fabrics", 1, 64);
     job.scale = specUint(value, "scale", 1, 64);
+    // warmup_insts legitimately takes 0 (no warmup), so it skips the
+    // [1, max] helper.
+    if (const json::Value *warmup = value.find("warmup_insts")) {
+        std::uint64_t raw = warmup->asUint();
+        if (raw > kMaxWarmupInsts)
+            fatal("job spec field \"warmup_insts\" out of range [0, ",
+                  kMaxWarmupInsts, "]: ", raw);
+        job.warmupInsts = raw;
+    }
+    if (const json::Value *fidelity = value.find("fidelity"))
+        job.fidelity = runner::parseFidelity(fidelity->asString());
     return job;
 }
 
@@ -432,7 +491,10 @@ Server::handleConnection(int fd)
 HttpResponse
 Server::route(const HttpRequest &req, std::string &endpoint)
 {
-    endpoint = endpointLabel(req.target);
+    // /run accepts query parameters (?fidelity=..., ?warmup_insts=...);
+    // every other endpoint matches on the full target as before.
+    const std::string path = req.target.substr(0, req.target.find('?'));
+    endpoint = endpointLabel(path == "/run" ? path : req.target);
 
     if (req.target == "/healthz")
         return req.method == "GET" ? handleHealthz()
@@ -440,7 +502,7 @@ Server::route(const HttpRequest &req, std::string &endpoint)
     if (req.target == "/metrics")
         return req.method == "GET" ? handleMetrics()
                                    : errorResponse(405, "use GET");
-    if (req.target == "/run")
+    if (path == "/run")
         return req.method == "POST" ? handleRun(req)
                                     : errorResponse(405, "use POST");
     if (req.target == "/sweep")
@@ -485,9 +547,12 @@ Server::handleRun(const HttpRequest &req)
     runner::Job job;
     try {
         job = jobFromSpecJson(json::Value::parse(req.body));
+        applyRunQuery(job, req.target);
     } catch (const FatalError &err) {
         return errorResponse(400, err.what());
     }
+    if (job.warmupInsts == 0)
+        job.warmupInsts = options.defaultWarmupInsts;
 
     auto deadline = std::chrono::steady_clock::now() +
                     std::chrono::milliseconds(options.requestTimeoutMs);
@@ -509,6 +574,9 @@ Server::handleSweep(const HttpRequest &req)
     } catch (const FatalError &err) {
         return errorResponse(400, err.what());
     }
+    for (runner::Job &job : sweep.jobs)
+        if (job.warmupInsts == 0)
+            job.warmupInsts = options.defaultWarmupInsts;
 
     auto deadline = std::chrono::steady_clock::now() +
                     std::chrono::milliseconds(options.requestTimeoutMs);

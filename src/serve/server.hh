@@ -117,6 +117,11 @@ struct ServerOptions
     std::string cacheDir;
     /** LRU size budget for the cache directory; 0 = unbounded. */
     std::uint64_t cacheMaxBytes = 0;
+    /**
+     * Default warmup_insts applied to any incoming job spec that did
+     * not set one (`dynaspam serve --warmup-insts N`). 0 = no default.
+     */
+    std::uint64_t defaultWarmupInsts = 0;
     /** Log a line per lifecycle event (suppressed in tests). */
     bool verbose = true;
     /**

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * SimInput construction: the functional (oracle) pass.
+ */
+
+#include "sim/snapshot.hh"
+
+#include "check/check.hh"
+#include "common/logging.hh"
+#include "isa/executor.hh"
+
+namespace dynaspam::sim
+{
+
+std::shared_ptr<const SimInput>
+SimInput::make(const isa::Program &program,
+               const mem::FunctionalMemory &initial_memory)
+{
+    // The passkey keeps construction confined to make() while letting
+    // make_shared heap-pin the program member the trace points at.
+    auto input =
+        std::make_shared<SimInput>(Key{}, program, initial_memory);
+
+    mem::FunctionalMemory memory = input->initMem;
+    input->dynTrace.reserve(1 << 16);
+    auto func = isa::Executor::run(input->prog, memory, &input->dynTrace);
+    if (!func.halted)
+        fatal("program '", input->prog.name(), "' did not halt");
+
+    // Reference re-execution for a functional cross-check (the timing
+    // model is oracle-directed, so this validates the trace itself).
+    // The executor appends exactly one trace record per counted
+    // instruction, so in unchecked runs the record count stands in for
+    // the re-run; checked builds still pay for the full re-execution.
+    if (check::enabled()) {
+        mem::FunctionalMemory memory2 = input->initMem;
+        auto func2 = isa::Executor::run(input->prog, memory2, nullptr);
+        input->funcCorrect =
+            func2.instCount == func.instCount && func2.halted;
+    } else {
+        input->funcCorrect =
+            func.halted && func.instCount == input->dynTrace.size();
+    }
+    return input;
+}
+
+} // namespace dynaspam::sim

@@ -5,11 +5,9 @@
 
 #include "sim/system.hh"
 
-#include "check/check.hh"
-#include "check/verifier.hh"
 #include "common/logging.hh"
-#include "isa/trace.hh"
-#include "trace/trace.hh"
+#include "sim/simulation.hh"
+#include "sim/snapshot.hh"
 
 namespace dynaspam::sim
 {
@@ -59,114 +57,57 @@ SystemConfig::make(SystemMode mode, unsigned trace_length,
     return cfg;
 }
 
+System::System(SystemConfig config) : cfg(std::move(config)) {}
+System::~System() = default;
+
 RunResult
 System::run(const isa::Program &program,
             const mem::FunctionalMemory &initial_memory)
 {
-    RunResult result;
+    // One-shot runs use a local simulation so the System stays
+    // stateless between run() calls.
+    Simulation local(cfg, SimInput::make(program, initial_memory));
+    local.runToCompletion();
+    return local.collectResult();
+}
 
-    // Functional (oracle) pass.
-    mem::FunctionalMemory memory = initial_memory;
-    isa::DynamicTrace trace(program);
-    trace.reserve(1 << 16);
-    auto func = isa::Executor::run(program, memory, &trace);
-    if (!func.halted)
-        fatal("program '", program.name(), "' did not halt");
+Simulation &
+System::start(const isa::Program &program,
+              const mem::FunctionalMemory &initial_memory)
+{
+    return start(SimInput::make(program, initial_memory));
+}
 
-    // Reference re-execution for a functional cross-check (the timing
-    // model is oracle-directed, so this validates the trace itself).
-    // The executor appends exactly one trace record per counted
-    // instruction, so in unchecked runs the record count stands in for
-    // the re-run; checked builds still pay for the full re-execution.
-    if (check::enabled()) {
-        mem::FunctionalMemory memory2 = initial_memory;
-        auto func2 = isa::Executor::run(program, memory2, nullptr);
-        result.functionallyCorrect =
-            func2.instCount == func.instCount && func2.halted;
-    } else {
-        result.functionallyCorrect =
-            func.halted && func.instCount == trace.size();
-    }
+Simulation &
+System::start(std::shared_ptr<const SimInput> input)
+{
+    simu = std::make_unique<Simulation>(cfg, std::move(input));
+    return *simu;
+}
 
-    // Timing pass.
-    mem::MemoryHierarchy hierarchy(cfg.memory);
-    ooo::OooCpu cpu(cfg.ooo, trace, hierarchy);
+void
+System::snapshot(Snapshot &out) const
+{
+    if (!simu)
+        fatal("System::snapshot before start()");
+    simu->snapshot(out);
+}
 
-    std::unique_ptr<core::DynaSpamController> controller;
-    if (cfg.mode != SystemMode::BaselineOoo) {
-        controller = std::make_unique<core::DynaSpamController>(
-            cfg.dynaspam, trace, cpu.branchPredictor(),
-            cpu.storeSetPredictor(), hierarchy);
-        cpu.setHooks(controller.get());
-    }
+void
+System::restore(const Snapshot &snap)
+{
+    if (!simu)
+        fatal("System::restore before start()");
+    simu->restore(snap);
+}
 
-    if (trace::compiledIn() && cfg.traceSink) {
-        cpu.setTraceSink(cfg.traceSink);
-        if (controller)
-            controller->setTraceSink(cfg.traceSink);
-    }
-
-    // Verification layer: golden-model lockstep plus per-cycle
-    // invariant audits, opt-in via DYNASPAM_CHECKS (default on in
-    // -DDYNASPAM_CHECKS=ON builds).
-    check::ViolationSink sink;      // aborts on any violation
-    std::unique_ptr<check::Verifier> verifier;
-    if (check::enabled()) {
-        verifier = std::make_unique<check::Verifier>(
-            cpu, trace, initial_memory, controller.get(), sink);
-        cpu.setCommitObserver(verifier.get());
-    }
-
-    result.cycles = cpu.run();
-    result.pipeline = cpu.stats();
-
-    if (verifier) {
-        verifier->finish(result.cycles);
-        result.commitsChecked =
-            verifier->lockstepChecker().commitsChecked();
-    }
-
-    if (controller) {
-        controller->finalizeStats();
-        result.dynaspam = controller->stats();
-        controller->exportStats(result.stats);
-    }
-    cpu.exportStats(result.stats);
-    hierarchy.exportStats(result.stats);
-
-    // Instruction accounting for Figure 7.
-    result.instsTotal = result.pipeline.committedInsts;
-    result.instsMapping = result.pipeline.mappingInstsExecuted;
-    result.instsFabric =
-        result.pipeline.committedInsts - result.pipeline.committedOnHost;
-    result.instsHost =
-        result.pipeline.committedOnHost - result.instsMapping;
-
-    // Energy.
-    energy::EnergyModel model(cfg.energy);
-    auto mem_events = energy::MemoryEvents::fromHierarchy(hierarchy);
-    energy::FabricEvents fab_events;
-    if (controller) {
-        for (const auto &fab : controller->fabrics()) {
-            const auto &fs = fab->stats();
-            fab_events.peOps += fs.peOps;
-            fab_events.hops += fs.datapathHops;
-            fab_events.fifoPushes += fs.fifoPushes;
-            fab_events.busTransfers += fs.busTransfers;
-            fab_events.gatedStripeCycles +=
-                fs.activeStripeInvocations;
-            fab_events.configCacheAccesses += fs.reconfigurations;
-        }
-        fab_events.configCacheAccesses +=
-            result.dynaspam.tracesConsidered;
-        // Each reconfiguration rewrites every PE configuration word.
-        fab_events.configuredInsts =
-            result.dynaspam.reconfigurations *
-            cfg.dynaspam.fabricParams.pesPerStripe();
-    }
-    result.energy = model.compute(result.pipeline, mem_events, fab_events);
-
-    return result;
+RunResult
+System::finish()
+{
+    if (!simu)
+        fatal("System::finish before start()");
+    simu->runToCompletion();
+    return simu->collectResult();
 }
 
 } // namespace dynaspam::sim

@@ -93,6 +93,14 @@ struct RunResult
      *  verification layer was not enabled for the run). */
     std::uint64_t commitsChecked = 0;
 
+    /** Sampled-fidelity marker: when set, `cycles` is extrapolated from
+     *  a detailed warmup+window prefix and the pipeline/energy stats
+     *  cover only that prefix. Full-fidelity results never set this, so
+     *  their serialized form is unchanged. */
+    bool sampled = false;
+    std::uint64_t sampledInsts = 0;     ///< detailed commits simulated
+    std::uint64_t sampledCycles = 0;    ///< detailed cycles simulated
+
     double ipc() const
     {
         return cycles ? double(instsTotal) / double(cycles) : 0.0;
@@ -100,17 +108,24 @@ struct RunResult
     double energyTotal() const { return energy.total(); }
 };
 
+class SimInput;
+class Simulation;
+struct Snapshot;
+
 /**
- * One-shot simulation of a program under a configuration. Stateless
- * between runs; create one per experiment point.
+ * Simulation driver for one configuration. run() is the classic
+ * one-shot interface; start()/snapshot()/restore()/finish() expose the
+ * same run as a pausable, forkable state machine (see sim/simulation.hh
+ * and sim/snapshot.hh).
  */
 class System
 {
   public:
-    explicit System(SystemConfig config) : cfg(std::move(config)) {}
+    explicit System(SystemConfig config);
+    ~System();
 
     /**
-     * Execute @p program functionally, then simulate it.
+     * Execute @p program functionally, then simulate it to completion.
      * @param initial_memory pre-initialized data memory (copied)
      */
     RunResult run(const isa::Program &program,
@@ -124,10 +139,34 @@ class System
         return run(program, empty);
     }
 
+    /**
+     * Begin a stateful run: functional pass, then construct the paused
+     * timing simulation at cycle 0. Replaces any previous simulation.
+     */
+    Simulation &start(const isa::Program &program,
+                      const mem::FunctionalMemory &initial_memory);
+
+    /** Begin a stateful run over an already-built (shared) input. */
+    Simulation &start(std::shared_ptr<const SimInput> input);
+
+    /** The active simulation, or nullptr before start(). */
+    Simulation *simulation() { return simu.get(); }
+
+    /** Capture the active simulation's state (fatal before start()). */
+    void snapshot(Snapshot &out) const;
+
+    /** Restore the active simulation from @p snap (fatal before
+     *  start(); see Simulation::restore for the compatibility rules). */
+    void restore(const Snapshot &snap);
+
+    /** Run the active simulation to completion and assemble results. */
+    RunResult finish();
+
     const SystemConfig &config() const { return cfg; }
 
   private:
     SystemConfig cfg;
+    std::unique_ptr<Simulation> simu;
 };
 
 } // namespace dynaspam::sim

@@ -18,10 +18,12 @@
 #include <cstdint>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "common/types.hh"
 #include "runner/job.hh"
 #include "runner/report.hh"
+#include "runner/runner.hh"
 
 using namespace dynaspam;
 
@@ -94,4 +96,32 @@ TEST(Determinism, MatchesRecordedGoldens)
             << g.workload << "/" << sim::modeName(g.mode)
             << ": actual hash 0x" << std::hex << actual;
     }
+}
+
+TEST(Determinism, ForkedRunMatchesStraightGolden)
+{
+    // The forked-sweep path (shared warmup, snapshot, per-config fork)
+    // must land on the exact same bytes as the straight bfs/accel-spec
+    // golden above — with the verification layer engaged, so the
+    // snapshot round-trip auditor runs on the restored fork too.
+    runner::RunnerOptions opts;
+    opts.jobs = 1;
+    runner::Runner r(opts);
+    std::vector<runner::Job> jobs(2);
+    jobs[0].workload = "bfs";
+    jobs[0].mode = sim::SystemMode::AccelSpec;
+    jobs[0].warmupInsts = 60000;
+    jobs[1] = jobs[0];
+    jobs[1].numFabrics = 2;     // forces a real fork group of two
+    auto outcomes = r.runAll(jobs);
+
+    sim::RunResult result = outcomes.at(0).result;
+    EXPECT_TRUE(result.functionallyCorrect);
+    EXPECT_GT(result.commitsChecked, 0u) << "verifier not engaged";
+    result.commitsChecked = 0;
+    const std::string dump = runner::resultToJson(result).dump();
+    const std::uint64_t actual = bits::fnv1a(dump.data(), dump.size());
+    EXPECT_EQ(actual, 0x3878ea5a26cf330cULL)
+        << "forked bfs/accel-spec diverged from the straight golden: "
+           "actual hash 0x" << std::hex << actual;
 }

@@ -230,7 +230,7 @@ TEST(ThreadPool, PropagatesTaskExceptions)
 TEST(Job, KeyAndHashAreStable)
 {
     Job job{"BFS", SystemMode::AccelSpec, 32, 1, 1};
-    EXPECT_EQ(job.key(), "BFS|accel-spec|32|1|1");
+    EXPECT_EQ(job.key(), "BFS|accel-spec|32|1|1|0|full");
     EXPECT_EQ(job.hash(), Job(job).hash());
     EXPECT_EQ(job.hashHex().size(), 16u);
 
@@ -241,6 +241,15 @@ TEST(Job, KeyAndHashAreStable)
     Job other = job;
     other.traceLength = 16;
     EXPECT_NE(other.hash(), job.hash());
+
+    // Warmup and fidelity are part of the simulation point identity.
+    Job warmed = job;
+    warmed.warmupInsts = 10000;
+    EXPECT_NE(warmed.hash(), job.hash());
+    Job sampled = job;
+    sampled.fidelity = runner::Fidelity::Sampled;
+    EXPECT_EQ(sampled.key(), "BFS|accel-spec|32|1|1|0|sampled");
+    EXPECT_NE(sampled.hash(), job.hash());
 }
 
 TEST(Job, ParseModeRejectsUnknown)

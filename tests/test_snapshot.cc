@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Snapshot/fork correctness: the tentpole invariant is that
+ * snapshot -> restore -> run is BYTE-identical to running straight
+ * through. These tests pin that for every workload on both the host
+ * pipeline and the DynaSpAM-accelerated configuration, at
+ * mid-invocation boundaries, across fork divergence (including fabric
+ * pools of different sizes), and for the sampled fidelity tier.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "runner/job.hh"
+#include "runner/report.hh"
+#include "runner/runner.hh"
+#include "sim/simulation.hh"
+#include "sim/snapshot.hh"
+#include "sim/system.hh"
+#include "workloads/workload.hh"
+
+using namespace dynaspam;
+
+namespace
+{
+
+std::shared_ptr<const sim::SimInput>
+inputFor(const std::string &workload, unsigned scale = 1)
+{
+    workloads::Workload wl = workloads::makeWorkload(workload, scale);
+    return sim::SimInput::make(wl.program, wl.initialMemory);
+}
+
+std::string
+resultBytes(sim::RunResult result)
+{
+    // commitsChecked varies with DYNASPAM_CHECK settings in checked CI
+    // configurations; everything else must match bit-for-bit.
+    result.commitsChecked = 0;
+    return runner::resultToJson(result).dump();
+}
+
+std::string
+runStraight(const sim::SystemConfig &cfg,
+            std::shared_ptr<const sim::SimInput> input)
+{
+    sim::Simulation simu(cfg, std::move(input));
+    simu.runToCompletion();
+    return resultBytes(simu.collectResult());
+}
+
+/** Run with a snapshot taken mid-flight, restore it into a fresh
+ *  simulation, finish both, and return (continued, restored) bytes. */
+std::pair<std::string, std::string>
+runWithSnapshotAt(const sim::SystemConfig &cfg,
+                  std::shared_ptr<const sim::SimInput> input,
+                  std::uint64_t snap_insts)
+{
+    sim::Simulation simu(cfg, input);
+    while (!simu.done() && simu.committedInsts() < snap_insts)
+        simu.tick();
+    sim::Snapshot snap;
+    simu.snapshot(snap);
+
+    simu.runToCompletion();
+    std::string continued = resultBytes(simu.collectResult());
+
+    sim::Simulation restored(cfg, std::move(input));
+    restored.restore(snap);
+    restored.runToCompletion();
+    std::string forked = resultBytes(restored.collectResult());
+    return {continued, forked};
+}
+
+} // namespace
+
+TEST(Snapshot, RestoreRunIsByteIdenticalEverywhere)
+{
+    for (const std::string &workload : workloads::allWorkloadNames()) {
+        for (sim::SystemMode mode :
+             {sim::SystemMode::BaselineOoo, sim::SystemMode::AccelSpec}) {
+            const sim::SystemConfig cfg = sim::SystemConfig::make(mode);
+            auto input = inputFor(workload);
+            const std::string straight = runStraight(cfg, input);
+            const std::uint64_t mid = input->trace().size() / 2;
+            auto [continued, forked] =
+                runWithSnapshotAt(cfg, input, mid);
+            EXPECT_EQ(continued, straight)
+                << workload << "/" << sim::modeName(mode)
+                << ": taking a snapshot perturbed the run";
+            EXPECT_EQ(forked, straight)
+                << workload << "/" << sim::modeName(mode)
+                << ": snapshot->restore->run diverged";
+        }
+    }
+}
+
+TEST(Snapshot, MidInvocationBoundariesRestoreExactly)
+{
+    // knn offloads most of its instructions, so snapshots at arbitrary
+    // commit counts land inside/around in-flight fabric invocations.
+    const sim::SystemConfig cfg =
+        sim::SystemConfig::make(sim::SystemMode::AccelSpec);
+    auto input = inputFor("knn");
+    const std::string straight = runStraight(cfg, input);
+    const std::uint64_t total = input->trace().size();
+    for (std::uint64_t frac : {1ull, 3ull, 5ull, 7ull}) {
+        auto [continued, forked] =
+            runWithSnapshotAt(cfg, input, total * frac / 8);
+        EXPECT_EQ(continued, straight) << "boundary at " << frac << "/8";
+        EXPECT_EQ(forked, straight) << "boundary at " << frac << "/8";
+    }
+}
+
+TEST(Snapshot, RestoreAcrossInputsIsFatal)
+{
+    const sim::SystemConfig cfg =
+        sim::SystemConfig::make(sim::SystemMode::BaselineOoo);
+    auto a = inputFor("bfs");
+    auto b = inputFor("bfs");    // same workload, different object
+    sim::Simulation source(cfg, a);
+    sim::Snapshot snap;
+    source.snapshot(snap);
+    sim::Simulation other(cfg, b);
+    EXPECT_THROW(other.restore(snap), FatalError);
+}
+
+TEST(Snapshot, ForkedSweepMatchesStraightThrough)
+{
+    // A fig8-style group (4 modes, shared warmup) plus a cross-pool
+    // pair (1 vs 4 fabrics): the forked runner path must reproduce the
+    // straight-through report entries byte-for-byte, including the
+    // cache bookkeeping counters.
+    std::vector<runner::Job> jobs;
+    for (sim::SystemMode mode :
+         {sim::SystemMode::BaselineOoo, sim::SystemMode::MappingOnly,
+          sim::SystemMode::AccelNoSpec, sim::SystemMode::AccelSpec}) {
+        runner::Job job;
+        job.workload = "bfs";
+        job.mode = mode;
+        job.warmupInsts = 60000;
+        jobs.push_back(job);
+    }
+    {
+        runner::Job job;
+        job.workload = "knn";
+        job.mode = sim::SystemMode::AccelSpec;
+        job.numFabrics = 4;
+        job.warmupInsts = 40000;
+        jobs.push_back(job);
+        job.numFabrics = 1;
+        jobs.push_back(job);
+    }
+
+    runner::RunnerOptions forkOpts;
+    forkOpts.jobs = 2;
+    runner::Runner forked(forkOpts);
+    auto forkedOut = forked.runAll(jobs);
+
+    runner::RunnerOptions straightOpts;
+    straightOpts.jobs = 2;
+    straightOpts.forkSweeps = false;
+    runner::Runner straight(straightOpts);
+    auto straightOut = straight.runAll(jobs);
+
+    ASSERT_EQ(forkedOut.size(), straightOut.size());
+    for (std::size_t i = 0; i < jobs.size(); i++) {
+        EXPECT_EQ(runner::sweepEntryJson(forkedOut[i]).dump(),
+                  runner::sweepEntryJson(straightOut[i]).dump())
+            << jobs[i].key();
+    }
+    for (const char *counter :
+         {"runner.jobs_total", "runner.cache_hits", "runner.cache_misses",
+          "runner.jobs_executed"}) {
+        EXPECT_EQ(forked.stats().get(counter), straight.stats().get(counter))
+            << counter;
+    }
+}
+
+TEST(Snapshot, SampledFidelityIsDeterministicAndMarked)
+{
+    runner::Job job;
+    job.workload = "pf";
+    job.mode = sim::SystemMode::AccelSpec;
+    job.fidelity = runner::Fidelity::Sampled;
+    job.warmupInsts = 20000;
+
+    sim::RunResult first = runner::execute(job);
+    sim::RunResult second = runner::execute(job);
+    EXPECT_TRUE(first.sampled);
+    EXPECT_GT(first.sampledInsts, 0u);
+    EXPECT_EQ(resultBytes(first), resultBytes(second));
+
+    // The sampled block round-trips through the cache format, and the
+    // full-fidelity serialization is unchanged (no "sampled" key).
+    sim::RunResult back = runner::resultFromJson(runner::resultToJson(first));
+    EXPECT_TRUE(back.sampled);
+    EXPECT_EQ(back.sampledInsts, first.sampledInsts);
+    EXPECT_EQ(back.sampledCycles, first.sampledCycles);
+
+    job.fidelity = runner::Fidelity::Full;
+    sim::RunResult full = runner::execute(job);
+    EXPECT_FALSE(full.sampled);
+    EXPECT_EQ(runner::resultToJson(full).find("sampled"), nullptr);
+
+    // A short program sampled to its end is exact, flagged or not.
+    EXPECT_EQ(first.instsTotal, full.instsTotal);
+}

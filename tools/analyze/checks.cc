@@ -104,9 +104,15 @@ report(std::vector<Finding> &out, const char *check,
 bool
 determinismDomain(const std::string &rel)
 {
+    // src/runner and the snapshot auditor joined the domain with the
+    // forked-sweep execution path: warmup partitioning and snapshot
+    // restore must reproduce straight-through bytes, so host entropy is
+    // as forbidden there as in the cycle engine itself.
     return startsWith(rel, "src/core/") || startsWith(rel, "src/ooo/") ||
            startsWith(rel, "src/fabric/") ||
-           startsWith(rel, "src/memory/") || startsWith(rel, "src/sim/");
+           startsWith(rel, "src/memory/") || startsWith(rel, "src/sim/") ||
+           startsWith(rel, "src/runner/") ||
+           startsWith(rel, "src/check/snapshot_audit");
 }
 
 void
@@ -398,7 +404,7 @@ allChecks()
     static const std::vector<Check> checks = {
         {"determinism",
          "no wall-clock/RNG/host-entropy calls in src/{core,ooo,"
-         "fabric,memory,sim}",
+         "fabric,memory,sim,runner} or the snapshot auditor",
          determinismDomain, determinismRun, "src/sim/{}"},
         {"epoll-blocking",
          "no unbounded blocking on the coordinator event-loop thread",
