@@ -127,7 +127,13 @@ usage(const char *argv0)
         "(default .dynaspam-cache)\n"
         "  --no-cache        disable the result cache\n"
         "  --cache-max-mb N  LRU-evict the cache down to N MiB "
-        "(default: unbounded)\n",
+        "(default: unbounded)\n"
+        "  --snapshot-cache DIR\n"
+        "                    persist warmed fork-group snapshots so\n"
+        "                    repeat sweeps skip the warm pass entirely\n"
+        "                    (run/sweep/serve/worker; default: off)\n"
+        "  --snapshot-cache-max-mb N\n"
+        "                    LRU-evict the snapshot cache down to N MiB\n",
         argv0);
     return 1;
 }
@@ -190,6 +196,8 @@ struct CommonOptions
     unsigned jobs = 0;          ///< 0 = ThreadPool::defaultWorkers()
     unsigned scale = 1;
     unsigned cacheMaxMb = 0;    ///< 0 = no LRU size budget
+    std::string snapshotDir;    ///< empty = snapshot cache off
+    unsigned snapshotMaxMb = 0; ///< 0 = no LRU size budget
     std::string out;
 };
 
@@ -208,6 +216,25 @@ maintainCache(const std::string &cache_dir, unsigned cache_max_mb)
     if (stats.staleEvicted || stats.lruEvicted || stats.tmpRemoved)
         std::printf("cache gc: %llu stale, %llu lru-evicted, %llu temp "
                     "files removed (%llu -> %llu bytes)\n",
+                    static_cast<unsigned long long>(stats.staleEvicted),
+                    static_cast<unsigned long long>(stats.lruEvicted),
+                    static_cast<unsigned long long>(stats.tmpRemoved),
+                    static_cast<unsigned long long>(stats.bytesBefore),
+                    static_cast<unsigned long long>(stats.bytesAfter));
+}
+
+/** Same maintenance for the snapshot cache (--snapshot-cache-max-mb). */
+void
+maintainSnapshotCache(const std::string &dir, unsigned max_mb)
+{
+    if (dir.empty() || !max_mb)
+        return;
+    runner::SnapshotCache cache(dir);
+    runner::CacheGcStats stats =
+        cache.gc(std::uint64_t(max_mb) * 1024 * 1024);
+    if (stats.staleEvicted || stats.lruEvicted || stats.tmpRemoved)
+        std::printf("snapshot gc: %llu stale, %llu lru-evicted, %llu "
+                    "temp files removed (%llu -> %llu bytes)\n",
                     static_cast<unsigned long long>(stats.staleEvicted),
                     static_cast<unsigned long long>(stats.lruEvicted),
                     static_cast<unsigned long long>(stats.tmpRemoved),
@@ -247,6 +274,10 @@ cmdRun(Args &args)
             use_cache = false;
         else if (flag == "--cache-max-mb")
             common.cacheMaxMb = args.uvalue(flag);
+        else if (flag == "--snapshot-cache")
+            common.snapshotDir = args.value(flag);
+        else if (flag == "--snapshot-cache-max-mb")
+            common.snapshotMaxMb = args.uvalue(flag);
         else
             fatal("unknown option ", flag);
     }
@@ -260,9 +291,11 @@ cmdRun(Args &args)
     runner::RunnerOptions opts;
     opts.jobs = 1;
     opts.cacheDir = use_cache ? common.cacheDir : "";
+    opts.snapshotCacheDir = common.snapshotDir;
     runner::Runner r(opts);
     auto outcomes = r.runAll({job});
     maintainCache(opts.cacheDir, common.cacheMaxMb);
+    maintainSnapshotCache(common.snapshotDir, common.snapshotMaxMb);
     const runner::JobOutcome &outcome = outcomes.at(0);
     const sim::RunResult &res = outcome.result;
 
@@ -346,6 +379,10 @@ cmdSweep(Args &args)
             use_cache = false;
         else if (flag == "--cache-max-mb")
             common.cacheMaxMb = args.uvalue(flag);
+        else if (flag == "--snapshot-cache")
+            common.snapshotDir = args.value(flag);
+        else if (flag == "--snapshot-cache-max-mb")
+            common.snapshotMaxMb = args.uvalue(flag);
         else
             fatal("unknown option ", flag);
     }
@@ -369,9 +406,11 @@ cmdSweep(Args &args)
     opts.jobs = common.jobs;
     opts.cacheDir = use_cache ? common.cacheDir : "";
     opts.forkSweeps = fork_sweeps;
+    opts.snapshotCacheDir = common.snapshotDir;
     runner::Runner r(opts);
     auto outcomes = r.runAll(jobs);
     maintainCache(opts.cacheDir, common.cacheMaxMb);
+    maintainSnapshotCache(common.snapshotDir, common.snapshotMaxMb);
 
     std::ofstream os(common.out);
     if (!os)
@@ -527,6 +566,11 @@ cmdWorker(Args &args)
             use_cache = false;
         } else if (flag == "--cache-max-mb") {
             cache_max_mb = args.uvalue(flag);
+        } else if (flag == "--snapshot-cache") {
+            opts.snapshotCacheDir = args.value(flag);
+        } else if (flag == "--snapshot-cache-max-mb") {
+            opts.snapshotCacheMaxBytes =
+                std::uint64_t(args.uvalue(flag)) * 1024 * 1024;
         } else {
             fatal("unknown option ", flag);
         }
@@ -566,6 +610,11 @@ cmdServe(Args &args)
             use_cache = false;
         else if (flag == "--cache-max-mb")
             cache_max_mb = args.uvalue(flag);
+        else if (flag == "--snapshot-cache")
+            opts.snapshotCacheDir = args.value(flag);
+        else if (flag == "--snapshot-cache-max-mb")
+            opts.snapshotCacheMaxBytes =
+                std::uint64_t(args.uvalue(flag)) * 1024 * 1024;
         else if (flag == "--warmup-insts")
             opts.defaultWarmupInsts = args.uvalue(flag);
         else if (flag == "--cluster")

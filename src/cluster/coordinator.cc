@@ -26,6 +26,9 @@ namespace
 /** epoll_wait tick: timers (pings, deadlines, backoffs) run per tick. */
 constexpr int kEpollTickMs = 100;
 
+/** Batch-reassignment backoff saturates here (see retryBackoffDelayMs). */
+constexpr std::uint64_t kRetryBackoffCapMs = 60'000;
+
 /**
  * A client that buffers more than this many bytes while a request is
  * pending (so the parser is paused) is flooding us: drop it.
@@ -344,12 +347,19 @@ Coordinator::eventLoop()
         }
     }
 
-    // Closing the worker links is the drain signal workers exit on.
     for (auto &kv : clients)
         ::close(kv.first);
     clients.clear();
-    for (auto &kv : workers)
+    // Orderly shutdown: a Goodbye frame tells each worker to exit
+    // instead of reconnecting (a bare EOF now means "coordinator lost,
+    // retry with backoff"). Best-effort blocking send — the links are
+    // about to close either way.
+    const std::string bye = encodeFrame(FrameType::Goodbye, "{}");
+    for (auto &kv : workers) {
+        [[maybe_unused]] ssize_t n =
+            ::send(kv.first, bye.data(), bye.size(), MSG_NOSIGNAL);
         ::close(kv.first);
+    }
     workers.clear();
     std::fill(slotFd.begin(), slotFd.end(), -1);
 }
@@ -709,6 +719,12 @@ Coordinator::handleWorkerFrame(WorkerConn &conn, const Frame &frame)
                          double(pong.at("queued").asUint()));
             metrics_.set("dynaspam_cluster_worker_evictions", label,
                          double(pong.at("evictions").asUint()));
+            // Cumulative warm passes the worker actually simulated; a
+            // snapshot-cache-served sweep leaves this flat, which the
+            // ship-smoke asserts over /metrics.
+            if (const json::Value *warmups = pong.find("warmups"))
+                metrics_.set("dynaspam_cluster_worker_warmups", label,
+                             double(warmups->asUint()));
         } catch (const FatalError &) {
             dropWorker(conn.fd, "malformed Pong");
         }
@@ -850,10 +866,12 @@ Coordinator::dropWorker(int fd, const char *why)
             failRequest(batch.requestId, 503, os.str());
             continue;
         }
-        // Exponential backoff: 1x, 2x, 4x, ... the base.
-        batch.notBefore =
-            now + std::chrono::milliseconds(options.retryBackoffMs
-                                            << (batch.attempts - 1));
+        // Exponential backoff: 1x, 2x, 4x, ... the base, clamped so a
+        // high attempt count can neither overflow the shift (UB at 64)
+        // nor schedule the retry past any useful horizon.
+        batch.notBefore = now + std::chrono::milliseconds(
+            retryBackoffDelayMs(options.retryBackoffMs, batch.attempts,
+                                kRetryBackoffCapMs));
     }
     assignPendingBatches();
 }
@@ -898,10 +916,16 @@ Coordinator::admitRequest(ClientConn &conn, const std::string &endpoint,
         request.start +
         std::chrono::milliseconds(options.requestTimeoutMs);
 
-    // Shard: group job indices by FNV-1a hash-space owner slot.
+    // Shard: group job indices by FNV-1a hash-space owner slot, using
+    // the fork-group hash so every member of a fork group lands on the
+    // same worker — that worker warms the shared prefix once (or loads
+    // it from its snapshot cache) and forks all members from it.
+    // Jobs without a warmup phase keep their per-job hash, preserving
+    // the old shard-local result-cache locality.
     std::map<unsigned, std::vector<std::size_t>> shards;
     for (std::size_t i = 0; i < request.jobs.size(); i++)
-        shards[ownerSlot(request.jobs[i].hash(), options.workerSlots)]
+        shards[ownerSlot(runner::forkGroupHash(request.jobs[i]),
+                         options.workerSlots)]
             .push_back(i);
 
     for (auto &shard : shards) {

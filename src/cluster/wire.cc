@@ -15,7 +15,7 @@ bool
 validType(std::uint8_t type)
 {
     return type >= std::uint8_t(FrameType::Hello) &&
-           type <= std::uint8_t(FrameType::ResultRaw);
+           type <= std::uint8_t(FrameType::Goodbye);
 }
 
 } // namespace
@@ -131,6 +131,26 @@ ownerSlot(std::uint64_t hash, unsigned slots)
     if (slots == 0)
         panic("wire: ownerSlot with zero slots");
     return unsigned((unsigned __int128)(hash)*slots >> 64);
+}
+
+std::uint64_t
+retryBackoffDelayMs(std::uint64_t base_ms, unsigned attempts,
+                    std::uint64_t cap_ms)
+{
+    if (attempts == 0)
+        attempts = 1;
+    // 2^63 ms is ~292 million years; any exponent past that is already
+    // saturated, and capping it keeps the shift well-defined.
+    const unsigned shift = attempts - 1 < 63u ? attempts - 1 : 63u;
+    std::uint64_t delay = base_ms;
+    // Saturating doubling instead of one big shift: base << shift could
+    // itself overflow for large bases even with a legal exponent.
+    for (unsigned i = 0; i < shift; i++) {
+        if (delay > cap_ms)
+            break;
+        delay *= 2;
+    }
+    return delay < cap_ms ? delay : cap_ms;
 }
 
 } // namespace dynaspam::cluster

@@ -68,6 +68,9 @@ enum class FrameType : std::uint8_t
     Ping,        ///< coordinator -> worker: health probe
     Pong,        ///< worker -> coordinator: health reply + gauges
     ResultRaw,   ///< worker -> coordinator: batch entries (binary)
+    Goodbye,     ///< coordinator -> worker: orderly shutdown, don't
+                 ///< reconnect (a plain EOF means "coordinator lost,
+                 ///< retry with backoff")
 };
 
 /** One decoded frame. */
@@ -143,6 +146,17 @@ bool decodeResultRaw(const std::string &payload, std::uint64_t &id,
  * @p slots must be >= 1.
  */
 unsigned ownerSlot(std::uint64_t hash, unsigned slots);
+
+/**
+ * Clamped exponential backoff: `base_ms << (attempts - 1)`, except the
+ * shift exponent is capped so it can never reach the width of the type
+ * (a plain shift by >= 64 is undefined behaviour) and the resulting
+ * delay saturates at @p cap_ms. attempts == 0 is treated as 1.
+ * Used by coordinator batch retries and worker reconnects alike.
+ */
+std::uint64_t retryBackoffDelayMs(std::uint64_t base_ms,
+                                  unsigned attempts,
+                                  std::uint64_t cap_ms);
 
 } // namespace dynaspam::cluster
 

@@ -11,6 +11,7 @@
 #include <unistd.h>
 
 #include "common/logging.hh"
+#include "common/random.hh"
 #include "runner/report.hh"
 #include "serve/http.hh"
 
@@ -55,7 +56,9 @@ sendFrame(int fd, FrameType type, const json::Value &payload)
 } // namespace
 
 Worker::Worker(WorkerOptions options_)
-    : options(std::move(options_)), cache(options.cacheDir)
+    : options(std::move(options_)), cache(options.cacheDir),
+      snapCache(options.snapshotCacheDir),
+      customExecute(bool(options.executeFn))
 {
     if (!options.executeFn)
         options.executeFn = [](const runner::Job &job) {
@@ -64,35 +67,68 @@ Worker::Worker(WorkerOptions options_)
 }
 
 int
+Worker::dialCoordinator()
+{
+    common::Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+    if (!fd) {
+        warn("worker: socket: ", std::strerror(errno));
+        return -1;
+    }
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(std::uint16_t(options.connectPort));
+    if (::inet_pton(AF_INET, options.connectHost.c_str(),
+                    &addr.sin_addr) != 1) {
+        warn("worker: bad coordinator address \"", options.connectHost,
+             "\" (IPv4 literal required)");
+        terminal.store(true, std::memory_order_relaxed);
+        return -1;
+    }
+    if (::connect(fd.get(), reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) == 0)
+        return fd.release();
+    return -1;
+}
+
+int
 Worker::run()
 {
-    for (unsigned attempt = 0;; attempt++) {
-        common::Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
-        if (!fd) {
-            warn("worker: socket: ", std::strerror(errno));
+    // Jitter the reconnect waves so workers that lost the same
+    // coordinator don't re-dial in lockstep. Seed quality is
+    // irrelevant; per-process distinctness is the point.
+    Rng rng(std::uint64_t(::getpid()) * 0x9e3779b97f4a7c15ULL ^
+            std::uint64_t(std::chrono::steady_clock::now()
+                              .time_since_epoch()
+                              .count()));
+    unsigned dialFailures = 0;
+    while (true) {
+        const int fd = dialCoordinator();
+        if (terminal.load(std::memory_order_relaxed))
             return 1;
+        if (fd < 0) {
+            if (++dialFailures >= options.connectRetries) {
+                warn("worker: cannot reach coordinator at ",
+                     options.connectHost, ":", options.connectPort,
+                     " after ", options.connectRetries, " attempts");
+                return 1;
+            }
+            std::uint64_t delay = retryBackoffDelayMs(
+                options.connectRetryMs, dialFailures,
+                options.reconnectBackoffCapMs);
+            delay += rng.below(delay / 2 + 1);
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(delay));
+            continue;
         }
-        sockaddr_in addr{};
-        addr.sin_family = AF_INET;
-        addr.sin_port = htons(std::uint16_t(options.connectPort));
-        if (::inet_pton(AF_INET, options.connectHost.c_str(),
-                        &addr.sin_addr) != 1) {
-            warn("worker: bad coordinator address \"", options.connectHost,
-                 "\" (IPv4 literal required)");
-            return 1;
-        }
-        if (::connect(fd.get(), reinterpret_cast<sockaddr *>(&addr),
-                      sizeof(addr)) == 0)
-            // serveConnection takes ownership and closes on all paths.
-            return serveConnection(fd.release());
-        if (attempt + 1 >= options.connectRetries) {
-            warn("worker: cannot reach coordinator at ",
-                 options.connectHost, ":", options.connectPort, " after ",
-                 options.connectRetries, " attempts");
-            return 1;
-        }
-        std::this_thread::sleep_for(
-            std::chrono::milliseconds(options.connectRetryMs));
+        dialFailures = 0;
+        // serveConnection takes ownership and closes on all paths.
+        const int code = serveConnection(fd);
+        if (stopping.load(std::memory_order_relaxed) ||
+            terminal.load(std::memory_order_relaxed) ||
+            !options.reconnect)
+            return code;
+        if (options.verbose)
+            warn("worker: coordinator link lost, reconnecting");
     }
 }
 
@@ -120,6 +156,11 @@ Worker::serveConnection(int fd)
         }
         if (cache.enabled()) {
             runner::CacheGcStats gc = cache.gc(options.cacheMaxBytes);
+            cacheEvictions += gc.staleEvicted + gc.lruEvicted;
+        }
+        if (snapCache.enabled()) {
+            runner::CacheGcStats gc =
+                snapCache.gc(options.snapshotCacheMaxBytes);
             cacheEvictions += gc.staleEvicted + gc.lruEvicted;
         }
         return code;
@@ -161,6 +202,9 @@ Worker::serveConnection(int fd)
         json::Value payload = json::Value::parse(welcome.payload);
         if (const json::Value *error = payload.find("error")) {
             warn("worker: coordinator rejected us: ", error->asString());
+            // A rejection (full cluster, protocol mismatch) is not a
+            // lost link: reconnecting would just be rejected again.
+            terminal.store(true, std::memory_order_relaxed);
             return finish(1);
         }
         slot_ = unsigned(payload.at("slot").asUint());
@@ -186,11 +230,13 @@ Worker::serveConnection(int fd)
         char chunk[4096];
         long n = recvSome(fd, chunk, sizeof(chunk), 0);
         if (n == 0)
-            // Coordinator closed the link: a drain, not an error.
+            // Bare EOF: the coordinator vanished without a Goodbye.
+            // run() re-dials (an orderly drain sets `terminal` via the
+            // Goodbye frame before the close).
             return finish(stopping.load() ? 1 : 0);
         if (n == -2) {
             warn("worker: coordinator silent for ",
-                 kCoordinatorSilenceTimeoutSec, "s, exiting");
+                 kCoordinatorSilenceTimeoutSec, "s, dropping link");
             return finish(1);
         }
         if (n < 0)
@@ -238,6 +284,7 @@ Worker::drainFrames(std::string &inBuf, int fd)
             pong.emplace("queued",
                          std::uint64_t(pendingBatches.size()));
             pong.emplace("evictions", memoEvictions + cacheEvictions);
+            pong.emplace("warmups", groupStats.warmups.load());
             if (!sendFrame(fd, FrameType::Pong,
                            json::Value(std::move(pong))))
                 return false;
@@ -246,6 +293,13 @@ Worker::drainFrames(std::string &inBuf, int fd)
           case FrameType::Batch:
             pendingBatches.push_back(std::move(frame));
             break;
+          case FrameType::Goodbye:
+            // Orderly coordinator shutdown: exit cleanly, never
+            // reconnect.
+            if (options.verbose)
+                inform("worker: coordinator said goodbye, exiting");
+            terminal.store(true, std::memory_order_relaxed);
+            return false;
           default:
             warn("worker: unexpected frame type ", unsigned(frame.type),
                  " from coordinator");
@@ -263,13 +317,65 @@ Worker::handleBatch(const Frame &frame, int fd, std::string &inBuf)
     try {
         json::Value payload = json::Value::parse(frame.payload);
         id = payload.at("id").asUint();
-        const json::Array &jobs = payload.at("jobs").asArray();
-        for (const json::Value &spec : jobs) {
-            runner::Job job = runner::jobFromJson(spec);
-            entries.push_back(entryForJob(job));
+        const json::Array &specs = payload.at("jobs").asArray();
+        std::vector<runner::Job> jobs;
+        jobs.reserve(specs.size());
+        for (const json::Value &spec : specs)
+            jobs.push_back(runner::jobFromJson(spec));
+        entries.resize(jobs.size());
+
+        // Tier 1+2: memo and disk cache, recording the misses.
+        std::vector<std::size_t> missIdx;
+        for (std::size_t i = 0; i < jobs.size(); i++) {
+            if (std::optional<RawEntry> hit = cachedEntry(jobs[i]))
+                entries[i] = std::move(*hit);
+            else
+                missIdx.push_back(i);
+        }
+
+        // Partition the misses into fork groups — the coordinator
+        // shards by fork-group hash, so a group's members all land in
+        // this batch and warm once here (possibly straight from the
+        // snapshot cache). The executeFn test seam replaces the
+        // simulator, so when it is set every job runs individually.
+        std::vector<std::vector<std::size_t>> units;
+        std::map<std::string, std::size_t> groupOf;
+        for (std::size_t i : missIdx) {
+            if (customExecute || jobs[i].warmupInsts == 0) {
+                units.push_back({i});
+                continue;
+            }
+            auto [it, fresh] = groupOf.try_emplace(
+                runner::forkGroupKey(jobs[i]), units.size());
+            if (fresh)
+                units.emplace_back();
+            units[it->second].push_back(i);
+        }
+
+        std::vector<runner::JobOutcome> outcomes(jobs.size());
+        for (const std::vector<std::size_t> &unit : units) {
+            const std::size_t front = unit.front();
+            if (unit.size() == 1 &&
+                (customExecute || jobs[front].warmupInsts == 0)) {
+                sim::RunResult result = options.executeFn(jobs[front]);
+                if (cache.enabled())
+                    cache.store(jobs[front], result);
+                outcomes[front] = runner::JobOutcome{
+                    jobs[front], std::move(result), false};
+            } else {
+                runner::runForkGroup(
+                    jobs, unit, outcomes,
+                    cache.enabled() ? &cache : nullptr,
+                    snapCache.enabled() ? &snapCache : nullptr,
+                    &groupStats);
+            }
+            if (cache.enabled())
+                maybeGcCache();
+            for (std::size_t i : unit)
+                entries[i] = freshEntry(jobs[i], outcomes[i]);
 
             // Opportunistically answer pings that arrived while the
-            // job simulated, so a busy worker is not declared dead.
+            // unit simulated, so a busy worker is not declared dead.
             char chunk[4096];
             long n;
             while ((n = recvSome(fd, chunk, sizeof(chunk),
@@ -296,15 +402,22 @@ Worker::handleBatch(const Frame &frame, int fd, std::string &inBuf)
     return serve::sendAll(fd, wire.data(), wire.size());
 }
 
-RawEntry
-Worker::entryForJob(const runner::Job &job)
+namespace
+{
+
+std::string
+renderEntry(const runner::JobOutcome &outcome)
+{
+    return runner::sweepEntryJson(outcome).dumpAt(kReportIndent,
+                                                  kEntryFragmentDepth);
+}
+
+} // namespace
+
+std::optional<RawEntry>
+Worker::cachedEntry(const runner::Job &job)
 {
     const std::string hash = job.hashHex();
-    auto render = [](const runner::JobOutcome &outcome) {
-        return runner::sweepEntryJson(outcome).dumpAt(
-            kReportIndent, kEntryFragmentDepth);
-    };
-
     auto it = memoMap.find(hash);
     if (it != memoMap.end()) {
         // Touch: move to the front of the LRU order.
@@ -314,24 +427,26 @@ Worker::entryForJob(const runner::Job &job)
 
     if (cache.enabled()) {
         if (auto cached = cache.load(job)) {
-            std::string fragment = render(
+            std::string fragment = renderEntry(
                 runner::JobOutcome{job, std::move(*cached), true});
             memoPut(hash, fragment);
             return RawEntry{true, std::move(fragment)};
         }
     }
+    return std::nullopt;
+}
 
-    sim::RunResult result = options.executeFn(job);
-    if (cache.enabled()) {
-        cache.store(job, result);
-        maybeGcCache();
-    }
-    RawEntry entry{false,
-                   render(runner::JobOutcome{job, result, false})};
+RawEntry
+Worker::freshEntry(const runner::Job &job,
+                   const runner::JobOutcome &outcome)
+{
+    RawEntry entry{false, renderEntry(runner::JobOutcome{
+                              job, outcome.result, false})};
     // Future requests for this hash are cache hits: memo the
     // from_cache=true twin, matching what a disk-cache probe would
     // render next time.
-    memoPut(hash, render(runner::JobOutcome{job, result, true}));
+    memoPut(job.hashHex(),
+            renderEntry(runner::JobOutcome{job, outcome.result, true}));
     return entry;
 }
 

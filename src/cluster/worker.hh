@@ -43,6 +43,7 @@
 #include <functional>
 #include <list>
 #include <map>
+#include <optional>
 #include <string>
 #include <utility>
 
@@ -53,6 +54,8 @@
 #include "common/mutex.hh"
 #include "runner/job.hh"
 #include "runner/result_cache.hh"
+#include "runner/runner.hh"
+#include "runner/snapshot_cache.hh"
 
 namespace dynaspam::cluster
 {
@@ -63,9 +66,21 @@ struct WorkerOptions
     /** Coordinator worker-port endpoint to dial. */
     std::string connectHost = "127.0.0.1";
     unsigned connectPort = 9090;
-    /** Bounded dial retries (coordinator may still be booting). */
+    /** Bounded *consecutive* dial failures (coordinator may still be
+     *  booting, or be restarting mid-sweep); a successful connection
+     *  resets the count. */
     unsigned connectRetries = 25;
     std::uint64_t connectRetryMs = 200;
+
+    /**
+     * Re-dial after a lost coordinator link instead of exiting. An
+     * orderly drain (Goodbye frame) or shutdownNow() still terminates
+     * the worker; only an unexplained EOF / error / silence triggers a
+     * reconnect. Waits are jittered exponential backoff from
+     * connectRetryMs, capped at reconnectBackoffCapMs.
+     */
+    bool reconnect = true;
+    std::uint64_t reconnectBackoffCapMs = 5000;
 
     /** Shard-local result cache; empty disables the disk tier. */
     std::string cacheDir;
@@ -74,10 +89,18 @@ struct WorkerOptions
     /** In-memory memo capacity, in entries. */
     std::size_t memoCapacity = 4096;
 
+    /** Shard-local snapshot cache (warmed fork-group state); empty
+     *  disables on-disk snapshots. */
+    std::string snapshotCacheDir;
+    /** LRU size budget for the snapshot cache; 0 = unbounded. */
+    std::uint64_t snapshotCacheMaxBytes = 0;
+
     /** Log a line per lifecycle event (suppressed in tests). */
     bool verbose = true;
 
-    /** Simulation function; defaults to runner::execute (test seam). */
+    /** Simulation function; defaults to runner::execute (test seam).
+     *  Supplying one disables fork-group execution — every job runs
+     *  through the seam individually. */
     std::function<sim::RunResult(const runner::Job &)> executeFn;
 };
 
@@ -89,7 +112,10 @@ class Worker
 
     /**
      * Dial the coordinator, handshake, and serve batches until the
-     * coordinator closes the connection (drain) or the link fails.
+     * coordinator sends Goodbye (orderly drain) or shutdownNow() is
+     * called. A lost link (EOF, error, silence) re-dials with jittered
+     * exponential backoff when options.reconnect is set; consecutive
+     * dial failures are bounded by options.connectRetries.
      * @return process exit code: 0 on clean close, 1 on error
      */
     int run();
@@ -123,16 +149,30 @@ class Worker
      * between job executions.
      */
     bool handleBatch(const Frame &frame, int fd, std::string &inBuf);
-    /** Serve one job through memo -> disk cache -> execute. */
-    RawEntry entryForJob(const runner::Job &job);
+    /** One dial attempt. @return the connected fd, or -1 (retryable
+     *  failure; terminal errors also set `terminal`). */
+    int dialCoordinator();
+    /** Memo -> disk-cache probe. @return the entry on a hit. */
+    std::optional<RawEntry> cachedEntry(const runner::Job &job);
+    /** Render a freshly executed outcome and memo its cached twin. */
+    RawEntry freshEntry(const runner::Job &job,
+                        const runner::JobOutcome &outcome);
     void memoPut(const std::string &hash, std::string fragment);
     void maybeGcCache();
 
     WorkerOptions options;
     runner::ResultCache cache;
+    runner::SnapshotCache snapCache;
+    runner::ForkGroupStats groupStats;
+    /** True when the options carried a custom executeFn: the test seam
+     *  replaces the simulator, so fork-group execution is disabled. */
+    bool customExecute = false;
 
     std::atomic<unsigned> slot_{0};
     std::atomic<bool> stopping{false};
+    /** Set on Goodbye / handshake rejection / unusable address: run()
+     *  must not reconnect. */
+    std::atomic<bool> terminal{false};
 
     /**
      * The live coordinator link, guarded so shutdownNow() can never

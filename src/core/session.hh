@@ -27,6 +27,12 @@
 #include "isa/trace.hh"
 #include "ooo/dyninst.hh"
 
+namespace dynaspam::binio
+{
+class Writer;
+class Reader;
+} // namespace dynaspam::binio
+
 namespace dynaspam::core
 {
 
@@ -117,6 +123,14 @@ class MappingSession
     /** Sessions are value-semantic: a plain copy is a deep snapshot, and
      *  member-wise equality is the snapshot-diff criterion. */
     bool operator==(const MappingSession &) const = default;
+
+    /** Append the full session state (fabric geometry included, so the
+     *  encoding is standalone) to @p out; deterministic byte order. */
+    void serialize(binio::Writer &out) const;
+
+    /** Rebuild a session from @p in. On corrupt input the reader's
+     *  failure flag latches; callers must check `in.ok()` afterwards. */
+    static MappingSession deserialize(binio::Reader &in);
 
   private:
     /** Number of live-in ports a PE at @p stripe offers. */

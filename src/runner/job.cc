@@ -60,6 +60,26 @@ Job::hashHex() const
     return std::string(buf);
 }
 
+std::string
+forkGroupKey(const Job &job)
+{
+    std::ostringstream os;
+    os << workloads::canonicalWorkloadName(job.workload) << "|"
+       << job.scale << "|" << job.traceLength << "|"
+       << (job.mode != sim::SystemMode::BaselineOoo) << "|"
+       << job.warmupInsts << "|" << fidelityName(job.fidelity);
+    return os.str();
+}
+
+std::uint64_t
+forkGroupHash(const Job &job)
+{
+    if (job.warmupInsts == 0)
+        return job.hash();
+    const std::string k = forkGroupKey(job);
+    return bits::fnv1a(k.data(), k.size());
+}
+
 sim::SystemMode
 parseMode(const std::string &token)
 {

@@ -98,6 +98,25 @@ struct Job
 sim::SystemMode parseMode(const std::string &token);
 
 /**
+ * Fork-group key: jobs fork together when they agree on everything the
+ * warmup prefix can observe — the input (workload, scale), the
+ * trace-detection geometry (traceLength), controller presence, and the
+ * stop rule (warmupInsts, fidelity). Mode and numFabrics may differ
+ * within a group; the WarmupGuard catches the first prefix decision
+ * that would notice the difference. Shared by the in-process runner,
+ * the snapshot cache, and the cluster coordinator's sharding.
+ */
+std::string forkGroupKey(const Job &job);
+
+/**
+ * Sharding hash for the cluster: the FNV-1a of forkGroupKey for
+ * warmup-eligible jobs (so every member of a fork group maps to the
+ * same worker slot and the group warms exactly once), and the plain
+ * per-job hash otherwise (keeping non-warmup sharding unchanged).
+ */
+std::uint64_t forkGroupHash(const Job &job);
+
+/**
  * Build the job list for one named sweep — "fig7", "fig8", "fig9",
  * "table5" or "ablation-mapper" — over @p workloads. Shared by the CLI
  * (`dynaspam sweep`) and the serve daemon (`POST /sweep`) so both

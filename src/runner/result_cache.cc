@@ -1,6 +1,7 @@
 #include "runner/result_cache.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -196,10 +197,17 @@ ResultCache::gc(std::uint64_t max_bytes) const
         if (ec)
             continue;
 
-        // Writer litter from crashed/killed processes. A racing live
-        // writer can lose its temp file here; its store degrades to a
-        // warn()ed no-op and the job is simply re-simulated next time.
+        // Writer litter from crashed/killed processes. Fresh temp files
+        // (younger than the grace window) belong to live writers racing
+        // this gc and must survive, or the racing store would lose its
+        // file mid-write and strand the writer.
         if (name.find(".tmp.") != std::string::npos) {
+            const fs::file_time_type mtime = de.last_write_time(ec);
+            if (ec)
+                continue;
+            const auto age = fs::file_time_type::clock::now() - mtime;
+            if (age < std::chrono::seconds(kCacheTmpGraceSeconds))
+                continue;
             if (fs::remove(path, ec))
                 stats.tmpRemoved++;
             continue;

@@ -50,7 +50,14 @@ namespace dynaspam::runner
  * Simulator behaviour version for cache invalidation. Bump on any
  * change that alters simulation results.
  */
-inline constexpr const char *kResultCacheEpoch = "dynaspam-sim-5";
+inline constexpr const char *kResultCacheEpoch = "dynaspam-sim-6";
+
+/**
+ * Temp files younger than this are presumed to belong to a live writer
+ * and are skipped by gc(); only older litter (crashed/killed writers)
+ * is reaped. Shared by ResultCache and SnapshotCache.
+ */
+inline constexpr std::uint64_t kCacheTmpGraceSeconds = 60;
 
 /** What one ResultCache::gc pass scanned and removed. */
 struct CacheGcStats

@@ -9,6 +9,7 @@
 #include "check/snapshot_audit.hh"
 #include "sim/simulation.hh"
 #include "sim/snapshot.hh"
+#include "sim/snapshot_io.hh"
 #include "trace/trace.hh"
 #include "workloads/workload.hh"
 
@@ -19,25 +20,6 @@ namespace
 
 /** Commit interval between safe snapshots during a group warmup. */
 constexpr std::uint64_t kSafeSnapshotInterval = 8192;
-
-/**
- * Jobs fork together when they agree on everything the warmup prefix
- * can observe: the input (workload, scale), the trace-detection
- * geometry (traceLength), controller presence, and the stop rule
- * (warmupInsts, fidelity). Mode and numFabrics may differ within a
- * group; the WarmupGuard catches the first prefix decision that would
- * notice the difference.
- */
-std::string
-forkGroupKey(const Job &job)
-{
-    std::ostringstream os;
-    os << workloads::canonicalWorkloadName(job.workload) << "|"
-       << job.scale << "|" << job.traceLength << "|"
-       << (job.mode != sim::SystemMode::BaselineOoo) << "|"
-       << job.warmupInsts << "|" << fidelityName(job.fidelity);
-    return os.str();
-}
 
 /** Which warmup-relevant knobs actually differ across @p group. */
 core::WarmupGuard
@@ -66,48 +48,106 @@ groupGuard(const std::vector<Job> &jobs,
 }
 
 /**
- * Execute one fork group: warm the shared prefix once under the
- * representative (front) configuration, then fork every member from
- * the warmed snapshot. Byte-identical to running each job straight
- * through: the warmup only advances past decisions that are invariant
- * across the group (the guard aborts it to the last safe snapshot the
- * moment a divergent knob would be consulted), and each fork finishes
- * under its own configuration via the same finishSimulation stop rule
- * the straight path uses.
+ * Snapshot-cache key for a fork group. The warmed snapshot's bytes are
+ * a pure function of the representative job (its key covers workload,
+ * scale, mode, geometry, warmup length and fidelity), the guard bits
+ * (they decide where the warm pass may stop), and verifier presence
+ * (check builds carry golden-model state in the snapshot). Everything
+ * else that could change behaviour rolls the cache epoch instead.
  */
+std::string
+snapshotGroupKey(const Job &rep, const core::WarmupGuard &guard)
+{
+    std::ostringstream os;
+    os << rep.key() << "|guard=" << guard.offloadDiverges
+       << guard.memSpecDiverges << guard.mapperDiverges
+       << guard.numFabricsDiverges << "|chk=" << check::enabled();
+    return os.str();
+}
+
+} // namespace
+
 void
-runGroup(const std::vector<Job> &jobs,
-         const std::vector<std::size_t> &group,
-         std::vector<JobOutcome> &outcomes, ResultCache &cache)
+runForkGroup(const std::vector<Job> &jobs,
+             const std::vector<std::size_t> &group,
+             std::vector<JobOutcome> &outcomes, const ResultCache *cache,
+             const SnapshotCache *snap_cache, ForkGroupStats *stats)
 {
     const Job &rep = jobs[group.front()];
     workloads::Workload wl =
         workloads::makeWorkload(rep.workload, rep.scale);
     auto input = sim::SimInput::make(wl.program, wl.initialMemory);
 
-    // Phase A: shared warmup, snapshotting at commit boundaries so a
-    // guard fire only discards the tail since the last safe point.
     const sim::SystemConfig repCfg = sim::SystemConfig::make(
         rep.mode, rep.traceLength, rep.numFabrics);
     core::WarmupGuard guard = groupGuard(jobs, group);
-    sim::Simulation warm(repCfg, input);
-    warm.setWarmupGuard(&guard);
+    const bool useSnapCache = snap_cache && snap_cache->enabled();
+    const std::string snapKey =
+        useSnapCache ? snapshotGroupKey(rep, guard) : std::string();
+    const std::uint64_t inputHash =
+        useSnapCache ? sim::simInputIdentityHash(*input) : 0;
 
+    // Phase A: obtain the warmed snapshot — from the snapshot cache
+    // when a valid entry exists, otherwise by simulating the shared
+    // prefix (snapshotting at commit boundaries so a guard fire only
+    // discards the tail since the last safe point).
     sim::Snapshot safe;
-    warm.snapshot(safe);
-    std::uint64_t nextSafe = kSafeSnapshotInterval;
-    while (!warm.done() && !guard.fired &&
-           warm.committedInsts() < rep.warmupInsts) {
-        warm.tick();
-        if (guard.fired)
-            break;
-        if (warm.committedInsts() >= nextSafe) {
-            warm.snapshot(safe);
-            nextSafe = warm.committedInsts() + kSafeSnapshotInterval;
+    bool haveSnapshot = false;
+    if (useSnapCache) {
+        bool rejected = false;
+        if (std::optional<std::string> body =
+                snap_cache->load(snapKey, inputHash, &rejected)) {
+            // Deserialization re-binds the snapshot to our freshly
+            // built input; the restore below additionally requires the
+            // component presence (controller, verifier) to match what
+            // repCfg would construct, so validate before trusting it.
+            if (sim::deserializeSnapshot(*body, input, safe) &&
+                safe.controller.has_value() ==
+                    (repCfg.mode != sim::SystemMode::BaselineOoo) &&
+                safe.verifier.has_value() == check::enabled()) {
+                haveSnapshot = true;
+                if (stats)
+                    stats->snapshotHits++;
+            } else {
+                rejected = true;
+                safe = sim::Snapshot{};
+            }
+        }
+        if (!haveSnapshot && stats) {
+            if (rejected)
+                stats->snapshotRejects++;
+            else
+                stats->snapshotMisses++;
         }
     }
-    if (!guard.fired)
+
+    if (!haveSnapshot) {
+        sim::Simulation warm(repCfg, input);
+        warm.setWarmupGuard(&guard);
+        if (stats)
+            stats->warmups++;
+
         warm.snapshot(safe);
+        std::uint64_t nextSafe = kSafeSnapshotInterval;
+        while (!warm.done() && !guard.fired &&
+               warm.committedInsts() < rep.warmupInsts) {
+            warm.tick();
+            if (guard.fired)
+                break;
+            if (warm.committedInsts() >= nextSafe) {
+                warm.snapshot(safe);
+                nextSafe = warm.committedInsts() + kSafeSnapshotInterval;
+            }
+        }
+        if (!guard.fired)
+            warm.snapshot(safe);
+
+        if (useSnapCache) {
+            std::string body;
+            sim::serializeSnapshot(safe, body);
+            snap_cache->store(snapKey, inputHash, body);
+        }
+    }
 
     // Phase B: fork each member from the warmed snapshot.
     for (std::size_t idx : group) {
@@ -128,17 +168,16 @@ runGroup(const std::vector<Job> &jobs,
             check::auditSnapshotRoundTrip(safe, echo, vsink, fork.now());
         }
         sim::RunResult result = finishSimulation(job, fork);
-        cache.store(job, result);
+        if (cache && cache->enabled())
+            cache->store(job, result);
         outcomes[idx] = JobOutcome{job, std::move(result), false};
     }
 }
 
-} // namespace
-
 Runner::Runner(RunnerOptions options_)
     : options(std::move(options_)),
       pool(options.jobs ? options.jobs : ThreadPool::defaultWorkers()),
-      resultCache(options.cacheDir)
+      resultCache(options.cacheDir), snapCache(options.snapshotCacheDir)
 {
 }
 
@@ -191,9 +230,19 @@ Runner::runAll(const std::vector<Job> &jobs)
         }
     }
 
+    const std::uint64_t warmupsBefore = groupStats.warmups.load();
+    const std::uint64_t snapHitsBefore = groupStats.snapshotHits.load();
+
     pool.parallelFor(units.size(), [&](std::size_t u) {
         const std::vector<std::size_t> &unit = units[u];
-        if (unit.size() == 1) {
+        // A one-member warmup unit still routes through the fork path
+        // when the snapshot cache is on: the warm prefix is then loaded
+        // from / persisted to disk exactly like a multi-member group.
+        const bool grouped =
+            unit.size() > 1 ||
+            (snapCache.enabled() && !tracing && options.forkSweeps &&
+             jobs[unit.front()].warmupInsts > 0);
+        if (!grouped) {
             const Job &job = jobs[unit.front()];
             sim::RunResult result = execute(job);
             if (!tracing)
@@ -201,7 +250,10 @@ Runner::runAll(const std::vector<Job> &jobs)
             outcomes[unit.front()] =
                 JobOutcome{job, std::move(result), false};
         } else {
-            runGroup(jobs, unit, outcomes, resultCache);
+            runForkGroup(jobs, unit, outcomes,
+                         tracing ? nullptr : &resultCache,
+                         snapCache.enabled() ? &snapCache : nullptr,
+                         &groupStats);
         }
         misses += unit.size();
     });
@@ -210,6 +262,15 @@ Runner::runAll(const std::vector<Job> &jobs)
     registry.counter("runner.cache_hits").inc(hits.load());
     registry.counter("runner.cache_misses").inc(misses.load());
     registry.counter("runner.jobs_executed").inc(misses.load());
+    // Snapshot bookkeeping only exists when the snapshot cache does:
+    // reports from snapshot-less runs keep their exact historical
+    // bytes (the cluster coordinator synthesizes that stats block).
+    if (snapCache.enabled()) {
+        registry.counter("runner.warmups")
+            .inc(groupStats.warmups.load() - warmupsBefore);
+        registry.counter("runner.snapshot_hits")
+            .inc(groupStats.snapshotHits.load() - snapHitsBefore);
+    }
     return outcomes;
 }
 

@@ -15,6 +15,8 @@
 #ifndef DYNASPAM_RUNNER_RUNNER_HH
 #define DYNASPAM_RUNNER_RUNNER_HH
 
+#include <atomic>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -22,6 +24,7 @@
 #include "runner/job.hh"
 #include "runner/report.hh"
 #include "runner/result_cache.hh"
+#include "runner/snapshot_cache.hh"
 #include "runner/thread_pool.hh"
 
 namespace dynaspam::runner
@@ -41,7 +44,52 @@ struct RunnerOptions
      * (`--no-fork`).
      */
     bool forkSweeps = true;
+    /**
+     * Snapshot-cache directory: warmed fork-group snapshots are
+     * serialized here so repeat sweeps (and process restarts) skip the
+     * warm pass entirely. Empty disables on-disk snapshots.
+     */
+    std::string snapshotCacheDir;
+    /** LRU size budget for the snapshot cache (0 = unbounded). */
+    std::uint64_t snapshotCacheMaxBytes = 0;
 };
+
+/**
+ * Cumulative fork-group execution counters. `warmups` counts warm
+ * passes actually simulated — a sweep fully served from the snapshot
+ * cache performs zero, which is what the CI ship-smoke asserts.
+ */
+struct ForkGroupStats
+{
+    std::atomic<std::uint64_t> warmups{0};
+    std::atomic<std::uint64_t> snapshotHits{0};
+    std::atomic<std::uint64_t> snapshotMisses{0};
+    /** Entries present but unusable: version/epoch/key/input-hash or
+     *  checksum mismatch, or an undeserializable body. */
+    std::atomic<std::uint64_t> snapshotRejects{0};
+};
+
+/**
+ * Execute one fork group: warm the shared prefix once under the
+ * representative (front) configuration — loading the warmed state from
+ * @p snap_cache when a valid entry exists, storing it after a fresh
+ * warm — then fork every member from the snapshot. Byte-identical to
+ * running each job straight through. Shared by Runner::runAll and the
+ * cluster worker so both execute groups the exact same way.
+ *
+ * @param jobs the full job list the indices in @p group refer to
+ * @param group member indices, front = representative
+ * @param outcomes outcome slots, written at each member's index
+ * @param cache result cache to store finished members into (nullptr or
+ *              disabled = skip storing)
+ * @param snap_cache snapshot cache (nullptr or disabled = warm inline)
+ * @param stats fork-group counters (nullptr = not collected)
+ */
+void runForkGroup(const std::vector<Job> &jobs,
+                  const std::vector<std::size_t> &group,
+                  std::vector<JobOutcome> &outcomes,
+                  const ResultCache *cache,
+                  const SnapshotCache *snap_cache, ForkGroupStats *stats);
 
 /** Executes batches of jobs with caching and parallelism. */
 class Runner
@@ -63,11 +111,15 @@ class Runner
 
     unsigned workers() const { return pool.workers(); }
     const ResultCache &cache() const { return resultCache; }
+    const SnapshotCache &snapshotCache() const { return snapCache; }
+    const ForkGroupStats &forkStats() const { return groupStats; }
 
   private:
     RunnerOptions options;
     ThreadPool pool;
     ResultCache resultCache;
+    SnapshotCache snapCache;
+    ForkGroupStats groupStats;
     StatRegistry registry;
 };
 

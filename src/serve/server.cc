@@ -249,12 +249,26 @@ parseSweepBody(const std::string &body)
 Server::Server(ServerOptions options_)
     : options(std::move(options_)),
       cache(options.cacheDir),
+      snapCache(options.snapshotCacheDir),
       pool(std::make_unique<runner::ThreadPool>(
           options.jobs ? options.jobs
                        : runner::ThreadPool::defaultWorkers()))
 {
     if (!options.executeFn)
-        options.executeFn = [](const runner::Job &job) {
+        options.executeFn = [this](const runner::Job &job) {
+            // With a snapshot cache, a warmup job runs as a
+            // single-member fork group: its warmed prefix is loaded
+            // from / persisted to disk, so repeat requests (and daemon
+            // restarts) skip the warm pass. The result cache is probed
+            // and populated by the server's own job table, so the
+            // group runs with the result cache disabled.
+            if (snapCache.enabled() && job.warmupInsts > 0) {
+                std::vector<runner::Job> jobs{job};
+                std::vector<runner::JobOutcome> outcomes(1);
+                runner::runForkGroup(jobs, {0}, outcomes, nullptr,
+                                     &snapCache, &groupStats);
+                return std::move(outcomes[0].result);
+            }
             return runner::execute(job);
         };
 
@@ -347,6 +361,13 @@ Server::waitUntilDrained()
         runner::CacheGcStats gcStats = cache.gc(options.cacheMaxBytes);
         if (options.verbose && (gcStats.staleEvicted || gcStats.lruEvicted))
             inform("serve: final cache gc evicted ",
+                   gcStats.staleEvicted + gcStats.lruEvicted, " entries");
+    }
+    if (snapCache.enabled()) {
+        runner::CacheGcStats gcStats =
+            snapCache.gc(options.snapshotCacheMaxBytes);
+        if (options.verbose && (gcStats.staleEvicted || gcStats.lruEvicted))
+            inform("serve: final snapshot gc evicted ",
                    gcStats.staleEvicted + gcStats.lruEvicted, " entries");
     }
     drained = true;

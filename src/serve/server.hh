@@ -66,6 +66,8 @@
 #include "runner/job.hh"
 #include "runner/report.hh"
 #include "runner/result_cache.hh"
+#include "runner/runner.hh"
+#include "runner/snapshot_cache.hh"
 #include "runner/thread_pool.hh"
 #include "serve/http.hh"
 #include "serve/metrics.hh"
@@ -117,6 +119,11 @@ struct ServerOptions
     std::string cacheDir;
     /** LRU size budget for the cache directory; 0 = unbounded. */
     std::uint64_t cacheMaxBytes = 0;
+    /** Snapshot-cache directory: warmup jobs persist/reuse their warmed
+     *  prefix across requests and restarts. Empty disables. */
+    std::string snapshotCacheDir;
+    /** LRU size budget for the snapshot cache; 0 = unbounded. */
+    std::uint64_t snapshotCacheMaxBytes = 0;
     /**
      * Default warmup_insts applied to any incoming job spec that did
      * not set one (`dynaspam serve --warmup-insts N`). 0 = no default.
@@ -236,6 +243,8 @@ class Server
 
     ServerOptions options;
     runner::ResultCache cache;
+    runner::SnapshotCache snapCache;
+    runner::ForkGroupStats groupStats;
     std::unique_ptr<runner::ThreadPool> pool;
     Metrics metrics_;
 

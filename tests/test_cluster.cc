@@ -332,6 +332,25 @@ TEST(ClusterWire, GarbageFramesRejected)
               cluster::DecodeOutcome::Bad);
 }
 
+TEST(ClusterWire, RetryBackoffDelayClampedAndSafe)
+{
+    using cluster::retryBackoffDelayMs;
+    // Attempt 0 (defensive) and 1 both mean "first retry": base delay.
+    EXPECT_EQ(retryBackoffDelayMs(100, 0, 60000), 100u);
+    EXPECT_EQ(retryBackoffDelayMs(100, 1, 60000), 100u);
+    EXPECT_EQ(retryBackoffDelayMs(100, 2, 60000), 200u);
+    EXPECT_EQ(retryBackoffDelayMs(100, 3, 60000), 400u);
+    EXPECT_EQ(retryBackoffDelayMs(100, 11, 60000), 60000u);
+    // Attempt counts whose naive `base << (attempts - 1)` would shift
+    // past 63 bits (UB) or wrap must saturate at the cap instead.
+    for (unsigned attempts : {64u, 65u, 1000u, ~0u})
+        EXPECT_EQ(retryBackoffDelayMs(100, attempts, 60000), 60000u)
+            << attempts << " attempts";
+    // A base already above the cap clamps down; a zero base stays zero.
+    EXPECT_EQ(retryBackoffDelayMs(100000, 1, 60000), 60000u);
+    EXPECT_EQ(retryBackoffDelayMs(0, 50, 60000), 0u);
+}
+
 // --- Shard mapping --------------------------------------------------------
 
 TEST(ClusterShard, OwnerSlotIsStableAndInRange)
@@ -506,6 +525,174 @@ TEST(Cluster, WorkerKilledMidSweepStillYieldsIdenticalReport)
     coordinator.beginDrain();
     coordinator.waitUntilDrained();
     healthy_thread.join();
+}
+
+TEST(Cluster, WorkerReconnectsAfterCoordinatorCrashAndRestart)
+{
+    TempDir tmp("reconnect");
+
+    // A stand-in coordinator: accept the worker, complete the
+    // Hello/Welcome handshake, then vanish without a Goodbye — the
+    // crash case. Its listener closes too, freeing the port for the
+    // real coordinator that "restarts" in its place.
+    int listener = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(listener, 0);
+    int one = 1;
+    ::setsockopt(listener, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = 0;
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    ASSERT_EQ(::bind(listener, reinterpret_cast<sockaddr *>(&addr),
+                     sizeof(addr)), 0);
+    ASSERT_EQ(::listen(listener, 4), 0);
+    socklen_t addr_len = sizeof(addr);
+    ASSERT_EQ(::getsockname(listener, reinterpret_cast<sockaddr *>(&addr),
+                            &addr_len), 0);
+    const unsigned port = ntohs(addr.sin_port);
+
+    WorkerOptions wopts;
+    wopts.connectPort = port;
+    wopts.cacheDir = tmp.path() + "/w";
+    wopts.connectRetryMs = 5;    // fast redial waves in the test
+    wopts.verbose = getenv("DSPAM_TEST_VERBOSE") != nullptr;
+    Worker worker(wopts);
+    int exit_code = -1;
+    std::thread worker_thread([&] { exit_code = worker.run(); });
+
+    int conn = ::accept(listener, nullptr, nullptr);
+    ASSERT_GE(conn, 0);
+    char hello[256];
+    ASSERT_GT(::recv(conn, hello, sizeof(hello), 0), 0);
+    ASSERT_TRUE(sendRaw(conn,
+                        cluster::encodeFrame(cluster::FrameType::Welcome,
+                                             "{\"slot\": 0, \"slots\": 1}")));
+    ::close(conn);
+    ::close(listener);
+
+    // The real coordinator binds the same port; the worker's jittered
+    // backoff redial finds it and rejoins without operator help.
+    CoordinatorOptions copts = quietCoordinator(1);
+    copts.workerPort = port;
+    Coordinator coordinator(copts);
+    coordinator.start();
+    ASSERT_TRUE(eventually([&] {
+        return coordinator.metrics().value(
+                   "dynaspam_cluster_workers_connected") == 1;
+    }));
+
+    // ...and the rejoined worker serves a real sweep end to end.
+    Reply reply = request(coordinator.httpPort(), "POST", "/sweep",
+                          kSweepBody);
+    EXPECT_EQ(reply.status, 200);
+    EXPECT_EQ(reply.body, cliReport(""));
+
+    // An orderly drain says Goodbye: the worker exits 0 instead of
+    // treating the close as another crash and redialing forever.
+    coordinator.beginDrain();
+    coordinator.waitUntilDrained();
+    worker_thread.join();
+    EXPECT_EQ(exit_code, 0);
+}
+
+/** Four bfs jobs with a shared warmup: two fork groups (the baseline
+ *  host pipeline warms separately from the DynaSpAM configurations). */
+const char *kWarmSweepBody =
+    "{\"jobs\": ["
+    "{\"workload\": \"bfs\", \"mode\": \"baseline-ooo\","
+    " \"warmup_insts\": 20000},"
+    "{\"workload\": \"bfs\", \"mode\": \"mapping-only\","
+    " \"warmup_insts\": 20000},"
+    "{\"workload\": \"bfs\", \"mode\": \"accel-nospec\","
+    " \"warmup_insts\": 20000},"
+    "{\"workload\": \"bfs\", \"mode\": \"accel-spec\","
+    " \"warmup_insts\": 20000}]}";
+
+TEST(Cluster, SnapshotCacheSkipsRewarmAcrossWorkerRestart)
+{
+    TempDir tmp("snapshot");
+    CoordinatorOptions copts = quietCoordinator(1);
+    copts.pingIntervalMs = 50;    // fast warmups-gauge propagation
+    Coordinator coordinator(copts);
+    coordinator.start();
+
+    const std::string snap_dir = tmp.path() + "/snaps";
+    auto snapWorker = [&] {
+        // No result cache: run 2 must re-execute every job, so the only
+        // thing that can spare the warm pass is the snapshot cache.
+        WorkerOptions opts = quietWorker(coordinator, "");
+        opts.snapshotCacheDir = snap_dir;
+        return opts;
+    };
+
+    // What a single process answers for the same four jobs.
+    std::vector<Job> jobs;
+    for (SystemMode mode :
+         {SystemMode::BaselineOoo, SystemMode::MappingOnly,
+          SystemMode::AccelNoSpec, SystemMode::AccelSpec}) {
+        Job job{"bfs", mode, 32, 1, 1};
+        job.warmupInsts = 20000;
+        jobs.push_back(job);
+    }
+    runner::RunnerOptions ropts;
+    ropts.jobs = 1;
+    runner::Runner straight(ropts);
+    auto outcomes = straight.runAll(jobs);
+    std::ostringstream os;
+    runner::writeSweepReport(os, "custom", outcomes, &straight.stats());
+    const std::string expected = os.str();
+
+    // Run 1: cold snapshot cache — the worker warms each fork group
+    // once and persists the warmed state.
+    Worker first(snapWorker());
+    std::thread first_thread([&] { first.run(); });
+    ASSERT_TRUE(eventually([&] {
+        return coordinator.metrics().value(
+                   "dynaspam_cluster_workers_connected") == 1;
+    }));
+    Reply cold = request(coordinator.httpPort(), "POST", "/sweep",
+                         kWarmSweepBody);
+    ASSERT_EQ(cold.status, 200);
+    EXPECT_EQ(cold.body, expected);
+    ASSERT_TRUE(eventually([&] {
+        return coordinator.metrics().value(
+                   "dynaspam_cluster_worker_warmups", "worker=\"0\"") == 2;
+    }));
+    std::size_t snap_files = 0;
+    for (const auto &de : fs::directory_iterator(snap_dir))
+        snap_files += de.path().extension() == ".snap";
+    EXPECT_EQ(snap_files, 2u);
+
+    // Restart: a FRESH worker process sharing only the snapshot dir.
+    first.shutdownNow();
+    first_thread.join();
+    ASSERT_TRUE(eventually([&] {
+        return coordinator.metrics().value(
+                   "dynaspam_cluster_workers_connected") == 0;
+    }));
+    Worker second(snapWorker());
+    std::thread second_thread([&] { second.run(); });
+    ASSERT_TRUE(eventually([&] {
+        return coordinator.metrics().value(
+                   "dynaspam_cluster_workers_connected") == 1;
+    }));
+
+    // Run 2: every job re-executes (no result cache), but the warmed
+    // prefixes load from disk — zero warm passes, identical bytes.
+    Reply warm = request(coordinator.httpPort(), "POST", "/sweep",
+                         kWarmSweepBody);
+    ASSERT_EQ(warm.status, 200);
+    EXPECT_EQ(warm.body, expected);
+    // Give the gauge a few ping cycles to reflect post-sweep state: it
+    // must remain at the fresh worker's zero, proving no re-warm.
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    EXPECT_EQ(coordinator.metrics().value(
+                  "dynaspam_cluster_worker_warmups", "worker=\"0\""),
+              0);
+
+    coordinator.beginDrain();
+    coordinator.waitUntilDrained();
+    second_thread.join();
 }
 
 TEST(Cluster, GarbageOnWorkerPortDoesNotDisturbService)

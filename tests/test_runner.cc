@@ -573,10 +573,18 @@ TEST(ResultCache, GcRemovesStaleEpochsAndTempLitter)
     current.store(fresh, sim::RunResult{});
     runner::ResultCache old_epoch(dir.path(), "ancient-epoch");
     old_epoch.store(stale, sim::RunResult{});
+    const std::string litter_path =
+        dir.path() + "/deadbeef.json.tmp.1234";
     {
-        std::ofstream litter(dir.path() + "/deadbeef.json.tmp.1234");
+        std::ofstream litter(litter_path);
         litter << "half-written";
     }
+    // Orphaned litter is reaped only once it is older than the grace
+    // window (a crashed writer's leavings), so backdate its mtime.
+    fs::last_write_time(
+        litter_path,
+        fs::file_time_type::clock::now() -
+            std::chrono::seconds(runner::kCacheTmpGraceSeconds + 5));
 
     runner::CacheGcStats stats = current.gc();
     EXPECT_EQ(stats.staleEvicted, 1u);
@@ -584,6 +592,158 @@ TEST(ResultCache, GcRemovesStaleEpochsAndTempLitter)
     EXPECT_EQ(stats.lruEvicted, 0u);
     EXPECT_TRUE(current.load(fresh).has_value());
     EXPECT_FALSE(old_epoch.load(stale).has_value());
+}
+
+TEST(ResultCache, GcSparesFreshTempFiles)
+{
+    // A temp file younger than the grace window belongs to a live
+    // writer racing the gc pass: reaping it would yank a half-written
+    // entry out from under the rename. Regression test — gc used to
+    // remove ALL temp litter unconditionally.
+    TempDir dir("cache-gc-fresh-tmp");
+    runner::ResultCache cache(dir.path());
+    const std::string fresh_tmp =
+        dir.path() + "/cafecafe.json.tmp.9999";
+    {
+        std::ofstream litter(fresh_tmp);
+        litter << "being-written-right-now";
+    }
+
+    runner::CacheGcStats stats = cache.gc();
+    EXPECT_EQ(stats.tmpRemoved, 0u);
+    EXPECT_TRUE(fs::exists(fresh_tmp));
+}
+
+TEST(SnapshotCache, DisabledCacheIsInert)
+{
+    runner::SnapshotCache cache("");
+    EXPECT_FALSE(cache.enabled());
+    cache.store("group", 1, "body");
+    bool rejected = true;
+    EXPECT_FALSE(cache.load("group", 1, &rejected).has_value());
+    EXPECT_FALSE(rejected);
+    EXPECT_EQ(cache.gc().scanned, 0u);
+}
+
+TEST(SnapshotCache, StoreLoadRoundTrip)
+{
+    TempDir dir("snap-roundtrip");
+    runner::SnapshotCache cache(dir.path());
+    const std::string body("warmed-simulator-state\0with-nul", 31);
+
+    bool rejected = true;
+    EXPECT_FALSE(cache.load("groupA", 42, &rejected).has_value());
+    EXPECT_FALSE(rejected) << "absent file is a plain miss";
+
+    cache.store("groupA", 42, body);
+    std::optional<std::string> loaded = cache.load("groupA", 42, &rejected);
+    ASSERT_TRUE(loaded.has_value());
+    EXPECT_EQ(*loaded, body);
+    EXPECT_FALSE(rejected);
+
+    // Same key, different input identity: the frame exists but must not
+    // bind warmed state to the wrong input — a reject, not a hit.
+    EXPECT_FALSE(cache.load("groupA", 43, &rejected).has_value());
+    EXPECT_TRUE(rejected);
+
+    // Different key hashes to a different file: plain miss.
+    EXPECT_FALSE(cache.load("groupB", 42, &rejected).has_value());
+    EXPECT_FALSE(rejected);
+
+    // Overwrites replace atomically.
+    cache.store("groupA", 42, "second-body");
+    loaded = cache.load("groupA", 42);
+    ASSERT_TRUE(loaded.has_value());
+    EXPECT_EQ(*loaded, "second-body");
+}
+
+TEST(SnapshotCache, RejectsTamperedFrames)
+{
+    TempDir dir("snap-tamper");
+    runner::SnapshotCache cache(dir.path());
+    cache.store("group", 7, "snapshot-body-bytes");
+    const std::string path = cache.pathFor("group");
+    ASSERT_TRUE(fs::exists(path));
+
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string pristine = buf.str();
+    in.close();
+
+    const auto rewrite = [&](const std::string &bytes) {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out.write(bytes.data(), std::streamsize(bytes.size()));
+    };
+    bool rejected = false;
+
+    // Truncated mid-frame.
+    rewrite(pristine.substr(0, pristine.size() / 2));
+    EXPECT_FALSE(cache.load("group", 7, &rejected).has_value());
+    EXPECT_TRUE(rejected);
+
+    // Flipped body byte: checksum mismatch.
+    std::string corrupt = pristine;
+    corrupt.back() ^= 0x5a;
+    rewrite(corrupt);
+    EXPECT_FALSE(cache.load("group", 7, &rejected).has_value());
+    EXPECT_TRUE(rejected);
+
+    // Wrong magic.
+    corrupt = pristine;
+    corrupt[0] = 'X';
+    rewrite(corrupt);
+    EXPECT_FALSE(cache.load("group", 7, &rejected).has_value());
+    EXPECT_TRUE(rejected);
+
+    // A file written under a different epoch (old binary's cache) is
+    // rejected by the current epoch and vice versa.
+    runner::SnapshotCache old_epoch(dir.path(), "ancient-epoch");
+    old_epoch.store("group", 7, "snapshot-body-bytes");
+    EXPECT_FALSE(cache.load("group", 7, &rejected).has_value());
+    EXPECT_TRUE(rejected);
+
+    // Restore a valid frame: loads again.
+    rewrite(pristine);
+    EXPECT_TRUE(cache.load("group", 7, &rejected).has_value());
+    EXPECT_FALSE(rejected);
+}
+
+TEST(SnapshotCache, GcReapsInvalidEntriesAndAppliesLruBudget)
+{
+    TempDir dir("snap-gc");
+    runner::SnapshotCache cache(dir.path());
+    cache.store("keep-me", 1, std::string(64, 'a'));
+    // An entry from a previous epoch fails frame validation -> evicted.
+    runner::SnapshotCache old_epoch(dir.path(), "ancient-epoch");
+    old_epoch.store("stale-entry", 2, std::string(64, 'b'));
+    {
+        std::ofstream junk(dir.path() + "/feedface.snap",
+                           std::ios::binary);
+        junk << "not a snapshot frame";
+    }
+
+    runner::CacheGcStats stats = cache.gc();
+    EXPECT_EQ(stats.scanned, 3u);
+    EXPECT_EQ(stats.staleEvicted, 2u);
+    EXPECT_EQ(stats.lruEvicted, 0u);
+    EXPECT_TRUE(cache.load("keep-me", 1).has_value());
+
+    // LRU budget: store several entries, age the older ones, then gc to
+    // a budget that only fits the newest.
+    for (int i = 0; i < 4; i++) {
+        const std::string key = "entry-" + std::to_string(i);
+        cache.store(key, 1, std::string(512, char('a' + i)));
+        if (i < 3)
+            fs::last_write_time(cache.pathFor(key),
+                                fs::file_time_type::clock::now() -
+                                    std::chrono::seconds(100 - i));
+    }
+    stats = cache.gc(1024);
+    EXPECT_GE(stats.lruEvicted, 1u);
+    EXPECT_LE(stats.bytesAfter, 1024u);
+    EXPECT_TRUE(cache.load("entry-3", 1).has_value())
+        << "most recently written entry survives the LRU pass";
 }
 
 TEST(ResultCache, GcEnforcesLruSizeBudget)

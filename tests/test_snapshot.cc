@@ -21,6 +21,7 @@
 #include "runner/runner.hh"
 #include "sim/simulation.hh"
 #include "sim/snapshot.hh"
+#include "sim/snapshot_io.hh"
 #include "sim/system.hh"
 #include "workloads/workload.hh"
 
@@ -179,6 +180,96 @@ TEST(Snapshot, ForkedSweepMatchesStraightThrough)
           "runner.jobs_executed"}) {
         EXPECT_EQ(forked.stats().get(counter), straight.stats().get(counter))
             << counter;
+    }
+}
+
+TEST(SnapshotIo, SerializedForkMatchesInProcessForkEverywhere)
+{
+    // The on-disk round trip must be invisible: serializing the warmed
+    // snapshot, deserializing it against a FRESH SimInput (as a restarted
+    // process or a cluster worker would), and forking from the decoded
+    // copy has to produce the same bytes as forking from the in-memory
+    // snapshot — for every workload, host pipeline and fabric config.
+    for (const std::string &workload : workloads::allWorkloadNames()) {
+        for (sim::SystemMode mode :
+             {sim::SystemMode::BaselineOoo, sim::SystemMode::AccelSpec}) {
+            const sim::SystemConfig cfg = sim::SystemConfig::make(mode);
+            auto input = inputFor(workload);
+            const std::uint64_t mid = input->trace().size() / 2;
+
+            sim::Simulation warm(cfg, input);
+            while (!warm.done() && warm.committedInsts() < mid)
+                warm.tick();
+            sim::Snapshot snap;
+            warm.snapshot(snap);
+
+            sim::Simulation direct(cfg, input);
+            direct.restore(snap);
+            direct.runToCompletion();
+            const std::string inProcess = resultBytes(direct.collectResult());
+
+            std::string bytes;
+            sim::serializeSnapshot(snap, bytes);
+            // A fresh input object, as a restarted process would build.
+            auto rebuilt = inputFor(workload);
+            ASSERT_EQ(sim::simInputIdentityHash(*input),
+                      sim::simInputIdentityHash(*rebuilt));
+            sim::Snapshot decoded;
+            ASSERT_TRUE(sim::deserializeSnapshot(bytes, rebuilt, decoded))
+                << workload << "/" << sim::modeName(mode);
+
+            sim::Simulation fresh(cfg, rebuilt);
+            fresh.restore(decoded);
+            fresh.runToCompletion();
+            EXPECT_EQ(resultBytes(fresh.collectResult()), inProcess)
+                << workload << "/" << sim::modeName(mode)
+                << ": on-disk snapshot round trip diverged";
+        }
+    }
+}
+
+TEST(SnapshotIo, CorruptBytesFallBackCleanly)
+{
+    const sim::SystemConfig cfg =
+        sim::SystemConfig::make(sim::SystemMode::AccelSpec);
+    auto input = inputFor("bfs");
+    sim::Simulation warm(cfg, input);
+    while (!warm.done() && warm.committedInsts() < 20000)
+        warm.tick();
+    sim::Snapshot snap;
+    warm.snapshot(snap);
+    std::string bytes;
+    sim::serializeSnapshot(snap, bytes);
+
+    // Pristine bytes decode.
+    {
+        sim::Snapshot out;
+        EXPECT_TRUE(sim::deserializeSnapshot(bytes, input, out));
+    }
+    // Every truncation point fails soft — returns false, never crashes.
+    for (std::size_t len : {std::size_t(0), std::size_t(1),
+                            bytes.size() / 4, bytes.size() / 2,
+                            bytes.size() - 1}) {
+        sim::Snapshot out;
+        EXPECT_FALSE(
+            sim::deserializeSnapshot(bytes.substr(0, len), input, out))
+            << "truncated to " << len << " bytes";
+    }
+    // Bit flips across the buffer either decode to the same state or
+    // fail soft; what they must never do is crash. Flip a spread of
+    // bytes including trace indices and container lengths.
+    for (std::size_t pos = 0; pos < bytes.size();
+         pos += bytes.size() / 64 + 1) {
+        std::string corrupt = bytes;
+        corrupt[pos] ^= 0xff;
+        sim::Snapshot out;
+        (void)sim::deserializeSnapshot(corrupt, input, out);
+    }
+    // Garbage that never was a snapshot.
+    {
+        sim::Snapshot out;
+        EXPECT_FALSE(sim::deserializeSnapshot(
+            std::string(1024, '\xee'), input, out));
     }
 }
 
