@@ -37,6 +37,8 @@
 #include "common/interrupt.hh"
 #include "common/json.hh"
 #include "common/logging.hh"
+#include "explore/engine.hh"
+#include "explore/space.hh"
 #include "runner/runner.hh"
 #include "serve/server.hh"
 #include "trace/trace.hh"
@@ -77,6 +79,17 @@ usage(const char *argv0)
         "                                snapshot (default 0 = off)\n"
         "           --fidelity F         full | sampled (default full)\n"
         "           --no-fork            force straight-through runs\n"
+        "  explore\n"
+        "         design-space search: scout cheap, promote only\n"
+        "         frontier-adjacent survivors to full fidelity, report\n"
+        "         the Pareto frontier (see EXPERIMENTS.md "
+        "\"Exploration\")\n"
+        "           --space FILE         space + objective spec JSON\n"
+        "                                (- reads stdin); streams NDJSON\n"
+        "                                progress on stdout\n"
+        "           --jobs N             worker threads (default: cores)\n"
+        "           --out FILE           write the final frontier "
+        "report\n"
         "  trace  simulate one point with event tracing and write a\n"
         "         Chrome trace-event JSON (Perfetto) plus a Konata\n"
         "         pipeline log (<out>.kanata); always uncached\n"
@@ -113,10 +126,18 @@ usage(const char *argv0)
         "(default 256)\n"
         "           --timeout-ms N       per-request deadline "
         "(default 120000)\n"
+        "           --cluster-token T    require T in each worker Hello\n"
+        "                                (or env DYNASPAM_CLUSTER_TOKEN)\n"
+        "           --coordinator-memo N\n"
+        "                                LRU memo of N rendered entries;\n"
+        "                                repeats skip the workers "
+        "(default 0)\n"
         "  worker run one shard worker; dials the coordinator and\n"
         "         executes the job batches routed to its hash slot\n"
         "           --connect HOST:PORT  coordinator worker port\n"
         "                                (default 127.0.0.1:9090)\n"
+        "           --cluster-token T    enrollment token to send\n"
+        "                                (or env DYNASPAM_CLUSTER_TOKEN)\n"
         "  list   print workload tags and mode names\n"
         "  check-selftest\n"
         "         fault-inject every simulator invariant auditor and\n"
@@ -430,6 +451,97 @@ cmdSweep(Args &args)
 }
 
 int
+cmdExplore(Args &args)
+{
+    CommonOptions common;
+    bool use_cache = true;
+    std::string spaceFile;
+
+    std::string flag;
+    while (args.next(flag)) {
+        if (flag == "--space")
+            spaceFile = args.value(flag);
+        else if (flag == "--jobs")
+            common.jobs = args.uvalue(flag);
+        else if (flag == "--out")
+            common.out = args.value(flag);
+        else if (flag == "--cache")
+            common.cacheDir = args.value(flag);
+        else if (flag == "--no-cache")
+            use_cache = false;
+        else if (flag == "--cache-max-mb")
+            common.cacheMaxMb = args.uvalue(flag);
+        else if (flag == "--snapshot-cache")
+            common.snapshotDir = args.value(flag);
+        else if (flag == "--snapshot-cache-max-mb")
+            common.snapshotMaxMb = args.uvalue(flag);
+        else
+            fatal("unknown option ", flag);
+    }
+    if (spaceFile.empty())
+        fatal("explore: --space FILE is required");
+
+    std::string text;
+    if (spaceFile == "-") {
+        std::stringstream buf;
+        buf << std::cin.rdbuf();
+        text = buf.str();
+    } else {
+        std::ifstream is(spaceFile);
+        if (!is)
+            fatal("cannot read ", spaceFile);
+        std::stringstream buf;
+        buf << is.rdbuf();
+        text = buf.str();
+    }
+    explore::Space space =
+        explore::Space::fromJson(json::Value::parse(text));
+
+    interrupt::installCleanupSignalHandlers();
+
+    runner::RunnerOptions opts;
+    opts.jobs = common.jobs;
+    opts.cacheDir = use_cache ? common.cacheDir : "";
+    opts.snapshotCacheDir = common.snapshotDir;
+    runner::Runner r(opts);
+
+    // stdout carries ONLY the engine's NDJSON lines — byte-identical
+    // to the body a POST /explore stream delivers, so the two can be
+    // diffed directly. Everything human-facing goes to stderr.
+    explore::Engine engine(std::move(space));
+    auto emit = [](const std::vector<std::string> &lines) {
+        for (const std::string &line : lines) {
+            std::fputs(line.c_str(), stdout);
+            std::fputc('\n', stdout);
+        }
+        std::fflush(stdout);
+    };
+    emit(engine.start());
+    while (!engine.done()) {
+        const std::vector<Job> &batch = engine.nextBatch();
+        emit(engine.feed(r.runAll(batch)));
+    }
+    maintainCache(opts.cacheDir, common.cacheMaxMb);
+    maintainSnapshotCache(common.snapshotDir, common.snapshotMaxMb);
+
+    if (!common.out.empty()) {
+        std::ofstream os(common.out);
+        if (!os)
+            fatal("cannot write ", common.out);
+        engine.finalReport().write(os, 2);
+        os << "\n";
+        std::fprintf(stderr, "frontier report written to %s\n",
+                     common.out.c_str());
+    }
+    std::fprintf(stderr,
+                 "explore: %zu candidates, %.1f cost units "
+                 "(exhaustive grid: %.1f)\n",
+                 engine.candidateCount(), engine.costUnits(),
+                 engine.gridCostUnits());
+    return 0;
+}
+
+int
 cmdTrace(Args &args)
 {
     Job job;
@@ -507,10 +619,20 @@ cmdTrace(Args &args)
     return 0;
 }
 
+/** --cluster-token fallback: the environment, so the secret need not
+ *  appear in process listings. */
+std::string
+envClusterToken()
+{
+    const char *env = std::getenv("DYNASPAM_CLUSTER_TOKEN");
+    return env ? std::string(env) : std::string();
+}
+
 int
 cmdCoordinator(Args &args)
 {
     cluster::CoordinatorOptions opts;
+    opts.clusterToken = envClusterToken();
 
     std::string flag;
     while (args.next(flag)) {
@@ -526,6 +648,10 @@ cmdCoordinator(Args &args)
             opts.queueCapacity = args.uvalue(flag);
         else if (flag == "--timeout-ms")
             opts.requestTimeoutMs = args.uvalue(flag);
+        else if (flag == "--cluster-token")
+            opts.clusterToken = args.value(flag);
+        else if (flag == "--coordinator-memo")
+            opts.memoCapacity = args.uvalue(flag);
         else
             fatal("unknown option ", flag);
     }
@@ -543,12 +669,15 @@ cmdWorker(Args &args)
 {
     cluster::WorkerOptions opts;
     opts.cacheDir = ".dynaspam-cache";
+    opts.clusterToken = envClusterToken();
     bool use_cache = true;
     unsigned cache_max_mb = 0;
 
     std::string flag;
     while (args.next(flag)) {
-        if (flag == "--connect") {
+        if (flag == "--cluster-token") {
+            opts.clusterToken = args.value(flag);
+        } else if (flag == "--connect") {
             const std::string endpoint = args.value(flag);
             const auto colon = endpoint.rfind(':');
             if (colon == std::string::npos || colon == 0 ||
@@ -591,10 +720,16 @@ cmdServe(Args &args)
     bool use_cache = true;
     bool clusterMode = false;
     unsigned cache_max_mb = 0;
+    std::string clusterToken = envClusterToken();
+    unsigned memoCapacity = 0;
 
     std::string flag;
     while (args.next(flag)) {
-        if (flag == "--port")
+        if (flag == "--cluster-token")
+            clusterToken = args.value(flag);
+        else if (flag == "--coordinator-memo")
+            memoCapacity = args.uvalue(flag);
+        else if (flag == "--port")
             opts.port = args.uvalue(flag);
         else if (flag == "--bind")
             opts.bindAddress = args.value(flag);
@@ -629,6 +764,8 @@ cmdServe(Args &args)
         copts.bindAddress = opts.bindAddress;
         copts.queueCapacity = opts.queueCapacity;
         copts.requestTimeoutMs = opts.requestTimeoutMs;
+        copts.clusterToken = clusterToken;
+        copts.memoCapacity = memoCapacity;
         cluster::Coordinator coordinator(std::move(copts));
         return coordinator.serveForever();
     }
@@ -679,6 +816,8 @@ main(int argc, char **argv)
             return cmdRun(args);
         if (command == "sweep")
             return cmdSweep(args);
+        if (command == "explore")
+            return cmdExplore(args);
         if (command == "trace")
             return cmdTrace(args);
         if (command == "serve")

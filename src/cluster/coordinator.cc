@@ -158,6 +158,12 @@ Coordinator::Coordinator(CoordinatorOptions options_)
                           "(from the last Pong).");
     metrics_.declareCounter("dynaspam_cluster_batch_retries_total",
                             "Batch reassignments after a worker died.");
+    metrics_.declareCounter("dynaspam_cluster_hello_rejects_total",
+                            "Worker enrollments rejected (bad or missing "
+                            "cluster token).");
+    metrics_.declareGauge("dynaspam_cluster_coordinator_memo_hits",
+                          "Jobs answered from the coordinator-side "
+                          "result memo.");
     metrics_.declareGauge("dynaspam_cluster_outstanding_jobs",
                           "Jobs belonging to unfinished requests.");
     metrics_.declareHistogram(
@@ -337,7 +343,7 @@ Coordinator::eventLoop()
 
         checkTimers();
 
-        if (draining && requests.empty()) {
+        if (draining && requests.empty() && exploreSessions.empty()) {
             bool flushed = true;
             for (const auto &kv : clients)
                 if (!kv.second.out.empty())
@@ -569,6 +575,10 @@ Coordinator::handleHttpRequest(ClientConn &conn,
                      keepAlive);
         return;
     }
+    if (req.target == "/explore") {
+        handleExplore(conn, req);
+        return;
+    }
     if (req.target.rfind("/results", 0) == 0) {
         queueResponse(conn,
                       errorResponse(404,
@@ -609,8 +619,14 @@ Coordinator::closeClient(int fd)
         return;
     // A pending request keeps running; its result still warms the
     // owning shard's caches. The response is dropped on completion.
+    // An explore session dies with its stream: any in-flight internal
+    // batch completes (warming shard caches and the memo) and is then
+    // dropped when finishExploreBatch finds the session gone.
+    const std::uint64_t exploreId = it->second.exploreId;
     ::close(fd);
     clients.erase(it);
+    if (exploreId != 0)
+        exploreSessions.erase(exploreId);
 }
 
 void
@@ -677,6 +693,20 @@ Coordinator::handleWorkerFrame(WorkerConn &conn, const Frame &frame)
                 queueFrame(conn, FrameType::Welcome,
                            json::Value(std::move(reject)));
                 return;
+            }
+            if (!options.clusterToken.empty()) {
+                // Authenticated enrollment: a wrong or missing token
+                // drops the connection before any Welcome. The drop
+                // path logs nothing at this stage, so the expected
+                // token can never leak into logs (and the counter
+                // below carries no label material from the frame).
+                const json::Value *token = hello.find("token");
+                if (!token || !token->isString() ||
+                    token->asString() != options.clusterToken) {
+                    metrics_.inc("dynaspam_cluster_hello_rejects_total");
+                    dropWorker(conn.fd, "enrollment rejected");
+                    return;
+                }
             }
         } catch (const FatalError &) {
             dropWorker(conn.fd, "malformed Hello");
@@ -799,6 +829,25 @@ Coordinator::handleResult(WorkerConn &conn, const Frame &frame)
     for (std::size_t i = 0; i < rawEntries.size(); i++) {
         if (rawEntries[i].fromCache)
             request.hits++;
+        if (options.memoCapacity > 0) {
+            // Memoize a twin of the fragment with from_cache flipped to
+            // true: a memo-served repeat IS a cache hit, and must say
+            // so. The re-render is byte-safe — json::Object keys are
+            // sorted, and dumpAt at the worker's indent/depth produces
+            // exactly the splice-compatible form.
+            try {
+                json::Value entry =
+                    json::Value::parse(rawEntries[i].fragment);
+                entry.asObject().insert_or_assign("from_cache",
+                                                  json::Value(true));
+                memoPut(
+                    request.jobs[batch.jobIndices[i]].hashHex(),
+                    entry.dumpAt(kReportIndent, kEntryFragmentDepth));
+            } catch (const FatalError &) {
+                // An unparseable fragment still splices verbatim; it
+                // just never memoizes.
+            }
+        }
         request.entries[batch.jobIndices[i]] =
             json::Value(json::Raw{std::move(rawEntries[i].fragment)});
         request.remaining--;
@@ -895,7 +944,19 @@ Coordinator::admitRequest(ClientConn &conn, const std::string &endpoint,
                       endpoint);
         return;
     }
-    if (liveWorkerCount() == 0) {
+    // Memo probe: jobs whose pre-rendered entry is already in the
+    // coordinator-side memo never reach a worker. Fully memo-served
+    // requests are legal even with zero workers connected.
+    std::vector<const std::string *> memoFrags(jobs.size(), nullptr);
+    std::size_t memoServed = 0;
+    if (options.memoCapacity > 0) {
+        for (std::size_t i = 0; i < jobs.size(); i++) {
+            memoFrags[i] = memoGet(jobs[i].hashHex());
+            if (memoFrags[i])
+                memoServed++;
+        }
+    }
+    if (memoServed < jobs.size() && liveWorkerCount() == 0) {
         queueResponse(conn, errorResponse(503, "no workers connected"),
                       keep_alive, endpoint);
         return;
@@ -916,17 +977,31 @@ Coordinator::admitRequest(ClientConn &conn, const std::string &endpoint,
         request.start +
         std::chrono::milliseconds(options.requestTimeoutMs);
 
-    // Shard: group job indices by FNV-1a hash-space owner slot, using
-    // the fork-group hash so every member of a fork group lands on the
-    // same worker — that worker warms the shared prefix once (or loads
-    // it from its snapshot cache) and forks all members from it.
-    // Jobs without a warmup phase keep their per-job hash, preserving
-    // the old shard-local result-cache locality.
+    for (std::size_t i = 0; i < request.jobs.size(); i++) {
+        if (!memoFrags[i])
+            continue;
+        request.entries[i] = json::Value(json::Raw{*memoFrags[i]});
+        request.hits++;
+        request.remaining--;
+    }
+    if (memoServed > 0) {
+        memoHits += memoServed;
+        metrics_.set("dynaspam_cluster_coordinator_memo_hits",
+                     double(memoHits));
+    }
+
+    // Shard: group the memo-missed job indices by FNV-1a hash-space
+    // owner slot, using the fork-group hash so every member of a fork
+    // group lands on the same worker — that worker warms the shared
+    // prefix once (or loads it from its snapshot cache) and forks all
+    // members from it. Jobs without a warmup phase keep their per-job
+    // hash, preserving the old shard-local result-cache locality.
     std::map<unsigned, std::vector<std::size_t>> shards;
     for (std::size_t i = 0; i < request.jobs.size(); i++)
-        shards[ownerSlot(runner::forkGroupHash(request.jobs[i]),
-                         options.workerSlots)]
-            .push_back(i);
+        if (!memoFrags[i])
+            shards[ownerSlot(runner::forkGroupHash(request.jobs[i]),
+                             options.workerSlots)]
+                .push_back(i);
 
     for (auto &shard : shards) {
         const std::uint64_t batchId = nextBatchId++;
@@ -945,6 +1020,10 @@ Coordinator::admitRequest(ClientConn &conn, const std::string &endpoint,
                  double(outstandingJobs));
     conn.busy = true;
     conn.requestId = id;
+    // A fully memo-served request completes without any worker round
+    // trip (finishRequest needs conn.busy/requestId set above).
+    if (request.remaining == 0)
+        finishRequest(request);
 }
 
 void
@@ -1001,16 +1080,30 @@ Coordinator::failRequest(std::uint64_t requestId, int status,
         return;
     Request &request = it->second;
     dropRequestBatches(request);
-    respond(request, errorResponse(status, message));
+    const std::uint64_t exploreId = request.exploreSessionId;
+    if (exploreId == 0)
+        respond(request, errorResponse(status, message));
     outstandingJobs -= request.jobs.size();
     metrics_.set("dynaspam_cluster_outstanding_jobs",
                  double(outstandingJobs));
     requests.erase(it);
+    // An internal explore batch fails its whole search: the stream
+    // already carries partial generations, so the failure surfaces as
+    // a terminal error line instead of an HTTP status.
+    if (exploreId != 0)
+        failExploreSession(exploreId, status, message);
 }
 
 void
 Coordinator::finishRequest(Request &request)
 {
+    if (request.exploreSessionId != 0) {
+        const std::uint64_t sessionId = request.exploreSessionId;
+        finishExploreBatch(request);
+        driveExplore(sessionId);
+        return;
+    }
+
     StatRegistry registry = runner::sweepRequestStats(
         request.jobs.size(), request.hits);
     std::ostringstream os;
@@ -1054,6 +1147,323 @@ Coordinator::respond(const Request &request,
     conn.requestId = 0;
     queueResponse(conn, resp, request.keepAlive, request.endpoint);
     parseClientRequests(request.clientFd);
+}
+
+void
+Coordinator::handleExplore(ClientConn &conn,
+                           const serve::HttpRequest &req)
+{
+    // The stream never keeps the connection alive: the chunk
+    // terminator plus close is how it ends.
+    if (req.method != "POST") {
+        queueResponse(conn, errorResponse(405, "use POST"), false,
+                      "/explore");
+        return;
+    }
+    explore::Space space;
+    try {
+        space = explore::Space::fromJson(json::Value::parse(req.body));
+    } catch (const FatalError &err) {
+        queueResponse(conn, errorResponse(400, err.what()), false,
+                      "/explore");
+        return;
+    }
+    if (draining) {
+        queueResponse(conn, errorResponse(503, "coordinator is draining"),
+                      false, "/explore");
+        return;
+    }
+
+    const std::uint64_t id = nextExploreId++;
+    ExploreSession &session = exploreSessions[id];
+    session.id = id;
+    session.clientFd = conn.fd;
+    session.engine = std::make_unique<explore::Engine>(std::move(space));
+    session.deadline =
+        Clock::now() +
+        std::chrono::milliseconds(options.requestTimeoutMs);
+
+    // Admission is decided on the first engine batch, before any
+    // stream bytes: a full queue or an empty worker ring turns into
+    // the same plain 429/503 a /sweep would get.
+    const std::vector<runner::Job> &first = session.engine->nextBatch();
+    if (!first.empty()) {
+        if (outstandingJobs + first.size() > options.queueCapacity) {
+            std::ostringstream os;
+            os << "admission queue full (" << outstandingJobs
+               << " outstanding, " << first.size()
+               << " requested, capacity " << options.queueCapacity << ")";
+            exploreSessions.erase(id);
+            queueResponse(conn, errorResponse(429, os.str()), false,
+                          "/explore");
+            return;
+        }
+        std::size_t memoServed = 0;
+        if (options.memoCapacity > 0) {
+            for (const runner::Job &job : first)
+                if (memoMap.count(job.hashHex()))
+                    memoServed++;
+        }
+        if (memoServed < first.size() && liveWorkerCount() == 0) {
+            exploreSessions.erase(id);
+            queueResponse(conn,
+                          errorResponse(503, "no workers connected"),
+                          false, "/explore");
+            return;
+        }
+    }
+
+    // Count the request as a 200 now; later failures surface as a
+    // terminal error line inside the stream, exactly like the
+    // single-process daemon.
+    metrics_.inc("dynaspam_http_requests_total",
+                 requestLabels("/explore", 200));
+    conn.busy = true;
+    conn.exploreId = id;
+    conn.out += serve::chunkedResponseHead(200, "application/x-ndjson");
+    std::string startBytes;
+    for (const std::string &line : session.engine->start())
+        startBytes += serve::encodeChunk(line + "\n");
+    if (!emitExplore(id, startBytes))
+        return;
+    driveExplore(id);
+}
+
+void
+Coordinator::driveExplore(std::uint64_t sessionId)
+{
+    // Iterative, so memo-served batches (which complete synchronously)
+    // cannot recurse one stack frame per generation.
+    while (true) {
+        auto it = exploreSessions.find(sessionId);
+        if (it == exploreSessions.end())
+            return;
+        ExploreSession &session = it->second;
+        if (session.requestId != 0)
+            return;    // waiting on shard results
+        if (session.engine->done()) {
+            endExploreStream(sessionId);
+            return;
+        }
+        if (!dispatchExploreBatch(session))
+            return;    // shards in flight (or the session died)
+    }
+}
+
+bool
+Coordinator::dispatchExploreBatch(ExploreSession &session)
+{
+    const std::vector<runner::Job> &batch = session.engine->nextBatch();
+
+    const std::uint64_t id = nextRequestId++;
+    Request &request = requests[id];
+    request.id = id;
+    request.clientFd = -1;    // results flow over the stream, not HTTP
+    request.name = "explore";
+    request.endpoint = "/explore";
+    request.exploreSessionId = session.id;
+    request.jobs = batch;
+    request.entries.resize(request.jobs.size());
+    request.remaining = request.jobs.size();
+    request.start = Clock::now();
+    request.deadline = session.deadline;
+
+    // Internal batches bypass the draining/queue-capacity rejections:
+    // the search was admitted as a whole when its stream began, and a
+    // draining coordinator still finishes running streams.
+    std::size_t memoServed = 0;
+    if (options.memoCapacity > 0) {
+        for (std::size_t i = 0; i < request.jobs.size(); i++) {
+            const std::string *frag =
+                memoGet(request.jobs[i].hashHex());
+            if (!frag)
+                continue;
+            request.entries[i] = json::Value(json::Raw{*frag});
+            request.hits++;
+            request.remaining--;
+            memoServed++;
+        }
+    }
+    if (memoServed > 0) {
+        memoHits += memoServed;
+        metrics_.set("dynaspam_cluster_coordinator_memo_hits",
+                     double(memoHits));
+    }
+
+    std::map<unsigned, std::vector<std::size_t>> shards;
+    for (std::size_t i = 0; i < request.jobs.size(); i++)
+        if (request.entries[i].isNull())
+            shards[ownerSlot(runner::forkGroupHash(request.jobs[i]),
+                             options.workerSlots)]
+                .push_back(i);
+    for (auto &shard : shards) {
+        const std::uint64_t batchId = nextBatchId++;
+        Batch &b = batches[batchId];
+        b.id = batchId;
+        b.requestId = id;
+        b.ownerSlot = shard.first;
+        b.jobIndices = std::move(shard.second);
+        b.notBefore = request.start;
+        request.batchIds.insert(batchId);
+        assignBatch(b);
+    }
+
+    outstandingJobs += request.jobs.size();
+    metrics_.set("dynaspam_cluster_outstanding_jobs",
+                 double(outstandingJobs));
+    session.requestId = id;
+
+    if (request.remaining == 0) {
+        // Fully memo-served: complete inline; driveExplore's loop
+        // continues with the next generation.
+        finishExploreBatch(request);
+        return true;
+    }
+    return false;
+}
+
+void
+Coordinator::finishExploreBatch(Request &request)
+{
+    const std::uint64_t sessionId = request.exploreSessionId;
+
+    // Decode the pre-rendered entries back into outcomes for the
+    // engine. This is the one place the coordinator parses fragments —
+    // the price of reusing the /sweep shard machinery unchanged.
+    std::vector<runner::JobOutcome> outcomes;
+    std::string decodeError;
+    for (const json::Value &entry : request.entries) {
+        try {
+            json::Value doc = json::Value::parse(entry.asRaw().text);
+            runner::JobOutcome outcome;
+            outcome.job = runner::jobFromJson(doc.at("job"));
+            outcome.result = runner::resultFromJson(doc.at("result"));
+            const json::Value *fc = doc.find("from_cache");
+            outcome.fromCache = fc && fc->asBool();
+            outcomes.push_back(std::move(outcome));
+        } catch (const FatalError &err) {
+            decodeError = err.what();
+            break;
+        }
+    }
+
+    outstandingJobs -= request.jobs.size();
+    metrics_.set("dynaspam_cluster_outstanding_jobs",
+                 double(outstandingJobs));
+    requests.erase(request.id);    // `request` is dead past this line
+
+    auto it = exploreSessions.find(sessionId);
+    if (it == exploreSessions.end())
+        return;    // stream gone; the results still warmed the caches
+    ExploreSession &session = it->second;
+    session.requestId = 0;
+    if (!decodeError.empty()) {
+        failExploreSession(sessionId, 500,
+                           "shard entry undecodable: " + decodeError);
+        return;
+    }
+    std::vector<std::string> lines;
+    try {
+        lines = session.engine->feed(outcomes);
+    } catch (const FatalError &err) {
+        failExploreSession(sessionId, 500, err.what());
+        return;
+    }
+    std::string bytes;
+    for (const std::string &line : lines)
+        bytes += serve::encodeChunk(line + "\n");
+    emitExplore(sessionId, bytes);
+}
+
+bool
+Coordinator::emitExplore(std::uint64_t sessionId,
+                         const std::string &bytes)
+{
+    auto it = exploreSessions.find(sessionId);
+    if (it == exploreSessions.end())
+        return false;
+    auto clientIt = clients.find(it->second.clientFd);
+    if (clientIt == clients.end()) {
+        exploreSessions.erase(it);
+        return false;
+    }
+    ClientConn &conn = clientIt->second;
+    conn.out += bytes;
+    if (!flushBuffer(conn.fd, conn.out)) {
+        closeClient(conn.fd);    // also erases the session
+        return false;
+    }
+    if (!conn.out.empty())
+        updateEvents(conn.fd, true);
+    else if (conn.closeAfterFlush)
+        closeClient(conn.fd);
+    return exploreSessions.count(sessionId) > 0;
+}
+
+void
+Coordinator::endExploreStream(std::uint64_t sessionId)
+{
+    auto it = exploreSessions.find(sessionId);
+    if (it == exploreSessions.end())
+        return;
+    const int fd = it->second.clientFd;
+    exploreSessions.erase(it);
+    auto clientIt = clients.find(fd);
+    if (clientIt == clients.end())
+        return;
+    ClientConn &conn = clientIt->second;
+    conn.out += serve::kLastChunk;
+    conn.closeAfterFlush = true;
+    if (!flushBuffer(conn.fd, conn.out)) {
+        closeClient(conn.fd);
+        return;
+    }
+    if (!conn.out.empty())
+        updateEvents(conn.fd, true);
+    else
+        closeClient(conn.fd);
+}
+
+void
+Coordinator::failExploreSession(std::uint64_t sessionId, int status,
+                                const std::string &message)
+{
+    json::Object err;
+    err.emplace("type", "error");
+    err.emplace("status", std::uint64_t(status));
+    err.emplace("error", message);
+    emitExplore(sessionId,
+                serve::encodeChunk(json::Value(std::move(err)).dump() +
+                                   "\n"));
+    endExploreStream(sessionId);
+}
+
+const std::string *
+Coordinator::memoGet(const std::string &hash)
+{
+    auto it = memoMap.find(hash);
+    if (it == memoMap.end())
+        return nullptr;
+    memoOrder.splice(memoOrder.begin(), memoOrder, it->second.first);
+    return &it->second.second;
+}
+
+void
+Coordinator::memoPut(const std::string &hash, std::string fragment)
+{
+    auto it = memoMap.find(hash);
+    if (it != memoMap.end()) {
+        memoOrder.splice(memoOrder.begin(), memoOrder, it->second.first);
+        it->second.second = std::move(fragment);
+        return;
+    }
+    memoOrder.push_front(hash);
+    memoMap.emplace(hash, std::make_pair(memoOrder.begin(),
+                                         std::move(fragment)));
+    while (memoMap.size() > options.memoCapacity) {
+        memoMap.erase(memoOrder.back());
+        memoOrder.pop_back();
+    }
 }
 
 void

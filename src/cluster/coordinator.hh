@@ -40,6 +40,19 @@
  * Admission is bounded like the single-process daemon: when the jobs
  * belonging to unfinished requests would exceed queueCapacity, new
  * requests get 429 + Retry-After.
+ *
+ * POST /explore runs the design-space-exploration engine
+ * (explore::Engine) inside the event loop: every engine batch becomes
+ * an internal request fanned out through the same shard/batch/retry
+ * machinery, and the engine's NDJSON lines stream back to the client as
+ * a chunked response while the search progresses. Worker death, batch
+ * reassignment, deadlines and drain all behave exactly as for /sweep.
+ *
+ * Hardening: with --cluster-token set, worker enrollment requires the
+ * shared secret in the Hello frame; mismatches are dropped before
+ * Welcome and counted (never logged). An optional coordinator-side LRU
+ * memo (--coordinator-memo) answers repeat jobs from pre-rendered
+ * entry fragments without touching workers.
  */
 
 #ifndef DYNASPAM_CLUSTER_COORDINATOR_HH
@@ -47,7 +60,9 @@
 
 #include <chrono>
 #include <cstdint>
+#include <list>
 #include <map>
+#include <memory>
 #include <set>
 #include <string>
 #include <thread>
@@ -58,6 +73,7 @@
 #include "common/fd.hh"
 #include "common/json.hh"
 #include "common/mutex.hh"
+#include "explore/engine.hh"
 #include "runner/job.hh"
 #include "serve/http.hh"
 #include "serve/metrics.hh"
@@ -91,6 +107,21 @@ struct CoordinatorOptions
     std::uint64_t pingIntervalMs = 2000;
     /** Silence past this declares a worker dead. */
     std::uint64_t pingTimeoutMs = 10000;
+    /**
+     * Shared enrollment secret. When non-empty, a worker Hello must
+     * carry the same token or the connection is dropped before Welcome
+     * (counted by dynaspam_cluster_hello_rejects_total). The token is
+     * never logged and never appears in /metrics.
+     */
+    std::string clusterToken;
+    /**
+     * Coordinator-side result memo: pre-rendered sweep-report entries
+     * kept per job hash, so fully repeated sweeps answer without
+     * touching a worker. 0 disables the memo (the default: memo-served
+     * entries report from_cache=true, which changes repeat-sweep bytes
+     * for deployments that run workers cache-less on purpose).
+     */
+    std::size_t memoCapacity = 0;
     /** Log a line per lifecycle event (suppressed in tests). */
     bool verbose = true;
 };
@@ -150,6 +181,8 @@ class Coordinator
         bool closeAfterFlush = false;
         /** Request id the pending response belongs to. */
         std::uint64_t requestId = 0;
+        /** Explore session streaming on this connection (0 = none). */
+        std::uint64_t exploreId = 0;
     };
 
     /** One worker link's event-loop state. */
@@ -182,6 +215,26 @@ class Coordinator
         std::size_t hits = 0;        ///< from_cache entries seen
         std::set<std::uint64_t> batchIds;
         Clock::time_point start;
+        Clock::time_point deadline;
+        /** Owning explore session for an internal batch (0 = client
+         *  request: the response goes back over HTTP). */
+        std::uint64_t exploreSessionId = 0;
+    };
+
+    /**
+     * One POST /explore search in flight. The engine is driven from the
+     * event loop: each engine batch becomes an internal Request (fanned
+     * out through the same shard/batch/retry machinery as a /sweep),
+     * and every completed batch feeds the engine, whose emitted NDJSON
+     * lines stream to the client as chunks.
+     */
+    struct ExploreSession
+    {
+        std::uint64_t id = 0;
+        int clientFd = -1;
+        std::unique_ptr<explore::Engine> engine;
+        /** Internal request in flight (0 = none, about to dispatch). */
+        std::uint64_t requestId = 0;
         Clock::time_point deadline;
     };
 
@@ -230,6 +283,36 @@ class Coordinator
     void admitRequest(ClientConn &conn, const std::string &endpoint,
                       const std::string &name,
                       std::vector<runner::Job> jobs, bool keep_alive)
+        REQUIRES(loopRole);
+
+    /** Validate + admit a POST /explore and stream its header. */
+    void handleExplore(ClientConn &conn, const serve::HttpRequest &req)
+        REQUIRES(loopRole);
+    /** Dispatch engine batches until one waits on workers (or done). */
+    void driveExplore(std::uint64_t sessionId) REQUIRES(loopRole);
+    /**
+     * Create the internal Request for the session's pending engine
+     * batch. @return true when it completed synchronously (memo served
+     * every job) and the drive loop should continue
+     */
+    bool dispatchExploreBatch(ExploreSession &session) REQUIRES(loopRole);
+    /** Decode a finished internal batch, feed the engine, stream. */
+    void finishExploreBatch(Request &request) REQUIRES(loopRole);
+    /** Stream @p bytes to the session's client. @return false when the
+     *  client (and therefore the session) is gone. */
+    bool emitExplore(std::uint64_t sessionId, const std::string &bytes)
+        REQUIRES(loopRole);
+    /** Terminate the stream (last chunk + close) and drop the session. */
+    void endExploreStream(std::uint64_t sessionId) REQUIRES(loopRole);
+    /** Emit a terminal error line, then end the stream. */
+    void failExploreSession(std::uint64_t sessionId, int status,
+                            const std::string &message) REQUIRES(loopRole);
+
+    /** Memo lookup; refreshes LRU order. @return nullptr on miss */
+    const std::string *memoGet(const std::string &hash)
+        REQUIRES(loopRole);
+    /** Memo insert/refresh (evicts LRU past memoCapacity). */
+    void memoPut(const std::string &hash, std::string fragment)
         REQUIRES(loopRole);
     /** Try to assign every unassigned batch whose backoff has expired. */
     void assignPendingBatches() REQUIRES(loopRole);
@@ -288,8 +371,20 @@ class Coordinator
 
     std::map<std::uint64_t, Request> requests GUARDED_BY(loopRole);
     std::map<std::uint64_t, Batch> batches GUARDED_BY(loopRole);
+    std::map<std::uint64_t, ExploreSession> exploreSessions
+        GUARDED_BY(loopRole);
     std::uint64_t nextRequestId GUARDED_BY(loopRole) = 1;
     std::uint64_t nextBatchId GUARDED_BY(loopRole) = 1;
+    std::uint64_t nextExploreId GUARDED_BY(loopRole) = 1;
+
+    /** Coordinator-side LRU result memo: job hash -> pre-rendered
+     *  from_cache=true sweep-report entry fragment. */
+    std::list<std::string> memoOrder GUARDED_BY(loopRole);
+    std::map<std::string,
+             std::pair<std::list<std::string>::iterator, std::string>>
+        memoMap GUARDED_BY(loopRole);
+    /** Lifetime memo hits (mirrored into the memo_hits gauge). */
+    std::uint64_t memoHits GUARDED_BY(loopRole) = 0;
     std::uint64_t pingTick GUARDED_BY(loopRole) = 0;
     Clock::time_point lastPingSweep GUARDED_BY(loopRole);
     /** Jobs belonging to unfinished requests (admission gauge). */

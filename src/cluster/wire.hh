@@ -18,8 +18,14 @@
  *
  * Frame flow:
  *
- *     worker -> coordinator   Hello  {"protocol": 1}
+ *     worker -> coordinator   Hello  {"protocol": 1, "token": "..."}
  *     coordinator -> worker   Welcome {"slot": N, "slots": M}
+ *
+ * The Hello "token" field is optional: a worker sends it when started
+ * with --cluster-token, and a coordinator configured with a token
+ * requires a matching one before granting a slot (a mismatch drops the
+ * connection without a Welcome). The token is never logged on either
+ * side and never appears in /metrics.
  *     coordinator -> worker   Batch  {"id": n, "jobs": [jobToJson...]}
  *     worker -> coordinator   ResultRaw (binary, successful batches)
  *     worker -> coordinator   Result {"id": n, "error": "..."}

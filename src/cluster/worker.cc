@@ -1,5 +1,6 @@
 #include "cluster/worker.hh"
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
@@ -168,6 +169,8 @@ Worker::serveConnection(int fd)
 
     json::Object hello;
     hello.emplace("protocol", std::uint64_t(kWireVersion));
+    if (!options.clusterToken.empty())
+        hello.emplace("token", options.clusterToken);
     if (!sendFrame(fd, FrameType::Hello, json::Value(std::move(hello))))
         return finish(1);
 
@@ -339,6 +342,22 @@ Worker::handleBatch(const Frame &frame, int fd, std::string &inBuf)
         // snapshot cache). The executeFn test seam replaces the
         // simulator, so when it is set every job runs individually.
         std::vector<std::vector<std::size_t>> units;
+        // Canonical miss order (matching Runner::runAll): sort by job
+        // hash before partitioning so fork-group member order — and the
+        // warmup representative — is independent of the coordinator's
+        // batch order. Entries still land by original index.
+        std::sort(missIdx.begin(), missIdx.end(),
+                  [&](std::size_t a, std::size_t b) {
+                      const std::uint64_t ha = jobs[a].hash();
+                      const std::uint64_t hb = jobs[b].hash();
+                      if (ha != hb)
+                          return ha < hb;
+                      const std::string ka = jobs[a].key();
+                      const std::string kb = jobs[b].key();
+                      if (ka != kb)
+                          return ka < kb;
+                      return a < b;
+                  });
         std::map<std::string, std::size_t> groupOf;
         for (std::size_t i : missIdx) {
             if (customExecute || jobs[i].warmupInsts == 0) {

@@ -82,6 +82,13 @@ struct WorkerOptions
     bool reconnect = true;
     std::uint64_t reconnectBackoffCapMs = 5000;
 
+    /**
+     * Shared cluster secret sent in the Hello frame. Must match the
+     * coordinator's --cluster-token when the coordinator has one; an
+     * empty token simply omits the field. Never logged.
+     */
+    std::string clusterToken;
+
     /** Shard-local result cache; empty disables the disk tier. */
     std::string cacheDir;
     /** LRU size budget for the cache directory; 0 = unbounded. */

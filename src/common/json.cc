@@ -117,6 +117,14 @@ Value::asObject()
     fatal("json: expected object");
 }
 
+const Raw &
+Value::asRaw() const
+{
+    if (const auto *r = std::get_if<Raw>(&data))
+        return *r;
+    fatal("json: expected raw fragment");
+}
+
 const Value *
 Value::find(const std::string &key) const
 {

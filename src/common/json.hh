@@ -114,6 +114,8 @@ class Value
     /** @return object payload. @throws FatalError on type mismatch */
     const Object &asObject() const;
     Object &asObject();
+    /** @return raw-fragment payload. @throws FatalError on type mismatch */
+    const Raw &asRaw() const;
 
     /** Object member lookup. @return nullptr when absent or not an object */
     const Value *find(const std::string &key) const;

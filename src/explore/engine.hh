@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Deterministic design-space-exploration engine.
+ *
+ * The engine turns a validated Space into batches of runner::Jobs and
+ * consumes their results, tracking a Pareto frontier per problem
+ * (workload, scale) across up to three objectives. The search is
+ * generation-based successive halving: candidates are scouted at
+ * sampled fidelity in seeded order, (axis, value) regions whose scouts
+ * are all dominated by a clear margin are abandoned, and only scouts
+ * that end within the promotion margin of the scout frontier are
+ * promoted to full fidelity. The final frontier is computed purely from
+ * full-fidelity results, so every reported point carries exact numbers.
+ *
+ * Determinism discipline: no wall clock, no RNG, no environment — the
+ * candidate order is FNV-1a over (seed, job key), objective math is
+ * straight IEEE arithmetic in a fixed order, and every emitted line and
+ * the final report are byte-identical across thread counts, transports
+ * and repeat runs (src/explore is part of dynaspam-analyze's
+ * determinism domain).
+ *
+ * The engine is passive and re-entrant: callers alternate nextBatch()
+ * / feed() until done(), which lets the same core drive the blocking
+ * CLI and serve paths and the coordinator's single-threaded event loop.
+ */
+
+#ifndef DYNASPAM_EXPLORE_ENGINE_HH
+#define DYNASPAM_EXPLORE_ENGINE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/json.hh"
+#include "explore/space.hh"
+#include "runner/report.hh"
+
+namespace dynaspam::explore
+{
+
+/**
+ * Indices of the non-dominated points in @p points. A point dominates
+ * another when it is no worse in every objective and strictly better in
+ * at least one; points with identical vectors are mutually
+ * non-dominated and all kept. O(n^2), stable (result preserves input
+ * order).
+ * @param maximize per-objective direction, same arity as each point
+ */
+std::vector<std::size_t>
+paretoFrontier(const std::vector<std::vector<double>> &points,
+               const std::vector<bool> &maximize);
+
+/** NDJSON stream schema version (header line, final report). */
+inline constexpr unsigned kExploreSchemaVersion = 1;
+
+/** Drives one exploration of a Space. */
+class Engine
+{
+  public:
+    explicit Engine(Space space);
+
+    /** @return true once the final frontier has been computed. */
+    bool done() const { return phase == Phase::Done; }
+
+    /**
+     * Begin the stream: the header line plus any lines produced by
+     * phase transitions that need no results (call exactly once,
+     * before the first nextBatch).
+     */
+    std::vector<std::string> start();
+
+    /**
+     * The jobs the engine wants executed next. Stable across calls
+     * until feed() consumes it; empty only when done().
+     */
+    const std::vector<runner::Job> &nextBatch();
+
+    /**
+     * Consume results for nextBatch() (same order) and advance.
+     * @return the NDJSON lines this step produced, in emit order
+     * @throws FatalError when outcomes do not match the pending batch
+     */
+    std::vector<std::string>
+    feed(const std::vector<runner::JobOutcome> &outcomes);
+
+    /**
+     * The final report document (pretty-printed by the CLI). Only
+     * valid once done().
+     */
+    const json::Value &finalReport() const { return report; }
+
+    /**
+     * Work executed so far, in full-fidelity job equivalents: a full
+     * run costs 1.0, a sampled scout costs its detailed-instruction
+     * fraction (sampled insts / total insts).
+     */
+    double costUnits() const { return cost; }
+
+    /**
+     * What exhaustive full-fidelity evaluation of the same space would
+     * cost: every grid candidate plus any out-of-grid baseline runs
+     * the speedup objective needs.
+     */
+    double gridCostUnits() const { return gridCost; }
+
+    /** Number of grid candidates. */
+    std::size_t candidateCount() const { return candidates.size(); }
+
+  private:
+    enum class Phase : std::uint8_t
+    {
+        Baselines,
+        Scout,
+        Promote,
+        Done,
+    };
+
+    /** One grid point and its evaluation state. */
+    struct Candidate
+    {
+        runner::Job job; ///< full-fidelity job for this point
+        std::size_t problem = 0;
+        std::uint64_t order = 0; ///< seeded scouting rank
+        bool haveScout = false;
+        bool haveFull = false;
+        bool dead = false; ///< region pruned before scouting
+        std::vector<double> scoutVec, fullVec;
+        sim::RunResult fullResult;
+    };
+
+    /** One (workload, scale) problem with its own frontier. */
+    struct Problem
+    {
+        std::string workload;
+        unsigned scale = 1;
+        runner::Job baselineJob;
+        bool haveBaseline = false;
+        std::uint64_t baselineCycles = 0;
+        std::vector<std::size_t> members; ///< candidate indices
+        std::vector<std::size_t> scoutFrontier; ///< candidate indices
+    };
+
+    std::string label(const Problem &problem) const;
+    std::vector<double> objectiveVec(const sim::RunResult &result,
+                                     const Problem &problem) const;
+    void buildPending();
+    void applyOutcomes(const std::vector<runner::JobOutcome> &outcomes);
+    void refreshScoutFrontiers();
+    std::vector<std::string> pruneRegions();
+    bool promoteEligible(const Candidate &cand) const;
+    void advance(std::vector<std::string> &lines);
+    std::string generationLine(
+        std::size_t scouted, const std::vector<std::string> &pruned) const;
+    void finalize(std::vector<std::string> &lines);
+
+    Space space;
+    std::vector<bool> maximize; ///< per-objective direction
+    std::vector<Problem> problems;
+    std::vector<Candidate> candidates;
+    std::vector<std::size_t> scoutOrder; ///< candidate indices, seeded
+
+    Phase phase = Phase::Baselines;
+    bool started = false;
+    std::vector<runner::Job> pending;
+    std::vector<std::size_t> pendingTargets; ///< problem or candidate idx
+    bool pendingBuilt = false;
+    unsigned generation = 0;
+    double cost = 0.0;
+    double gridCost = 0.0;
+    json::Value report;
+};
+
+} // namespace dynaspam::explore
+
+#endif // DYNASPAM_EXPLORE_ENGINE_HH

@@ -1,5 +1,6 @@
 #include "runner/runner.hh"
 
+#include <algorithm>
 #include <atomic>
 #include <cstddef>
 #include <map>
@@ -213,10 +214,30 @@ Runner::runAll(const std::vector<Job> &jobs)
     // count and for fork vs no-fork execution.
     std::vector<std::vector<std::size_t>> units;
     {
+        // Canonical miss order: sort by job hash (key, then index, as
+        // tiebreaks) before partitioning, so a fork group's member
+        // order — and therefore its warmup representative and fork
+        // sequence — does not depend on the caller's job-list order.
+        // Outcomes still land by original index, so reports are
+        // byte-identical either way.
+        std::vector<std::size_t> missOrder;
+        for (std::size_t i = 0; i < jobs.size(); i++)
+            if (isMiss[i])
+                missOrder.push_back(i);
+        std::sort(missOrder.begin(), missOrder.end(),
+                  [&](std::size_t a, std::size_t b) {
+                      const std::uint64_t ha = jobs[a].hash();
+                      const std::uint64_t hb = jobs[b].hash();
+                      if (ha != hb)
+                          return ha < hb;
+                      const std::string ka = jobs[a].key();
+                      const std::string kb = jobs[b].key();
+                      if (ka != kb)
+                          return ka < kb;
+                      return a < b;
+                  });
         std::map<std::string, std::size_t> groupOf;
-        for (std::size_t i = 0; i < jobs.size(); i++) {
-            if (!isMiss[i])
-                continue;
+        for (std::size_t i : missOrder) {
             if (!options.forkSweeps || tracing ||
                 jobs[i].warmupInsts == 0) {
                 units.push_back({i});

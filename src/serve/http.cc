@@ -235,6 +235,72 @@ writeHttpResponse(int fd, const HttpResponse &resp, bool keep_alive)
     return sendAll(fd, wire.data(), wire.size());
 }
 
+std::string
+chunkedResponseHead(
+    int status, const std::string &content_type,
+    const std::vector<std::pair<std::string, std::string>> &extra_headers)
+{
+    std::ostringstream os;
+    os << "HTTP/1.1 " << status << ' ' << httpStatusReason(status)
+       << "\r\n"
+       << "Content-Type: " << content_type << "\r\n"
+       << "Transfer-Encoding: chunked\r\n"
+       << "Connection: close\r\n";
+    for (const auto &kv : extra_headers)
+        os << kv.first << ": " << kv.second << "\r\n";
+    os << "\r\n";
+    return os.str();
+}
+
+std::string
+encodeChunk(const std::string &data)
+{
+    std::ostringstream os;
+    os << std::hex << data.size() << "\r\n" << data << "\r\n";
+    return os.str();
+}
+
+bool
+decodeChunkedBody(const std::string &raw, std::string &out)
+{
+    out.clear();
+    std::size_t pos = 0;
+    while (true) {
+        std::size_t eol = raw.find("\r\n", pos);
+        if (eol == std::string::npos)
+            return false;
+        std::size_t size = 0;
+        bool any = false;
+        for (std::size_t i = pos; i < eol; i++) {
+            char c = raw[i];
+            int digit;
+            if (c >= '0' && c <= '9')
+                digit = c - '0';
+            else if (c >= 'a' && c <= 'f')
+                digit = c - 'a' + 10;
+            else if (c >= 'A' && c <= 'F')
+                digit = c - 'A' + 10;
+            else
+                return false;
+            if (size > (SIZE_MAX >> 4))
+                return false;
+            size = (size << 4) | std::size_t(digit);
+            any = true;
+        }
+        if (!any)
+            return false;
+        pos = eol + 2;
+        if (size == 0)
+            return raw.compare(pos, 2, "\r\n") == 0;
+        if (pos + size + 2 > raw.size())
+            return false;
+        out.append(raw, pos, size);
+        if (raw.compare(pos + size, 2, "\r\n") != 0)
+            return false;
+        pos += size + 2;
+    }
+}
+
 common::Fd
 listenTcp(const std::string &bind_address, unsigned port, int backlog,
           unsigned &bound_port)

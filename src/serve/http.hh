@@ -5,8 +5,9 @@
  * Implements exactly the subset the simulation service needs: parsing
  * one request (request line, headers, Content-Length body) out of a
  * byte buffer with a hard size cap, reading one from a connected
- * socket, and writing one response with Content-Length. No chunked
- * transfer, no TLS.
+ * socket, and writing one response with Content-Length. Responses may
+ * alternatively stream with `Transfer-Encoding: chunked` (the /explore
+ * NDJSON stream); requests may not. No TLS.
  *
  * Two front ends share the parser:
  *  - the thread-per-connection daemon (serve::Server) reads blocking
@@ -142,6 +143,33 @@ std::string serializeHttpResponse(const HttpResponse &resp,
  */
 bool writeHttpResponse(int fd, const HttpResponse &resp,
                        bool keep_alive = false);
+
+/**
+ * Serialize the head of a chunked (streaming) response: status line,
+ * Content-Type, `Transfer-Encoding: chunked`, `Connection: close` and
+ * any @p extra_headers — everything up to and including the blank line.
+ * The body then flows as encodeChunk() pieces terminated by
+ * kLastChunk. Streaming responses never keep the connection alive: the
+ * chunk terminator is the application-level end marker and closing is
+ * what lets both ends agree the stream is complete.
+ */
+std::string chunkedResponseHead(
+    int status, const std::string &content_type,
+    const std::vector<std::pair<std::string, std::string>>
+        &extra_headers = {});
+
+/** Encode one non-empty chunk: hex size, CRLF, payload, CRLF. */
+std::string encodeChunk(const std::string &data);
+
+/** The terminating zero-size chunk ("0\r\n\r\n"). */
+inline constexpr const char *kLastChunk = "0\r\n\r\n";
+
+/**
+ * Decode a complete chunked body (test/client helper). @p raw is
+ * everything after the header block; trailers are not supported.
+ * @return false on malformed framing or a missing terminator
+ */
+bool decodeChunkedBody(const std::string &raw, std::string &out);
 
 /**
  * Send exactly @p len bytes, surviving partial writes, EINTR and

@@ -16,6 +16,7 @@
 
 #include "common/logging.hh"
 #include "common/stats.hh"
+#include "explore/engine.hh"
 #include "workloads/workload.hh"
 
 namespace dynaspam::serve
@@ -54,7 +55,8 @@ drainSignalHandler(int)
 std::string
 endpointLabel(const std::string &target)
 {
-    if (target == "/run" || target == "/sweep" || target == "/healthz" ||
+    if (target == "/run" || target == "/sweep" ||
+        target == "/explore" || target == "/healthz" ||
         target == "/metrics")
         return target;
     if (target.rfind("/results/", 0) == 0 || target == "/results")
@@ -495,6 +497,17 @@ Server::handleConnection(int fd)
             resp = errorResponse(408, "timed out reading request");
             break;
           case HttpReadOutcome::Ok:
+            if (req.target == "/explore") {
+                // Streaming endpoint: writes its own response bytes
+                // (chunked NDJSON on success) and never keeps the
+                // connection alive — the chunk terminator plus close
+                // is how the stream ends.
+                endpoint = "/explore";
+                int status = handleExploreStream(conn.get(), req);
+                metrics_.inc("dynaspam_http_requests_total",
+                             requestLabels(endpoint, status));
+                return;
+            }
             resp = route(req, endpoint);
             keepAlive = req.wantsKeepAlive() &&
                         !draining.load(std::memory_order_relaxed);
@@ -608,6 +621,84 @@ Server::handleSweep(const HttpRequest &req)
     HttpResponse resp;
     resp.body = sweepReport(sweep.name, acq.outcomes);
     return resp;
+}
+
+int
+Server::handleExploreStream(int fd, const HttpRequest &req)
+{
+    auto fail = [&](int status, const std::string &message) {
+        writeHttpResponse(fd, errorResponse(status, message));
+        return status;
+    };
+    if (req.method != "POST")
+        return fail(405, "use POST");
+    explore::Space space;
+    try {
+        space = explore::Space::fromJson(json::Value::parse(req.body));
+    } catch (const FatalError &err) {
+        return fail(400, err.what());
+    }
+    if (draining.load(std::memory_order_relaxed))
+        return fail(503, "server is draining");
+
+    // One deadline covers the whole search, exactly like one /sweep:
+    // any batch still queued at the deadline cancels and the stream
+    // terminates with an error line.
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::milliseconds(options.requestTimeoutMs);
+
+    explore::Engine engine(space);
+    bool headSent = false;
+    auto emit = [&](const std::string &line) {
+        const std::string chunk = encodeChunk(line + "\n");
+        return sendAll(fd, chunk.data(), chunk.size());
+    };
+    auto emitAll = [&](const std::vector<std::string> &lines) {
+        for (const std::string &line : lines)
+            if (!emit(line))
+                return false;
+        return true;
+    };
+
+    const std::vector<std::string> startLines = engine.start();
+    while (!engine.done()) {
+        const std::vector<runner::Job> &batch = engine.nextBatch();
+        Acquired acq = acquireJobs(batch, deadline);
+        if (!headSent) {
+            // Admission is decided on the first batch, before any
+            // stream bytes: a full queue or a draining server turns
+            // into the same plain 429/503 a /sweep would get.
+            if (acq.status != 200)
+                return fail(acq.status, acq.error);
+            const std::string head =
+                chunkedResponseHead(200, "application/x-ndjson");
+            if (!sendAll(fd, head.data(), head.size()) ||
+                !emitAll(startLines))
+                return 200;
+            headSent = true;
+        } else if (acq.status != 200) {
+            json::Object err;
+            err.emplace("type", "error");
+            err.emplace("status", std::uint64_t(acq.status));
+            err.emplace("error", acq.error);
+            emit(json::Value(std::move(err)).dump());
+            break;
+        }
+        if (!emitAll(engine.feed(acq.outcomes)))
+            return 200;
+    }
+    if (!headSent) {
+        // A search that needs no batches at all still streams its
+        // header and final lines.
+        const std::string head =
+            chunkedResponseHead(200, "application/x-ndjson");
+        if (!sendAll(fd, head.data(), head.size()) ||
+            !emitAll(startLines))
+            return 200;
+    }
+    sendAll(fd, kLastChunk, std::strlen(kLastChunk));
+    return 200;
 }
 
 HttpResponse

@@ -14,6 +14,7 @@
  * Endpoints:
  *   POST /run             one job spec -> single-job report
  *   POST /sweep           {"sweep": "fig8", ...} or {"jobs": [...]}
+ *   POST /explore         design-space search -> chunked NDJSON stream
  *   GET  /results/<hash>  report for a previously computed job
  *   GET  /healthz         liveness probe
  *   GET  /metrics         Prometheus text format
@@ -217,6 +218,15 @@ class Server
 
     void acceptLoop();
     HttpResponse route(const HttpRequest &req, std::string &endpoint);
+    /**
+     * POST /explore: validate the space, then stream NDJSON engine
+     * lines as a chunked response while batches run through
+     * acquireJobs. Writes its own response bytes (the connection always
+     * closes afterwards). @return the status for the request counter
+     * (the pre-stream status, or 200 once the head has been sent —
+     * later failures surface as a terminal "error" line in the stream)
+     */
+    int handleExploreStream(int fd, const HttpRequest &req);
     HttpResponse handleRun(const HttpRequest &req);
     HttpResponse handleSweep(const HttpRequest &req);
     HttpResponse handleResults(const std::string &target);

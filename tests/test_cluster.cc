@@ -827,3 +827,111 @@ TEST(Cluster, AdmissionBoundReturns429)
     coordinator.waitUntilDrained();
     worker_thread.join();
 }
+
+TEST(Cluster, EnrollmentTokenGatesWorkers)
+{
+    TempDir tmp("token");
+    CoordinatorOptions copts = quietCoordinator(2);
+    copts.clusterToken = "sekrit-cluster-token";
+    Coordinator coordinator(copts);
+    coordinator.start();
+
+    // A tokenless worker and a wrong-token worker are both dropped
+    // before any Welcome; neither ever counts as connected.
+    WorkerOptions bare = quietWorker(coordinator, "");
+    bare.reconnect = false;
+    Worker tokenless(bare);
+    std::thread tokenless_thread([&] { tokenless.run(); });
+
+    WorkerOptions mismatched = bare;
+    mismatched.clusterToken = "wrong-token";
+    Worker wrong(mismatched);
+    std::thread wrong_thread([&] { wrong.run(); });
+
+    ASSERT_TRUE(eventually([&] {
+        return coordinator.metrics().value(
+                   "dynaspam_cluster_hello_rejects_total") >= 2;
+    }));
+    EXPECT_EQ(coordinator.metrics().value(
+                  "dynaspam_cluster_workers_connected"),
+              0);
+    tokenless_thread.join();
+    wrong_thread.join();
+
+    // The secret must never surface through the metrics endpoint.
+    Reply metrics = request(coordinator.httpPort(), "GET", "/metrics");
+    ASSERT_EQ(metrics.status, 200);
+    EXPECT_EQ(metrics.body.find("sekrit"), std::string::npos);
+    EXPECT_NE(metrics.body.find("dynaspam_cluster_hello_rejects_total 2"),
+              std::string::npos);
+
+    // The matching token enrolls normally and the cluster serves work.
+    WorkerOptions good = quietWorker(coordinator, tmp.path() + "/w");
+    good.clusterToken = "sekrit-cluster-token";
+    Worker enrolled(good);
+    std::thread enrolled_thread([&] { enrolled.run(); });
+    ASSERT_TRUE(eventually([&] {
+        return coordinator.metrics().value(
+                   "dynaspam_cluster_workers_connected") == 1;
+    }));
+    Reply run = request(coordinator.httpPort(), "POST", "/run",
+                        "{\"workload\": \"bfs\", \"trace_length\": 16}");
+    EXPECT_EQ(run.status, 200);
+
+    coordinator.beginDrain();
+    coordinator.waitUntilDrained();
+    enrolled_thread.join();
+}
+
+TEST(Cluster, CoordinatorMemoServesRepeatSweeps)
+{
+    TempDir tmp("memo");
+    CoordinatorOptions copts = quietCoordinator(2);
+    copts.memoCapacity = 64;
+    Coordinator coordinator(copts);
+    coordinator.start();
+
+    Worker worker(quietWorker(coordinator, tmp.path() + "/w"));
+    std::thread worker_thread([&] { worker.run(); });
+    ASSERT_TRUE(eventually([&] {
+        return coordinator.metrics().value(
+                   "dynaspam_cluster_workers_connected") == 1;
+    }));
+
+    Reply cold = request(coordinator.httpPort(), "POST", "/sweep",
+                         kSweepBody);
+    ASSERT_EQ(cold.status, 200);
+    EXPECT_EQ(cold.body.find("\"from_cache\": true"), std::string::npos);
+    EXPECT_EQ(coordinator.metrics().value(
+                  "dynaspam_cluster_coordinator_memo_hits"),
+              0);
+
+    // The repeat sweep is answered from the coordinator-side memo:
+    // every entry is marked from_cache and no worker round-trip adds
+    // cache hits beyond the first pass.
+    Reply warm = request(coordinator.httpPort(), "POST", "/sweep",
+                         kSweepBody);
+    ASSERT_EQ(warm.status, 200);
+    EXPECT_NE(warm.body.find("\"from_cache\": true"), std::string::npos);
+    EXPECT_EQ(coordinator.metrics().value(
+                  "dynaspam_cluster_coordinator_memo_hits"),
+              4);
+
+    // Memo-served requests need no workers at all: kill the only
+    // worker and the same sweep still answers 200 entirely from memo.
+    worker.shutdownNow();
+    worker_thread.join();
+    ASSERT_TRUE(eventually([&] {
+        return coordinator.metrics().value(
+                   "dynaspam_cluster_workers_connected") == 0;
+    }));
+    Reply orphan = request(coordinator.httpPort(), "POST", "/sweep",
+                           kSweepBody);
+    EXPECT_EQ(orphan.status, 200);
+    EXPECT_EQ(coordinator.metrics().value(
+                  "dynaspam_cluster_coordinator_memo_hits"),
+              8);
+
+    coordinator.beginDrain();
+    coordinator.waitUntilDrained();
+}

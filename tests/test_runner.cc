@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cmath>
@@ -829,4 +830,37 @@ TEST(Interrupt, SignalHandlerUnlinksAndExitsWithSignalCode)
     ASSERT_TRUE(WIFEXITED(status));
     EXPECT_EQ(WEXITSTATUS(status), 128 + SIGINT);
     EXPECT_FALSE(fs::exists(victim));
+}
+
+TEST(Runner, ForkGroupSnapshotKeyIgnoresJobListOrder)
+{
+    // The warmed-snapshot cache key is derived from the fork group's
+    // representative job, which used to be whichever group member the
+    // caller listed first — so reordering a job list silently turned
+    // cache hits into fresh warmups. Misses are now partitioned in
+    // canonical (hash-sorted) order, so a reversed job list must reuse
+    // the snapshot the original order persisted.
+    TempDir tmp("orderkey");
+    std::vector<Job> jobs = {
+        {"bfs", SystemMode::MappingOnly, 16, 1, 1, 3000},
+        {"bfs", SystemMode::AccelNoSpec, 16, 1, 1, 3000},
+        {"bfs", SystemMode::AccelSpec, 16, 1, 1, 3000},
+    };
+
+    runner::RunnerOptions opts;
+    opts.jobs = 1;
+    opts.snapshotCacheDir = tmp.path();
+
+    runner::Runner first(opts);
+    first.runAll(jobs);
+    EXPECT_EQ(first.forkStats().warmups.load(), 1u);
+    EXPECT_EQ(first.forkStats().snapshotMisses.load(), 1u);
+
+    std::reverse(jobs.begin(), jobs.end());
+    runner::Runner second(opts);
+    const auto outcomes = second.runAll(jobs);
+    EXPECT_EQ(second.forkStats().snapshotHits.load(), 1u);
+    EXPECT_EQ(second.forkStats().warmups.load(), 0u);
+    for (const auto &outcome : outcomes)
+        EXPECT_TRUE(outcome.result.functionallyCorrect);
 }

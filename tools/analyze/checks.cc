@@ -107,11 +107,15 @@ determinismDomain(const std::string &rel)
     // src/runner and the snapshot auditor joined the domain with the
     // forked-sweep execution path: warmup partitioning and snapshot
     // restore must reproduce straight-through bytes, so host entropy is
-    // as forbidden there as in the cycle engine itself.
+    // as forbidden there as in the cycle engine itself. src/explore
+    // joined with the design-space engine: its frontier reports promise
+    // byte-identity across thread counts and transports, which no
+    // wall-clock or random source can be allowed to break.
     return startsWith(rel, "src/core/") || startsWith(rel, "src/ooo/") ||
            startsWith(rel, "src/fabric/") ||
            startsWith(rel, "src/memory/") || startsWith(rel, "src/sim/") ||
            startsWith(rel, "src/runner/") ||
+           startsWith(rel, "src/explore/") ||
            startsWith(rel, "src/check/snapshot_audit");
 }
 
